@@ -1,0 +1,168 @@
+// Shared presets for the experiment benches (E1-E12).
+//
+// The canonical FL market used across experiments: 40 clients, non-IID
+// Dirichlet shards, a 30% noisy-label cohort that is also cheap (adverse
+// selection), heavy-tailed costs. REPRO_FAST=1 shrinks every experiment for
+// smoke runs.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/adaptive_price.h"
+#include "auction/baselines.h"
+#include "core/long_term_online_vcg.h"
+#include "core/market_simulation.h"
+#include "core/orchestrator.h"
+#include "fl/logistic_regression.h"
+#include "util/config.h"
+#include "util/string_utils.h"
+#include "util/table.h"
+
+namespace sfl::bench {
+
+/// Scale factor for workload sizes: 1.0 normally, 0.2 under REPRO_FAST.
+inline double workload_scale() {
+  return sfl::util::fast_mode_enabled() ? 0.2 : 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const auto s = static_cast<std::size_t>(static_cast<double>(n) * workload_scale());
+  return s < 10 ? 10 : s;
+}
+
+/// The canonical evaluation scenario (see file comment).
+inline sim::ScenarioSpec canonical_scenario_spec(std::uint64_t seed = 42) {
+  sim::ScenarioSpec spec;
+  spec.num_clients = 40;
+  spec.train_examples = 4000;
+  spec.test_examples = 800;
+  spec.validation_examples = 200;
+  spec.num_classes = 10;
+  spec.feature_dim = 32;
+  spec.class_separation = 0.9;
+  spec.partition = sim::PartitionKind::kDirichletLabelSkew;
+  spec.dirichlet_alpha = 0.3;
+  spec.noisy_client_fraction = 0.3;
+  spec.noisy_flip_probability = 0.8;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Orchestrator preset matched to the canonical scenario. Noisy clients get
+/// a 0.4x cost multiplier (cheap junk data — the adverse-selection trap).
+inline core::OrchestratorConfig canonical_fl_config(
+    const sim::ScenarioSpec& sspec, std::size_t rounds) {
+  core::OrchestratorConfig config;
+  config.rounds = rounds;
+  config.max_winners = 8;
+  config.per_round_budget = 6.0;
+  config.valuation_scale = 2.0;
+  config.eval_every = 10;
+  config.cost.base_sigma = 0.5;
+  config.seed = sspec.seed;
+  const auto noisy_count = static_cast<std::size_t>(
+      std::ceil(sspec.noisy_client_fraction *
+                static_cast<double>(sspec.num_clients)));
+  config.cost_multipliers.assign(sspec.num_clients, 1.0);
+  for (std::size_t offset = 0; offset < noisy_count; ++offset) {
+    config.cost_multipliers[sspec.num_clients - 1 - offset] = 0.4;
+  }
+  return config;
+}
+
+inline fl::LocalTrainingSpec canonical_training_spec() {
+  fl::LocalTrainingSpec spec;
+  spec.local_steps = 5;
+  spec.batch_size = 32;
+  spec.optimizer.learning_rate = 0.05;
+  return spec;
+}
+
+/// Sustainable participation rate used by the canonical paced LTO-VCG: each
+/// client can win at most half the rounds long-run, which both respects
+/// device energy budgets and rotates coverage across non-IID shards.
+inline constexpr double kCanonicalPacingRate = 0.5;
+
+/// Mechanism factory by name; the LTO config inherits the orchestrator's
+/// budget. Names: lto-vcg (paced, the paper mechanism), lto-vcg-unpaced
+/// (Z queues off, ablation), myopic-vcg, pay-as-bid, fixed-price,
+/// random-stipend, proportional-share.
+inline std::unique_ptr<auction::Mechanism> make_mechanism(
+    const std::string& name, const core::OrchestratorConfig& config,
+    std::size_t num_clients, double v_weight = 10.0) {
+  if (name == "lto-vcg" || name == "lto-vcg-unpaced") {
+    core::LtoVcgConfig lto;
+    lto.v_weight = v_weight;
+    lto.per_round_budget = config.per_round_budget;
+    if (name == "lto-vcg") {
+      lto.energy_rates.assign(num_clients, kCanonicalPacingRate);
+    }
+    return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
+  }
+  if (name == "myopic-vcg") return std::make_unique<auction::MyopicVcgMechanism>();
+  if (name == "pay-as-bid") {
+    return std::make_unique<auction::PayAsBidGreedyMechanism>();
+  }
+  if (name == "fixed-price") {
+    return std::make_unique<auction::FixedPriceMechanism>(1.0);
+  }
+  if (name == "random-stipend") {
+    return std::make_unique<auction::RandomSelectionMechanism>(1.0, config.seed);
+  }
+  if (name == "proportional-share") {
+    return std::make_unique<auction::ProportionalShareMechanism>();
+  }
+  if (name == "adaptive-price") {
+    return std::make_unique<auction::AdaptivePostedPriceMechanism>(
+        auction::AdaptivePriceConfig{});
+  }
+  throw std::invalid_argument("unknown mechanism: " + name);
+}
+
+/// All mechanism names compared in the FL experiments.
+inline std::vector<std::string> all_mechanism_names() {
+  return {"lto-vcg",     "lto-vcg-unpaced", "myopic-vcg",
+          "pay-as-bid",  "fixed-price",     "adaptive-price",
+          "random-stipend", "proportional-share"};
+}
+
+/// One full FL run with the named mechanism on a shared scenario.
+inline core::RunResult run_fl(const sim::Scenario& scenario,
+                              const sim::ScenarioSpec& sspec,
+                              const std::string& mechanism_name,
+                              const core::OrchestratorConfig& config,
+                              double v_weight = 10.0) {
+  auto model = std::make_unique<fl::LogisticRegression>(
+      sspec.feature_dim, sspec.num_classes, 1e-4);
+  core::SustainableFlOrchestrator orchestrator(
+      scenario, std::move(model), canonical_training_spec(),
+      make_mechanism(mechanism_name, config, scenario.num_clients(), v_weight),
+      config);
+  return orchestrator.run();
+}
+
+/// Canonical auction-only market (for E2-E6, E10).
+inline core::MarketSpec canonical_market_spec(std::uint64_t seed = 7) {
+  core::MarketSpec spec;
+  spec.num_clients = 100;
+  spec.rounds = scaled(3000);
+  spec.max_winners = 10;
+  spec.per_round_budget = 6.0;
+  spec.valuation_scale = 2.0;
+  spec.cost.base_sigma = 0.5;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "==============================================================\n"
+            << id << " — " << title << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace sfl::bench

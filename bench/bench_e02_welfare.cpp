@@ -1,0 +1,93 @@
+// E2 (Figure): cumulative social welfare vs rounds in the auction-only
+// market. Shows the mechanism ordering the paper class reports: the
+// clairvoyant first-best upper bound, LTO-VCG close behind (paying the
+// truthfulness premium and honouring the budget), and the naive baselines
+// below.
+#include "auction/adaptive_price.h"
+#include "bench_common.h"
+
+#include "util/string_utils.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E2", "cumulative social welfare vs rounds");
+
+  const core::MarketSpec spec = bench::canonical_market_spec();
+
+  struct Entry {
+    std::string name;
+    core::MarketResult result;
+  };
+  std::vector<Entry> entries;
+
+  {
+    core::LtoVcgConfig lto;
+    lto.v_weight = 10.0;
+    lto.per_round_budget = spec.per_round_budget;
+    core::LongTermOnlineVcgMechanism mech(lto);
+    entries.push_back({"lto-vcg", core::run_market(mech, spec)});
+  }
+  {
+    auction::MyopicVcgMechanism mech;
+    entries.push_back({"myopic-vcg", core::run_market(mech, spec)});
+  }
+  {
+    auction::PayAsBidGreedyMechanism mech;
+    entries.push_back({"pay-as-bid", core::run_market(mech, spec)});
+  }
+  {
+    auction::FixedPriceMechanism mech(1.0);
+    entries.push_back({"fixed-price", core::run_market(mech, spec)});
+  }
+  {
+    auction::AdaptivePostedPriceMechanism mech(auction::AdaptivePriceConfig{});
+    entries.push_back({"adaptive-price", core::run_market(mech, spec)});
+  }
+  {
+    auction::RandomSelectionMechanism mech(1.0, spec.seed);
+    entries.push_back({"random-stipend", core::run_market(mech, spec)});
+  }
+  {
+    auction::ProportionalShareMechanism mech;
+    entries.push_back({"proportional-share", core::run_market(mech, spec)});
+  }
+  {
+    auction::FirstBestOracleMechanism mech;
+    entries.push_back({"first-best-oracle", core::run_market(mech, spec)});
+  }
+
+  // Cumulative welfare sampled at 10 checkpoints.
+  std::vector<std::string> header{"round"};
+  for (const auto& e : entries) header.push_back(e.name);
+  util::TablePrinter series(header);
+  const std::size_t step = spec.rounds / 10;
+  std::vector<double> cumulative(entries.size(), 0.0);
+  std::size_t next_checkpoint = step;
+  for (std::size_t t = 0; t < spec.rounds; ++t) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      cumulative[i] += entries[i].result.welfare_series[t];
+    }
+    if (t + 1 == next_checkpoint || t + 1 == spec.rounds) {
+      std::vector<std::string> row{std::to_string(t + 1)};
+      for (const double c : cumulative) {
+        row.push_back(util::format_double(c, 1));
+      }
+      series.add_row(std::move(row));
+      next_checkpoint += step;
+    }
+  }
+  series.print(std::cout);
+
+  std::cout << "\nSummary (time-average welfare per round; oracle = 100%):\n";
+  const double oracle = entries.back().result.time_average_welfare;
+  util::TablePrinter summary({"mechanism", "avg_welfare", "% of first-best",
+                              "avg_payment", "IR"});
+  for (const auto& e : entries) {
+    summary.row(e.name, e.result.time_average_welfare,
+                util::format_double(100.0 * e.result.time_average_welfare /
+                                        oracle, 1) + "%",
+                e.result.average_payment, e.result.ir_fraction);
+  }
+  summary.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// E6 (Figure): the Lyapunov V tradeoff.
+//
+// Sweeping the penalty weight V exposes the three signature behaviours of
+// drift-plus-penalty control:
+//  1. time-average payment is pinned to B-bar for EVERY V (the queue
+//     enforces the long-term constraint exactly);
+//  2. time-average welfare increases in V with diminishing returns — the
+//     O(1/V) optimality-gap model fits the sweep (R^2 reported);
+//  3. average queue backlog grows linearly in V (log-log slope ~ +1),
+//     which is also the memory/transient cost of choosing a large V.
+#include <cmath>
+
+#include "bench_common.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E6", "welfare saturation O(1/V) vs queue backlog O(V)");
+
+  core::MarketSpec spec = bench::canonical_market_spec();
+  spec.rounds = bench::scaled(6000);
+
+  const std::vector<double> v_values{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+
+  const auto run_with_v = [&](double v) {
+    core::LtoVcgConfig config;
+    config.v_weight = v;
+    config.per_round_budget = spec.per_round_budget;
+    core::LongTermOnlineVcgMechanism mech(config);
+    return core::run_market(mech, spec);
+  };
+
+  std::vector<double> welfare(v_values.size());
+  std::vector<double> backlog(v_values.size());
+  std::vector<double> avg_payment(v_values.size());
+  for (std::size_t i = 0; i < v_values.size(); ++i) {
+    const core::MarketResult result = run_with_v(v_values[i]);
+    welfare[i] = result.time_average_welfare;
+    backlog[i] = result.average_budget_backlog;
+    avg_payment[i] = result.average_payment;
+  }
+
+  util::TablePrinter table({"V", "avg_welfare", "welfare_gain_vs_prev",
+                            "avg_backlog", "avg_payment"});
+  for (std::size_t i = 0; i < v_values.size(); ++i) {
+    table.row(v_values[i], welfare[i],
+              i == 0 ? 0.0 : welfare[i] - welfare[i - 1], backlog[i],
+              avg_payment[i]);
+  }
+  table.print(std::cout);
+
+  // O(1/V) model: welfare(V) = w_inf - c / V is linear in 1/V.
+  std::vector<double> inv_v;
+  inv_v.reserve(v_values.size());
+  for (const double v : v_values) inv_v.push_back(1.0 / v);
+  const auto welfare_fit = stats::linear_fit(inv_v, welfare);
+
+  // O(V) backlog: log-log slope.
+  std::vector<double> log_v;
+  std::vector<double> log_backlog;
+  for (std::size_t i = 0; i < v_values.size(); ++i) {
+    log_v.push_back(std::log(v_values[i]));
+    log_backlog.push_back(std::log(std::max(backlog[i], 1e-9)));
+  }
+  const auto backlog_fit = stats::linear_fit(log_v, log_backlog);
+
+  std::cout << "\nO(1/V) welfare model  welfare = w_inf - c/V:\n"
+            << "  w_inf = " << welfare_fit.intercept
+            << ", c = " << -welfare_fit.slope
+            << ", R^2 = " << welfare_fit.r_squared
+            << "  (theory: good linear fit in 1/V)\n";
+  std::cout << "O(V) backlog model    log backlog vs log V:\n"
+            << "  slope = " << backlog_fit.slope
+            << ", R^2 = " << backlog_fit.r_squared
+            << "  (theory: slope +1)\n";
+  std::cout << "Budget enforcement: avg payment within "
+            << util::format_double(
+                   100.0 * (*std::max_element(avg_payment.begin(),
+                                              avg_payment.end()) /
+                                spec.per_round_budget -
+                            1.0),
+                   3)
+            << "% of B-bar across the entire sweep.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E7 (Table): winner-determination + payment scalability (google-benchmark).
+//
+// Wall time of one full auction round (WDP + truthful payments) as the
+// market grows: the production top-m path at N up to 100k clients, the
+// knapsack DP used by budget-capped variants, and the exhaustive oracle
+// (tiny N only). Regenerates the paper-style "mechanism overhead is
+// negligible next to a training round" table.
+#include <benchmark/benchmark.h>
+
+#include "auction/payments.h"
+#include "auction/random_instance.h"
+#include "auction/valuation.h"
+#include "auction/winner_determination.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sfl::auction;
+
+RandomInstance make_instance(std::size_t n) {
+  sfl::util::Rng rng(1234 + n);
+  RandomInstanceSpec spec;
+  spec.num_candidates = n;
+  return make_random_instance(spec, rng);
+}
+
+void BM_TopMWithCriticalPayments(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  for (auto _ : state) {
+    const Allocation alloc = select_top_m(instance.candidates, weights, m);
+    const auto payments =
+        critical_payments(instance.candidates, weights, m, alloc);
+    benchmark::DoNotOptimize(payments.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopMWithCriticalPayments)
+    ->RangeMultiplier(10)
+    ->Range(100, 100000)
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_TopMWithVcgExternalityPayments(benchmark::State& state) {
+  // VCG externality payments re-solve the WDP per winner: O(m) x WDP.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const WdpSolver solver = [](const std::vector<Candidate>& c,
+                              const ScoreWeights& w, std::size_t k,
+                              const Penalties& p) {
+    return select_top_m(c, w, k, p);
+  };
+  for (auto _ : state) {
+    const Allocation alloc = select_top_m(instance.candidates, weights, m);
+    const auto payments =
+        vcg_payments(instance.candidates, weights, m, alloc, solver);
+    benchmark::DoNotOptimize(payments.data());
+  }
+}
+BENCHMARK(BM_TopMWithVcgExternalityPayments)
+    ->RangeMultiplier(10)
+    ->Range(100, 10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KnapsackDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const ScoreWeights weights{1.0, 1.0};
+  for (auto _ : state) {
+    const Allocation alloc =
+        select_knapsack(instance.candidates, weights, 10.0, 10, 0.05);
+    benchmark::DoNotOptimize(alloc.selected.data());
+  }
+}
+BENCHMARK(BM_KnapsackDp)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExhaustiveOracle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const ScoreWeights weights{1.0, 1.0};
+  for (auto _ : state) {
+    const Allocation alloc = select_exhaustive(instance.candidates, weights, 5);
+    benchmark::DoNotOptimize(alloc.selected.data());
+  }
+}
+BENCHMARK(BM_ExhaustiveOracle)
+    ->DenseRange(8, 20, 4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GreedyConcave(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const ConcaveValuation valuation(20.0);
+  const ScoreWeights weights{1.0, 1.0};
+  for (auto _ : state) {
+    const Allocation alloc =
+        select_greedy_concave(instance.candidates, valuation, weights, 10);
+    benchmark::DoNotOptimize(alloc.selected.data());
+  }
+}
+BENCHMARK(BM_GreedyConcave)
+    ->RangeMultiplier(10)
+    ->Range(100, 10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

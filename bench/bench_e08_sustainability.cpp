@@ -1,0 +1,116 @@
+// E8 (Figure): client sustainability under energy harvesting.
+//
+// The full FL system with capped batteries and heterogeneous harvest rates,
+// run with and without the per-client Z_i pacing queues. Reports
+// participation share and battery health by harvest class, starvation
+// events, Jain fairness, and accuracy — showing that pacing keeps
+// slow-harvest clients alive without giving up training quality.
+#include "bench_common.h"
+#include "stats/summary.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E8", "sustainability: harvest-paced vs unpaced selection");
+
+  sim::ScenarioSpec sspec = bench::canonical_scenario_spec(5);
+  sspec.noisy_client_fraction = 0.0;  // isolate the energy axis
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+
+  core::OrchestratorConfig config =
+      bench::canonical_fl_config(sspec, bench::scaled(250));
+  config.enable_energy = true;
+  config.energy.battery_capacity = 3.0;
+  config.energy.initial_charge = 2.0;
+  config.energy.harvest_amount = 1.0;
+  config.energy.harvest_probabilities.resize(sspec.num_clients);
+  // Slow-harvest clients are low-power devices — and cheap (half cost), so
+  // an unpaced buyer keeps hammering them until their batteries die.
+  config.cost_multipliers.assign(sspec.num_clients, 1.0);
+  for (std::size_t c = 0; c < sspec.num_clients; ++c) {
+    const bool fast = c % 2 == 0;
+    config.energy.harvest_probabilities[c] = fast ? 0.8 : 0.2;
+    config.cost_multipliers[c] = fast ? 1.0 : 0.5;
+  }
+
+  // The sustainability dial: no pacing, pacing at the harvest rate, pacing
+  // with a 2x safety margin. The margin is what keeps batteries charged —
+  // pacing exactly at the harvest rate still operates devices at the edge.
+  struct Variant {
+    std::string name;
+    double pacing_fraction;  ///< r_i = fraction * harvest_rate_i; 0 = off
+  };
+  const std::vector<Variant> variants{
+      {"unpaced (Z off)", 0.0},
+      {"paced at harvest rate", 1.0},
+      {"paced with 2x margin", 0.5},
+  };
+
+  const auto run_variant = [&](double pacing_fraction) {
+    core::LtoVcgConfig lto;
+    lto.v_weight = 10.0;
+    lto.per_round_budget = config.per_round_budget;
+    if (pacing_fraction > 0.0) {
+      for (std::size_t c = 0; c < sspec.num_clients; ++c) {
+        lto.energy_rates.push_back(pacing_fraction *
+                                   config.energy.harvest_probabilities[c] *
+                                   config.energy.harvest_amount);
+      }
+    }
+    auto model = std::make_unique<fl::LogisticRegression>(
+        sspec.feature_dim, sspec.num_classes, 1e-4);
+    core::SustainableFlOrchestrator orchestrator(
+        scenario, std::move(model), bench::canonical_training_spec(),
+        std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
+    return orchestrator.run();
+  };
+
+  std::vector<core::RunResult> results;
+  results.reserve(variants.size());
+  for (const auto& variant : variants) {
+    results.push_back(run_variant(variant.pacing_fraction));
+  }
+
+  util::TablePrinter summary({"variant", "accuracy", "welfare",
+                              "starvation_events", "jain_participation",
+                              "mean_avail/round"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = results[i];
+    std::size_t starved = 0;
+    for (const auto s : r.starvation_counts) starved += s;
+    double availability = 0.0;
+    for (const auto& record : r.rounds) {
+      availability += static_cast<double>(record.available);
+    }
+    availability /= static_cast<double>(r.rounds.size());
+    summary.row(variants[i].name, r.final_accuracy, r.cumulative_welfare,
+                starved, stats::jain_fairness_index(r.participation_counts),
+                availability);
+  }
+  summary.print(std::cout);
+
+  std::cout << "\nBy harvest class:\n";
+  util::TablePrinter classes({"variant", "class", "mean_wins", "mean_battery",
+                              "mean_starvation"});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    for (const bool fast : {true, false}) {
+      double wins = 0.0;
+      double battery = 0.0;
+      double starved = 0.0;
+      double count = 0.0;
+      for (std::size_t c = 0; c < sspec.num_clients; ++c) {
+        if ((c % 2 == 0) != fast) continue;
+        wins += results[i].participation_counts[c];
+        battery += results[i].final_battery[c];
+        starved += static_cast<double>(results[i].starvation_counts[c]);
+        count += 1.0;
+      }
+      classes.row(variants[i].name, fast ? "fast (p=0.8)" : "slow (p=0.2)",
+                  wins / count, battery / count, starved / count);
+    }
+  }
+  classes.print(std::cout);
+  std::cout << "\nReading: the safety margin converts starvation events into "
+               "battery headroom at a small welfare cost — the "
+               "sustainability dial the Z queues expose.\n";
+  return 0;
+}

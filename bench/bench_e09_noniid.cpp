@@ -1,0 +1,42 @@
+// E9 (Figure): non-IID sensitivity.
+//
+// Final test accuracy vs the Dirichlet label-skew concentration alpha for
+// the LTO-VCG mechanism and two baselines. Smaller alpha = more skew; the
+// value-aware mechanisms hold up better than quality/value-blind selection
+// because they keep buying the informative (large, clean) shards.
+#include "bench_common.h"
+
+#include "util/string_utils.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E9", "final accuracy vs Dirichlet alpha (non-IID skew)");
+
+  const std::vector<double> alphas{0.05, 0.1, 0.3, 1.0, 10.0};
+  const std::vector<std::string> mechanisms{"lto-vcg", "fixed-price",
+                                            "random-stipend"};
+
+  std::vector<std::string> header{"alpha"};
+  for (const auto& m : mechanisms) header.push_back(m);
+  util::TablePrinter table(header);
+
+  for (const double alpha : alphas) {
+    sim::ScenarioSpec sspec = bench::canonical_scenario_spec(11);
+    sspec.partition = sim::PartitionKind::kDirichletLabelSkew;
+    sspec.dirichlet_alpha = alpha;
+    const sim::Scenario scenario = sim::build_scenario(sspec);
+    const core::OrchestratorConfig config =
+        bench::canonical_fl_config(sspec, bench::scaled(150));
+
+    std::vector<std::string> row{util::format_double(alpha, 2)};
+    for (const auto& name : mechanisms) {
+      const core::RunResult result = bench::run_fl(scenario, sspec, name, config);
+      row.push_back(util::format_double(result.final_accuracy, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: accuracy degrades as alpha shrinks (more label "
+               "skew); the ordering between mechanisms is preserved.\n";
+  return 0;
+}

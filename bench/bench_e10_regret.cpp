@@ -1,0 +1,61 @@
+// E10 (Table): regret decomposition against two clairvoyant benchmarks as
+// the horizon grows.
+//
+//  - first-best oracle: budget-blind welfare optimum. The gap to it contains
+//    the (non-vanishing) price of honouring the budget at all.
+//  - budgeted oracle: welfare optimum among policies that spend <= B-bar
+//    per round paying true costs. The gap to it is the information rent a
+//    truthful mechanism pays (flat in K) plus the Lyapunov transient
+//    (decays with K).
+//  - budget convergence: |avg payment - B-bar| -> 0 as K grows at rate
+//    O(V/K) — the observable transient.
+#include <cmath>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E10", "regret decomposition vs horizon K");
+
+  util::TablePrinter table({"K (rounds)", "first-best avg W",
+                            "budgeted-oracle avg W", "lto avg W",
+                            "gap to budgeted/round", "|avg_pay - B-bar|"});
+  const std::vector<std::size_t> horizons{250, 500, 1000, 2000, 4000, 8000};
+  std::vector<double> budget_gaps;
+  for (const std::size_t horizon : horizons) {
+    core::MarketSpec spec = bench::canonical_market_spec(99);
+    spec.rounds = bench::scaled(horizon);
+
+    auction::FirstBestOracleMechanism first_best;
+    const core::MarketResult fb = core::run_market(first_best, spec);
+
+    auction::BudgetedOracleMechanism budgeted(0.05);
+    const core::MarketResult bo = core::run_market(budgeted, spec);
+
+    core::LtoVcgConfig config;
+    config.v_weight = 10.0;
+    config.per_round_budget = spec.per_round_budget;
+    core::LongTermOnlineVcgMechanism lto(config);
+    const core::MarketResult lr = core::run_market(lto, spec);
+
+    const double budget_gap =
+        std::abs(lr.average_payment - spec.per_round_budget);
+    budget_gaps.push_back(budget_gap);
+    table.row(spec.rounds, fb.time_average_welfare, bo.time_average_welfare,
+              lr.time_average_welfare,
+              bo.time_average_welfare - lr.time_average_welfare, budget_gap);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBudget transient: |avg payment - B-bar| shrank from "
+            << util::format_double(budget_gaps.front(), 4) << " (K="
+            << horizons.front() << ") to "
+            << util::format_double(budget_gaps.back(), 4) << " (K="
+            << horizons.back() << ") — the O(V/K) Lyapunov transient.\n"
+            << "The residual gap to the budgeted oracle is the information "
+               "rent: a truthful mechanism pays critical values, not costs, "
+               "so the same B-bar buys fewer clients. The budget-blind "
+               "first-best additionally shows the price of the budget "
+               "constraint itself.\n";
+  return 0;
+}

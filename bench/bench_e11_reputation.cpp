@@ -1,0 +1,68 @@
+// E11 (Table): data-quality reputation.
+//
+// The canonical market has a cheap noisy-label cohort (adverse selection).
+// Compares value-aware selection (reputation-estimated quality q-hat in the
+// valuation) against value-blind selection (q-hat = 1): the value-aware
+// mechanism learns to avoid the junk shards, buying accuracy with the same
+// budget; value-blind buys the cheap noise.
+#include "bench_common.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E11", "value-aware (reputation) vs value-blind selection");
+
+  const sim::ScenarioSpec sspec = bench::canonical_scenario_spec(13);
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  core::OrchestratorConfig config =
+      bench::canonical_fl_config(sspec, bench::scaled(200));
+
+  const auto noisy_start = sspec.num_clients -
+                           static_cast<std::size_t>(std::ceil(
+                               sspec.noisy_client_fraction *
+                               static_cast<double>(sspec.num_clients)));
+
+  struct Variant {
+    std::string name;
+    bool use_reputation;
+    std::string mechanism;
+  };
+  const std::vector<Variant> variants{
+      {"lto-vcg value-aware", true, "lto-vcg"},
+      {"lto-vcg value-blind", false, "lto-vcg"},
+      {"myopic-vcg value-aware", true, "myopic-vcg"},
+      {"myopic-vcg value-blind", false, "myopic-vcg"},
+  };
+
+  util::TablePrinter table({"variant", "accuracy", "noisy_win_share",
+                            "mean_rep_clean", "mean_rep_noisy",
+                            "avg_payment"});
+  for (const auto& variant : variants) {
+    config.use_reputation = variant.use_reputation;
+    const core::RunResult result =
+        bench::run_fl(scenario, sspec, variant.mechanism, config);
+    double noisy_wins = 0.0;
+    double total_wins = 0.0;
+    double rep_clean = 0.0;
+    double rep_noisy = 0.0;
+    for (std::size_t c = 0; c < sspec.num_clients; ++c) {
+      total_wins += result.participation_counts[c];
+      if (c >= noisy_start) {
+        noisy_wins += result.participation_counts[c];
+        rep_noisy += result.final_reputation[c];
+      } else {
+        rep_clean += result.final_reputation[c];
+      }
+    }
+    table.row(variant.name, result.final_accuracy,
+              total_wins > 0.0 ? noisy_wins / total_wins : 0.0,
+              rep_clean / static_cast<double>(noisy_start),
+              rep_noisy / static_cast<double>(sspec.num_clients - noisy_start),
+              result.average_payment);
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: noisy clients hold 30% of ids and are 2.5x "
+               "cheaper. Value-blind selection over-buys them; the "
+               "reputation loop identifies them (low q-hat) and redirects "
+               "the budget to clean shards.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E12 (Table): design-choice ablations called out in DESIGN.md.
+//
+//  (a) Payment rule: critical-value vs VCG-externality — identical outcomes
+//      (the affine-maximizer identity), different computational cost.
+//  (b) Budget-queue arrival: realized payments vs winning-bid proxy —
+//      payments are what the constraint is written on; the proxy
+//      under-counts by the information rent and overspends accordingly.
+//  (c) Valuation form: modular (exact WDP, exact truthfulness) vs concave
+//      diminishing-returns (greedy WDP) — welfare and winner-count shift.
+#include "auction/random_instance.h"
+#include "auction/valuation.h"
+#include "auction/winner_determination.h"
+#include "bench_common.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E12", "ablations: payment rule, queue arrival, valuation");
+
+  core::MarketSpec spec = bench::canonical_market_spec(31);
+  spec.rounds = bench::scaled(2000);
+
+  // --- (a) payment rule ---
+  {
+    util::TablePrinter table({"payment rule", "avg_welfare", "avg_payment",
+                              "IR", "wall_time_s"});
+    for (const auto rule : {core::PaymentRule::kCriticalValue,
+                            core::PaymentRule::kVcgExternality}) {
+      core::LtoVcgConfig config;
+      config.v_weight = 10.0;
+      config.per_round_budget = spec.per_round_budget;
+      config.payment_rule = rule;
+      core::LongTermOnlineVcgMechanism mech(config);
+      util::Timer timer;
+      const core::MarketResult result = core::run_market(mech, spec);
+      table.row(rule == core::PaymentRule::kCriticalValue ? "critical-value"
+                                                          : "vcg-externality",
+                result.time_average_welfare, result.average_payment,
+                result.ir_fraction, timer.elapsed_seconds());
+    }
+    table.print(std::cout);
+    std::cout << "(outcomes identical by the affine-maximizer identity; "
+                 "critical-value is the cheaper implementation)\n\n";
+  }
+
+  // --- (b) queue arrival mode ---
+  {
+    util::TablePrinter table({"queue arrival", "avg_payment",
+                              "peak_violation", "avg_welfare"});
+    for (const auto mode : {core::QueueArrivalMode::kRealizedPayment,
+                            core::QueueArrivalMode::kBidProxy}) {
+      core::LtoVcgConfig config;
+      config.v_weight = 10.0;
+      config.per_round_budget = spec.per_round_budget;
+      config.queue_arrival = mode;
+      core::LongTermOnlineVcgMechanism mech(config);
+      const core::MarketResult result = core::run_market(mech, spec);
+      table.row(mode == core::QueueArrivalMode::kRealizedPayment
+                    ? "realized payments"
+                    : "winning-bid proxy",
+                result.average_payment, result.peak_budget_violation,
+                result.time_average_welfare);
+    }
+    table.print(std::cout);
+    std::cout << "(the bid proxy under-counts the information rent, so its "
+                 "average payment overshoots B-bar = "
+              << spec.per_round_budget << ")\n\n";
+  }
+
+  // --- (c) valuation form: one-shot WDP comparison ---
+  {
+    util::Rng rng(64);
+    auction::RandomInstanceSpec ispec;
+    ispec.num_candidates = 50;
+    util::TablePrinter table({"valuation", "mean_winners", "mean_score"});
+    double modular_winners = 0.0;
+    double modular_score = 0.0;
+    double concave_winners = 0.0;
+    double concave_score = 0.0;
+    const int trials = 200;
+    const auction::ConcaveValuation concave(8.0);
+    const auction::ScoreWeights weights{1.0, 1.0};
+    const std::size_t cap = 25;  // loose cap so diminishing returns bind
+    for (int t = 0; t < trials; ++t) {
+      const auto instance = make_random_instance(ispec, rng);
+      const auto modular = select_top_m(instance.candidates, weights, cap);
+      modular_winners += static_cast<double>(modular.selected.size());
+      modular_score += modular.total_score;
+      const auto greedy =
+          select_greedy_concave(instance.candidates, concave, weights, cap);
+      concave_winners += static_cast<double>(greedy.selected.size());
+      concave_score += greedy.total_score;
+    }
+    table.row("modular (exact top-m)", modular_winners / trials,
+              modular_score / trials);
+    table.row("concave log(1+x) (greedy)", concave_winners / trials,
+              concave_score / trials);
+    table.print(std::cout);
+    std::cout << "(diminishing returns buys fewer clients per round; the "
+                 "modular form keeps exact truthfulness and is the default)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E13 (Figure): empirical game dynamics with learning bidders.
+//
+// Clients are EXP3 bandits over bid factors {0.7, 1.0, 1.5, 2.0} instead of
+// obedient truthful reporters. The population's mean bid factor over time is
+// the market's strategic trajectory: DSIC mechanisms (LTO-VCG, myopic VCG)
+// pull it to 1.0; pay-as-bid drifts it to sustained overbidding, degrading
+// the welfare the server thinks it is buying. This is the empirical
+// counterpart of the E4/E5 one-shot deviation checks.
+#include "bench_common.h"
+#include "core/adaptive_market.h"
+
+int main() {
+  using namespace sfl;
+  bench::banner("E13", "learning bidders: bid-factor dynamics per mechanism");
+
+  core::MarketSpec spec = bench::canonical_market_spec(55);
+  spec.num_clients = 30;  // small enough that most clients trade and learn
+  spec.max_winners = 8;
+  spec.rounds = bench::scaled(8000);
+
+  core::AdaptiveMarketConfig config;
+  config.learner.factor_grid = {0.7, 1.0, 1.5, 2.0};
+  config.learner.exploration = 0.08;
+  config.learner.reward_scale = 4.0;
+  config.sample_every = spec.rounds / 10;
+
+  struct Entry {
+    std::string name;
+    core::AdaptiveMarketResult result;
+  };
+  std::vector<Entry> entries;
+  {
+    core::LtoVcgConfig lto;
+    lto.v_weight = 10.0;
+    lto.per_round_budget = spec.per_round_budget;
+    core::LongTermOnlineVcgMechanism mech(lto);
+    entries.push_back({"lto-vcg", core::run_adaptive_market(mech, spec, config)});
+  }
+  {
+    auction::MyopicVcgMechanism mech;
+    entries.push_back(
+        {"myopic-vcg", core::run_adaptive_market(mech, spec, config)});
+  }
+  {
+    auction::PayAsBidGreedyMechanism mech;
+    entries.push_back(
+        {"pay-as-bid", core::run_adaptive_market(mech, spec, config)});
+  }
+
+  // Winning-bid-factor trajectory (the factor trades actually happen at).
+  std::vector<std::string> header{"window end"};
+  for (const auto& e : entries) header.push_back(e.name);
+  util::TablePrinter series(header);
+  const std::size_t samples = entries.front().result.winner_factor_series.size();
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<std::string> row{
+        std::to_string((s + 1) * entries.front().result.sample_every)};
+    for (const auto& e : entries) {
+      row.push_back(util::format_double(e.result.winner_factor_series[s], 4));
+    }
+    series.add_row(std::move(row));
+  }
+  series.print(std::cout);
+
+  std::cout << "\nEnd state:\n";
+  util::TablePrinter summary({"mechanism", "final winner factor",
+                              "final mean factor", "truthful modal %",
+                              "welfare", "payment"});
+  for (const auto& e : entries) {
+    summary.row(e.name, e.result.final_winner_factor,
+                e.result.final_mean_factor,
+                100.0 * e.result.truthful_modal_fraction,
+                e.result.cumulative_welfare, e.result.cumulative_payment);
+  }
+  summary.print(std::cout);
+  std::cout << "\nReading: learning populations rediscover the theory — "
+               "truthful arms dominate under the VCG-style rules, overbids "
+               "dominate under pay-as-bid.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Heterogeneous market: skewed data sizes, a noisy-label cohort, and
+// heavy-tailed costs. Compares the LTO-VCG mechanism against two baselines
+// on the same scenario and reports per-cohort participation — the "who gets
+// bought, at what price" view of the federation.
+//
+// Usage: heterogeneous_market [rounds=150] [clients=32] [budget=5.0]
+#include <iostream>
+#include <memory>
+
+#include "auction/baselines.h"
+#include "core/long_term_online_vcg.h"
+#include "core/orchestrator.h"
+#include "fl/logistic_regression.h"
+#include "stats/summary.h"
+#include "util/config.h"
+#include "util/table.h"
+
+namespace {
+
+struct NamedRun {
+  std::string name;
+  sfl::core::RunResult result;
+};
+
+sfl::core::RunResult run_one(const sfl::sim::Scenario& scenario,
+                             const sfl::sim::ScenarioSpec& sspec,
+                             std::unique_ptr<sfl::auction::Mechanism> mechanism,
+                             const sfl::core::OrchestratorConfig& config) {
+  sfl::fl::LocalTrainingSpec training;
+  training.local_steps = 5;
+  training.batch_size = 32;
+  training.optimizer.learning_rate = 0.1;
+  auto model = std::make_unique<sfl::fl::LogisticRegression>(
+      sspec.feature_dim, sspec.num_classes, 1e-4);
+  sfl::core::SustainableFlOrchestrator orchestrator(
+      scenario, std::move(model), training, std::move(mechanism), config);
+  return orchestrator.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sfl::util::Config args = sfl::util::Config::from_args(argc, argv);
+
+  sfl::sim::ScenarioSpec sspec;
+  sspec.num_clients = args.get_size("clients", 32);
+  sspec.train_examples = args.get_size("train", 3200);
+  sspec.test_examples = 800;
+  sspec.partition = sfl::sim::PartitionKind::kQuantitySkew;
+  sspec.quantity_sigma = 1.0;
+  sspec.noisy_client_fraction = 0.25;
+  sspec.noisy_flip_probability = 0.5;
+  sspec.seed = args.get_size("seed", 7);
+  const sfl::sim::Scenario scenario = sfl::sim::build_scenario(sspec);
+
+  sfl::core::OrchestratorConfig config;
+  config.rounds = args.get_size("rounds", 150);
+  config.max_winners = args.get_size("winners", 8);
+  config.per_round_budget = args.get_double("budget", 5.0);
+  config.cost.base_sigma = 0.6;  // heavy-tailed cost heterogeneity
+  config.seed = sspec.seed;
+
+  std::vector<NamedRun> runs;
+  {
+    sfl::core::LtoVcgConfig lto;
+    lto.v_weight = 10.0;
+    lto.per_round_budget = config.per_round_budget;
+    runs.push_back(
+        {"lto-vcg",
+         run_one(scenario, sspec,
+                 std::make_unique<sfl::core::LongTermOnlineVcgMechanism>(lto),
+                 config)});
+  }
+  runs.push_back({"myopic-vcg",
+                  run_one(scenario, sspec,
+                          std::make_unique<sfl::auction::MyopicVcgMechanism>(),
+                          config)});
+  runs.push_back(
+      {"random-stipend",
+       run_one(scenario, sspec,
+               std::make_unique<sfl::auction::RandomSelectionMechanism>(
+                   1.0, sspec.seed),
+               config)});
+
+  std::cout << "Heterogeneous federated market — " << sspec.num_clients
+            << " clients, 25% noisy labels, quantity-skewed shards\n\n";
+  sfl::util::TablePrinter summary({"mechanism", "accuracy", "welfare",
+                                   "payment/round", "budget_viol",
+                                   "noisy_share"});
+  const std::size_t noisy_start =
+      sspec.num_clients - (sspec.num_clients + 3) / 4;  // ceil(25%)
+  for (const auto& run : runs) {
+    double noisy_wins = 0.0;
+    double total_wins = 0.0;
+    for (std::size_t c = 0; c < sspec.num_clients; ++c) {
+      total_wins += run.result.participation_counts[c];
+      if (c >= noisy_start) noisy_wins += run.result.participation_counts[c];
+    }
+    summary.row(run.name, run.result.final_accuracy,
+                run.result.cumulative_welfare, run.result.average_payment,
+                run.result.budget_violation,
+                total_wins > 0 ? noisy_wins / total_wins : 0.0);
+  }
+  summary.print(std::cout);
+
+  std::cout << "\nPer-cohort detail (lto-vcg): reputation discovers the noisy "
+               "cohort\n";
+  sfl::util::TablePrinter cohorts(
+      {"cohort", "mean_reputation", "mean_wins", "mean_utility"});
+  const auto& lto = runs.front().result;
+  double clean_rep = 0.0;
+  double clean_wins = 0.0;
+  double clean_util = 0.0;
+  double noisy_rep = 0.0;
+  double noisy_wins2 = 0.0;
+  double noisy_util = 0.0;
+  for (std::size_t c = 0; c < sspec.num_clients; ++c) {
+    if (c < noisy_start) {
+      clean_rep += lto.final_reputation[c];
+      clean_wins += lto.participation_counts[c];
+      clean_util += lto.client_utilities[c];
+    } else {
+      noisy_rep += lto.final_reputation[c];
+      noisy_wins2 += lto.participation_counts[c];
+      noisy_util += lto.client_utilities[c];
+    }
+  }
+  const double n_clean = static_cast<double>(noisy_start);
+  const double n_noisy = static_cast<double>(sspec.num_clients - noisy_start);
+  cohorts.row("clean-labels", clean_rep / n_clean, clean_wins / n_clean,
+              clean_util / n_clean);
+  cohorts.row("noisy-labels", noisy_rep / n_noisy, noisy_wins2 / n_noisy,
+              noisy_util / n_noisy);
+  cohorts.print(std::cout);
+
+  std::cout << "\nParticipation fairness (Jain index, lto-vcg): "
+            << sfl::stats::jain_fairness_index(lto.participation_counts)
+            << "\n";
+  return 0;
+}

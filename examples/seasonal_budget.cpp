@@ -1,0 +1,71 @@
+// Seasonal budget: the server's payment budget varies over a weekly cycle
+// (cheap electricity / grant disbursement windows). LTO-VCG takes the
+// profile as a budget schedule: the virtual queue banks unused allowance
+// from rich phases and spends it in poor ones, holding the long-term
+// average to the schedule mean without any forecasting.
+//
+// Usage: seasonal_budget [rounds=7000] [clients=60]
+#include <iostream>
+
+#include "core/long_term_online_vcg.h"
+#include "core/market_simulation.h"
+#include "util/config.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const sfl::util::Config args = sfl::util::Config::from_args(argc, argv);
+
+  sfl::core::MarketSpec spec;
+  spec.num_clients = args.get_size("clients", 60);
+  spec.rounds = args.get_size("rounds", 7000);
+  spec.max_winners = 8;
+  spec.seed = args.get_size("seed", 23);
+
+  // A 7-phase "week": two rich days, five poor ones. Mean = 6.
+  const std::vector<double> week{15.0, 15.0, 3.0, 3.0, 2.0, 2.0, 2.0};
+  double mean_budget = 0.0;
+  for (const double b : week) mean_budget += b;
+  mean_budget /= static_cast<double>(week.size());
+  spec.per_round_budget = mean_budget;
+
+  const auto run_variant = [&](bool scheduled) {
+    sfl::core::LtoVcgConfig config;
+    config.v_weight = 10.0;
+    config.per_round_budget = mean_budget;
+    if (scheduled) config.budget_schedule = week;
+    sfl::core::LongTermOnlineVcgMechanism mech(config);
+    return sfl::core::run_market(mech, spec);
+  };
+
+  const sfl::core::MarketResult flat = run_variant(false);
+  const sfl::core::MarketResult seasonal = run_variant(true);
+
+  std::cout << "Seasonal budget (weekly profile 15,15,3,3,2,2,2 — mean "
+            << mean_budget << ")\n\n";
+  sfl::util::TablePrinter table({"variant", "avg_payment", "avg_welfare",
+                                 "peak_violation"});
+  table.row("flat budget B=6", flat.average_payment, flat.time_average_welfare,
+            flat.peak_budget_violation);
+  table.row("weekly schedule", seasonal.average_payment,
+            seasonal.time_average_welfare, seasonal.peak_budget_violation);
+  table.print(std::cout);
+
+  // Spend by weekday under the schedule (banked allowance shows up as
+  // higher spend right after rich days).
+  std::cout << "\nMean spend by phase (weekly schedule variant):\n";
+  sfl::util::TablePrinter phases({"phase", "allowance", "mean_spend"});
+  std::vector<double> spend(week.size(), 0.0);
+  std::vector<double> count(week.size(), 0.0);
+  for (std::size_t t = 0; t < seasonal.payment_series.size(); ++t) {
+    spend[t % week.size()] += seasonal.payment_series[t];
+    count[t % week.size()] += 1.0;
+  }
+  for (std::size_t p = 0; p < week.size(); ++p) {
+    phases.row("day " + std::to_string(p), week[p], spend[p] / count[p]);
+  }
+  phases.print(std::cout);
+  std::cout << "\nBoth variants hold the same long-term average; the "
+               "schedule variant additionally respects the within-week "
+               "profile via queue banking.\n";
+  return 0;
+}

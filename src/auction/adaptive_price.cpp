@@ -1,0 +1,62 @@
+#include "auction/adaptive_price.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "auction/payments.h"
+#include "util/require.h"
+
+namespace sfl::auction {
+
+using sfl::util::require;
+
+AdaptivePostedPriceMechanism::AdaptivePostedPriceMechanism(
+    const AdaptivePriceConfig& config)
+    : config_(config), price_(config.initial_price) {
+  require(config.initial_price > 0.0, "initial price must be > 0");
+  require(config.step > 0.0 && config.step < 1.0, "step must be in (0, 1)");
+  require(config.min_price > 0.0, "min price must be > 0");
+  require(config.max_price >= config.min_price,
+          "max price must be >= min price");
+  price_ = std::clamp(price_, config_.min_price, config_.max_price);
+}
+
+MechanismResult AdaptivePostedPriceMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  require(std::isfinite(context.per_round_budget) && context.per_round_budget > 0.0,
+          "adaptive price needs a finite positive per-round budget");
+  last_budget_ = context.per_round_budget;
+
+  // Accepting clients (bid <= price), highest value first, capped at m.
+  std::vector<std::size_t> accepting;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].bid <= price_) accepting.push_back(i);
+  }
+  std::sort(accepting.begin(), accepting.end(), [&](std::size_t a, std::size_t b) {
+    if (candidates[a].value != candidates[b].value) {
+      return candidates[a].value > candidates[b].value;
+    }
+    return a < b;
+  });
+  if (accepting.size() > context.max_winners) {
+    accepting.resize(context.max_winners);
+  }
+  std::sort(accepting.begin(), accepting.end());
+
+  Allocation allocation;
+  allocation.selected = std::move(accepting);
+  std::vector<double> payments(allocation.selected.size(), price_);
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+void AdaptivePostedPriceMechanism::observe(const RoundObservation& observation) {
+  if (last_budget_ <= 0.0) return;  // run_round not called yet
+  if (observation.total_payment > last_budget_) {
+    price_ *= 1.0 - config_.step;
+  } else if (observation.total_payment < last_budget_) {
+    price_ *= 1.0 + config_.step;
+  }
+  price_ = std::clamp(price_, config_.min_price, config_.max_price);
+}
+
+}  // namespace sfl::auction

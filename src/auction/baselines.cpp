@@ -1,0 +1,198 @@
+#include "auction/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "auction/payments.h"
+#include "auction/winner_determination.h"
+#include "util/require.h"
+
+namespace sfl::auction {
+
+using sfl::util::require;
+
+MechanismResult MyopicVcgMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
+  const Allocation allocation =
+      select_top_m(candidates, weights, context.max_winners);
+  std::vector<double> payments =
+      critical_payments(candidates, weights, context.max_winners, allocation);
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+MechanismResult PayAsBidGreedyMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
+  const Allocation allocation =
+      select_top_m(candidates, weights, context.max_winners);
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    payments.push_back(candidates[index].bid);
+  }
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+FixedPriceMechanism::FixedPriceMechanism(double price) : price_(price) {
+  require(price > 0.0, "posted price must be > 0");
+}
+
+MechanismResult FixedPriceMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  // Accepting clients (bid <= price), highest value first, capped at m.
+  std::vector<std::size_t> accepting;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].bid <= price_) accepting.push_back(i);
+  }
+  std::sort(accepting.begin(), accepting.end(), [&](std::size_t a, std::size_t b) {
+    if (candidates[a].value != candidates[b].value) {
+      return candidates[a].value > candidates[b].value;
+    }
+    return a < b;
+  });
+  if (accepting.size() > context.max_winners) {
+    accepting.resize(context.max_winners);
+  }
+  std::sort(accepting.begin(), accepting.end());
+
+  Allocation allocation;
+  allocation.selected = std::move(accepting);
+  std::vector<double> payments(allocation.selected.size(), price_);
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+RandomSelectionMechanism::RandomSelectionMechanism(double stipend, std::uint64_t seed)
+    : stipend_(stipend), rng_(seed) {
+  require(stipend >= 0.0, "stipend must be >= 0");
+}
+
+MechanismResult RandomSelectionMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  const std::size_t winners = std::min(context.max_winners, candidates.size());
+  Allocation allocation;
+  if (winners > 0) {
+    allocation.selected = rng_.sample_without_replacement(candidates.size(), winners);
+    std::sort(allocation.selected.begin(), allocation.selected.end());
+  }
+  std::vector<double> payments(allocation.selected.size(), stipend_);
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+MechanismResult FirstBestOracleMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
+  const Allocation allocation =
+      select_top_m(candidates, weights, context.max_winners);
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    payments.push_back(candidates[index].bid);  // bid == true cost by contract
+  }
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+namespace {
+
+/// Winners of the proportional-share allocation: sort by bid/value
+/// (cost-effectiveness), take the largest prefix — capped at max_winners —
+/// in which every member's bid fits its proportional share of the budget.
+/// The rule is monotone in each bid (raising a bid moves the client later
+/// in the order and only tightens its own share condition), which is what
+/// makes Myerson critical payments truthful.
+[[nodiscard]] std::vector<std::size_t> proportional_share_winners(
+    const std::vector<Candidate>& candidates, double budget,
+    std::size_t max_winners) {
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].value > 0.0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = candidates[a].bid / candidates[a].value;
+    const double rb = candidates[b].bid / candidates[b].value;
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+
+  std::vector<std::size_t> winners;
+  double prefix_value = 0.0;
+  for (std::size_t k = 0; k < order.size() && k < max_winners; ++k) {
+    const Candidate& c = candidates[order[k]];
+    const double value_if_added = prefix_value + c.value;
+    if (c.bid > c.value * budget / value_if_added) break;
+    winners.push_back(order[k]);
+    prefix_value = value_if_added;
+  }
+  std::sort(winners.begin(), winners.end());
+  return winners;
+}
+
+[[nodiscard]] bool contains(const std::vector<std::size_t>& sorted_items,
+                            std::size_t item) {
+  return std::binary_search(sorted_items.begin(), sorted_items.end(), item);
+}
+
+}  // namespace
+
+BudgetedOracleMechanism::BudgetedOracleMechanism(double resolution)
+    : resolution_(resolution) {
+  require(resolution > 0.0, "knapsack resolution must be > 0");
+}
+
+MechanismResult BudgetedOracleMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  require(std::isfinite(context.per_round_budget) && context.per_round_budget > 0.0,
+          "budgeted oracle needs a finite positive per-round budget");
+  const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
+  const Allocation allocation =
+      select_knapsack(candidates, weights, context.per_round_budget,
+                      context.max_winners, resolution_);
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    payments.push_back(candidates[index].bid);  // bid == true cost by contract
+  }
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+MechanismResult ProportionalShareMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  require(std::isfinite(context.per_round_budget) && context.per_round_budget > 0.0,
+          "proportional share needs a finite positive per-round budget");
+  const double budget = context.per_round_budget;
+
+  Allocation allocation;
+  allocation.selected =
+      proportional_share_winners(candidates, budget, context.max_winners);
+
+  // Myerson critical payments by bisection: the largest bid at which the
+  // winner keeps winning. Exactly truthful because the allocation is
+  // monotone; budget-feasible because a winner's critical bid never exceeds
+  // its proportional share (the share condition is part of winning).
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    std::vector<Candidate> probe = candidates;
+    double lo = candidates[index].bid;  // known winning bid
+    double hi = budget;                 // a bid above B can never win
+    if (lo >= hi) {
+      payments.push_back(lo);
+      continue;
+    }
+    for (int iteration = 0; iteration < 60; ++iteration) {
+      const double mid = 0.5 * (lo + hi);
+      probe[index].bid = mid;
+      if (contains(proportional_share_winners(probe, budget, context.max_winners),
+                   index)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    payments.push_back(lo);
+  }
+  return make_result(candidates, allocation, std::move(payments));
+}
+
+}  // namespace sfl::auction

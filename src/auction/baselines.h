@@ -1,0 +1,131 @@
+// Baseline mechanisms the paper class compares against.
+//
+// Each baseline isolates one failure mode the long-term online VCG fixes:
+//  - MyopicVcgMechanism: truthful and welfare-greedy per round, but
+//    budget-blind — overspends early and violates the long-term budget.
+//  - PayAsBidGreedyMechanism: pays winners their bids; not truthful, so
+//    strategic clients overbid and welfare degrades (E4).
+//  - FixedPriceMechanism: truthful posted price; inefficient (pays the same
+//    for cheap and expensive clients, misses high-value expensive ones).
+//  - RandomSelectionMechanism: classic FedAvg sampling with a fixed stipend;
+//    ignores both value and cost.
+//  - FirstBestOracleMechanism: clairvoyant benchmark — sees true costs (fed
+//    to it as bids), selects welfare-optimally and pays cost exactly. Not a
+//    real mechanism (violates IR margins and truthfulness); used as the
+//    regret reference.
+//  - ProportionalShareMechanism: Singer-style budget-feasible truthful
+//    mechanism; guarantees per-round payments <= budget at some welfare loss.
+#pragma once
+
+#include <cstdint>
+
+#include "auction/mechanism.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+
+/// Per-round VCG: top-m by (value - bid), critical payments, no budget
+/// awareness.
+class MyopicVcgMechanism final : public Mechanism {
+ public:
+  MyopicVcgMechanism() = default;
+
+  [[nodiscard]] std::string name() const override { return "myopic-vcg"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+};
+
+/// Top-m by (value - bid), pay-as-bid. Strategically manipulable.
+class PayAsBidGreedyMechanism final : public Mechanism {
+ public:
+  PayAsBidGreedyMechanism() = default;
+
+  [[nodiscard]] std::string name() const override { return "pay-as-bid"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+};
+
+/// Posted price: clients with bid <= price win (highest value first, capped
+/// at m), each paid exactly `price`.
+class FixedPriceMechanism final : public Mechanism {
+ public:
+  explicit FixedPriceMechanism(double price);
+
+  [[nodiscard]] std::string name() const override { return "fixed-price"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+
+  [[nodiscard]] double price() const noexcept { return price_; }
+
+ private:
+  double price_;
+};
+
+/// Uniform random m clients, each paid a fixed stipend (bid-independent, so
+/// trivially truthful — and trivially wasteful).
+class RandomSelectionMechanism final : public Mechanism {
+ public:
+  RandomSelectionMechanism(double stipend, std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "random-stipend"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+
+ private:
+  double stipend_;
+  sfl::util::Rng rng_;
+};
+
+/// Clairvoyant first-best: expects bids to *be* the true costs, selects
+/// top-m by (value - cost) and pays cost. Regret/upper-bound reference only.
+class FirstBestOracleMechanism final : public Mechanism {
+ public:
+  FirstBestOracleMechanism() = default;
+
+  [[nodiscard]] std::string name() const override { return "first-best-oracle"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+};
+
+/// Clairvoyant *budget-feasible* benchmark: sees true costs (as bids),
+/// solves the per-round knapsack max sum(value - cost) s.t. sum(cost) <=
+/// per_round_budget and |S| <= m, pays cost. Satisfies the long-term budget
+/// by construction; the gap between this and LTO-VCG is the information
+/// rent a truthful mechanism must pay (E10).
+class BudgetedOracleMechanism final : public Mechanism {
+ public:
+  /// `resolution` is the knapsack DP money grid.
+  explicit BudgetedOracleMechanism(double resolution = 0.05);
+
+  [[nodiscard]] std::string name() const override { return "budgeted-oracle"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+
+ private:
+  double resolution_;
+};
+
+/// Budget-feasible proportional share (Singer 2010 style): winners are the
+/// largest prefix of the bid/value order such that each winner's bid is at
+/// most its proportional share of the round budget. Payments are exact
+/// Myerson critical values (computed by bisection on the monotone
+/// allocation), so truthful bidding is dominant; each critical bid is
+/// bounded by the winner's proportional share, keeping the round
+/// budget-feasible.
+class ProportionalShareMechanism final : public Mechanism {
+ public:
+  ProportionalShareMechanism() = default;
+
+  [[nodiscard]] std::string name() const override { return "proportional-share"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+};
+
+}  // namespace sfl::auction

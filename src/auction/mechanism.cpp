@@ -1,0 +1,7 @@
+#include "auction/mechanism.h"
+
+namespace sfl::auction {
+
+void Mechanism::observe(const RoundObservation& /*observation*/) {}
+
+}  // namespace sfl::auction

@@ -1,0 +1,45 @@
+// Round-level mechanism interface.
+//
+// A mechanism is the full auction rule: given the round's candidates (ids,
+// public values, bids), it picks winners and payments. Stateful mechanisms
+// (the long-term online VCG in sfl::core) additionally observe realized
+// outcomes via `observe` to update their internal queues.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+/// Realized outcome of a round, reported back to stateful mechanisms after
+/// payments settle.
+struct RoundObservation {
+  std::size_t round = 0;
+  double total_payment = 0.0;
+  std::vector<ClientId> winners;
+};
+
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Selects winners and payments for one round. Must be deterministic given
+  /// (candidates, context, internal state) unless the rule is explicitly
+  /// randomized (RandomSelectionMechanism).
+  [[nodiscard]] virtual MechanismResult run_round(
+      const std::vector<Candidate>& candidates, const RoundContext& context) = 0;
+
+  /// Default no-op; stateful mechanisms update virtual queues here.
+  virtual void observe(const RoundObservation& observation);
+
+  /// True when bidding one's true cost is a dominant strategy under this
+  /// rule (used by the property benches to label expectations).
+  [[nodiscard]] virtual bool is_truthful() const noexcept = 0;
+};
+
+}  // namespace sfl::auction

@@ -1,0 +1,110 @@
+#include "auction/payments.h"
+
+#include <algorithm>
+
+#include "auction/winner_determination.h"
+#include "util/require.h"
+
+namespace sfl::auction {
+
+using sfl::util::check_invariant;
+using sfl::util::require;
+
+std::vector<double> critical_payments(const std::vector<Candidate>& candidates,
+                                      const ScoreWeights& weights,
+                                      std::size_t max_winners,
+                                      const Allocation& allocation,
+                                      const Penalties& penalties) {
+  require(weights.bid_weight > 0.0, "bid weight must be > 0");
+  require(penalties.empty() || penalties.size() == candidates.size(),
+          "penalties must be empty or one per candidate");
+  require(allocation.selected.size() <= max_winners,
+          "allocation exceeds the winner cap");
+
+  const auto penalty_at = [&](std::size_t i) {
+    return penalties.empty() ? 0.0 : penalties[i];
+  };
+
+  // Best score among losers: the bar a winner's score must stay above when
+  // the slate is full. (When fewer than max_winners won, every positive
+  // score was taken, so the bar is 0.)
+  double best_loser_score = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (allocation.contains(i)) continue;
+    best_loser_score =
+        std::max(best_loser_score, score(candidates[i], weights, penalty_at(i)));
+  }
+  const bool slate_full = allocation.selected.size() == max_winners;
+  const double threshold = slate_full ? best_loser_score : 0.0;
+
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    const Candidate& winner =
+        candidates[sfl::util::checked_index(index, candidates.size(), "winner")];
+    // phi_i(b) = vw*v_i - bw*b - pen_i stays above `threshold` while
+    // b < (vw*v_i - pen_i - threshold)/bw: that boundary is the payment.
+    const double critical_bid =
+        (weights.value_weight * winner.value - penalty_at(index) - threshold) /
+        weights.bid_weight;
+    check_invariant(critical_bid >= winner.bid - 1e-9,
+                    "critical payment below the winning bid");
+    payments.push_back(std::max(critical_bid, winner.bid));
+  }
+  return payments;
+}
+
+std::vector<double> vcg_payments(const std::vector<Candidate>& candidates,
+                                 const ScoreWeights& weights,
+                                 std::size_t max_winners,
+                                 const Allocation& allocation,
+                                 const WdpSolver& solver,
+                                 const Penalties& penalties) {
+  require(static_cast<bool>(solver), "vcg_payments needs a WDP solver");
+  require(weights.bid_weight > 0.0, "bid weight must be > 0");
+  require(penalties.empty() || penalties.size() == candidates.size(),
+          "penalties must be empty or one per candidate");
+
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    const Candidate& winner =
+        candidates[sfl::util::checked_index(index, candidates.size(), "winner")];
+
+    // Re-solve without the winner.
+    std::vector<Candidate> reduced;
+    Penalties reduced_penalties;
+    reduced.reserve(candidates.size() - 1);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (i == index) continue;
+      reduced.push_back(candidates[i]);
+      if (!penalties.empty()) reduced_penalties.push_back(penalties[i]);
+    }
+    const Allocation without =
+        solver(reduced, weights, max_winners, reduced_penalties);
+
+    // Money-space externality: b_i + (OPT(all) - OPT(-i)) / bid_weight.
+    const double externality =
+        (allocation.total_score - without.total_score) / weights.bid_weight;
+    check_invariant(externality >= -1e-9, "negative VCG externality");
+    payments.push_back(winner.bid + std::max(externality, 0.0));
+  }
+  return payments;
+}
+
+MechanismResult make_result(const std::vector<Candidate>& candidates,
+                            const Allocation& allocation,
+                            std::vector<double> payments) {
+  require(payments.size() == allocation.selected.size(),
+          "one payment per winner required");
+  MechanismResult result;
+  result.winners.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    result.winners.push_back(
+        candidates[sfl::util::checked_index(index, candidates.size(), "winner")].id);
+  }
+  result.payments = std::move(payments);
+  return result;
+}
+
+}  // namespace sfl::auction

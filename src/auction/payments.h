@@ -1,0 +1,51 @@
+// Truthful payment rules for the affine-maximizer procurement auction.
+//
+// Setting: single-parameter (each client's private information is its scalar
+// cost). The allocation rule select_top_m is monotone non-increasing in each
+// bid, so by Myerson's lemma the *critical-value* payment — the highest bid
+// at which the client would still win — makes truthful bidding a dominant
+// strategy and guarantees individual rationality (payment >= bid).
+//
+// The weighted-VCG externality payment,
+//   p_i = b_i + (OPT(all) - OPT(without i)) / bid_weight,
+// coincides with the critical value for the modular objective; both are
+// implemented and their equality is enforced by tests. Payments are in money
+// units (not score units): score-space externalities are divided by
+// bid_weight = V + Q(t).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+/// Critical-value payments for the top-m allocation; returned vector is
+/// aligned with `allocation.selected`. Requires the allocation to have been
+/// produced by select_top_m on the same inputs.
+[[nodiscard]] std::vector<double> critical_payments(
+    const std::vector<Candidate>& candidates, const ScoreWeights& weights,
+    std::size_t max_winners, const Allocation& allocation,
+    const Penalties& penalties = {});
+
+/// A winner-determination solver (same signature as select_top_m).
+using WdpSolver = std::function<Allocation(
+    const std::vector<Candidate>&, const ScoreWeights&, std::size_t,
+    const Penalties&)>;
+
+/// Weighted-VCG externality payments computed by re-solving the WDP with
+/// each winner removed. Exactly truthful when `solver` is exact; aligned
+/// with `allocation.selected`.
+[[nodiscard]] std::vector<double> vcg_payments(
+    const std::vector<Candidate>& candidates, const ScoreWeights& weights,
+    std::size_t max_winners, const Allocation& allocation, const WdpSolver& solver,
+    const Penalties& penalties = {});
+
+/// Packages an allocation + aligned payments into a MechanismResult keyed by
+/// client ids.
+[[nodiscard]] MechanismResult make_result(const std::vector<Candidate>& candidates,
+                                          const Allocation& allocation,
+                                          std::vector<double> payments);
+
+}  // namespace sfl::auction

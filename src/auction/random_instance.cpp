@@ -1,0 +1,43 @@
+#include "auction/random_instance.h"
+
+#include "util/require.h"
+
+namespace sfl::auction {
+
+using sfl::util::require;
+
+RandomInstance make_random_instance(const RandomInstanceSpec& spec,
+                                    sfl::util::Rng& rng) {
+  require(spec.num_candidates > 0, "instance needs at least one candidate");
+  require(spec.value_lo >= 0.0 && spec.value_hi >= spec.value_lo,
+          "invalid value range");
+  require(spec.bid_lo >= 0.0 && spec.bid_hi >= spec.bid_lo, "invalid bid range");
+  require(spec.penalty_hi >= 0.0, "penalty_hi must be >= 0");
+
+  RandomInstance instance;
+  instance.candidates.reserve(spec.num_candidates);
+  for (std::size_t i = 0; i < spec.num_candidates; ++i) {
+    Candidate c;
+    c.id = i;
+    c.value = rng.uniform(spec.value_lo, spec.value_hi);
+    c.bid = rng.uniform(spec.bid_lo, spec.bid_hi);
+    c.energy_cost = rng.uniform(0.5, 2.0);
+    instance.candidates.push_back(c);
+  }
+  if (spec.penalty_hi > 0.0) {
+    instance.penalties.reserve(spec.num_candidates);
+    for (std::size_t i = 0; i < spec.num_candidates; ++i) {
+      instance.penalties.push_back(rng.uniform(0.0, spec.penalty_hi));
+    }
+  }
+  return instance;
+}
+
+ScoreWeights make_random_weights(sfl::util::Rng& rng) {
+  ScoreWeights weights;
+  weights.value_weight = rng.uniform(0.1, 10.0);
+  weights.bid_weight = weights.value_weight + rng.uniform(0.0, 10.0);
+  return weights;
+}
+
+}  // namespace sfl::auction

@@ -1,0 +1,35 @@
+// Random auction instances for property tests and the property benches.
+#pragma once
+
+#include <vector>
+
+#include "auction/types.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+
+struct RandomInstanceSpec {
+  std::size_t num_candidates = 10;
+  double value_lo = 0.5;
+  double value_hi = 5.0;
+  double bid_lo = 0.1;
+  double bid_hi = 3.0;
+  double penalty_hi = 0.0;  ///< penalties ~ U[0, penalty_hi]; 0 disables
+};
+
+struct RandomInstance {
+  std::vector<Candidate> candidates;
+  Penalties penalties;  ///< empty when spec.penalty_hi == 0
+};
+
+/// Draws candidate values/bids/penalties uniformly from the spec's ranges;
+/// ids are 0..n-1. Continuous draws make exact score ties measure-zero, so
+/// tie-breaking does not cloud truthfulness checks.
+[[nodiscard]] RandomInstance make_random_instance(const RandomInstanceSpec& spec,
+                                                  sfl::util::Rng& rng);
+
+/// Random affine-maximizer weights with bid_weight >= value_weight >= 0.1
+/// (the shape the LTO mechanism produces: V and V+Q).
+[[nodiscard]] ScoreWeights make_random_weights(sfl::util::Rng& rng);
+
+}  // namespace sfl::auction

@@ -1,0 +1,97 @@
+// Core types for the per-round procurement auction.
+//
+// Terminology (reverse auction): the server *buys* participation. Each
+// candidate client i has a public valuation v_i (how much the server values
+// one round of i's training, derived from data size x estimated quality), a
+// reported cost b_i (the bid — the only private, strategic quantity), and an
+// energy cost e_i used by the long-term sustainability constraint.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sfl::auction {
+
+using ClientId = std::size_t;
+
+/// One client's standing in one auction round, as seen by the auctioneer.
+struct Candidate {
+  ClientId id = 0;
+  double value = 0.0;        ///< v_i >= 0: server's valuation of participation
+  double bid = 0.0;          ///< b_i >= 0: reported per-round cost
+  double energy_cost = 1.0;  ///< e_i > 0: energy drained by one participation
+};
+
+/// Per-round constraints and bookkeeping handed to a mechanism.
+struct RoundContext {
+  std::size_t round = 0;
+  std::size_t max_winners = 10;  ///< m: communication/aggregation cap per round
+  /// Long-term per-round budget target B-bar (time-average payment bound).
+  double per_round_budget = std::numeric_limits<double>::infinity();
+  /// Remaining hard budget, if the run enforces one (infinity = soft only).
+  double remaining_budget = std::numeric_limits<double>::infinity();
+};
+
+/// Output of one auction round. `winners` and `payments` are aligned.
+struct MechanismResult {
+  std::vector<ClientId> winners;
+  std::vector<double> payments;
+
+  [[nodiscard]] double total_payment() const noexcept {
+    double sum = 0.0;
+    for (const double p : payments) sum += p;
+    return sum;
+  }
+
+  [[nodiscard]] bool won(ClientId id) const noexcept {
+    for (const ClientId w : winners) {
+      if (w == id) return true;
+    }
+    return false;
+  }
+
+  /// Payment to `id`, or 0 if `id` did not win.
+  [[nodiscard]] double payment_for(ClientId id) const noexcept {
+    for (std::size_t i = 0; i < winners.size(); ++i) {
+      if (winners[i] == id) return payments[i];
+    }
+    return 0.0;
+  }
+};
+
+/// Affine-maximizer score weights: phi_i = value_weight*v_i - bid_weight*b_i
+/// - penalty_i. Truthfulness requires bid_weight > 0 and both weights
+/// independent of any individual bid.
+struct ScoreWeights {
+  double value_weight = 1.0;  ///< V (Lyapunov penalty weight)
+  double bid_weight = 1.0;    ///< V + Q(t) (budget-queue-inflated cost weight)
+};
+
+/// Bid-independent additive penalties (e.g. Z_i(t)*e_i), one per candidate;
+/// empty means all-zero.
+using Penalties = std::vector<double>;
+
+/// phi_i for a single candidate.
+[[nodiscard]] inline double score(const Candidate& candidate,
+                                  const ScoreWeights& weights,
+                                  double penalty = 0.0) noexcept {
+  return weights.value_weight * candidate.value - weights.bid_weight * candidate.bid -
+         penalty;
+}
+
+/// A selected subset (indices into the candidate vector) plus its total score.
+struct Allocation {
+  std::vector<std::size_t> selected;  ///< indices into the candidates vector
+  double total_score = 0.0;
+
+  [[nodiscard]] bool contains(std::size_t index) const noexcept {
+    for (const std::size_t s : selected) {
+      if (s == index) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace sfl::auction

@@ -1,0 +1,60 @@
+#include "auction/valuation.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::auction {
+
+using sfl::util::require;
+
+ModularValuation::ModularValuation(double scale) : scale_(scale) {
+  require(scale > 0.0, "valuation scale must be > 0");
+}
+
+double ModularValuation::client_value(double data_size, double quality) const {
+  require(data_size >= 0.0, "data size must be >= 0");
+  require(quality >= 0.0 && quality <= 1.0, "quality must be in [0, 1]");
+  return scale_ * data_size * quality;
+}
+
+ConcaveValuation::ConcaveValuation(double scale) : scale_(scale) {
+  require(scale > 0.0, "valuation scale must be > 0");
+}
+
+double ConcaveValuation::set_value(double total_mass) const {
+  require(total_mass >= 0.0, "mass must be >= 0");
+  return scale_ * std::log1p(total_mass);
+}
+
+double ConcaveValuation::marginal_value(double total_mass, double added_mass) const {
+  require(added_mass >= 0.0, "added mass must be >= 0");
+  return set_value(total_mass + added_mass) - set_value(total_mass);
+}
+
+double reported_welfare(const std::vector<Candidate>& candidates,
+                        const Allocation& allocation) {
+  double welfare = 0.0;
+  for (const std::size_t index : allocation.selected) {
+    const Candidate& c =
+        candidates[sfl::util::checked_index(index, candidates.size(), "candidate")];
+    welfare += c.value - c.bid;
+  }
+  return welfare;
+}
+
+double true_welfare(const std::vector<Candidate>& candidates,
+                    const std::vector<double>& true_costs,
+                    const Allocation& allocation) {
+  require(true_costs.size() == candidates.size(),
+          "one true cost per candidate required");
+  double welfare = 0.0;
+  for (const std::size_t index : allocation.selected) {
+    const Candidate& c =
+        candidates[sfl::util::checked_index(index, candidates.size(), "candidate")];
+    welfare += c.value - true_costs[index];
+  }
+  return welfare;
+}
+
+}  // namespace sfl::auction

@@ -1,0 +1,60 @@
+// Server-side valuation of client participation.
+//
+// The default (modular) valuation follows the paper class: the server values
+// client i at v_i = scale * d_i * q_i where d_i is data size and q_i the
+// estimated data quality in [0, 1]. Modularity is what makes the exact
+// cardinality-capped WDP and exact truthful payments possible.
+//
+// The concave valuation models diminishing returns of adding data within one
+// round — value of a set S is g(sum_{i in S} d_i q_i) with g(x) =
+// scale*log(1+x). It is used in the E12 ablation; its WDP is solved greedily.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+/// v_i = scale * data_size_i * quality_i.
+class ModularValuation {
+ public:
+  explicit ModularValuation(double scale);
+
+  [[nodiscard]] double client_value(double data_size, double quality) const;
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double scale_;
+};
+
+/// Value of a set = scale * log(1 + sum of member masses).
+class ConcaveValuation {
+ public:
+  explicit ConcaveValuation(double scale);
+
+  /// g(total_mass).
+  [[nodiscard]] double set_value(double total_mass) const;
+
+  /// g(total + added) - g(total): marginal value of adding `added` mass.
+  [[nodiscard]] double marginal_value(double total_mass, double added_mass) const;
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  double scale_;
+};
+
+/// Social welfare of an allocation at the *reported* costs:
+/// sum_{i in S} (v_i - b_i). Penalties do not enter welfare.
+[[nodiscard]] double reported_welfare(const std::vector<Candidate>& candidates,
+                                      const Allocation& allocation);
+
+/// Social welfare at externally supplied true costs (aligned with
+/// candidates); used for post-hoc accounting when clients misreport.
+[[nodiscard]] double true_welfare(const std::vector<Candidate>& candidates,
+                                  const std::vector<double>& true_costs,
+                                  const Allocation& allocation);
+
+}  // namespace sfl::auction

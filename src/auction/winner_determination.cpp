@@ -1,0 +1,203 @@
+#include "auction/winner_determination.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "auction/valuation.h"
+#include "util/require.h"
+
+namespace sfl::auction {
+
+using sfl::util::require;
+
+namespace {
+
+void validate_inputs(const std::vector<Candidate>& candidates,
+                     const ScoreWeights& weights, const Penalties& penalties) {
+  require(weights.bid_weight > 0.0,
+          "bid weight must be > 0 (otherwise bids do not matter)");
+  require(weights.value_weight >= 0.0, "value weight must be >= 0");
+  require(penalties.empty() || penalties.size() == candidates.size(),
+          "penalties must be empty or one per candidate");
+  for (const auto& c : candidates) {
+    require(c.value >= 0.0, "candidate value must be >= 0");
+    require(c.bid >= 0.0, "candidate bid must be >= 0");
+    require(c.energy_cost > 0.0, "candidate energy cost must be > 0");
+  }
+}
+
+[[nodiscard]] double penalty_at(const Penalties& penalties, std::size_t index) {
+  return penalties.empty() ? 0.0 : penalties[index];
+}
+
+[[nodiscard]] std::vector<double> all_scores(const std::vector<Candidate>& candidates,
+                                             const ScoreWeights& weights,
+                                             const Penalties& penalties) {
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = score(candidates[i], weights, penalty_at(penalties, i));
+  }
+  return scores;
+}
+
+}  // namespace
+
+Allocation select_top_m(const std::vector<Candidate>& candidates,
+                        const ScoreWeights& weights, std::size_t max_winners,
+                        const Penalties& penalties) {
+  validate_inputs(candidates, weights, penalties);
+  const std::vector<double> scores = all_scores(candidates, weights, penalties);
+
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Deterministic tie-break: higher score first, then lower index.
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+
+  Allocation allocation;
+  for (const std::size_t index : order) {
+    if (allocation.selected.size() >= max_winners) break;
+    if (scores[index] <= 0.0) break;  // order is sorted; the rest are <= 0 too
+    allocation.selected.push_back(index);
+    allocation.total_score += scores[index];
+  }
+  std::sort(allocation.selected.begin(), allocation.selected.end());
+  return allocation;
+}
+
+Allocation select_exhaustive(const std::vector<Candidate>& candidates,
+                             const ScoreWeights& weights, std::size_t max_winners,
+                             const Penalties& penalties) {
+  validate_inputs(candidates, weights, penalties);
+  require(candidates.size() <= 24, "exhaustive WDP is limited to 24 candidates");
+  const std::vector<double> scores = all_scores(candidates, weights, penalties);
+
+  const std::size_t n = candidates.size();
+  const std::uint64_t subsets = std::uint64_t{1} << n;
+  double best_score = 0.0;
+  std::uint64_t best_mask = 0;
+  for (std::uint64_t mask = 0; mask < subsets; ++mask) {
+    if (static_cast<std::size_t>(std::popcount(mask)) > max_winners) continue;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1ULL) total += scores[i];
+    }
+    // Strict improvement keeps the lexicographically-smallest optimal mask,
+    // matching select_top_m's index tie-break.
+    if (total > best_score + 1e-12) {
+      best_score = total;
+      best_mask = mask;
+    }
+  }
+
+  Allocation allocation;
+  allocation.total_score = best_score;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((best_mask >> i) & 1ULL) allocation.selected.push_back(i);
+  }
+  return allocation;
+}
+
+Allocation select_knapsack(const std::vector<Candidate>& candidates,
+                           const ScoreWeights& weights, double budget,
+                           std::size_t max_winners, double resolution,
+                           const Penalties& penalties) {
+  validate_inputs(candidates, weights, penalties);
+  require(budget >= 0.0, "knapsack budget must be >= 0");
+  require(resolution > 0.0, "knapsack resolution must be > 0");
+  const std::vector<double> scores = all_scores(candidates, weights, penalties);
+
+  // Epsilon-robust discretization: a bid sitting exactly on the grid must
+  // not round up a unit from floating-point division noise.
+  const auto capacity =
+      static_cast<std::size_t>(std::floor(budget / resolution + 1e-9));
+  const std::size_t n = candidates.size();
+  const std::size_t k_cap = std::min(max_winners, n);
+  if (capacity == 0 || k_cap == 0 || n == 0) return {};
+
+  // Full DP table dp[item][k][w] = best score among the first `item`
+  // candidates using <= k winners and <= w discretized budget. The full
+  // table (rather than a rolling one) makes backtracking exact; memory is
+  // (n+1)*(k_cap+1)*(capacity+1) doubles, so callers should keep
+  // budget/resolution moderate (the scalability bench measures this).
+  const std::size_t width = capacity + 1;
+  const std::size_t plane = (k_cap + 1) * width;
+  std::vector<double> dp((n + 1) * plane, 0.0);
+  const auto cell = [&](std::size_t item, std::size_t k, std::size_t w) -> double& {
+    return dp[item * plane + k * width + w];
+  };
+
+  std::vector<std::size_t> item_weight(n, capacity + 1);
+  for (std::size_t item = 0; item < n; ++item) {
+    item_weight[item] = static_cast<std::size_t>(
+        std::ceil(candidates[item].bid / resolution - 1e-9));
+  }
+
+  for (std::size_t item = 1; item <= n; ++item) {
+    const std::size_t weight = item_weight[item - 1];
+    const double gain = scores[item - 1];
+    for (std::size_t k = 0; k <= k_cap; ++k) {
+      for (std::size_t w = 0; w < width; ++w) {
+        double best = cell(item - 1, k, w);
+        if (k >= 1 && weight <= w && gain > 0.0) {
+          best = std::max(best, cell(item - 1, k - 1, w - weight) + gain);
+        }
+        cell(item, k, w) = best;
+      }
+    }
+  }
+
+  Allocation allocation;
+  allocation.total_score = cell(n, k_cap, capacity);
+  // Backtrack from the final cell.
+  std::size_t k = k_cap;
+  std::size_t w = capacity;
+  for (std::size_t item = n; item-- > 0;) {
+    if (cell(item + 1, k, w) == cell(item, k, w)) continue;
+    allocation.selected.push_back(item);
+    k -= 1;
+    w -= item_weight[item];
+  }
+  std::sort(allocation.selected.begin(), allocation.selected.end());
+  return allocation;
+}
+
+Allocation select_greedy_concave(const std::vector<Candidate>& candidates,
+                                 const ConcaveValuation& valuation,
+                                 const ScoreWeights& weights,
+                                 std::size_t max_winners,
+                                 const Penalties& penalties) {
+  validate_inputs(candidates, weights, penalties);
+  // Greedy by marginal score: at each step add the candidate whose marginal
+  // value (given the currently selected mass) minus weighted bid and penalty
+  // is largest and positive. `value` is interpreted as the candidate's mass.
+  std::vector<bool> taken(candidates.size(), false);
+  Allocation allocation;
+  double mass = 0.0;
+  while (allocation.selected.size() < max_winners) {
+    double best_gain = 0.0;
+    std::size_t best_index = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (taken[i]) continue;
+      const double gain =
+          weights.value_weight * valuation.marginal_value(mass, candidates[i].value) -
+          weights.bid_weight * candidates[i].bid - penalty_at(penalties, i);
+      if (gain > best_gain + 1e-12) {
+        best_gain = gain;
+        best_index = i;
+      }
+    }
+    if (best_index == candidates.size()) break;
+    taken[best_index] = true;
+    allocation.selected.push_back(best_index);
+    allocation.total_score += best_gain;
+    mass += candidates[best_index].value;
+  }
+  std::sort(allocation.selected.begin(), allocation.selected.end());
+  return allocation;
+}
+
+}  // namespace sfl::auction

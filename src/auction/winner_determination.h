@@ -1,0 +1,54 @@
+// Winner determination for the affine-maximizer procurement auction.
+//
+// Three solvers:
+//  - select_top_m: exact for the modular objective with a cardinality cap
+//    (the production path, O(n log n)).
+//  - select_exhaustive: brute force over all subsets (n <= 24); the oracle
+//    property tests compare against.
+//  - select_knapsack: exact DP for the budget-constrained variant
+//    (sum of bids <= budget), used by the budget-capped myopic baseline and
+//    the scalability study.
+// All solvers break score ties deterministically by candidate index so the
+// allocation rule is a well-defined function of the bids.
+#pragma once
+
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+/// Exact argmax of total score over subsets with |S| <= max_winners for the
+/// modular objective: picks candidates with positive score, highest first.
+/// `penalties` must be empty or one per candidate.
+[[nodiscard]] Allocation select_top_m(const std::vector<Candidate>& candidates,
+                                      const ScoreWeights& weights,
+                                      std::size_t max_winners,
+                                      const Penalties& penalties = {});
+
+/// Brute-force oracle (throws if candidates.size() > 24).
+[[nodiscard]] Allocation select_exhaustive(const std::vector<Candidate>& candidates,
+                                           const ScoreWeights& weights,
+                                           std::size_t max_winners,
+                                           const Penalties& penalties = {});
+
+/// Exact knapsack DP: maximize total score subject to sum(bids) <= budget
+/// and |S| <= max_winners. Bids are discretized to `resolution` (> 0) money
+/// units; smaller resolution = more exact and more memory.
+[[nodiscard]] Allocation select_knapsack(const std::vector<Candidate>& candidates,
+                                         const ScoreWeights& weights,
+                                         double budget, std::size_t max_winners,
+                                         double resolution = 0.01,
+                                         const Penalties& penalties = {});
+
+/// Greedy marginal-score selection for a concave (diminishing-returns) value
+/// of total selected "mass" (see ConcaveValuation). Returns the best prefix
+/// of the greedy order. Approximation for the submodular WDP.
+class ConcaveValuation;  // forward declaration (valuation.h)
+[[nodiscard]] Allocation select_greedy_concave(const std::vector<Candidate>& candidates,
+                                               const ConcaveValuation& valuation,
+                                               const ScoreWeights& weights,
+                                               std::size_t max_winners,
+                                               const Penalties& penalties = {});
+
+}  // namespace sfl::auction

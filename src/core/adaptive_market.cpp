@@ -1,0 +1,117 @@
+#include "core/adaptive_market.h"
+
+#include <cmath>
+
+#include "econ/cost_model.h"
+#include "util/require.h"
+
+namespace sfl::core {
+
+using sfl::auction::Candidate;
+using sfl::auction::MechanismResult;
+using sfl::auction::RoundContext;
+using sfl::auction::RoundObservation;
+using sfl::util::require;
+
+AdaptiveMarketResult run_adaptive_market(sfl::auction::Mechanism& mechanism,
+                                         const MarketSpec& spec,
+                                         const AdaptiveMarketConfig& config) {
+  require(spec.num_clients > 0, "market needs clients");
+  require(spec.rounds > 0, "market needs at least one round");
+  require(config.sample_every > 0, "sample_every must be > 0");
+
+  // Environment drawn exactly like run_market for comparability.
+  sfl::util::Rng rng(spec.seed);
+  sfl::util::Rng value_rng = rng.split();
+  sfl::util::Rng cost_rng = rng.split();
+  sfl::util::Rng learner_rng = rng.split();
+
+  std::vector<double> values(spec.num_clients);
+  for (auto& v : values) {
+    v = spec.valuation_scale * value_rng.lognormal(0.0, spec.value_sigma);
+  }
+  econ::CostModel cost_model(spec.num_clients, spec.cost, {}, cost_rng);
+
+  std::vector<econ::Exp3BiddingLearner> learners;
+  learners.reserve(spec.num_clients);
+  for (std::size_t i = 0; i < spec.num_clients; ++i) {
+    learners.emplace_back(config.learner, learner_rng());
+  }
+
+  AdaptiveMarketResult result;
+  result.mechanism_name = mechanism.name();
+  result.rounds = spec.rounds;
+  result.sample_every = config.sample_every;
+
+  const auto population_mean_factor = [&]() {
+    double mean = 0.0;
+    for (const auto& learner : learners) mean += learner.expected_factor();
+    return mean / static_cast<double>(learners.size());
+  };
+  result.initial_mean_factor = population_mean_factor();
+  result.mean_factor_series.push_back(result.initial_mean_factor);
+
+  std::vector<double> factors(spec.num_clients, 1.0);
+  double window_winner_factor_sum = 0.0;
+  double window_winner_count = 0.0;
+  for (std::size_t round = 0; round < spec.rounds; ++round) {
+    const std::vector<double> costs = cost_model.draw_round(cost_rng);
+
+    std::vector<Candidate> candidates(spec.num_clients);
+    for (std::size_t i = 0; i < spec.num_clients; ++i) {
+      factors[i] = learners[i].choose_factor();
+      candidates[i] = Candidate{.id = i,
+                                .value = values[i],
+                                .bid = factors[i] * costs[i],
+                                .energy_cost = 1.0};
+    }
+
+    RoundContext context;
+    context.round = round;
+    context.max_winners = spec.max_winners;
+    context.per_round_budget = spec.per_round_budget;
+    const MechanismResult outcome = mechanism.run_round(candidates, context);
+
+    for (std::size_t i = 0; i < spec.num_clients; ++i) {
+      const double utility =
+          outcome.won(i) ? outcome.payment_for(i) - costs[i] : 0.0;
+      learners[i].observe_utility(utility);
+      if (outcome.won(i)) {
+        result.cumulative_welfare += values[i] - costs[i];
+        window_winner_factor_sum += factors[i];
+        window_winner_count += 1.0;
+      }
+    }
+    result.cumulative_payment += outcome.total_payment();
+
+    RoundObservation observation;
+    observation.round = round;
+    observation.total_payment = outcome.total_payment();
+    observation.winners = outcome.winners;
+    mechanism.observe(observation);
+
+    if ((round + 1) % config.sample_every == 0) {
+      result.mean_factor_series.push_back(population_mean_factor());
+      result.winner_factor_series.push_back(
+          window_winner_count > 0.0
+              ? window_winner_factor_sum / window_winner_count
+              : 1.0);
+      window_winner_factor_sum = 0.0;
+      window_winner_count = 0.0;
+    }
+  }
+  if (!result.winner_factor_series.empty()) {
+    result.final_winner_factor = result.winner_factor_series.back();
+  }
+
+  result.final_mean_factor = population_mean_factor();
+  std::size_t truthful_modal = 0;
+  for (const auto& learner : learners) {
+    if (std::abs(learner.modal_factor() - 1.0) < 1e-12) ++truthful_modal;
+  }
+  result.truthful_modal_fraction =
+      static_cast<double>(truthful_modal) / static_cast<double>(learners.size());
+  return result;
+}
+
+}  // namespace sfl::core

@@ -1,0 +1,53 @@
+// Market simulation with learning (EXP3) bidders.
+//
+// Every client adapts its bid factor from realized utility instead of
+// following a fixed strategy. The population's mean bid factor over time is
+// the empirical game dynamic: under a DSIC mechanism it converges toward 1
+// (truth-telling), under a manipulable one it drifts to the profitable
+// misreport (experiment E13).
+#pragma once
+
+#include "auction/mechanism.h"
+#include "core/market_simulation.h"
+#include "econ/learning_bidder.h"
+
+namespace sfl::core {
+
+struct AdaptiveMarketResult {
+  std::string mechanism_name;
+  std::size_t rounds = 0;
+
+  /// Population mean of the learners' *expected* bid factor, sampled every
+  /// `sample_every` rounds (first entry = before any learning).
+  std::vector<double> mean_factor_series;
+  /// Mean bid factor among the round *winners*, averaged per sample window
+  /// — the factor actual trades happen at (losers carry no signal and
+  /// dilute the population mean).
+  std::vector<double> winner_factor_series;
+  std::size_t sample_every = 1;
+
+  double initial_mean_factor = 1.0;
+  double final_mean_factor = 1.0;
+  /// Mean winning factor over the final sample window.
+  double final_winner_factor = 1.0;
+  /// Fraction of clients whose modal arm is the truthful factor (1.0) at
+  /// the end.
+  double truthful_modal_fraction = 0.0;
+
+  double cumulative_welfare = 0.0;   ///< at true costs
+  double cumulative_payment = 0.0;
+};
+
+struct AdaptiveMarketConfig {
+  econ::Exp3Config learner{};
+  std::size_t sample_every = 50;
+};
+
+/// Runs `mechanism` for spec.rounds rounds with per-client EXP3 learners.
+/// Values/costs are drawn exactly as in run_market (same seed => same
+/// environment), so adaptive and fixed-strategy runs are comparable.
+[[nodiscard]] AdaptiveMarketResult run_adaptive_market(
+    sfl::auction::Mechanism& mechanism, const MarketSpec& spec,
+    const AdaptiveMarketConfig& config = {});
+
+}  // namespace sfl::core

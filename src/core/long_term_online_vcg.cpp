@@ -1,0 +1,110 @@
+#include "core/long_term_online_vcg.h"
+
+#include "auction/payments.h"
+#include "auction/winner_determination.h"
+#include "util/require.h"
+
+namespace sfl::core {
+
+using sfl::auction::Allocation;
+using sfl::auction::Candidate;
+using sfl::auction::MechanismResult;
+using sfl::auction::Penalties;
+using sfl::auction::RoundContext;
+using sfl::auction::RoundObservation;
+using sfl::auction::ScoreWeights;
+using sfl::util::require;
+
+LongTermOnlineVcgMechanism::LongTermOnlineVcgMechanism(const LtoVcgConfig& config)
+    : config_(config), budget_queue_(config.per_round_budget) {
+  require(config.v_weight > 0.0, "V weight must be > 0");
+  require(config.per_round_budget > 0.0, "per-round budget must be > 0");
+  if (!config.energy_rates.empty()) {
+    for (const double rate : config.energy_rates) {
+      require(rate >= 0.0, "energy rates must be >= 0");
+    }
+    sustainability_queues_.emplace(config.energy_rates);
+    pending_energy_arrivals_.assign(config.energy_rates.size(), 0.0);
+  }
+  for (const double budget : config.budget_schedule) {
+    require(budget > 0.0, "scheduled budgets must be > 0");
+  }
+}
+
+ScoreWeights LongTermOnlineVcgMechanism::current_weights() const noexcept {
+  return ScoreWeights{.value_weight = config_.v_weight,
+                      .bid_weight = config_.v_weight + budget_queue_.backlog()};
+}
+
+double LongTermOnlineVcgMechanism::sustainability_backlog(
+    sfl::auction::ClientId id) const {
+  if (!sustainability_queues_.has_value()) return 0.0;
+  return sustainability_queues_->backlog(id);
+}
+
+MechanismResult LongTermOnlineVcgMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  const ScoreWeights weights = current_weights();
+
+  Penalties penalties;
+  if (sustainability_queues_.has_value()) {
+    penalties.reserve(candidates.size());
+    for (const Candidate& c : candidates) {
+      require(c.id < sustainability_queues_->size(),
+              "candidate id outside the configured energy-rate table");
+      penalties.push_back(sustainability_queues_->backlog(c.id) * c.energy_cost);
+    }
+  }
+
+  const Allocation allocation = sfl::auction::select_top_m(
+      candidates, weights, context.max_winners, penalties);
+
+  std::vector<double> payments;
+  if (config_.payment_rule == PaymentRule::kCriticalValue) {
+    payments = sfl::auction::critical_payments(candidates, weights,
+                                               context.max_winners, allocation,
+                                               penalties);
+  } else {
+    payments = sfl::auction::vcg_payments(
+        candidates, weights, context.max_winners, allocation,
+        [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
+           std::size_t m, const Penalties& p) {
+          return sfl::auction::select_top_m(reduced, w, m, p);
+        },
+        penalties);
+  }
+
+  // Remember round-scoped quantities for observe().
+  last_bid_proxy_ = 0.0;
+  if (sustainability_queues_.has_value()) {
+    pending_energy_arrivals_.assign(sustainability_queues_->size(), 0.0);
+  }
+  for (const std::size_t index : allocation.selected) {
+    last_bid_proxy_ += candidates[index].bid;
+    if (sustainability_queues_.has_value()) {
+      pending_energy_arrivals_[candidates[index].id] +=
+          candidates[index].energy_cost;
+    }
+  }
+
+  return sfl::auction::make_result(candidates, allocation, std::move(payments));
+}
+
+void LongTermOnlineVcgMechanism::observe(const RoundObservation& observation) {
+  const double arrival = config_.queue_arrival == QueueArrivalMode::kRealizedPayment
+                             ? observation.total_payment
+                             : last_bid_proxy_;
+  if (config_.budget_schedule.empty()) {
+    budget_queue_.update(arrival);
+  } else {
+    const double service =
+        config_.budget_schedule[observation.round % config_.budget_schedule.size()];
+    budget_queue_.update_with_service(arrival, service);
+  }
+  if (sustainability_queues_.has_value()) {
+    sustainability_queues_->update_all(pending_energy_arrivals_);
+    pending_energy_arrivals_.assign(sustainability_queues_->size(), 0.0);
+  }
+}
+
+}  // namespace sfl::core

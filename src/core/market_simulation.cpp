@@ -1,0 +1,122 @@
+#include "core/market_simulation.h"
+
+#include "core/long_term_online_vcg.h"
+#include "util/require.h"
+
+namespace sfl::core {
+
+using sfl::auction::Candidate;
+using sfl::auction::MechanismResult;
+using sfl::auction::RoundContext;
+using sfl::auction::RoundObservation;
+using sfl::util::require;
+
+MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& spec,
+                        const StrategyTable& strategies) {
+  require(spec.num_clients > 0, "market needs clients");
+  require(spec.rounds > 0, "market needs at least one round");
+  require(strategies.empty() || strategies.size() == spec.num_clients,
+          "strategies must be empty or one per client");
+
+  sfl::util::Rng rng(spec.seed);
+  sfl::util::Rng value_rng = rng.split();
+  sfl::util::Rng cost_rng = rng.split();
+  sfl::util::Rng bid_rng = rng.split();
+
+  // Static per-client values (data-size surrogate).
+  std::vector<double> values(spec.num_clients);
+  for (auto& v : values) {
+    v = spec.valuation_scale * value_rng.lognormal(0.0, spec.value_sigma);
+  }
+
+  econ::CostModel cost_model(spec.num_clients, spec.cost, {}, cost_rng);
+  econ::UtilityLedger ledger(spec.num_clients);
+  econ::BudgetTracker budget(spec.per_round_budget);
+  const econ::TruthfulStrategy truthful;
+
+  MarketResult result;
+  result.mechanism_name = mechanism.name();
+  result.rounds = spec.rounds;
+  result.welfare_series.reserve(spec.rounds);
+  result.payment_series.reserve(spec.rounds);
+  result.cumulative_payment_series.reserve(spec.rounds);
+
+  auto* lto = dynamic_cast<LongTermOnlineVcgMechanism*>(&mechanism);
+
+  for (std::size_t round = 0; round < spec.rounds; ++round) {
+    const std::vector<double> costs = cost_model.draw_round(cost_rng);
+
+    std::vector<Candidate> candidates(spec.num_clients);
+    for (std::size_t i = 0; i < spec.num_clients; ++i) {
+      const econ::BiddingStrategy& strategy =
+          (!strategies.empty() && strategies[i] != nullptr) ? *strategies[i]
+                                                            : truthful;
+      candidates[i] = Candidate{.id = i,
+                                .value = values[i],
+                                .bid = strategy.bid(costs[i], round, bid_rng),
+                                .energy_cost = 1.0};
+    }
+
+    RoundContext context;
+    context.round = round;
+    context.max_winners = spec.max_winners;
+    context.per_round_budget = spec.per_round_budget;
+
+    const MechanismResult outcome = mechanism.run_round(candidates, context);
+
+    double round_welfare = 0.0;
+    for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
+      const std::size_t client = outcome.winners[w];
+      ledger.record(econ::LedgerEntry{.round = round,
+                                      .client = client,
+                                      .value = values[client],
+                                      .payment = outcome.payments[w],
+                                      .true_cost = costs[client]});
+      round_welfare += values[client] - costs[client];
+    }
+    const double round_payment = outcome.total_payment();
+    budget.record_round(round_payment);
+
+    RoundObservation observation;
+    observation.round = round;
+    observation.total_payment = round_payment;
+    observation.winners = outcome.winners;
+    mechanism.observe(observation);
+
+    result.welfare_series.push_back(round_welfare);
+    result.payment_series.push_back(round_payment);
+    result.cumulative_payment_series.push_back(budget.cumulative_payment());
+  }
+
+  result.cumulative_welfare = ledger.social_welfare();
+  result.time_average_welfare =
+      result.cumulative_welfare / static_cast<double>(spec.rounds);
+  result.cumulative_payment = budget.cumulative_payment();
+  result.average_payment = budget.average_payment();
+  result.cumulative_budget_violation = budget.cumulative_violation();
+  result.peak_budget_violation = budget.peak_violation();
+  result.violation_round_fraction = budget.violation_round_fraction();
+  result.client_utilities = ledger.utility_vector();
+  result.participation_counts = ledger.participation_vector();
+  result.ir_fraction = ledger.individually_rational_fraction();
+  if (lto != nullptr) {
+    result.final_budget_backlog = lto->budget_backlog();
+    result.average_budget_backlog = lto->average_budget_backlog();
+  }
+  return result;
+}
+
+double deviation_utility(sfl::auction::Mechanism& mechanism, const MarketSpec& spec,
+                         std::size_t deviator, double misreport_factor) {
+  require(deviator < spec.num_clients, "deviator id out of range");
+  StrategyTable strategies(spec.num_clients);
+  for (auto& s : strategies) {
+    s = std::make_shared<econ::TruthfulStrategy>();
+  }
+  strategies[deviator] =
+      std::make_shared<econ::ScaledMisreportStrategy>(misreport_factor);
+  const MarketResult result = run_market(mechanism, spec, strategies);
+  return result.client_utilities[deviator];
+}
+
+}  // namespace sfl::core

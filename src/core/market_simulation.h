@@ -1,0 +1,79 @@
+// Auction-only market simulation (no FL training).
+//
+// For economics-side experiments (budget tracking E3, truthfulness E4/E5,
+// Lyapunov V tradeoff E6, regret E10) the learning loop is irrelevant and
+// would dominate runtime. This simulation runs the mechanism against the
+// stochastic cost process alone, tracking welfare, payments, queues, and
+// per-client utilities over thousands of rounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "econ/bidding.h"
+#include "econ/budget_tracker.h"
+#include "econ/cost_model.h"
+#include "econ/ledger.h"
+
+namespace sfl::core {
+
+struct MarketSpec {
+  std::size_t num_clients = 100;
+  std::size_t rounds = 1000;
+  std::size_t max_winners = 10;
+  double per_round_budget = 5.0;
+  /// Client values: v_i = valuation_scale * mass_i with per-client mass
+  /// drawn once from lognormal(0, value_sigma) (data-size surrogate).
+  double valuation_scale = 2.0;
+  double value_sigma = 0.35;
+  econ::CostModelSpec cost{};
+  std::uint64_t seed = 7;
+};
+
+struct MarketResult {
+  std::string mechanism_name;
+  std::size_t rounds = 0;
+
+  // Welfare at true costs.
+  double cumulative_welfare = 0.0;
+  double time_average_welfare = 0.0;
+  std::vector<double> welfare_series;  ///< per-round true welfare
+
+  // Payments and budget.
+  double cumulative_payment = 0.0;
+  double average_payment = 0.0;
+  double cumulative_budget_violation = 0.0;
+  double peak_budget_violation = 0.0;
+  double violation_round_fraction = 0.0;
+  std::vector<double> payment_series;
+  std::vector<double> cumulative_payment_series;
+
+  // Per-client economics.
+  std::vector<double> client_utilities;
+  std::vector<double> participation_counts;
+  double ir_fraction = 1.0;
+
+  // Final mechanism-side queue diagnostics (0 for stateless mechanisms).
+  double final_budget_backlog = 0.0;
+  double average_budget_backlog = 0.0;
+};
+
+/// Per-client bidding strategies; empty = everyone truthful.
+using StrategyTable = std::vector<std::shared_ptr<const econ::BiddingStrategy>>;
+
+/// Runs `mechanism` for spec.rounds rounds. The same seed produces the same
+/// cost/value realizations regardless of mechanism, so results are paired
+/// across mechanisms for fair comparison.
+[[nodiscard]] MarketResult run_market(sfl::auction::Mechanism& mechanism,
+                                      const MarketSpec& spec,
+                                      const StrategyTable& strategies = {});
+
+/// Convenience for E4-style deviation studies: utility accumulated by
+/// `deviator` when it bids factor*cost while everyone else is truthful.
+[[nodiscard]] double deviation_utility(sfl::auction::Mechanism& mechanism,
+                                       const MarketSpec& spec, std::size_t deviator,
+                                       double misreport_factor);
+
+}  // namespace sfl::core

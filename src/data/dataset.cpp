@@ -1,0 +1,98 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace sfl::data {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+Dataset::Dataset(Matrix features, std::vector<int> labels, std::size_t num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  require(num_classes_ > 0, "classification dataset needs num_classes > 0");
+  require(labels_.size() == features_.rows(),
+          "label count must match feature rows");
+  for (const int label : labels_) {
+    require(label >= 0 && static_cast<std::size_t>(label) < num_classes_,
+            "label out of range");
+  }
+}
+
+Dataset::Dataset(Matrix features, std::vector<double> targets)
+    : features_(std::move(features)), targets_(std::move(targets)) {
+  require(targets_.size() == features_.rows(),
+          "target count must match feature rows");
+}
+
+std::span<const double> Dataset::example(std::size_t i) const {
+  return features_.row(checked_index(i, size(), "dataset example"));
+}
+
+int Dataset::label(std::size_t i) const {
+  require(is_classification(), "label() on a regression dataset");
+  return labels_[checked_index(i, size(), "dataset label")];
+}
+
+double Dataset::target(std::size_t i) const {
+  require(!is_classification(), "target() on a classification dataset");
+  return targets_[checked_index(i, size(), "dataset target")];
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Matrix features(indices.size(), feature_dim());
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    const std::size_t src = checked_index(indices[row], size(), "subset index");
+    const auto source_row = features_.row(src);
+    std::copy(source_row.begin(), source_row.end(), features.row(row).begin());
+  }
+  if (is_classification()) {
+    std::vector<int> labels(indices.size());
+    for (std::size_t row = 0; row < indices.size(); ++row) {
+      labels[row] = labels_[indices[row]];
+    }
+    return Dataset(std::move(features), std::move(labels), num_classes_);
+  }
+  std::vector<double> targets(indices.size());
+  for (std::size_t row = 0; row < indices.size(); ++row) {
+    targets[row] = targets_[indices[row]];
+  }
+  return Dataset(std::move(features), std::move(targets));
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  require(is_classification(), "class_histogram on a regression dataset");
+  std::vector<std::size_t> counts(num_classes_, 0);
+  for (const int label : labels_) {
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  return counts;
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double first_fraction,
+                                           sfl::util::Rng& rng) const {
+  require(first_fraction > 0.0 && first_fraction < 1.0,
+          "split fraction must be in (0, 1)");
+  require(size() >= 2, "cannot split a dataset with fewer than two examples");
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  auto first_count =
+      static_cast<std::size_t>(first_fraction * static_cast<double>(size()));
+  first_count = std::clamp<std::size_t>(first_count, 1, size() - 1);
+  const std::span<const std::size_t> all(order);
+  return {subset(all.subspan(0, first_count)), subset(all.subspan(first_count))};
+}
+
+void Dataset::set_label(std::size_t i, int label) {
+  require(is_classification(), "set_label on a regression dataset");
+  require(label >= 0 && static_cast<std::size_t>(label) < num_classes_,
+          "label out of range");
+  labels_[checked_index(i, size(), "dataset label")] = label;
+}
+
+}  // namespace sfl::data

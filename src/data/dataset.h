@@ -1,0 +1,62 @@
+// In-memory supervised dataset (classification or regression).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+#include "util/rng.h"
+
+namespace sfl::data {
+
+/// Feature matrix plus either integer class labels (num_classes > 0) or
+/// real-valued regression targets (num_classes == 0).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Classification dataset. labels[i] in [0, num_classes).
+  Dataset(Matrix features, std::vector<int> labels, std::size_t num_classes);
+
+  /// Regression dataset.
+  Dataset(Matrix features, std::vector<double> targets);
+
+  [[nodiscard]] std::size_t size() const noexcept { return features_.rows(); }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::size_t feature_dim() const noexcept { return features_.cols(); }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] bool is_classification() const noexcept { return num_classes_ > 0; }
+
+  [[nodiscard]] std::span<const double> example(std::size_t i) const;
+  [[nodiscard]] int label(std::size_t i) const;
+  [[nodiscard]] double target(std::size_t i) const;
+
+  [[nodiscard]] const Matrix& features() const noexcept { return features_; }
+  [[nodiscard]] const std::vector<int>& labels() const noexcept { return labels_; }
+  [[nodiscard]] const std::vector<double>& targets() const noexcept { return targets_; }
+
+  /// Materializes the examples at `indices` (duplicates allowed) as a new
+  /// dataset of the same kind.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Counts per class; size num_classes(). Classification only.
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Randomly splits into (first, second) with `first_fraction` of examples
+  /// in the first part (at least one example in each when size >= 2).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double first_fraction,
+                                                  sfl::util::Rng& rng) const;
+
+  /// Overwrites label `i`. Classification only; used by the label-noise
+  /// quality model.
+  void set_label(std::size_t i, int label);
+
+ private:
+  Matrix features_;
+  std::vector<int> labels_;
+  std::vector<double> targets_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace sfl::data

@@ -1,0 +1,144 @@
+#include "data/matrix.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::data {
+
+using sfl::util::require;
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), values_(std::move(values)) {
+  require(values_.size() == rows * cols,
+          "matrix storage size must equal rows*cols");
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) { return Matrix(rows, cols); }
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols, double stddev,
+                             sfl::util::Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.values_) v = rng.normal(0.0, stddev);
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "matrix index out of range");
+  return values_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "matrix index out of range");
+  return values_[r * cols_ + c];
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  require(r < rows_, "matrix row out of range");
+  return {values_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  require(r < rows_, "matrix row out of range");
+  return {values_.data() + r * cols_, cols_};
+}
+
+void Matrix::add_scaled(const Matrix& other, double alpha) {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "add_scaled requires matching shapes");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += alpha * other.values_[i];
+  }
+}
+
+void Matrix::scale(double alpha) noexcept {
+  for (auto& v : values_) v *= alpha;
+}
+
+void Matrix::fill(double value) noexcept {
+  for (auto& v : values_) v = value;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.values_[c * rows_ + r] = values_[r * cols_ + c];
+    }
+  }
+  return t;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double sum = 0.0;
+  for (const double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "matmul inner dimensions must agree");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  require(x.size() == a.cols(), "matvec dimension mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = dot(a.row(i), x);
+  }
+  return y;
+}
+
+std::vector<double> matvec_transposed(const Matrix& a, std::span<const double> x) {
+  require(x.size() == a.rows(), "matvec_transposed dimension mismatch");
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    const double xi = x[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      y[j] += arow[j] * xi;
+    }
+  }
+  return y;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "dot product size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double l2_norm(std::span<const double> v) noexcept {
+  double sum = 0.0;
+  for (const double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+void axpy(std::span<double> a, std::span<const double> b, double alpha) {
+  require(a.size() == b.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += alpha * b[i];
+}
+
+}  // namespace sfl::data

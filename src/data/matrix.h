@@ -1,0 +1,87 @@
+// Dense row-major matrix of doubles.
+//
+// This is deliberately a small, purpose-built type: the FL substrate needs
+// storage plus a handful of BLAS-1/2/3 operations on models with ~1e4-1e5
+// parameters, not a general linear-algebra library.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfl::data {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols initialized from `values` (size must be rows*cols, row-major).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> values);
+
+  [[nodiscard]] static Matrix zeros(std::size_t rows, std::size_t cols);
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Entries ~ N(0, stddev^2); used for model initialization.
+  [[nodiscard]] static Matrix random_normal(std::size_t rows, std::size_t cols,
+                                            double stddev, sfl::util::Rng& rng);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Unchecked contiguous storage access (row-major).
+  [[nodiscard]] std::span<double> data() noexcept { return values_; }
+  [[nodiscard]] std::span<const double> data() const noexcept { return values_; }
+
+  /// View of one row.
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+  [[nodiscard]] std::span<double> row(std::size_t r);
+
+  /// this = this + alpha * other (same shape required).
+  void add_scaled(const Matrix& other, double alpha);
+
+  void scale(double alpha) noexcept;
+  void fill(double value) noexcept;
+
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const noexcept;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// C = A * B. Inner dimensions must agree.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// y = A * x (x.size() == A.cols()). Returns vector of length A.rows().
+[[nodiscard]] std::vector<double> matvec(const Matrix& a, std::span<const double> x);
+
+/// y = A^T * x (x.size() == A.rows()). Returns vector of length A.cols().
+[[nodiscard]] std::vector<double> matvec_transposed(const Matrix& a,
+                                                    std::span<const double> x);
+
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// L2 norm.
+[[nodiscard]] double l2_norm(std::span<const double> v) noexcept;
+
+/// a += alpha * b (sizes must match).
+void axpy(std::span<double> a, std::span<const double> b, double alpha);
+
+}  // namespace sfl::data

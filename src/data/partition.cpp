@@ -1,0 +1,166 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace sfl::data {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+Partition partition_iid(std::size_t num_examples, std::size_t num_clients,
+                        sfl::util::Rng& rng) {
+  require(num_clients >= 1, "need at least one client");
+  require(num_examples >= num_clients, "need at least one example per client");
+  std::vector<std::size_t> order(num_examples);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  Partition partition(num_clients);
+  for (std::size_t i = 0; i < num_examples; ++i) {
+    partition[i % num_clients].push_back(order[i]);
+  }
+  return partition;
+}
+
+Partition partition_dirichlet_label_skew(const Dataset& dataset,
+                                         std::size_t num_clients, double alpha,
+                                         sfl::util::Rng& rng) {
+  require(dataset.is_classification(), "label skew needs a classification dataset");
+  require(num_clients >= 1, "need at least one client");
+  require(dataset.size() >= num_clients, "need at least one example per client");
+  require(alpha > 0.0, "Dirichlet concentration must be > 0");
+
+  // Bucket example indices by class, shuffled within each class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    by_class[static_cast<std::size_t>(dataset.label(i))].push_back(i);
+  }
+  for (auto& bucket : by_class) rng.shuffle(bucket);
+
+  Partition partition(num_clients);
+  for (auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    const std::vector<double> shares = rng.dirichlet(num_clients, alpha);
+    // Largest-remainder apportionment of this class's examples.
+    std::vector<std::size_t> counts(num_clients, 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::size_t assigned = 0;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      const double exact = shares[c] * static_cast<double>(bucket.size());
+      counts[c] = static_cast<std::size_t>(exact);
+      assigned += counts[c];
+      remainders.emplace_back(exact - static_cast<double>(counts[c]), c);
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t r = 0; assigned < bucket.size(); ++r, ++assigned) {
+      ++counts[remainders[r % remainders.size()].second];
+    }
+    std::size_t cursor = 0;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      for (std::size_t k = 0; k < counts[c]; ++k) {
+        partition[c].push_back(bucket[cursor++]);
+      }
+    }
+  }
+
+  // Guarantee every client holds at least one example (tiny alpha can starve
+  // clients; an empty shard cannot train).
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    if (!partition[c].empty()) continue;
+    const auto richest = static_cast<std::size_t>(std::distance(
+        partition.begin(),
+        std::max_element(partition.begin(), partition.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.size() < b.size();
+                         })));
+    require(partition[richest].size() > 1, "not enough examples to cover clients");
+    partition[c].push_back(partition[richest].back());
+    partition[richest].pop_back();
+  }
+  return partition;
+}
+
+Partition partition_quantity_skew(std::size_t num_examples, std::size_t num_clients,
+                                  double sigma, sfl::util::Rng& rng) {
+  require(num_clients >= 1, "need at least one client");
+  require(num_examples >= num_clients, "need at least one example per client");
+  require(sigma >= 0.0, "lognormal sigma must be >= 0");
+
+  std::vector<double> raw(num_clients);
+  for (auto& r : raw) r = rng.lognormal(0.0, sigma);
+  const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+
+  // Start with one example per client, then distribute the remainder
+  // proportionally with largest remainders.
+  std::vector<std::size_t> sizes(num_clients, 1);
+  std::size_t remaining = num_examples - num_clients;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    const double exact = raw[c] / total * static_cast<double>(remaining);
+    const auto whole = static_cast<std::size_t>(exact);
+    sizes[c] += whole;
+    assigned += whole;
+    remainders.emplace_back(exact - static_cast<double>(whole), c);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t r = 0; assigned < remaining; ++r, ++assigned) {
+    ++sizes[remainders[r % remainders.size()].second];
+  }
+
+  std::vector<std::size_t> order(num_examples);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  Partition partition(num_clients);
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    partition[c].assign(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                        order.begin() + static_cast<std::ptrdiff_t>(cursor + sizes[c]));
+    cursor += sizes[c];
+  }
+  return partition;
+}
+
+void validate_partition(const Partition& partition, std::size_t num_examples) {
+  std::vector<bool> seen(num_examples, false);
+  std::size_t count = 0;
+  for (const auto& shard : partition) {
+    for (const std::size_t index : shard) {
+      require(index < num_examples, "partition index out of range");
+      require(!seen[index], "partition assigns an example twice");
+      seen[index] = true;
+      ++count;
+    }
+  }
+  require(count == num_examples, "partition does not cover all examples");
+}
+
+FederatedDataset::FederatedDataset(Dataset train, Dataset test,
+                                   const Partition& partition)
+    : train_(std::move(train)), test_(std::move(test)) {
+  validate_partition(partition, train_.size());
+  shards_.reserve(partition.size());
+  for (const auto& indices : partition) {
+    require(!indices.empty(), "every client shard must be non-empty");
+    shards_.push_back(train_.subset(indices));
+    total_ += indices.size();
+  }
+}
+
+const Dataset& FederatedDataset::shard(std::size_t client) const {
+  return shards_[checked_index(client, shards_.size(), "client shard")];
+}
+
+Dataset& FederatedDataset::mutable_shard(std::size_t client) {
+  return shards_[checked_index(client, shards_.size(), "client shard")];
+}
+
+std::size_t FederatedDataset::shard_size(std::size_t client) const {
+  return shard(client).size();
+}
+
+}  // namespace sfl::data

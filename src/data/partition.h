@@ -1,0 +1,72 @@
+// Federated data partitioners.
+//
+// A partition assigns every training example to exactly one client. Three
+// standard regimes are provided: IID, Dirichlet label skew (non-IID-ness
+// controlled by alpha), and power-law quantity skew. Partitions compose with
+// per-client label noise (see synthetic.h) to model data-quality
+// heterogeneity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace sfl::data {
+
+/// One index list per client; lists are disjoint and cover [0, n).
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Shuffles [0, n) and deals examples round-robin; client sizes differ by at
+/// most one. Requires num_clients >= 1 and n >= num_clients.
+[[nodiscard]] Partition partition_iid(std::size_t num_examples,
+                                      std::size_t num_clients, sfl::util::Rng& rng);
+
+/// Label-skew partition: for each class, client shares are drawn from a
+/// symmetric Dirichlet(alpha). Small alpha -> each client dominated by few
+/// classes; alpha -> infinity recovers IID. Clients left empty (possible at
+/// tiny alpha) are given one example stolen from the largest client so every
+/// client can participate.
+[[nodiscard]] Partition partition_dirichlet_label_skew(const Dataset& dataset,
+                                                       std::size_t num_clients,
+                                                       double alpha,
+                                                       sfl::util::Rng& rng);
+
+/// Quantity skew: client sizes proportional to lognormal(0, sigma) draws
+/// (sigma = 0 recovers near-equal sizes); every client gets >= 1 example.
+[[nodiscard]] Partition partition_quantity_skew(std::size_t num_examples,
+                                                std::size_t num_clients,
+                                                double sigma, sfl::util::Rng& rng);
+
+/// Validates that `partition` is disjoint and covers [0, n); throws on
+/// violation. Used by tests and by FederatedDataset's constructor.
+void validate_partition(const Partition& partition, std::size_t num_examples);
+
+/// A federated view: global train/test data plus per-client shards
+/// materialized as datasets.
+class FederatedDataset {
+ public:
+  /// Builds per-client shards from `train` and `partition` (validated).
+  FederatedDataset(Dataset train, Dataset test, const Partition& partition);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept { return shards_.size(); }
+  [[nodiscard]] const Dataset& shard(std::size_t client) const;
+  [[nodiscard]] Dataset& mutable_shard(std::size_t client);
+  [[nodiscard]] const Dataset& test_set() const noexcept { return test_; }
+  [[nodiscard]] const Dataset& train_set() const noexcept { return train_; }
+
+  /// Data size of one client (shard example count).
+  [[nodiscard]] std::size_t shard_size(std::size_t client) const;
+
+  /// Total examples across shards.
+  [[nodiscard]] std::size_t total_examples() const noexcept { return total_; }
+
+ private:
+  Dataset train_;
+  Dataset test_;
+  std::vector<Dataset> shards_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sfl::data

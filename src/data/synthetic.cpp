@@ -1,0 +1,113 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::data {
+
+using sfl::util::require;
+
+Dataset make_gaussian_mixture(const GaussianMixtureSpec& spec, sfl::util::Rng& rng) {
+  require(spec.num_examples > 0, "mixture needs at least one example");
+  require(spec.num_classes >= 2, "mixture needs at least two classes");
+  require(spec.feature_dim > 0, "mixture needs a positive feature dimension");
+  require(spec.within_class_stddev > 0.0, "within-class stddev must be > 0");
+  require(spec.class_weights.empty() ||
+              spec.class_weights.size() == spec.num_classes,
+          "class_weights must be empty or one per class");
+
+  // Draw class means on a sphere of radius class_separation * sqrt(dim)/2 so
+  // pairwise distances stay O(class_separation) as dimension grows.
+  std::vector<std::vector<double>> means(spec.num_classes);
+  const double radius =
+      spec.class_separation * std::sqrt(static_cast<double>(spec.feature_dim)) / 2.0;
+  for (auto& mean : means) {
+    mean.resize(spec.feature_dim);
+    double norm = 0.0;
+    for (auto& m : mean) {
+      m = rng.normal();
+      norm += m * m;
+    }
+    norm = std::sqrt(norm);
+    if (norm <= 0.0) norm = 1.0;
+    for (auto& m : mean) m *= radius / norm;
+  }
+
+  std::vector<double> weights = spec.class_weights;
+  if (weights.empty()) {
+    weights.assign(spec.num_classes, 1.0);
+  }
+
+  Matrix features(spec.num_examples, spec.feature_dim);
+  std::vector<int> labels(spec.num_examples);
+  for (std::size_t i = 0; i < spec.num_examples; ++i) {
+    const std::size_t cls = rng.categorical(weights);
+    labels[i] = static_cast<int>(cls);
+    auto row = features.row(i);
+    for (std::size_t j = 0; j < spec.feature_dim; ++j) {
+      row[j] = means[cls][j] + rng.normal(0.0, spec.within_class_stddev);
+    }
+  }
+  return Dataset(std::move(features), std::move(labels), spec.num_classes);
+}
+
+Dataset make_two_blobs(std::size_t num_examples, double separation,
+                       sfl::util::Rng& rng) {
+  GaussianMixtureSpec spec;
+  spec.num_examples = num_examples;
+  spec.num_classes = 2;
+  spec.feature_dim = 2;
+  spec.class_separation = separation;
+  return make_gaussian_mixture(spec, rng);
+}
+
+LinearRegressionData make_linear_regression(std::size_t num_examples,
+                                            std::size_t feature_dim,
+                                            double noise_stddev,
+                                            sfl::util::Rng& rng) {
+  require(num_examples > 0, "regression data needs at least one example");
+  require(feature_dim > 0, "regression data needs a positive dimension");
+  require(noise_stddev >= 0.0, "noise stddev must be >= 0");
+
+  LinearRegressionData out;
+  out.true_weights.resize(feature_dim);
+  for (auto& w : out.true_weights) w = rng.normal();
+  out.true_bias = rng.normal();
+
+  Matrix features(num_examples, feature_dim);
+  std::vector<double> targets(num_examples);
+  for (std::size_t i = 0; i < num_examples; ++i) {
+    auto row = features.row(i);
+    double y = out.true_bias;
+    for (std::size_t j = 0; j < feature_dim; ++j) {
+      row[j] = rng.normal();
+      y += out.true_weights[j] * row[j];
+    }
+    targets[i] = y + rng.normal(0.0, noise_stddev);
+  }
+  out.dataset = Dataset(std::move(features), std::move(targets));
+  return out;
+}
+
+std::size_t apply_label_noise(Dataset& dataset, double flip_probability,
+                              sfl::util::Rng& rng) {
+  require(dataset.is_classification(), "label noise applies to classification");
+  require(flip_probability >= 0.0 && flip_probability <= 1.0,
+          "flip probability must be in [0, 1]");
+  const auto k = static_cast<std::int64_t>(dataset.num_classes());
+  if (k < 2 || flip_probability == 0.0) return 0;
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (!rng.bernoulli(flip_probability)) continue;
+    const int old_label = dataset.label(i);
+    // Uniform over the other k-1 classes.
+    auto candidate = static_cast<int>(rng.uniform_int(0, k - 2));
+    if (candidate >= old_label) ++candidate;
+    dataset.set_label(i, candidate);
+    ++flipped;
+  }
+  return flipped;
+}
+
+}  // namespace sfl::data

@@ -1,0 +1,40 @@
+#include "econ/bidding.h"
+
+#include "util/require.h"
+#include "util/string_utils.h"
+
+namespace sfl::econ {
+
+using sfl::util::require;
+
+double TruthfulStrategy::bid(double true_cost, std::size_t /*round*/,
+                             sfl::util::Rng& /*rng*/) const {
+  require(true_cost >= 0.0, "true cost must be >= 0");
+  return true_cost;
+}
+
+ScaledMisreportStrategy::ScaledMisreportStrategy(double factor) : factor_(factor) {
+  require(factor > 0.0, "misreport factor must be > 0");
+}
+
+double ScaledMisreportStrategy::bid(double true_cost, std::size_t /*round*/,
+                                    sfl::util::Rng& /*rng*/) const {
+  require(true_cost >= 0.0, "true cost must be >= 0");
+  return factor_ * true_cost;
+}
+
+std::string ScaledMisreportStrategy::name() const {
+  return "misreport-x" + sfl::util::format_double(factor_, 2);
+}
+
+JitterStrategy::JitterStrategy(double sigma) : sigma_(sigma) {
+  require(sigma >= 0.0, "jitter sigma must be >= 0");
+}
+
+double JitterStrategy::bid(double true_cost, std::size_t /*round*/,
+                           sfl::util::Rng& rng) const {
+  require(true_cost >= 0.0, "true cost must be >= 0");
+  return true_cost * rng.lognormal(0.0, sigma_);
+}
+
+}  // namespace sfl::econ

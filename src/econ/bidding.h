@@ -1,0 +1,59 @@
+// Client bidding strategies.
+//
+// Under a truthful mechanism the dominant strategy is bid = cost; the other
+// strategies exist to *test* that claim (E4) and to show what happens to
+// non-truthful baselines when clients strategize.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace sfl::econ {
+
+class BiddingStrategy {
+ public:
+  virtual ~BiddingStrategy() = default;
+
+  /// The bid a client submits given its true per-round cost.
+  [[nodiscard]] virtual double bid(double true_cost, std::size_t round,
+                                   sfl::util::Rng& rng) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// bid = cost.
+class TruthfulStrategy final : public BiddingStrategy {
+ public:
+  [[nodiscard]] double bid(double true_cost, std::size_t round,
+                           sfl::util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "truthful"; }
+};
+
+/// bid = factor * cost (factor > 1 overbids, < 1 underbids).
+class ScaledMisreportStrategy final : public BiddingStrategy {
+ public:
+  explicit ScaledMisreportStrategy(double factor);
+  [[nodiscard]] double bid(double true_cost, std::size_t round,
+                           sfl::util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double factor() const noexcept { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// bid = cost * exp(N(0, sigma^2)) — noisy/confused reporting.
+class JitterStrategy final : public BiddingStrategy {
+ public:
+  explicit JitterStrategy(double sigma);
+  [[nodiscard]] double bid(double true_cost, std::size_t round,
+                           sfl::util::Rng& rng) const override;
+  [[nodiscard]] std::string name() const override { return "jitter"; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace sfl::econ

@@ -1,0 +1,44 @@
+#include "econ/budget_tracker.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace sfl::econ {
+
+using sfl::util::require;
+
+BudgetTracker::BudgetTracker(double per_round_budget)
+    : per_round_budget_(per_round_budget) {
+  require(per_round_budget >= 0.0, "per-round budget must be >= 0");
+}
+
+void BudgetTracker::record_round(double payment) {
+  require(payment >= 0.0, "payments must be >= 0");
+  cumulative_ += payment;
+  payments_.push_back(payment);
+  const double allowed = allowed_so_far();
+  peak_violation_ = std::max(peak_violation_, cumulative_ - allowed);
+  if (cumulative_ > allowed) ++violating_rounds_;
+}
+
+double BudgetTracker::allowed_so_far() const noexcept {
+  return per_round_budget_ * static_cast<double>(payments_.size());
+}
+
+double BudgetTracker::cumulative_violation() const noexcept {
+  return std::max(cumulative_ - allowed_so_far(), 0.0);
+}
+
+double BudgetTracker::average_payment() const noexcept {
+  return payments_.empty() ? 0.0
+                           : cumulative_ / static_cast<double>(payments_.size());
+}
+
+double BudgetTracker::violation_round_fraction() const noexcept {
+  return payments_.empty() ? 0.0
+                           : static_cast<double>(violating_rounds_) /
+                                 static_cast<double>(payments_.size());
+}
+
+}  // namespace sfl::econ

@@ -1,0 +1,50 @@
+// Server budget accounting for long-term payment constraints.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfl::econ {
+
+/// Tracks cumulative payments against a per-round budget target B-bar and
+/// reports violation statistics. Purely observational — enforcement is the
+/// mechanism's job.
+class BudgetTracker {
+ public:
+  explicit BudgetTracker(double per_round_budget);
+
+  void record_round(double payment);
+
+  [[nodiscard]] std::size_t rounds() const noexcept { return payments_.size(); }
+  [[nodiscard]] double per_round_budget() const noexcept { return per_round_budget_; }
+  [[nodiscard]] double cumulative_payment() const noexcept { return cumulative_; }
+
+  /// B-bar * t: what the long-term constraint allows up to now.
+  [[nodiscard]] double allowed_so_far() const noexcept;
+
+  /// max(cumulative - allowed, 0).
+  [[nodiscard]] double cumulative_violation() const noexcept;
+
+  /// Time-average payment per round (0 before any round).
+  [[nodiscard]] double average_payment() const noexcept;
+
+  /// Fraction of rounds whose *running average* payment exceeded B-bar.
+  [[nodiscard]] double violation_round_fraction() const noexcept;
+
+  /// Largest cumulative overshoot observed at any prefix (the "how deep in
+  /// debt did we ever get" statistic).
+  [[nodiscard]] double peak_violation() const noexcept { return peak_violation_; }
+
+  [[nodiscard]] const std::vector<double>& round_payments() const noexcept {
+    return payments_;
+  }
+
+ private:
+  double per_round_budget_;
+  double cumulative_ = 0.0;
+  double peak_violation_ = 0.0;
+  std::size_t violating_rounds_ = 0;
+  std::vector<double> payments_;
+};
+
+}  // namespace sfl::econ

@@ -1,0 +1,69 @@
+#include "econ/cost_model.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::econ {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+CostModel::CostModel(std::size_t num_clients, const CostModelSpec& spec,
+                     const std::vector<double>& data_sizes, sfl::util::Rng& rng)
+    : ar_rho_(spec.ar_rho), ar_sigma_(spec.ar_sigma) {
+  require(num_clients > 0, "cost model needs at least one client");
+  require(spec.base_sigma >= 0.0, "base_sigma must be >= 0");
+  require(spec.ar_rho >= 0.0 && spec.ar_rho < 1.0, "ar_rho must be in [0, 1)");
+  require(spec.ar_sigma >= 0.0, "ar_sigma must be >= 0");
+  require(spec.size_cost_exponent == 0.0 || data_sizes.size() == num_clients,
+          "size-cost correlation needs one data size per client");
+
+  double mean_size = 1.0;
+  if (spec.size_cost_exponent != 0.0) {
+    double sum = 0.0;
+    for (const double s : data_sizes) {
+      require(s > 0.0, "data sizes must be > 0");
+      sum += s;
+    }
+    mean_size = sum / static_cast<double>(num_clients);
+  }
+
+  base_.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    double base = rng.lognormal(spec.base_mu, spec.base_sigma);
+    if (spec.size_cost_exponent != 0.0) {
+      base *= std::pow(data_sizes[i] / mean_size, spec.size_cost_exponent);
+    }
+    base_.push_back(base);
+  }
+  // Start disturbances at their stationary distribution.
+  ar_state_.reserve(num_clients);
+  const double stationary_sigma =
+      ar_sigma_ > 0.0 ? ar_sigma_ / std::sqrt(1.0 - ar_rho_ * ar_rho_) : 0.0;
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    ar_state_.push_back(rng.normal(0.0, stationary_sigma));
+  }
+}
+
+std::vector<double> CostModel::draw_round(sfl::util::Rng& rng) {
+  std::vector<double> costs(base_.size());
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    ar_state_[i] = ar_rho_ * ar_state_[i] + rng.normal(0.0, ar_sigma_);
+    costs[i] = base_[i] * std::exp(ar_state_[i]);
+  }
+  return costs;
+}
+
+double CostModel::expected_cost(std::size_t client) const {
+  checked_index(client, base_.size(), "cost model client");
+  const double stationary_var =
+      ar_sigma_ > 0.0 ? ar_sigma_ * ar_sigma_ / (1.0 - ar_rho_ * ar_rho_) : 0.0;
+  return base_[client] * std::exp(stationary_var / 2.0);
+}
+
+double CostModel::base_cost(std::size_t client) const {
+  return base_[checked_index(client, base_.size(), "cost model client")];
+}
+
+}  // namespace sfl::econ

@@ -1,0 +1,52 @@
+// Client cost processes.
+//
+// Substitutes for the measured device-cost traces this paper class uses
+// (DESIGN.md §4): per-client lognormal base costs capture heavy-tailed
+// heterogeneity across devices, and an AR(1) multiplicative disturbance
+// captures temporal persistence (a busy/charging device stays busy for a
+// while). Costs are private to the client: mechanisms only ever see bids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfl::econ {
+
+struct CostModelSpec {
+  double base_mu = 0.0;       ///< lognormal location of per-client base cost
+  double base_sigma = 0.5;    ///< lognormal scale (cross-client heterogeneity)
+  double ar_rho = 0.7;        ///< AR(1) persistence of the temporal disturbance
+  double ar_sigma = 0.2;      ///< innovation stddev of the disturbance
+  /// Optional correlation knob: base cost multiplied by (data_size/mean)^gamma,
+  /// modelling "more data costs more to train on". 0 disables.
+  double size_cost_exponent = 0.0;
+};
+
+class CostModel {
+ public:
+  /// Draws per-client base costs; `data_sizes` (one per client) feeds the
+  /// size-cost correlation and may be empty when the exponent is 0.
+  CostModel(std::size_t num_clients, const CostModelSpec& spec,
+            const std::vector<double>& data_sizes, sfl::util::Rng& rng);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept { return base_.size(); }
+
+  /// Advances every client's disturbance one round and returns the realized
+  /// cost vector c_i(t) = base_i * exp(state_i(t)).
+  [[nodiscard]] std::vector<double> draw_round(sfl::util::Rng& rng);
+
+  /// Stationary expected cost of one client (base_i * E[exp(state)]).
+  [[nodiscard]] double expected_cost(std::size_t client) const;
+
+  [[nodiscard]] double base_cost(std::size_t client) const;
+
+ private:
+  std::vector<double> base_;
+  std::vector<double> ar_state_;
+  double ar_rho_;
+  double ar_sigma_;
+};
+
+}  // namespace sfl::econ

@@ -1,0 +1,86 @@
+#include "econ/learning_bidder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::econ {
+
+using sfl::util::require;
+
+Exp3BiddingLearner::Exp3BiddingLearner(const Exp3Config& config,
+                                       std::uint64_t seed)
+    : config_(config), rng_(seed), log_weights_(config.factor_grid.size(), 0.0) {
+  require(!config.factor_grid.empty(), "factor grid must be non-empty");
+  for (const double f : config.factor_grid) {
+    require(f > 0.0, "bid factors must be > 0");
+  }
+  require(config.exploration > 0.0 && config.exploration <= 1.0,
+          "exploration must be in (0, 1]");
+  require(config.reward_scale > 0.0, "reward scale must be > 0");
+}
+
+std::vector<double> Exp3BiddingLearner::strategy() const {
+  // Softmax of log-weights with uniform exploration mixing.
+  const double max_log =
+      *std::max_element(log_weights_.begin(), log_weights_.end());
+  std::vector<double> probs(log_weights_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = std::exp(log_weights_[i] - max_log);
+    total += probs[i];
+  }
+  const double k = static_cast<double>(probs.size());
+  for (auto& p : probs) {
+    p = (1.0 - config_.exploration) * (p / total) + config_.exploration / k;
+  }
+  return probs;
+}
+
+double Exp3BiddingLearner::choose_factor() {
+  require(!awaiting_feedback_,
+          "choose_factor called twice without observe_utility");
+  const std::vector<double> probs = strategy();
+  last_arm_ = rng_.categorical(probs);
+  awaiting_feedback_ = true;
+  ++plays_;
+  return config_.factor_grid[last_arm_];
+}
+
+void Exp3BiddingLearner::observe_utility(double utility) {
+  require(awaiting_feedback_, "observe_utility without a pending choice");
+  awaiting_feedback_ = false;
+  const double reward = std::clamp(
+      0.5 + utility / (2.0 * config_.reward_scale), 0.0, 1.0);
+  const std::vector<double> probs = strategy();
+  const double k = static_cast<double>(config_.factor_grid.size());
+  // Importance-weighted reward estimate for the played arm.
+  const double estimate = reward / std::max(probs[last_arm_], 1e-12);
+  log_weights_[last_arm_] += config_.exploration * estimate / k;
+  // Keep log-weights bounded for numerical safety (shifting all weights
+  // equally does not change the softmax).
+  const double max_log =
+      *std::max_element(log_weights_.begin(), log_weights_.end());
+  if (max_log > 200.0) {
+    for (auto& w : log_weights_) w -= max_log - 100.0;
+  }
+}
+
+double Exp3BiddingLearner::expected_factor() const {
+  const std::vector<double> probs = strategy();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    mean += probs[i] * config_.factor_grid[i];
+  }
+  return mean;
+}
+
+double Exp3BiddingLearner::modal_factor() const {
+  const std::vector<double> probs = strategy();
+  const auto best = std::distance(
+      probs.begin(), std::max_element(probs.begin(), probs.end()));
+  return config_.factor_grid[static_cast<std::size_t>(best)];
+}
+
+}  // namespace sfl::econ

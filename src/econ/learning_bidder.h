@@ -1,0 +1,67 @@
+// Adaptive bidding via adversarial bandits (EXP3).
+//
+// Strategic clients rarely know the mechanism's rules well enough to derive
+// a best response analytically; they experiment. Each client runs EXP3 over
+// a grid of bid factors (bid = factor * cost), feeding back the realized
+// per-round utility. Against a DSIC mechanism the truthful arm (factor 1)
+// is the best arm, so learning dynamics converge toward truth-telling —
+// the empirical counterpart of the dominant-strategy guarantee (experiment
+// E13). Against pay-as-bid the best arm is an overbid, and the same
+// dynamics drift the market away from truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfl::econ {
+
+struct Exp3Config {
+  /// Candidate bid multipliers (non-empty, all > 0).
+  std::vector<double> factor_grid{0.7, 0.85, 1.0, 1.2, 1.5};
+  /// Exploration rate gamma in (0, 1].
+  double exploration = 0.1;
+  /// Utilities are mapped to [0, 1] rewards via
+  /// reward = clamp(0.5 + utility / (2 * reward_scale), 0, 1); pick
+  /// reward_scale around the largest plausible per-round |utility|.
+  double reward_scale = 5.0;
+};
+
+/// One client's EXP3 learner over the bid-factor grid.
+class Exp3BiddingLearner {
+ public:
+  Exp3BiddingLearner(const Exp3Config& config, std::uint64_t seed);
+
+  /// Samples an arm from the current mixed strategy; remember it until the
+  /// matching observe_utility call.
+  [[nodiscard]] double choose_factor();
+
+  /// Importance-weighted EXP3 update for the last chosen arm. Must follow a
+  /// choose_factor call.
+  void observe_utility(double utility);
+
+  /// Current mixed strategy over the grid (sums to 1).
+  [[nodiscard]] std::vector<double> strategy() const;
+
+  /// Probability-weighted mean factor of the current strategy.
+  [[nodiscard]] double expected_factor() const;
+
+  /// The factor with the highest current probability.
+  [[nodiscard]] double modal_factor() const;
+
+  [[nodiscard]] const std::vector<double>& factor_grid() const noexcept {
+    return config_.factor_grid;
+  }
+  [[nodiscard]] std::size_t plays() const noexcept { return plays_; }
+
+ private:
+  Exp3Config config_;
+  sfl::util::Rng rng_;
+  std::vector<double> log_weights_;
+  std::size_t last_arm_ = 0;
+  bool awaiting_feedback_ = false;
+  std::size_t plays_ = 0;
+};
+
+}  // namespace sfl::econ

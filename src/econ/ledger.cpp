@@ -1,0 +1,54 @@
+#include "econ/ledger.h"
+
+#include "util/require.h"
+
+namespace sfl::econ {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+UtilityLedger::UtilityLedger(std::size_t num_clients)
+    : client_utility_(num_clients, 0.0), participation_(num_clients, 0) {
+  require(num_clients > 0, "ledger needs at least one client");
+}
+
+void UtilityLedger::record(const LedgerEntry& entry) {
+  checked_index(entry.client, client_utility_.size(), "ledger client");
+  require(entry.payment >= 0.0, "payments must be >= 0");
+  require(entry.true_cost >= 0.0, "true costs must be >= 0");
+  client_utility_[entry.client] += entry.payment - entry.true_cost;
+  ++participation_[entry.client];
+  server_utility_ += entry.value - entry.payment;
+  welfare_ += entry.value - entry.true_cost;
+  payments_ += entry.payment;
+  ++entries_;
+  if (entry.payment >= entry.true_cost - 1e-12) ++ir_satisfied_;
+}
+
+double UtilityLedger::client_utility(std::size_t client) const {
+  return client_utility_[checked_index(client, client_utility_.size(),
+                                       "ledger client")];
+}
+
+std::size_t UtilityLedger::participation_count(std::size_t client) const {
+  return participation_[checked_index(client, participation_.size(),
+                                      "ledger client")];
+}
+
+double UtilityLedger::individually_rational_fraction() const noexcept {
+  return entries_ == 0
+             ? 1.0
+             : static_cast<double>(ir_satisfied_) / static_cast<double>(entries_);
+}
+
+std::vector<double> UtilityLedger::participation_vector() const {
+  std::vector<double> out(participation_.size());
+  for (std::size_t i = 0; i < participation_.size(); ++i) {
+    out[i] = static_cast<double>(participation_[i]);
+  }
+  return out;
+}
+
+std::vector<double> UtilityLedger::utility_vector() const { return client_utility_; }
+
+}  // namespace sfl::econ

@@ -1,0 +1,68 @@
+// Utility accounting across a simulation run.
+//
+// The ledger records, per round, who won, what they were paid, what their
+// true cost was, and the server-side value realized. From that it derives
+// the quantities the evaluation reports: client utility (payment - cost),
+// server utility (value - payment), social welfare (value - cost),
+// participation counts, and per-client fairness inputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sfl::econ {
+
+struct LedgerEntry {
+  std::size_t round = 0;
+  std::size_t client = 0;
+  double value = 0.0;      ///< server's valuation of this participation
+  double payment = 0.0;
+  double true_cost = 0.0;
+};
+
+class UtilityLedger {
+ public:
+  explicit UtilityLedger(std::size_t num_clients);
+
+  void record(const LedgerEntry& entry);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept {
+    return client_utility_.size();
+  }
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+
+  /// Cumulative utility (sum of payment - true_cost) of one client.
+  [[nodiscard]] double client_utility(std::size_t client) const;
+
+  /// Number of rounds a client won.
+  [[nodiscard]] std::size_t participation_count(std::size_t client) const;
+
+  /// Sum over all entries of (value - payment).
+  [[nodiscard]] double server_utility() const noexcept { return server_utility_; }
+
+  /// Sum over all entries of (value - true_cost).
+  [[nodiscard]] double social_welfare() const noexcept { return welfare_; }
+
+  /// Sum of all payments.
+  [[nodiscard]] double total_payments() const noexcept { return payments_; }
+
+  /// Fraction of entries with payment >= true_cost (IR satisfaction rate).
+  [[nodiscard]] double individually_rational_fraction() const noexcept;
+
+  /// Per-client participation counts as doubles (fairness-index input).
+  [[nodiscard]] std::vector<double> participation_vector() const;
+
+  /// Per-client cumulative utilities.
+  [[nodiscard]] std::vector<double> utility_vector() const;
+
+ private:
+  std::vector<double> client_utility_;
+  std::vector<std::size_t> participation_;
+  double server_utility_ = 0.0;
+  double welfare_ = 0.0;
+  double payments_ = 0.0;
+  std::size_t entries_ = 0;
+  std::size_t ir_satisfied_ = 0;
+};
+
+}  // namespace sfl::econ

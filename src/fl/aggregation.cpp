@@ -1,0 +1,50 @@
+#include "fl/aggregation.h"
+
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+std::vector<double> aggregate_weighted_deltas(const std::vector<LocalUpdate>& updates,
+                                              const std::vector<double>& weights) {
+  require(!updates.empty(), "cannot aggregate zero updates");
+  require(updates.size() == weights.size(), "one weight per update required");
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "aggregation weights must be >= 0");
+    total_weight += w;
+  }
+  require(total_weight > 0.0, "aggregation weights must not all be zero");
+
+  const std::size_t dim = updates.front().delta.size();
+  std::vector<double> aggregate(dim, 0.0);
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    require(updates[u].delta.size() == dim, "update dimension mismatch");
+    const double scale = weights[u] / total_weight;
+    for (std::size_t i = 0; i < dim; ++i) {
+      aggregate[i] += scale * updates[u].delta[i];
+    }
+  }
+  return aggregate;
+}
+
+std::vector<double> aggregate_fedavg(const std::vector<LocalUpdate>& updates) {
+  std::vector<double> weights;
+  weights.reserve(updates.size());
+  for (const auto& update : updates) {
+    weights.push_back(static_cast<double>(update.examples));
+  }
+  return aggregate_weighted_deltas(updates, weights);
+}
+
+void apply_server_update(std::span<double> params, std::span<const double> update,
+                         double server_learning_rate) {
+  require(params.size() == update.size(), "update size mismatch");
+  require(server_learning_rate > 0.0, "server learning rate must be > 0");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] += server_learning_rate * update[i];
+  }
+}
+
+}  // namespace sfl::fl

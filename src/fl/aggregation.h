@@ -1,0 +1,25 @@
+// Server-side aggregation of local updates (FedAvg and variants).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fl/local_trainer.h"
+
+namespace sfl::fl {
+
+/// Weighted average of `updates[i].delta` with weights proportional to
+/// `weights[i]` (all >= 0, sum > 0; sizes must match). The classic FedAvg
+/// choice is weights[i] = examples held by client i.
+[[nodiscard]] std::vector<double> aggregate_weighted_deltas(
+    const std::vector<LocalUpdate>& updates, const std::vector<double>& weights);
+
+/// Convenience: weights taken from each update's `examples` field.
+[[nodiscard]] std::vector<double> aggregate_fedavg(
+    const std::vector<LocalUpdate>& updates);
+
+/// params += server_learning_rate * update (sizes must match).
+void apply_server_update(std::span<double> params, std::span<const double> update,
+                         double server_learning_rate = 1.0);
+
+}  // namespace sfl::fl

@@ -1,0 +1,95 @@
+// Synchronous federated training driver.
+//
+// FederatedTrainer owns the global model and per-client RNG streams; each
+// round it trains the given participant set locally (optionally in parallel)
+// and applies the FedAvg aggregate. Client selection is the mechanism's job
+// (see sfl::core); this class is selection-agnostic.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/partition.h"
+#include "fl/aggregation.h"
+#include "fl/local_trainer.h"
+#include "fl/lr_schedule.h"
+#include "fl/model.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sfl::fl {
+
+struct RoundSummary {
+  std::size_t participants = 0;
+  double mean_initial_loss = 0.0;  ///< mean first-step minibatch loss
+  double mean_final_loss = 0.0;    ///< mean last-step minibatch loss
+  double update_norm = 0.0;        ///< L2 norm of the applied global update
+};
+
+/// Full per-round detail: the individual local updates (aligned with the
+/// participant order passed in) and the aggregate applied to the global
+/// model. Reputation tracking consumes the per-client deltas.
+struct DetailedRound {
+  RoundSummary summary;
+  std::vector<LocalUpdate> updates;
+  std::vector<double> aggregate;
+};
+
+class FederatedTrainer {
+ public:
+  /// `data` must outlive the trainer. `pool` is optional; when supplied,
+  /// local training fans out across its threads (results are identical to
+  /// sequential execution because each client has its own RNG stream and
+  /// aggregation order is fixed).
+  FederatedTrainer(const data::FederatedDataset& data, std::unique_ptr<Model> model,
+                   LocalTrainingSpec spec, std::uint64_t seed,
+                   sfl::util::ThreadPool* pool = nullptr);
+
+  /// Runs one synchronous round with the given participant client ids
+  /// (indices into the federated dataset, no duplicates). An empty
+  /// participant set is a no-op round (returns a zeroed summary).
+  RoundSummary run_round(std::span<const std::size_t> participants);
+
+  /// run_round plus the individual local updates and the applied aggregate.
+  DetailedRound run_round_detailed(std::span<const std::size_t> participants);
+
+  /// Loss/accuracy of the current global model on the held-out test set.
+  [[nodiscard]] EvalResult evaluate_test() const;
+
+  /// Loss/accuracy on one client's shard (per-client bias diagnostics).
+  [[nodiscard]] EvalResult evaluate_shard(std::size_t client) const;
+
+  [[nodiscard]] const Model& model() const noexcept { return *model_; }
+  [[nodiscard]] std::vector<double> parameters() const { return model_->parameters(); }
+  void set_parameters(std::span<const double> params) { model_->set_parameters(params); }
+
+  [[nodiscard]] std::size_t num_clients() const noexcept { return data_->num_clients(); }
+  [[nodiscard]] std::size_t rounds_run() const noexcept { return rounds_run_; }
+
+  [[nodiscard]] const data::FederatedDataset& dataset() const noexcept { return *data_; }
+
+  /// Installs a per-round learning-rate schedule; overrides the spec's
+  /// constant optimizer rate from the next round on.
+  void set_lr_schedule(const LrSchedule& schedule) { schedule_ = schedule; }
+
+  /// Enables FedAvgM-style server momentum: the applied update becomes
+  /// v <- beta*v + aggregate. beta in [0, 1); 0 restores plain FedAvg.
+  void set_server_momentum(double beta);
+
+  /// The learning rate the next round will train with.
+  [[nodiscard]] double current_learning_rate() const;
+
+ private:
+  const data::FederatedDataset* data_;
+  std::unique_ptr<Model> model_;
+  LocalTrainingSpec spec_;
+  std::vector<sfl::util::Rng> client_rngs_;
+  sfl::util::ThreadPool* pool_;
+  std::size_t rounds_run_ = 0;
+  std::optional<LrSchedule> schedule_;
+  double server_momentum_ = 0.0;
+  std::vector<double> momentum_buffer_;
+};
+
+}  // namespace sfl::fl

@@ -1,0 +1,92 @@
+#include "fl/linear_regression.h"
+
+#include <algorithm>
+
+#include "data/matrix.h"
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+LinearRegression::LinearRegression(std::size_t feature_dim, double l2_penalty)
+    : feature_dim_(feature_dim), l2_penalty_(l2_penalty), weights_(feature_dim, 0.0) {
+  require(feature_dim > 0, "feature_dim must be > 0");
+  require(l2_penalty >= 0.0, "l2_penalty must be >= 0");
+}
+
+std::unique_ptr<Model> LinearRegression::clone() const {
+  return std::make_unique<LinearRegression>(*this);
+}
+
+std::size_t LinearRegression::parameter_count() const noexcept {
+  return feature_dim_ + 1;
+}
+
+std::vector<double> LinearRegression::parameters() const {
+  std::vector<double> out = weights_;
+  out.push_back(bias_);
+  return out;
+}
+
+void LinearRegression::set_parameters(std::span<const double> params) {
+  require(params.size() == parameter_count(), "parameter size mismatch");
+  std::copy(params.begin(), params.end() - 1, weights_.begin());
+  bias_ = params.back();
+}
+
+double LinearRegression::predict_value(std::span<const double> features) const {
+  require(features.size() == feature_dim_, "feature dimension mismatch");
+  return data::dot(features, weights_) + bias_;
+}
+
+double LinearRegression::loss_and_gradient(const data::Dataset& dataset,
+                                           std::span<const std::size_t> batch,
+                                           std::span<double> grad_out) const {
+  require(!dataset.is_classification(), "linear regression needs targets");
+  require(dataset.feature_dim() == feature_dim_, "feature dimension mismatch");
+  require(!batch.empty(), "batch must be non-empty");
+  require(grad_out.size() == parameter_count(), "gradient size mismatch");
+
+  std::fill(grad_out.begin(), grad_out.end(), 0.0);
+  double total_loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  for (const std::size_t index : batch) {
+    const auto x = dataset.example(index);
+    const double residual = predict_value(x) - dataset.target(index);
+    total_loss += 0.5 * residual * residual;
+    const double delta = residual * inv_batch;
+    for (std::size_t j = 0; j < feature_dim_; ++j) {
+      grad_out[j] += delta * x[j];
+    }
+    grad_out[feature_dim_] += delta;
+  }
+  double reg_loss = 0.0;
+  if (l2_penalty_ > 0.0) {
+    for (std::size_t j = 0; j < feature_dim_; ++j) {
+      grad_out[j] += l2_penalty_ * weights_[j];
+      reg_loss += weights_[j] * weights_[j];
+    }
+    reg_loss *= 0.5 * l2_penalty_;
+  }
+  return total_loss * inv_batch + reg_loss;
+}
+
+double LinearRegression::loss(const data::Dataset& dataset,
+                              std::span<const std::size_t> batch) const {
+  require(!dataset.is_classification(), "linear regression needs targets");
+  require(!batch.empty(), "batch must be non-empty");
+  double total_loss = 0.0;
+  for (const std::size_t index : batch) {
+    const double residual = predict_value(dataset.example(index)) - dataset.target(index);
+    total_loss += 0.5 * residual * residual;
+  }
+  double reg_loss = 0.0;
+  if (l2_penalty_ > 0.0) {
+    for (const double w : weights_) reg_loss += w * w;
+    reg_loss *= 0.5 * l2_penalty_;
+  }
+  return total_loss / static_cast<double>(batch.size()) + reg_loss;
+}
+
+}  // namespace sfl::fl

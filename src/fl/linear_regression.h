@@ -1,0 +1,34 @@
+// Linear regression with mean-squared-error loss.
+//
+// Used mainly by tests: the loss is quadratic, so SGD behaviour and the
+// optimum are checkable against closed forms. Parameter layout: weights
+// (feature_dim), then bias.
+#pragma once
+
+#include "fl/model.h"
+
+namespace sfl::fl {
+
+class LinearRegression final : public Model {
+ public:
+  explicit LinearRegression(std::size_t feature_dim, double l2_penalty = 0.0);
+
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+  [[nodiscard]] std::size_t parameter_count() const noexcept override;
+  [[nodiscard]] std::vector<double> parameters() const override;
+  void set_parameters(std::span<const double> params) override;
+  double loss_and_gradient(const data::Dataset& dataset,
+                           std::span<const std::size_t> batch,
+                           std::span<double> grad_out) const override;
+  [[nodiscard]] double loss(const data::Dataset& dataset,
+                            std::span<const std::size_t> batch) const override;
+  [[nodiscard]] double predict_value(std::span<const double> features) const override;
+
+ private:
+  std::size_t feature_dim_;
+  double l2_penalty_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace sfl::fl

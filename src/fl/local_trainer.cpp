@@ -1,0 +1,63 @@
+#include "fl/local_trainer.h"
+
+#include <algorithm>
+
+#include "data/matrix.h"
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+LocalUpdate run_local_training(const Model& global_model, const data::Dataset& shard,
+                               const LocalTrainingSpec& spec, sfl::util::Rng& rng) {
+  require(!shard.empty(), "cannot train on an empty shard");
+  require(spec.local_steps > 0, "local_steps must be > 0");
+  require(spec.batch_size > 0, "batch_size must be > 0");
+  require(spec.proximal_mu >= 0.0, "proximal_mu must be >= 0");
+  require(spec.gradient_clip_norm >= 0.0, "gradient clip norm must be >= 0");
+
+  const std::unique_ptr<Model> local = global_model.clone();
+  const std::unique_ptr<Optimizer> optimizer = make_optimizer(spec.optimizer);
+
+  const std::vector<double> initial_params = local->parameters();
+  std::vector<double> params = initial_params;
+  std::vector<double> grad(params.size(), 0.0);
+
+  const std::size_t batch_size = std::min(spec.batch_size, shard.size());
+  std::vector<std::size_t> batch(batch_size);
+
+  LocalUpdate update;
+  update.examples = shard.size();
+  for (std::size_t step = 0; step < spec.local_steps; ++step) {
+    for (auto& index : batch) {
+      index = rng.uniform_index(shard.size());
+    }
+    local->set_parameters(params);
+    const double loss = local->loss_and_gradient(shard, batch, grad);
+    if (step == 0) update.initial_loss = loss;
+    update.final_loss = loss;
+    if (spec.proximal_mu > 0.0) {
+      // FedProx: pull toward the round's global parameters.
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] += spec.proximal_mu * (params[i] - initial_params[i]);
+      }
+    }
+    if (spec.gradient_clip_norm > 0.0) {
+      const double norm = data::l2_norm(grad);
+      if (norm > spec.gradient_clip_norm) {
+        const double scale = spec.gradient_clip_norm / norm;
+        for (auto& g : grad) g *= scale;
+      }
+    }
+    optimizer->step(params, grad);
+  }
+
+  update.delta.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    update.delta[i] = params[i] - initial_params[i];
+  }
+  return update;
+}
+
+}  // namespace sfl::fl

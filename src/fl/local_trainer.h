@@ -1,0 +1,42 @@
+// Local client training: T minibatch steps from the current global model.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/model.h"
+#include "fl/optimizer.h"
+#include "util/rng.h"
+
+namespace sfl::fl {
+
+struct LocalTrainingSpec {
+  std::size_t local_steps = 5;   ///< T in the paper class
+  std::size_t batch_size = 32;   ///< minibatch size (capped at shard size)
+  OptimizerSpec optimizer{};
+  /// FedProx proximal coefficient mu >= 0: adds mu*(w - w_global) to every
+  /// local gradient, damping client drift under non-IID shards. 0 = plain
+  /// FedAvg local SGD.
+  double proximal_mu = 0.0;
+  /// Per-example gradient-norm clip; 0 disables. Applied to the minibatch
+  /// gradient (including the proximal term) before the optimizer step.
+  double gradient_clip_norm = 0.0;
+};
+
+/// What a participating client sends back to the server.
+struct LocalUpdate {
+  std::vector<double> delta;  ///< w_local - w_global
+  double initial_loss = 0.0;  ///< minibatch loss at the first local step
+  double final_loss = 0.0;    ///< minibatch loss at the last local step
+  std::size_t examples = 0;   ///< client shard size (aggregation weight)
+};
+
+/// Clones `global_model`, runs `spec.local_steps` minibatch-SGD steps on
+/// `shard` with a fresh optimizer, and returns the parameter delta.
+/// The shard must be non-empty; `rng` drives minibatch sampling.
+[[nodiscard]] LocalUpdate run_local_training(const Model& global_model,
+                                             const data::Dataset& shard,
+                                             const LocalTrainingSpec& spec,
+                                             sfl::util::Rng& rng);
+
+}  // namespace sfl::fl

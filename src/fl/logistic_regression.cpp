@@ -1,0 +1,138 @@
+#include "fl/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+void softmax_inplace(std::span<double> logits) {
+  require(!logits.empty(), "softmax of empty logits");
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (auto& z : logits) {
+    z = std::exp(z - max_logit);
+    sum += z;
+  }
+  for (auto& z : logits) z /= sum;
+}
+
+LogisticRegression::LogisticRegression(std::size_t feature_dim,
+                                       std::size_t num_classes, double l2_penalty)
+    : feature_dim_(feature_dim),
+      num_classes_(num_classes),
+      l2_penalty_(l2_penalty),
+      weights_(num_classes, feature_dim),
+      bias_(num_classes, 0.0) {
+  require(feature_dim > 0, "feature_dim must be > 0");
+  require(num_classes >= 2, "num_classes must be >= 2");
+  require(l2_penalty >= 0.0, "l2_penalty must be >= 0");
+}
+
+std::unique_ptr<Model> LogisticRegression::clone() const {
+  return std::make_unique<LogisticRegression>(*this);
+}
+
+std::size_t LogisticRegression::parameter_count() const noexcept {
+  return num_classes_ * feature_dim_ + num_classes_;
+}
+
+std::vector<double> LogisticRegression::parameters() const {
+  std::vector<double> out;
+  out.reserve(parameter_count());
+  out.assign(weights_.data().begin(), weights_.data().end());
+  out.insert(out.end(), bias_.begin(), bias_.end());
+  return out;
+}
+
+void LogisticRegression::set_parameters(std::span<const double> params) {
+  require(params.size() == parameter_count(), "parameter size mismatch");
+  std::copy(params.begin(), params.begin() + static_cast<std::ptrdiff_t>(weights_.size()),
+            weights_.data().begin());
+  std::copy(params.begin() + static_cast<std::ptrdiff_t>(weights_.size()), params.end(),
+            bias_.begin());
+}
+
+std::vector<double> LogisticRegression::probabilities(
+    std::span<const double> features) const {
+  require(features.size() == feature_dim_, "feature dimension mismatch");
+  std::vector<double> logits = data::matvec(weights_, features);
+  for (std::size_t k = 0; k < num_classes_; ++k) logits[k] += bias_[k];
+  softmax_inplace(logits);
+  return logits;
+}
+
+double LogisticRegression::loss_and_gradient(const data::Dataset& dataset,
+                                             std::span<const std::size_t> batch,
+                                             std::span<double> grad_out) const {
+  require(dataset.is_classification(), "logistic regression needs labels");
+  require(dataset.num_classes() == num_classes_, "class count mismatch");
+  require(dataset.feature_dim() == feature_dim_, "feature dimension mismatch");
+  require(!batch.empty(), "batch must be non-empty");
+  require(grad_out.size() == parameter_count(), "gradient size mismatch");
+
+  std::fill(grad_out.begin(), grad_out.end(), 0.0);
+  auto grad_w = grad_out.subspan(0, weights_.size());
+  auto grad_b = grad_out.subspan(weights_.size());
+
+  double total_loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  for (const std::size_t index : batch) {
+    const auto x = dataset.example(index);
+    const auto label = static_cast<std::size_t>(dataset.label(index));
+    std::vector<double> probs = probabilities(x);
+    total_loss += -std::log(std::max(probs[label], 1e-15));
+    // dL/dz_k = p_k - 1{k == y}; accumulate dL/dW = dL/dz x^T.
+    probs[label] -= 1.0;
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      const double delta = probs[k] * inv_batch;
+      if (delta == 0.0) continue;
+      auto grad_row = grad_w.subspan(k * feature_dim_, feature_dim_);
+      for (std::size_t j = 0; j < feature_dim_; ++j) {
+        grad_row[j] += delta * x[j];
+      }
+      grad_b[k] += delta;
+    }
+  }
+
+  double reg_loss = 0.0;
+  if (l2_penalty_ > 0.0) {
+    const auto w = weights_.data();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      grad_w[i] += l2_penalty_ * w[i];
+      reg_loss += w[i] * w[i];
+    }
+    reg_loss *= 0.5 * l2_penalty_;
+  }
+  return total_loss * inv_batch + reg_loss;
+}
+
+double LogisticRegression::loss(const data::Dataset& dataset,
+                                std::span<const std::size_t> batch) const {
+  require(dataset.is_classification(), "logistic regression needs labels");
+  require(dataset.feature_dim() == feature_dim_, "feature dimension mismatch");
+  require(!batch.empty(), "batch must be non-empty");
+  double total_loss = 0.0;
+  for (const std::size_t index : batch) {
+    const auto probs = probabilities(dataset.example(index));
+    const auto label = static_cast<std::size_t>(dataset.label(index));
+    total_loss += -std::log(std::max(probs[label], 1e-15));
+  }
+  double reg_loss = 0.0;
+  if (l2_penalty_ > 0.0) {
+    for (const double w : weights_.data()) reg_loss += w * w;
+    reg_loss *= 0.5 * l2_penalty_;
+  }
+  return total_loss / static_cast<double>(batch.size()) + reg_loss;
+}
+
+int LogisticRegression::predict_class(std::span<const double> features) const {
+  const auto probs = probabilities(features);
+  return static_cast<int>(
+      std::distance(probs.begin(), std::max_element(probs.begin(), probs.end())));
+}
+
+}  // namespace sfl::fl

@@ -1,0 +1,49 @@
+// Multinomial (softmax) logistic regression with L2 regularization.
+//
+// Parameter layout: W row-major (num_classes x feature_dim), then bias
+// (num_classes). The L2 term makes the local losses strongly convex, matching
+// the assumptions typical convergence analyses in this paper class rely on.
+#pragma once
+
+#include "data/matrix.h"
+#include "fl/model.h"
+
+namespace sfl::fl {
+
+class LogisticRegression final : public Model {
+ public:
+  /// Zero-initialized weights. l2_penalty >= 0 multiplies 0.5*||W||^2
+  /// (biases are not regularized).
+  LogisticRegression(std::size_t feature_dim, std::size_t num_classes,
+                     double l2_penalty = 1e-4);
+
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+  [[nodiscard]] std::size_t parameter_count() const noexcept override;
+  [[nodiscard]] std::vector<double> parameters() const override;
+  void set_parameters(std::span<const double> params) override;
+  double loss_and_gradient(const data::Dataset& dataset,
+                           std::span<const std::size_t> batch,
+                           std::span<double> grad_out) const override;
+  [[nodiscard]] double loss(const data::Dataset& dataset,
+                            std::span<const std::size_t> batch) const override;
+  [[nodiscard]] int predict_class(std::span<const double> features) const override;
+
+  [[nodiscard]] std::size_t feature_dim() const noexcept { return feature_dim_; }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Class probabilities for one example (softmax of logits).
+  [[nodiscard]] std::vector<double> probabilities(
+      std::span<const double> features) const;
+
+ private:
+  std::size_t feature_dim_;
+  std::size_t num_classes_;
+  double l2_penalty_;
+  data::Matrix weights_;       // num_classes x feature_dim
+  std::vector<double> bias_;   // num_classes
+};
+
+/// Numerically stable in-place softmax (subtracts the max logit).
+void softmax_inplace(std::span<double> logits);
+
+}  // namespace sfl::fl

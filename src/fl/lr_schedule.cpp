@@ -1,0 +1,57 @@
+#include "fl/lr_schedule.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+LrSchedule::LrSchedule(const LrScheduleSpec& spec) : spec_(spec) {
+  require(spec.base_rate > 0.0, "base learning rate must be > 0");
+  switch (spec.kind) {
+    case LrScheduleKind::kConstant:
+      break;
+    case LrScheduleKind::kInverseTime:
+      require(spec.tau > 0.0, "inverse-time tau must be > 0");
+      break;
+    case LrScheduleKind::kStep:
+      require(spec.step_factor > 0.0 && spec.step_factor <= 1.0,
+              "step factor must be in (0, 1]");
+      require(spec.step_every > 0, "step period must be > 0");
+      break;
+    case LrScheduleKind::kCosine:
+      require(spec.horizon > 0, "cosine horizon must be > 0");
+      require(spec.floor_rate >= 0.0 && spec.floor_rate <= spec.base_rate,
+              "cosine floor must be in [0, base]");
+      break;
+  }
+}
+
+double LrSchedule::rate(std::size_t round) const {
+  switch (spec_.kind) {
+    case LrScheduleKind::kConstant:
+      return spec_.base_rate;
+    case LrScheduleKind::kInverseTime:
+      return spec_.base_rate / (1.0 + static_cast<double>(round) / spec_.tau);
+    case LrScheduleKind::kStep: {
+      const auto steps = round / spec_.step_every;
+      return spec_.base_rate * std::pow(spec_.step_factor,
+                                        static_cast<double>(steps));
+    }
+    case LrScheduleKind::kCosine: {
+      const double progress = std::min(
+          static_cast<double>(round) / static_cast<double>(spec_.horizon), 1.0);
+      const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+      const double rate =
+          spec_.floor_rate + (spec_.base_rate - spec_.floor_rate) * cosine;
+      // Keep strictly positive even at the floor.
+      return rate > 0.0 ? rate : 1e-12;
+    }
+  }
+  return spec_.base_rate;
+}
+
+}  // namespace sfl::fl

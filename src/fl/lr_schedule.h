@@ -1,0 +1,45 @@
+// Learning-rate schedules across federated rounds.
+//
+// Convergence analyses for this paper class assume a decaying step size
+// (eta_t ~ c/(gamma + t)); the schedules here let the trainer follow that
+// theory (kInverseTime) or the common practical alternatives. A schedule
+// maps the *global round index* to the local-step learning rate used by
+// every participating client that round.
+#pragma once
+
+#include <cstddef>
+
+namespace sfl::fl {
+
+enum class LrScheduleKind {
+  kConstant,     ///< eta_t = base
+  kInverseTime,  ///< eta_t = base / (1 + t / tau)
+  kStep,         ///< eta_t = base * factor^(t / step_every)
+  kCosine,       ///< cosine annealing from base to floor over `horizon`
+};
+
+struct LrScheduleSpec {
+  LrScheduleKind kind = LrScheduleKind::kConstant;
+  double base_rate = 0.05;
+  double tau = 50.0;            ///< kInverseTime time constant (> 0)
+  double step_factor = 0.5;     ///< kStep multiplier in (0, 1]
+  std::size_t step_every = 50;  ///< kStep period (> 0)
+  std::size_t horizon = 200;    ///< kCosine annealing length (> 0)
+  double floor_rate = 1e-4;     ///< kCosine terminal rate (>= 0, <= base)
+};
+
+class LrSchedule {
+ public:
+  /// Validates the spec (throws std::invalid_argument on nonsense).
+  explicit LrSchedule(const LrScheduleSpec& spec);
+
+  /// Learning rate for global round `round` (0-based). Always > 0.
+  [[nodiscard]] double rate(std::size_t round) const;
+
+  [[nodiscard]] const LrScheduleSpec& spec() const noexcept { return spec_; }
+
+ private:
+  LrScheduleSpec spec_;
+};
+
+}  // namespace sfl::fl

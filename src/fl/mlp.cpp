@@ -1,0 +1,170 @@
+#include "fl/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fl/logistic_regression.h"  // softmax_inplace
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+Mlp::Mlp(std::size_t feature_dim, std::size_t hidden_dim, std::size_t num_classes,
+         sfl::util::Rng& rng, double l2_penalty)
+    : feature_dim_(feature_dim),
+      hidden_dim_(hidden_dim),
+      num_classes_(num_classes),
+      l2_penalty_(l2_penalty),
+      w1_(data::Matrix::random_normal(hidden_dim, feature_dim,
+                                      std::sqrt(2.0 / static_cast<double>(feature_dim)),
+                                      rng)),
+      b1_(hidden_dim, 0.0),
+      w2_(data::Matrix::random_normal(num_classes, hidden_dim,
+                                      std::sqrt(2.0 / static_cast<double>(hidden_dim)),
+                                      rng)),
+      b2_(num_classes, 0.0) {
+  require(feature_dim > 0 && hidden_dim > 0, "dimensions must be > 0");
+  require(num_classes >= 2, "num_classes must be >= 2");
+  require(l2_penalty >= 0.0, "l2_penalty must be >= 0");
+}
+
+std::unique_ptr<Model> Mlp::clone() const { return std::make_unique<Mlp>(*this); }
+
+std::size_t Mlp::parameter_count() const noexcept {
+  return w1_.size() + b1_.size() + w2_.size() + b2_.size();
+}
+
+std::vector<double> Mlp::parameters() const {
+  std::vector<double> out;
+  out.reserve(parameter_count());
+  out.assign(w1_.data().begin(), w1_.data().end());
+  out.insert(out.end(), b1_.begin(), b1_.end());
+  out.insert(out.end(), w2_.data().begin(), w2_.data().end());
+  out.insert(out.end(), b2_.begin(), b2_.end());
+  return out;
+}
+
+void Mlp::set_parameters(std::span<const double> params) {
+  require(params.size() == parameter_count(), "parameter size mismatch");
+  auto cursor = params.begin();
+  std::copy(cursor, cursor + static_cast<std::ptrdiff_t>(w1_.size()),
+            w1_.data().begin());
+  cursor += static_cast<std::ptrdiff_t>(w1_.size());
+  std::copy(cursor, cursor + static_cast<std::ptrdiff_t>(b1_.size()), b1_.begin());
+  cursor += static_cast<std::ptrdiff_t>(b1_.size());
+  std::copy(cursor, cursor + static_cast<std::ptrdiff_t>(w2_.size()),
+            w2_.data().begin());
+  cursor += static_cast<std::ptrdiff_t>(w2_.size());
+  std::copy(cursor, params.end(), b2_.begin());
+}
+
+std::vector<double> Mlp::forward(std::span<const double> features,
+                                 std::vector<double>& hidden) const {
+  require(features.size() == feature_dim_, "feature dimension mismatch");
+  hidden = data::matvec(w1_, features);
+  for (std::size_t h = 0; h < hidden_dim_; ++h) {
+    hidden[h] = std::max(hidden[h] + b1_[h], 0.0);  // ReLU
+  }
+  std::vector<double> logits = data::matvec(w2_, hidden);
+  for (std::size_t k = 0; k < num_classes_; ++k) logits[k] += b2_[k];
+  softmax_inplace(logits);
+  return logits;
+}
+
+double Mlp::loss_and_gradient(const data::Dataset& dataset,
+                              std::span<const std::size_t> batch,
+                              std::span<double> grad_out) const {
+  require(dataset.is_classification(), "MLP needs labels");
+  require(dataset.num_classes() == num_classes_, "class count mismatch");
+  require(!batch.empty(), "batch must be non-empty");
+  require(grad_out.size() == parameter_count(), "gradient size mismatch");
+
+  std::fill(grad_out.begin(), grad_out.end(), 0.0);
+  auto g_w1 = grad_out.subspan(0, w1_.size());
+  auto g_b1 = grad_out.subspan(w1_.size(), b1_.size());
+  auto g_w2 = grad_out.subspan(w1_.size() + b1_.size(), w2_.size());
+  auto g_b2 = grad_out.subspan(w1_.size() + b1_.size() + w2_.size());
+
+  double total_loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  std::vector<double> hidden;
+  std::vector<double> hidden_grad(hidden_dim_);
+  for (const std::size_t index : batch) {
+    const auto x = dataset.example(index);
+    const auto label = static_cast<std::size_t>(dataset.label(index));
+    std::vector<double> probs = forward(x, hidden);
+    total_loss += -std::log(std::max(probs[label], 1e-15));
+    probs[label] -= 1.0;  // dL/dlogits
+
+    // Output layer gradients and backprop into hidden activations.
+    std::fill(hidden_grad.begin(), hidden_grad.end(), 0.0);
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      const double delta = probs[k] * inv_batch;
+      auto g_row = g_w2.subspan(k * hidden_dim_, hidden_dim_);
+      const auto w_row = w2_.row(k);
+      for (std::size_t h = 0; h < hidden_dim_; ++h) {
+        g_row[h] += delta * hidden[h];
+        hidden_grad[h] += probs[k] * w_row[h];
+      }
+      g_b2[k] += delta;
+    }
+
+    // Hidden layer (ReLU mask: hidden[h] > 0).
+    for (std::size_t h = 0; h < hidden_dim_; ++h) {
+      if (hidden[h] <= 0.0) continue;
+      const double delta = hidden_grad[h] * inv_batch;
+      if (delta == 0.0) continue;
+      auto g_row = g_w1.subspan(h * feature_dim_, feature_dim_);
+      for (std::size_t j = 0; j < feature_dim_; ++j) {
+        g_row[j] += delta * x[j];
+      }
+      g_b1[h] += delta;
+    }
+  }
+
+  double reg_loss = 0.0;
+  if (l2_penalty_ > 0.0) {
+    const auto w1 = w1_.data();
+    for (std::size_t i = 0; i < w1.size(); ++i) {
+      g_w1[i] += l2_penalty_ * w1[i];
+      reg_loss += w1[i] * w1[i];
+    }
+    const auto w2 = w2_.data();
+    for (std::size_t i = 0; i < w2.size(); ++i) {
+      g_w2[i] += l2_penalty_ * w2[i];
+      reg_loss += w2[i] * w2[i];
+    }
+    reg_loss *= 0.5 * l2_penalty_;
+  }
+  return total_loss * inv_batch + reg_loss;
+}
+
+double Mlp::loss(const data::Dataset& dataset,
+                 std::span<const std::size_t> batch) const {
+  require(dataset.is_classification(), "MLP needs labels");
+  require(!batch.empty(), "batch must be non-empty");
+  double total_loss = 0.0;
+  std::vector<double> hidden;
+  for (const std::size_t index : batch) {
+    const auto probs = forward(dataset.example(index), hidden);
+    const auto label = static_cast<std::size_t>(dataset.label(index));
+    total_loss += -std::log(std::max(probs[label], 1e-15));
+  }
+  double reg_loss = 0.0;
+  if (l2_penalty_ > 0.0) {
+    for (const double w : w1_.data()) reg_loss += w * w;
+    for (const double w : w2_.data()) reg_loss += w * w;
+    reg_loss *= 0.5 * l2_penalty_;
+  }
+  return total_loss / static_cast<double>(batch.size()) + reg_loss;
+}
+
+int Mlp::predict_class(std::span<const double> features) const {
+  std::vector<double> hidden;
+  const auto probs = forward(features, hidden);
+  return static_cast<int>(
+      std::distance(probs.begin(), std::max_element(probs.begin(), probs.end())));
+}
+
+}  // namespace sfl::fl

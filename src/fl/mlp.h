@@ -1,0 +1,48 @@
+// One-hidden-layer multilayer perceptron (ReLU + softmax cross-entropy).
+//
+// Parameter layout: W1 (hidden x in) row-major, b1 (hidden), W2 (out x
+// hidden) row-major, b2 (out). Initialization is He-scaled normal from an
+// explicit RNG, so federated experiments are reproducible.
+#pragma once
+
+#include "data/matrix.h"
+#include "fl/model.h"
+#include "util/rng.h"
+
+namespace sfl::fl {
+
+class Mlp final : public Model {
+ public:
+  Mlp(std::size_t feature_dim, std::size_t hidden_dim, std::size_t num_classes,
+      sfl::util::Rng& rng, double l2_penalty = 1e-4);
+
+  [[nodiscard]] std::unique_ptr<Model> clone() const override;
+  [[nodiscard]] std::size_t parameter_count() const noexcept override;
+  [[nodiscard]] std::vector<double> parameters() const override;
+  void set_parameters(std::span<const double> params) override;
+  double loss_and_gradient(const data::Dataset& dataset,
+                           std::span<const std::size_t> batch,
+                           std::span<double> grad_out) const override;
+  [[nodiscard]] double loss(const data::Dataset& dataset,
+                            std::span<const std::size_t> batch) const override;
+  [[nodiscard]] int predict_class(std::span<const double> features) const override;
+
+  [[nodiscard]] std::size_t hidden_dim() const noexcept { return hidden_dim_; }
+
+ private:
+  /// Forward pass; fills `hidden` (post-ReLU) and returns class
+  /// probabilities.
+  [[nodiscard]] std::vector<double> forward(std::span<const double> features,
+                                            std::vector<double>& hidden) const;
+
+  std::size_t feature_dim_;
+  std::size_t hidden_dim_;
+  std::size_t num_classes_;
+  double l2_penalty_;
+  data::Matrix w1_;            // hidden x in
+  std::vector<double> b1_;     // hidden
+  data::Matrix w2_;            // out x hidden
+  std::vector<double> b2_;     // out
+};
+
+}  // namespace sfl::fl

@@ -1,0 +1,41 @@
+#include "fl/model.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sfl::fl {
+
+int Model::predict_class(std::span<const double> /*features*/) const {
+  throw std::logic_error("predict_class is not supported by this model");
+}
+
+double Model::predict_value(std::span<const double> /*features*/) const {
+  throw std::logic_error("predict_value is not supported by this model");
+}
+
+EvalResult evaluate(const Model& model, const data::Dataset& dataset) {
+  EvalResult result;
+  const auto batch = full_batch(dataset);
+  result.loss = model.loss(dataset, batch);
+  if (dataset.is_classification()) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (model.predict_class(dataset.example(i)) == dataset.label(i)) {
+        ++correct;
+      }
+    }
+    result.accuracy =
+        dataset.empty() ? 0.0
+                        : static_cast<double>(correct) / static_cast<double>(dataset.size());
+    result.has_accuracy = true;
+  }
+  return result;
+}
+
+std::vector<std::size_t> full_batch(const data::Dataset& dataset) {
+  std::vector<std::size_t> batch(dataset.size());
+  std::iota(batch.begin(), batch.end(), std::size_t{0});
+  return batch;
+}
+
+}  // namespace sfl::fl

@@ -1,0 +1,140 @@
+#include "fl/optimizer.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+std::string to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kMomentum: return "momentum";
+    case OptimizerKind::kAdam: return "adam";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr) : lr_(lr) {}
+
+  void step(std::span<double> params, std::span<const double> grad) override {
+    require(params.size() == grad.size(), "parameter/gradient size mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= lr_ * grad[i];
+    }
+  }
+
+  void reset() override {}
+  [[nodiscard]] double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) override {
+    require(lr > 0.0, "learning rate must be > 0");
+    lr_ = lr;
+  }
+
+ private:
+  double lr_;
+};
+
+class MomentumOptimizer final : public Optimizer {
+ public:
+  MomentumOptimizer(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+  void step(std::span<double> params, std::span<const double> grad) override {
+    require(params.size() == grad.size(), "parameter/gradient size mismatch");
+    if (velocity_.size() != params.size()) {
+      velocity_.assign(params.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      velocity_[i] = momentum_ * velocity_[i] - lr_ * grad[i];
+      params[i] += velocity_[i];
+    }
+  }
+
+  void reset() override { velocity_.clear(); }
+  [[nodiscard]] double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) override {
+    require(lr > 0.0, "learning rate must be > 0");
+    lr_ = lr;
+  }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<double> velocity_;
+};
+
+class AdamOptimizer final : public Optimizer {
+ public:
+  AdamOptimizer(double lr, double beta1, double beta2, double epsilon)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+  void step(std::span<double> params, std::span<const double> grad) override {
+    require(params.size() == grad.size(), "parameter/gradient size mismatch");
+    if (m_.size() != params.size()) {
+      m_.assign(params.size(), 0.0);
+      v_.assign(params.size(), 0.0);
+      steps_ = 0;
+    }
+    ++steps_;
+    const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(steps_));
+    const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(steps_));
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+      v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+      const double m_hat = m_[i] / bias1;
+      const double v_hat = v_[i] / bias2;
+      params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    steps_ = 0;
+  }
+
+  [[nodiscard]] double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) override {
+    require(lr > 0.0, "learning rate must be > 0");
+    lr_ = lr;
+  }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerSpec& spec) {
+  require(spec.learning_rate > 0.0, "learning rate must be > 0");
+  switch (spec.kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(spec.learning_rate);
+    case OptimizerKind::kMomentum:
+      require(spec.momentum >= 0.0 && spec.momentum < 1.0,
+              "momentum must be in [0, 1)");
+      return std::make_unique<MomentumOptimizer>(spec.learning_rate, spec.momentum);
+    case OptimizerKind::kAdam:
+      require(spec.beta1 >= 0.0 && spec.beta1 < 1.0, "beta1 must be in [0, 1)");
+      require(spec.beta2 >= 0.0 && spec.beta2 < 1.0, "beta2 must be in [0, 1)");
+      require(spec.epsilon > 0.0, "epsilon must be > 0");
+      return std::make_unique<AdamOptimizer>(spec.learning_rate, spec.beta1,
+                                             spec.beta2, spec.epsilon);
+  }
+  throw std::invalid_argument("unknown optimizer kind");
+}
+
+}  // namespace sfl::fl

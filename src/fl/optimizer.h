@@ -1,0 +1,45 @@
+// First-order optimizers for local client training.
+//
+// Optimizers are stateful (momentum/Adam moments sized to the parameter
+// vector on first step) and are created fresh for each client round, matching
+// the synchronous FedAvg convention that local optimizer state is not carried
+// across rounds.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace sfl::fl {
+
+enum class OptimizerKind { kSgd, kMomentum, kAdam };
+
+[[nodiscard]] std::string to_string(OptimizerKind kind);
+
+struct OptimizerSpec {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  double learning_rate = 0.05;
+  double momentum = 0.9;    ///< kMomentum only
+  double beta1 = 0.9;       ///< kAdam only
+  double beta2 = 0.999;     ///< kAdam only
+  double epsilon = 1e-8;    ///< kAdam only
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// In-place parameter update from a gradient of the same length.
+  virtual void step(std::span<double> params, std::span<const double> grad) = 0;
+
+  /// Clears accumulated state (moments, step counters).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual double learning_rate() const noexcept = 0;
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+/// Factory; validates the spec (positive learning rate, betas in [0,1), ...).
+[[nodiscard]] std::unique_ptr<Optimizer> make_optimizer(const OptimizerSpec& spec);
+
+}  // namespace sfl::fl

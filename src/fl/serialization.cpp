@@ -1,0 +1,57 @@
+#include "fl/serialization.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace sfl::fl {
+
+using sfl::util::require;
+
+namespace {
+constexpr const char* kMagic = "sfl-model-v1";
+}  // namespace
+
+void save_parameters(const Model& model, std::ostream& out) {
+  const std::vector<double> params = model.parameters();
+  out << kMagic << '\n' << params.size() << '\n';
+  out << std::setprecision(17);
+  for (const double p : params) {
+    out << p << '\n';
+  }
+  require(static_cast<bool>(out), "failed writing model parameters");
+}
+
+void load_parameters(Model& model, std::istream& in) {
+  std::string magic;
+  require(static_cast<bool>(in >> magic), "missing checkpoint header");
+  require(magic == kMagic, "not an sfl model checkpoint");
+  std::size_t count = 0;
+  require(static_cast<bool>(in >> count), "missing parameter count");
+  require(count == model.parameter_count(),
+          "checkpoint parameter count does not match the model");
+  std::vector<double> params(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    require(static_cast<bool>(in >> params[i]),
+            "truncated checkpoint: fewer parameters than declared");
+  }
+  model.set_parameters(params);
+}
+
+void save_parameters_to_file(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  require(out.is_open(), "cannot open checkpoint file for writing: " + path);
+  save_parameters(model, out);
+}
+
+void load_parameters_from_file(Model& model, const std::string& path) {
+  std::ifstream in(path);
+  require(in.is_open(), "cannot open checkpoint file for reading: " + path);
+  load_parameters(model, in);
+}
+
+}  // namespace sfl::fl

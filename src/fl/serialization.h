@@ -1,0 +1,29 @@
+// Model parameter (de)serialization.
+//
+// Text format, one value per line with full round-trip precision, preceded
+// by a small header (magic, parameter count). Text keeps checkpoints
+// diffable and platform-independent; models at this scale (~1e4-1e5
+// parameters) make the size overhead irrelevant.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fl/model.h"
+
+namespace sfl::fl {
+
+/// Writes `model`'s parameters to `out`. Throws on stream failure.
+void save_parameters(const Model& model, std::ostream& out);
+
+/// Reads parameters written by save_parameters and installs them into
+/// `model`; the parameter count must match. Throws std::invalid_argument on
+/// malformed input or count mismatch.
+void load_parameters(Model& model, std::istream& in);
+
+/// Convenience file wrappers (throw std::invalid_argument on I/O failure).
+void save_parameters_to_file(const Model& model, const std::string& path);
+void load_parameters_from_file(Model& model, const std::string& path);
+
+}  // namespace sfl::fl

@@ -1,0 +1,76 @@
+#include "lyapunov/virtual_queue.h"
+
+#include <algorithm>
+
+namespace sfl::lyapunov {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+VirtualQueue::VirtualQueue(double service_rate, double initial_backlog)
+    : service_rate_(service_rate), backlog_(initial_backlog) {
+  require(service_rate >= 0.0, "service rate must be >= 0");
+  require(initial_backlog >= 0.0, "initial backlog must be >= 0");
+}
+
+void VirtualQueue::update(double arrival) {
+  update_with_service(arrival, service_rate_);
+}
+
+void VirtualQueue::update_with_service(double arrival, double service) {
+  require(arrival >= 0.0, "queue arrivals must be >= 0");
+  require(service >= 0.0, "queue service must be >= 0");
+  backlog_ = std::max(backlog_ + arrival - service, 0.0);
+  backlog_sum_ += backlog_;
+  ++updates_;
+}
+
+double VirtualQueue::average_backlog() const noexcept {
+  return updates_ > 0 ? backlog_sum_ / static_cast<double>(updates_) : 0.0;
+}
+
+double VirtualQueue::normalized_backlog() const noexcept {
+  return updates_ > 0 ? backlog_ / static_cast<double>(updates_) : 0.0;
+}
+
+void VirtualQueue::reset(double initial_backlog) {
+  require(initial_backlog >= 0.0, "initial backlog must be >= 0");
+  backlog_ = initial_backlog;
+  backlog_sum_ = 0.0;
+  updates_ = 0;
+}
+
+QueueBank::QueueBank(const std::vector<double>& service_rates) {
+  require(!service_rates.empty(), "queue bank needs at least one queue");
+  queues_.reserve(service_rates.size());
+  for (const double rate : service_rates) {
+    queues_.emplace_back(rate);
+  }
+}
+
+const VirtualQueue& QueueBank::queue(std::size_t index) const {
+  return queues_[checked_index(index, queues_.size(), "queue bank")];
+}
+
+void QueueBank::update_all(const std::vector<double>& arrivals) {
+  require(arrivals.size() == queues_.size(), "one arrival per queue required");
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    queues_[i].update(arrivals[i]);
+  }
+}
+
+double QueueBank::backlog(std::size_t index) const { return queue(index).backlog(); }
+
+double QueueBank::max_backlog() const noexcept {
+  double best = 0.0;
+  for (const auto& q : queues_) best = std::max(best, q.backlog());
+  return best;
+}
+
+double QueueBank::total_backlog() const noexcept {
+  double sum = 0.0;
+  for (const auto& q : queues_) sum += q.backlog();
+  return sum;
+}
+
+}  // namespace sfl::lyapunov

@@ -1,0 +1,69 @@
+// Lyapunov virtual queues for long-term constraints.
+//
+// A long-term average constraint  lim (1/K) sum_t a(t) <= s  is handled by
+// the virtual queue  Q(t+1) = max(Q(t) + a(t) - s, 0).  Queue stability
+// (Q(t)/t -> 0) implies the constraint holds; the drift-plus-penalty method
+// trades queue growth against per-round objective via the V parameter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/require.h"
+
+namespace sfl::lyapunov {
+
+class VirtualQueue {
+ public:
+  /// `service_rate` is the per-round long-term allowance (s above); >= 0.
+  explicit VirtualQueue(double service_rate, double initial_backlog = 0.0);
+
+  /// Q <- max(Q + arrival - service_rate, 0). `arrival` >= 0.
+  void update(double arrival);
+
+  /// Q <- max(Q + arrival - service, 0) with a round-specific service
+  /// allowance (time-varying constraints, e.g. seasonal budgets).
+  void update_with_service(double arrival, double service);
+
+  [[nodiscard]] double backlog() const noexcept { return backlog_; }
+  [[nodiscard]] double service_rate() const noexcept { return service_rate_; }
+  [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+
+  /// Time-average backlog over all updates so far (0 before any update);
+  /// a bounded value as t grows certifies stability.
+  [[nodiscard]] double average_backlog() const noexcept;
+
+  /// Backlog divided by rounds elapsed — the constraint-violation bound
+  /// certificate (Q(t)/t >= average violation up to t).
+  [[nodiscard]] double normalized_backlog() const noexcept;
+
+  void reset(double initial_backlog = 0.0);
+
+ private:
+  double service_rate_;
+  double backlog_;
+  double backlog_sum_ = 0.0;
+  std::size_t updates_ = 0;
+};
+
+/// A bank of per-client virtual queues (the Z_i sustainability queues).
+class QueueBank {
+ public:
+  /// One queue per client with the given per-round service rates (>= 0).
+  explicit QueueBank(const std::vector<double>& service_rates);
+
+  [[nodiscard]] std::size_t size() const noexcept { return queues_.size(); }
+  [[nodiscard]] const VirtualQueue& queue(std::size_t index) const;
+
+  /// Applies one round of arrivals (one entry per client, >= 0).
+  void update_all(const std::vector<double>& arrivals);
+
+  [[nodiscard]] double backlog(std::size_t index) const;
+  [[nodiscard]] double max_backlog() const noexcept;
+  [[nodiscard]] double total_backlog() const noexcept;
+
+ private:
+  std::vector<VirtualQueue> queues_;
+};
+
+}  // namespace sfl::lyapunov

@@ -1,0 +1,89 @@
+#include "reputation/reputation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::reputation {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+double cosine_similarity(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size(), "cosine similarity needs equal-length vectors");
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return std::clamp(dot / (std::sqrt(norm_a) * std::sqrt(norm_b)), -1.0, 1.0);
+}
+
+double leave_one_out_alignment(const std::vector<std::vector<double>>& updates,
+                               const std::vector<double>& weights,
+                               std::size_t index) {
+  require(!updates.empty(), "need at least one update");
+  require(updates.size() == weights.size(), "one weight per update required");
+  checked_index(index, updates.size(), "update index");
+  if (updates.size() == 1) return 0.0;
+
+  const std::size_t dim = updates[index].size();
+  std::vector<double> reference(dim, 0.0);
+  double total_weight = 0.0;
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    if (u == index) continue;
+    require(weights[u] > 0.0, "update weights must be > 0");
+    require(updates[u].size() == dim, "update dimension mismatch");
+    for (std::size_t i = 0; i < dim; ++i) {
+      reference[i] += weights[u] * updates[u][i];
+    }
+    total_weight += weights[u];
+  }
+  for (auto& r : reference) r /= total_weight;
+  return cosine_similarity(updates[index], reference);
+}
+
+double alignment_to_quality(double alignment) noexcept {
+  return std::clamp((alignment + 1.0) / 2.0, 0.0, 1.0);
+}
+
+ReputationTracker::ReputationTracker(std::size_t num_clients, double prior,
+                                     double ewma_alpha)
+    : quality_(num_clients, prior),
+      observations_(num_clients, 0),
+      ewma_alpha_(ewma_alpha) {
+  require(num_clients > 0, "reputation tracker needs at least one client");
+  require(prior >= 0.0 && prior <= 1.0, "prior quality must be in [0, 1]");
+  require(ewma_alpha > 0.0 && ewma_alpha <= 1.0, "ewma alpha must be in (0, 1]");
+}
+
+void ReputationTracker::observe(std::size_t client, double quality_observation) {
+  checked_index(client, quality_.size(), "reputation client");
+  require(quality_observation >= 0.0 && quality_observation <= 1.0,
+          "quality observations must be in [0, 1]");
+  quality_[client] =
+      (1.0 - ewma_alpha_) * quality_[client] + ewma_alpha_ * quality_observation;
+  ++observations_[client];
+}
+
+void ReputationTracker::observe_alignment(std::size_t client, double alignment) {
+  require(alignment >= -1.0 - 1e-9 && alignment <= 1.0 + 1e-9,
+          "alignment must be in [-1, 1]");
+  observe(client, alignment_to_quality(std::clamp(alignment, -1.0, 1.0)));
+}
+
+double ReputationTracker::quality(std::size_t client) const {
+  return quality_[checked_index(client, quality_.size(), "reputation client")];
+}
+
+std::size_t ReputationTracker::observation_count(std::size_t client) const {
+  return observations_[checked_index(client, observations_.size(),
+                                     "reputation client")];
+}
+
+}  // namespace sfl::reputation

@@ -1,0 +1,67 @@
+// Data-quality reputation tracking.
+//
+// The server cannot read client data, so it estimates quality from
+// observable training signals. Two signals are supported:
+//  - validation deltas (used by the orchestrator): how a client's solo
+//    update moves a server-held validation loss — noisy-label clients
+//    consistently increase it because their local optimum differs from the
+//    clean task;
+//  - update alignment (cosine similarity against a reference direction),
+//    provided as a utility for leave-one-out style estimators.
+// Either signal is folded into an EWMA reputation q-hat in [0, 1]. The
+// valuation layer multiplies data size by q-hat, closing the loop:
+// low-quality clients are worth less, win less, and cost the mechanism less
+// (experiment E11).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sfl::reputation {
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is all-zero.
+[[nodiscard]] double cosine_similarity(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Leave-one-out alignment: cosine similarity between update `index` and
+/// the weighted mean of the *other* updates. Removing the client's own
+/// contribution avoids the self-correlation trap (every update is somewhat
+/// aligned with an aggregate that contains it). `weights` must be positive
+/// and one per update; with a single update the reference is empty and the
+/// result is 0.
+[[nodiscard]] double leave_one_out_alignment(
+    const std::vector<std::vector<double>>& updates,
+    const std::vector<double>& weights, std::size_t index);
+
+/// Maps an alignment in [-1, 1] to a quality observation in [0, 1].
+[[nodiscard]] double alignment_to_quality(double alignment) noexcept;
+
+class ReputationTracker {
+ public:
+  /// All clients start at `prior` quality; `ewma_alpha` in (0, 1] is the
+  /// weight of the newest observation.
+  ReputationTracker(std::size_t num_clients, double prior = 0.8,
+                    double ewma_alpha = 0.2);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept { return quality_.size(); }
+
+  /// Blends a new quality observation (in [0, 1]) into the client's score.
+  void observe(std::size_t client, double quality_observation);
+
+  /// Convenience: observe from a raw update-alignment value in [-1, 1].
+  void observe_alignment(std::size_t client, double alignment);
+
+  [[nodiscard]] double quality(std::size_t client) const;
+  [[nodiscard]] const std::vector<double>& quality_vector() const noexcept {
+    return quality_;
+  }
+  [[nodiscard]] std::size_t observation_count(std::size_t client) const;
+
+ private:
+  std::vector<double> quality_;
+  std::vector<std::size_t> observations_;
+  double ewma_alpha_;
+};
+
+}  // namespace sfl::reputation

@@ -1,0 +1,73 @@
+#include "sim/energy.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace sfl::sim {
+
+using sfl::util::checked_index;
+using sfl::util::require;
+
+EnergySystem::EnergySystem(std::size_t num_clients, const EnergySpec& spec)
+    : battery_(num_clients, spec.initial_charge),
+      starvation_(num_clients, 0),
+      capacity_(spec.battery_capacity),
+      harvest_amount_(spec.harvest_amount) {
+  require(num_clients > 0, "energy system needs at least one client");
+  require(spec.battery_capacity > 0.0, "battery capacity must be > 0");
+  require(spec.initial_charge >= 0.0 &&
+              spec.initial_charge <= spec.battery_capacity,
+          "initial charge must be within [0, capacity]");
+  require(spec.harvest_amount > 0.0, "harvest amount must be > 0");
+  if (spec.harvest_probabilities.empty()) {
+    harvest_probability_.assign(num_clients, 0.5);
+  } else {
+    require(spec.harvest_probabilities.size() == num_clients,
+            "one harvest probability per client required");
+    for (const double p : spec.harvest_probabilities) {
+      require(p >= 0.0 && p <= 1.0, "harvest probabilities must be in [0, 1]");
+    }
+    harvest_probability_ = spec.harvest_probabilities;
+  }
+}
+
+void EnergySystem::harvest_round(sfl::util::Rng& rng) {
+  for (std::size_t i = 0; i < battery_.size(); ++i) {
+    if (rng.bernoulli(harvest_probability_[i])) {
+      battery_[i] = std::min(battery_[i] + harvest_amount_, capacity_);
+    }
+  }
+}
+
+bool EnergySystem::available(std::size_t client, double energy_cost) const {
+  require(energy_cost >= 0.0, "energy cost must be >= 0");
+  return battery_[checked_index(client, battery_.size(), "energy client")] >=
+         energy_cost;
+}
+
+void EnergySystem::consume(std::size_t client, double energy_cost) {
+  require(available(client, energy_cost),
+          "cannot consume energy from a depleted battery");
+  battery_[client] -= energy_cost;
+}
+
+double EnergySystem::battery(std::size_t client) const {
+  return battery_[checked_index(client, battery_.size(), "energy client")];
+}
+
+double EnergySystem::harvest_rate(std::size_t client) const {
+  return harvest_probability_[checked_index(client, harvest_probability_.size(),
+                                            "energy client")] *
+         harvest_amount_;
+}
+
+std::size_t EnergySystem::starvation_count(std::size_t client) const {
+  return starvation_[checked_index(client, starvation_.size(), "energy client")];
+}
+
+void EnergySystem::note_starvation(std::size_t client) {
+  ++starvation_[checked_index(client, starvation_.size(), "energy client")];
+}
+
+}  // namespace sfl::sim

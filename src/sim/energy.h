@@ -1,0 +1,65 @@
+// Battery / energy-harvesting dynamics for sustainability experiments.
+//
+// Each client has a capped battery charged by stochastic harvest arrivals
+// (Bernoulli arrival of a fixed energy packet per round — solar/kinetic/RF
+// style intermittency) and drained by participation. A client is *available*
+// to bid only when its battery covers its per-round energy cost. The
+// mechanism-side Z_i queues (sfl::core) pace wins to the harvest rate so
+// batteries stay solvent; this module is the physical ground truth they are
+// paced against (experiment E8).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfl::sim {
+
+struct EnergySpec {
+  double battery_capacity = 5.0;   ///< max stored energy
+  double initial_charge = 2.0;     ///< starting battery level
+  double harvest_amount = 1.0;     ///< energy per successful harvest event
+  /// Per-client harvest probabilities per round; empty = uniform 0.5.
+  std::vector<double> harvest_probabilities{};
+};
+
+class EnergySystem {
+ public:
+  EnergySystem(std::size_t num_clients, const EnergySpec& spec);
+
+  [[nodiscard]] std::size_t num_clients() const noexcept { return battery_.size(); }
+
+  /// One round of harvest arrivals (advances every client).
+  void harvest_round(sfl::util::Rng& rng);
+
+  /// True when the client's battery covers `energy_cost`.
+  [[nodiscard]] bool available(std::size_t client, double energy_cost) const;
+
+  /// Drains `energy_cost` from the client's battery; throws if unavailable.
+  void consume(std::size_t client, double energy_cost);
+
+  [[nodiscard]] double battery(std::size_t client) const;
+  [[nodiscard]] const std::vector<double>& battery_levels() const noexcept {
+    return battery_;
+  }
+
+  /// Long-term average harvested energy per round for a client
+  /// (probability * amount) — the sustainable participation budget r_i the
+  /// Z queues should pace against.
+  [[nodiscard]] double harvest_rate(std::size_t client) const;
+
+  /// Rounds in which a client was unavailable at harvest time (starvation
+  /// diagnostics).
+  [[nodiscard]] std::size_t starvation_count(std::size_t client) const;
+  void note_starvation(std::size_t client);
+
+ private:
+  std::vector<double> battery_;
+  std::vector<double> harvest_probability_;
+  std::vector<std::size_t> starvation_;
+  double capacity_;
+  double harvest_amount_;
+};
+
+}  // namespace sfl::sim

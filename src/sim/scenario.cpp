@@ -1,0 +1,89 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::sim {
+
+using sfl::util::require;
+
+double Scenario::mean_data_size() const {
+  double sum = 0.0;
+  for (const double s : data_sizes) sum += s;
+  return sum / static_cast<double>(data_sizes.size());
+}
+
+Scenario build_scenario(const ScenarioSpec& spec) {
+  require(spec.num_clients > 0, "scenario needs at least one client");
+  require(spec.noisy_client_fraction >= 0.0 && spec.noisy_client_fraction <= 1.0,
+          "noisy client fraction must be in [0, 1]");
+  require(spec.noisy_flip_probability >= 0.0 && spec.noisy_flip_probability <= 1.0,
+          "flip probability must be in [0, 1]");
+  require(spec.energy_costs.empty() ||
+              spec.energy_costs.size() == spec.num_clients,
+          "energy costs must be empty or one per client");
+
+  sfl::util::Rng rng(spec.seed);
+
+  data::GaussianMixtureSpec mixture;
+  mixture.num_examples =
+      spec.train_examples + spec.test_examples + spec.validation_examples;
+  mixture.num_classes = spec.num_classes;
+  mixture.feature_dim = spec.feature_dim;
+  mixture.class_separation = spec.class_separation;
+  const data::Dataset all = data::make_gaussian_mixture(mixture, rng);
+
+  std::vector<std::size_t> order(all.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::span<const std::size_t> all_indices(order);
+  data::Dataset train = all.subset(all_indices.subspan(0, spec.train_examples));
+  data::Dataset test =
+      all.subset(all_indices.subspan(spec.train_examples, spec.test_examples));
+  data::Dataset validation = all.subset(
+      all_indices.subspan(spec.train_examples + spec.test_examples));
+
+  data::Partition partition;
+  switch (spec.partition) {
+    case PartitionKind::kIid:
+      partition = data::partition_iid(train.size(), spec.num_clients, rng);
+      break;
+    case PartitionKind::kDirichletLabelSkew:
+      partition = data::partition_dirichlet_label_skew(train, spec.num_clients,
+                                                       spec.dirichlet_alpha, rng);
+      break;
+    case PartitionKind::kQuantitySkew:
+      partition = data::partition_quantity_skew(train.size(), spec.num_clients,
+                                                spec.quantity_sigma, rng);
+      break;
+  }
+
+  Scenario scenario{
+      .data = data::FederatedDataset(std::move(train), std::move(test), partition),
+      .validation = std::move(validation),
+      .true_quality = std::vector<double>(spec.num_clients, 1.0),
+      .data_sizes = {},
+      .energy_costs = spec.energy_costs.empty()
+                          ? std::vector<double>(spec.num_clients, 1.0)
+                          : spec.energy_costs,
+  };
+
+  // Poison the last ceil(fraction * N) clients' shards.
+  const auto noisy_count = static_cast<std::size_t>(std::ceil(
+      spec.noisy_client_fraction * static_cast<double>(spec.num_clients)));
+  for (std::size_t offset = 0; offset < noisy_count; ++offset) {
+    const std::size_t client = spec.num_clients - 1 - offset;
+    data::apply_label_noise(scenario.data.mutable_shard(client),
+                            spec.noisy_flip_probability, rng);
+    scenario.true_quality[client] = 1.0 - spec.noisy_flip_probability;
+  }
+
+  scenario.data_sizes.reserve(spec.num_clients);
+  for (std::size_t c = 0; c < spec.num_clients; ++c) {
+    scenario.data_sizes.push_back(static_cast<double>(scenario.data.shard_size(c)));
+  }
+  return scenario;
+}
+
+}  // namespace sfl::sim

@@ -1,0 +1,68 @@
+// Scenario presets: one-stop construction of a federated market.
+//
+// A Scenario bundles everything a simulation needs about the client
+// population: the federated dataset (with the chosen partition and
+// per-client label noise applied to shards), each client's true data quality
+// (1 - flip probability), data sizes, and per-client energy costs. The
+// clean test set is never touched by label noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace sfl::sim {
+
+enum class PartitionKind { kIid, kDirichletLabelSkew, kQuantitySkew };
+
+struct ScenarioSpec {
+  std::size_t num_clients = 40;
+  std::size_t train_examples = 4000;
+  std::size_t test_examples = 1000;
+  /// Server-held validation examples used by reputation/quality estimation
+  /// (never trained on, never used for reported accuracy).
+  std::size_t validation_examples = 200;
+  std::size_t num_classes = 10;
+  std::size_t feature_dim = 32;
+  double class_separation = 2.2;
+
+  PartitionKind partition = PartitionKind::kIid;
+  double dirichlet_alpha = 0.5;   ///< kDirichletLabelSkew only
+  double quantity_sigma = 0.8;    ///< kQuantitySkew only
+
+  /// Fraction of clients whose shards get noisy labels, and the per-example
+  /// flip probability for those clients. Noisy clients are chosen as the
+  /// last ceil(fraction * N) client ids (deterministic, so experiments can
+  /// report per-group results).
+  double noisy_client_fraction = 0.0;
+  double noisy_flip_probability = 0.4;
+
+  /// Per-client participation energy costs; empty = all 1.0.
+  std::vector<double> energy_costs{};
+
+  std::uint64_t seed = 42;
+};
+
+struct Scenario {
+  data::FederatedDataset data;
+  data::Dataset validation;          ///< server-held clean validation set
+  std::vector<double> true_quality;  ///< 1 - flip probability actually applied
+  std::vector<double> data_sizes;    ///< shard sizes as doubles
+  std::vector<double> energy_costs;  ///< e_i per client
+
+  [[nodiscard]] std::size_t num_clients() const noexcept {
+    return data.num_clients();
+  }
+
+  /// Mean shard size; the valuation layer normalizes data sizes by this.
+  [[nodiscard]] double mean_data_size() const;
+};
+
+/// Builds the dataset, partitions it, poisons the noisy clients' shards, and
+/// assembles the population attributes.
+[[nodiscard]] Scenario build_scenario(const ScenarioSpec& spec);
+
+}  // namespace sfl::sim

@@ -1,0 +1,52 @@
+#include "stats/running_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sfl::stats {
+
+void RunningStats::add(double value) noexcept {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count_);
+  const double n_b = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n_a + n_b;
+  mean_ += delta * n_b / n;
+  m2_ += other.m2_ + delta * delta * n_a * n_b / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sample_stddev() const noexcept {
+  return std::sqrt(sample_variance());
+}
+
+double RunningStats::standard_error() const noexcept {
+  return count_ > 1 ? sample_stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+}  // namespace sfl::stats

@@ -1,0 +1,43 @@
+// Streaming summary statistics (Welford's online algorithm).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace sfl::stats {
+
+/// Numerically stable running mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  /// Merges another accumulator (parallel reduction, Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divides by n); 0 for n < 1.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample variance (divides by n-1); 0 for n < 2.
+  [[nodiscard]] double sample_variance() const noexcept;
+
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sample_stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Standard error of the mean (sample stddev / sqrt(n)); 0 for n < 2.
+  [[nodiscard]] double standard_error() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace sfl::stats

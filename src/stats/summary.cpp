@@ -1,0 +1,153 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace sfl::stats {
+
+using sfl::util::require;
+
+double quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "quantile of empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile level must be in [0, 1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= values.size()) return values.back();
+  return values[lower] * (1.0 - frac) + values[lower + 1] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+double jain_fairness_index(const std::vector<double>& values) {
+  require(!values.empty(), "fairness index of empty sample");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    require(v >= 0.0, "fairness index requires non-negative values");
+    sum += v;
+    sum_sq += v * v;
+  }
+  require(sum > 0.0, "fairness index requires a positive total");
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double gini_coefficient(std::vector<double> values) {
+  require(!values.empty(), "gini of empty sample");
+  for (const double v : values) {
+    require(v >= 0.0, "gini requires non-negative values");
+  }
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;  // all zeros: perfectly equal
+  return weighted / (n * total);
+}
+
+BootstrapInterval bootstrap_mean_ci(const std::vector<double>& values,
+                                    double confidence, std::size_t resamples,
+                                    sfl::util::Rng& rng) {
+  require(!values.empty(), "bootstrap of empty sample");
+  require(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+  require(resamples >= 1, "bootstrap needs at least one resample");
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sum += values[rng.uniform_index(values.size())];
+    }
+    means.push_back(sum / static_cast<double>(values.size()));
+  }
+  const double alpha = 1.0 - confidence;
+  BootstrapInterval ci;
+  ci.point = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+  ci.lo = quantile(means, alpha / 2.0);
+  ci.hi = quantile(std::move(means), 1.0 - alpha / 2.0);
+  return ci;
+}
+
+LinearFit linear_fit(const std::vector<double>& xs, const std::vector<double>& ys) {
+  require(xs.size() == ys.size(), "linear fit needs equal-length inputs");
+  require(xs.size() >= 2, "linear fit needs at least two points");
+  const double n = static_cast<double>(xs.size());
+  const double mean_x = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  const double mean_y = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0, "linear fit requires non-constant x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  require(xs.size() == ys.size(), "correlation needs equal-length inputs");
+  require(xs.size() >= 2, "correlation needs at least two points");
+  const double n = static_cast<double>(xs.size());
+  const double mean_x = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  const double mean_y = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0 && syy > 0.0, "correlation requires nonzero variance");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  require(bins > 0, "histogram needs at least one bucket");
+  require(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double value) noexcept {
+  auto bucket = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  bucket = std::clamp<std::ptrdiff_t>(bucket, 0,
+                                      static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bucket)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  return counts_[sfl::util::checked_index(bucket, counts_.size(), "histogram bucket")];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  sfl::util::checked_index(bucket, counts_.size(), "histogram bucket");
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + width_;
+}
+
+}  // namespace sfl::stats

@@ -1,0 +1,74 @@
+// Batch statistics over vectors: quantiles, fairness, bootstrap CIs,
+// least-squares fits (used to verify the O(1/V) / O(V) Lyapunov scalings).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfl::stats {
+
+/// Linear interpolation quantile (type-7, same convention as numpy default).
+/// Requires non-empty values; q in [0, 1]. Sorts a copy.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Jain's fairness index: (Σx)² / (n·Σx²) in (0, 1], 1 = perfectly fair.
+/// Requires non-empty, non-negative values with a positive sum.
+[[nodiscard]] double jain_fairness_index(const std::vector<double>& values);
+
+/// Gini coefficient in [0, 1); 0 = perfect equality. Requires non-empty,
+/// non-negative values.
+[[nodiscard]] double gini_coefficient(std::vector<double> values);
+
+struct BootstrapInterval {
+  double point = 0.0;  ///< sample mean
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+};
+
+/// Percentile bootstrap CI of the mean. `confidence` in (0, 1);
+/// `resamples` >= 1; `values` non-empty.
+[[nodiscard]] BootstrapInterval bootstrap_mean_ci(const std::vector<double>& values,
+                                                  double confidence,
+                                                  std::size_t resamples,
+                                                  sfl::util::Rng& rng);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares y = a·x + b. Requires xs.size() == ys.size() >= 2
+/// and xs not all identical.
+[[nodiscard]] LinearFit linear_fit(const std::vector<double>& xs,
+                                   const std::vector<double>& ys);
+
+/// Pearson correlation; requires equal sizes >= 2 and nonzero variances.
+[[nodiscard]] double pearson_correlation(const std::vector<double>& xs,
+                                         const std::vector<double>& ys);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sfl::stats

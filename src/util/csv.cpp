@@ -1,0 +1,43 @@
+#include "util/csv.h"
+
+#include "util/require.h"
+
+namespace sfl::util {
+
+CsvWriter::CsvWriter(std::ostream& sink, std::vector<std::string> header)
+    : sink_(sink), columns_(header.size()) {
+  require(columns_ > 0, "CSV header must have at least one column");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) sink_ << ',';
+    sink_ << escape(header[i]);
+  }
+  sink_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  require(fields.size() == columns_,
+          "CSV row width does not match header width");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) sink_ << ',';
+    sink_ << escape(fields[i]);
+  }
+  sink_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace sfl::util

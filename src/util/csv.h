@@ -1,0 +1,61 @@
+// CSV emission for experiment metrics.
+//
+// CsvWriter produces RFC-4180-ish CSV (quotes fields containing commas,
+// quotes, or newlines) with a fixed header declared up front; row width is
+// validated so a refactor cannot silently misalign columns.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sfl::util {
+
+class CsvWriter {
+ public:
+  /// Writes `header` immediately to `sink`. Sink must outlive the writer;
+  /// the caller keeps ownership (file stream or std::cout).
+  CsvWriter(std::ostream& sink, std::vector<std::string> header);
+
+  /// Number of columns fixed by the header.
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+
+  /// Number of data rows written so far.
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Writes one row; `fields.size()` must equal `columns()`.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: stringifies heterogenous fields (arithmetic via
+  /// to_string-like formatting with full double precision, strings verbatim).
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(stringify(fields)), ...);
+    write_row(cells);
+  }
+
+  /// Escapes a single CSV field per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  template <typename T>
+  [[nodiscard]] static std::string stringify(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      std::ostringstream oss;
+      oss.precision(12);
+      oss << value;
+      return oss.str();
+    }
+  }
+
+  std::ostream& sink_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sfl::util

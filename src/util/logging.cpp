@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+namespace sfl::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+LogLevel parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + std::string(text));
+}
+
+Logger::Logger(LogLevel level, std::ostream* sink)
+    : level_(level), sink_(sink != nullptr ? sink : &std::cerr) {}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  const std::scoped_lock lock(mutex_);
+  (*sink_) << "[" << to_string(level) << "] " << message << '\n';
+}
+
+Logger& global_logger() {
+  static Logger logger{LogLevel::kWarn, &std::cerr};
+  return logger;
+}
+
+}  // namespace sfl::util

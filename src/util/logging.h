@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// The simulator is library-first: nothing logs by default. Executables opt in
+// by raising the level. Thread-safe (a single mutex around the sink); not
+// designed for high-frequency logging — metrics go through CsvWriter instead.
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace sfl::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-sensitive); throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] LogLevel parse_log_level(std::string_view text);
+
+class Logger {
+ public:
+  /// A logger writing at-or-above `level` to `sink`. The sink must outlive
+  /// the logger; callers keep ownership (std::cerr is the common choice).
+  explicit Logger(LogLevel level = LogLevel::kWarn, std::ostream* sink = nullptr);
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void log(LogLevel level, std::string_view message);
+
+  template <typename... Args>
+  void debug(Args&&... args) { log_fmt(LogLevel::kDebug, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void info(Args&&... args) { log_fmt(LogLevel::kInfo, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void warn(Args&&... args) { log_fmt(LogLevel::kWarn, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void error(Args&&... args) { log_fmt(LogLevel::kError, std::forward<Args>(args)...); }
+
+ private:
+  template <typename... Args>
+  void log_fmt(LogLevel level, Args&&... args) {
+    if (!enabled(level)) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    log(level, oss.str());
+  }
+
+  LogLevel level_;
+  std::ostream* sink_;
+  std::mutex mutex_;
+};
+
+/// Process-wide logger used by executables; defaults to warn-on-stderr.
+[[nodiscard]] Logger& global_logger();
+
+}  // namespace sfl::util

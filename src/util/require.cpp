@@ -1,0 +1,51 @@
+#include "util/require.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace sfl::util {
+
+namespace {
+
+[[nodiscard]] std::string format_message(std::string_view message,
+                                         const std::source_location& loc) {
+  std::string out;
+  out.reserve(message.size() + 64);
+  out.append(message);
+  out.append(" [at ");
+  out.append(loc.file_name());
+  out.append(":");
+  out.append(std::to_string(loc.line()));
+  out.append("]");
+  return out;
+}
+
+}  // namespace
+
+void require(bool condition, std::string_view message, std::source_location loc) {
+  if (!condition) {
+    throw std::invalid_argument(format_message(message, loc));
+  }
+}
+
+void check_invariant(bool condition, std::string_view message, std::source_location loc) {
+  if (!condition) {
+    throw std::logic_error(format_message(message, loc));
+  }
+}
+
+std::size_t checked_index(std::size_t index, std::size_t size, std::string_view what,
+                          std::source_location loc) {
+  if (index >= size) {
+    std::string msg = "index out of range for ";
+    msg.append(what);
+    msg.append(": ");
+    msg.append(std::to_string(index));
+    msg.append(" >= ");
+    msg.append(std::to_string(size));
+    throw std::out_of_range(format_message(msg, loc));
+  }
+  return index;
+}
+
+}  // namespace sfl::util

@@ -1,0 +1,29 @@
+// Contract-checking helpers (C++ Core Guidelines I.6/I.8 style).
+//
+// All public entry points in this library validate their preconditions with
+// `require(...)` and throw standard exception types on violation. These checks
+// stay on in release builds: the library is a research artifact where silent
+// precondition violations would corrupt experiment results.
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+namespace sfl::util {
+
+/// Throws std::invalid_argument with a message that includes the call site
+/// when `condition` is false. Use for argument validation.
+void require(bool condition, std::string_view message,
+             std::source_location loc = std::source_location::current());
+
+/// Throws std::logic_error when `condition` is false. Use for internal
+/// invariants that should be unreachable when the library is correct.
+void check_invariant(bool condition, std::string_view message,
+                     std::source_location loc = std::source_location::current());
+
+/// Throws std::out_of_range when `index >= size`. Returns `index` so it can
+/// be used inline: `v[checked_index(i, v.size(), "client id")]`.
+std::size_t checked_index(std::size_t index, std::size_t size, std::string_view what,
+                          std::source_location loc = std::source_location::current());
+
+}  // namespace sfl::util

@@ -1,0 +1,197 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace sfl::util {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() noexcept {
+  // A fresh generator seeded from this stream; splitmix64 re-mixing in the
+  // constructor decorrelates the child from the parent.
+  return Rng{(*this)()};
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  require(n > 0, "uniform_index requires n > 0");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  require(stddev >= 0.0, "normal stddev must be >= 0");
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  require(sigma >= 0.0, "lognormal sigma must be >= 0");
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double lambda) {
+  require(lambda > 0.0, "exponential rate must be > 0");
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+bool Rng::bernoulli(double p) {
+  require(p >= 0.0 && p <= 1.0, "bernoulli p must be in [0, 1]");
+  return uniform() < p;
+}
+
+double Rng::gamma(double shape, double scale) {
+  require(shape > 0.0, "gamma shape must be > 0");
+  require(scale > 0.0, "gamma scale must be > 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 then correct (Marsaglia-Tsang trick).
+    const double u = std::max(uniform(), 1e-300);
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v * scale;
+    }
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+std::vector<double> Rng::dirichlet(std::size_t dim, double alpha) {
+  require(dim > 0, "dirichlet dimension must be > 0");
+  return dirichlet(std::vector<double>(dim, alpha));
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alphas) {
+  require(!alphas.empty(), "dirichlet needs at least one concentration");
+  std::vector<double> out(alphas.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    require(alphas[i] > 0.0, "dirichlet concentrations must be > 0");
+    out[i] = gamma(alphas[i], 1.0);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    // Numerically degenerate draw; fall back to uniform simplex point.
+    const double uniform_mass = 1.0 / static_cast<double>(out.size());
+    for (auto& v : out) v = uniform_mass;
+    return out;
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  require(!weights.empty(), "categorical needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "categorical weights must be >= 0");
+    total += w;
+  }
+  require(total > 0.0, "categorical weights must not all be zero");
+  const double target = uniform() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;  // guard against floating-point edge
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  require(k <= n, "cannot sample more items than the population size");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace sfl::util

@@ -1,0 +1,65 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace sfl::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+std::string format_double(double value, int digits) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(digits);
+  oss << value;
+  return oss.str();
+}
+
+std::string pad_left(std::string text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(std::string text, std::size_t width) {
+  if (text.size() >= width) return text;
+  text.append(width - text.size(), ' ');
+  return text;
+}
+
+}  // namespace sfl::util

@@ -1,0 +1,32 @@
+// Small string helpers used across the library (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfl::util {
+
+/// Splits on a single delimiter; keeps empty fields ("a,,b" -> 3 fields).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delimiter);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view separator);
+
+/// Formats a double with `digits` significant fraction digits, fixed point.
+[[nodiscard]] std::string format_double(double value, int digits = 4);
+
+/// Left-pads (or truncates nothing) to at least `width` with spaces.
+[[nodiscard]] std::string pad_left(std::string text, std::size_t width);
+
+/// Right-pads to at least `width` with spaces.
+[[nodiscard]] std::string pad_right(std::string text, std::size_t width);
+
+}  // namespace sfl::util

@@ -1,0 +1,47 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+#include "util/string_utils.h"
+
+namespace sfl::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "table header must have at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "table row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << pad_right(row[c], widths[c]);
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::cell_to_string(double v) { return format_double(v, 4); }
+std::string TablePrinter::cell_to_string(std::size_t v) { return std::to_string(v); }
+std::string TablePrinter::cell_to_string(std::int64_t v) { return std::to_string(v); }
+std::string TablePrinter::cell_to_string(int v) { return std::to_string(v); }
+
+}  // namespace sfl::util

@@ -1,0 +1,47 @@
+// ASCII table rendering for bench outputs.
+//
+// Every experiment binary prints the rows/series the paper's tables and
+// figures report; TablePrinter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sfl::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; width must match the header (checked).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed scalar/string rows; doubles are formatted with
+  /// four fraction digits.
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    std::vector<std::string> out;
+    out.reserve(sizeof...(cells));
+    (out.push_back(cell_to_string(cells)), ...);
+    add_row(std::move(out));
+  }
+
+  /// Renders the whole table with a separator under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  [[nodiscard]] static std::string cell_to_string(const std::string& v) { return v; }
+  [[nodiscard]] static std::string cell_to_string(const char* v) { return v; }
+  [[nodiscard]] static std::string cell_to_string(double v);
+  [[nodiscard]] static std::string cell_to_string(std::size_t v);
+  [[nodiscard]] static std::string cell_to_string(std::int64_t v);
+  [[nodiscard]] static std::string cell_to_string(int v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sfl::util

@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include "util/require.h"
+
+namespace sfl::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  require(static_cast<bool>(task), "cannot submit an empty task");
+  {
+    const std::scoped_lock lock(mutex_);
+    require(!stopping_, "cannot submit to a stopping thread pool");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  require(static_cast<bool>(fn), "parallel_for requires a callable");
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace sfl::util

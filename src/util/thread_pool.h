@@ -1,0 +1,54 @@
+// Fixed-size thread pool used to parallelize local client training.
+//
+// Deliberately minimal: submit void tasks, wait for quiescence. Determinism
+// note: tasks must not share RNG streams; the simulator gives each client its
+// own split stream, so execution order never changes results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sfl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1; defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the process (by design — a failed worker invalidates results).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Runs `fn(i)` for i in [0, count), distributing across the pool, and
+  /// waits for completion. Equivalent to a parallel for loop.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sfl::util

@@ -1,0 +1,27 @@
+// Wall-clock timing for the scalability experiments.
+#pragma once
+
+#include <chrono>
+
+namespace sfl::util {
+
+/// Monotonic stopwatch; started on construction, restartable.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_millis() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sfl::util

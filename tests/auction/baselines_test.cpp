@@ -1,0 +1,180 @@
+#include "auction/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "auction/random_instance.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+namespace {
+
+RoundContext context_with(std::size_t m, double budget) {
+  RoundContext ctx;
+  ctx.max_winners = m;
+  ctx.per_round_budget = budget;
+  return ctx;
+}
+
+std::vector<Candidate> market() {
+  return {Candidate{.id = 0, .value = 4.0, .bid = 1.0, .energy_cost = 1.0},
+          Candidate{.id = 1, .value = 6.0, .bid = 2.0, .energy_cost = 1.0},
+          Candidate{.id = 2, .value = 2.0, .bid = 3.0, .energy_cost = 1.0},
+          Candidate{.id = 3, .value = 5.0, .bid = 0.5, .energy_cost = 1.0}};
+}
+
+TEST(MyopicVcgTest, SelectsWelfareOptimalAndPaysCritical) {
+  MyopicVcgMechanism mech;
+  // Scores: 3, 4, -1, 4.5 -> two slots pick ids 3 and 1.
+  const MechanismResult result = mech.run_round(market(), context_with(2, 100.0));
+  const std::set<ClientId> winners(result.winners.begin(), result.winners.end());
+  EXPECT_EQ(winners, (std::set<ClientId>{1, 3}));
+  // Loser bar: id 0's score = 3. p1 = 6-3 = 3, p3 = 5-3 = 2.
+  EXPECT_DOUBLE_EQ(result.payment_for(1), 3.0);
+  EXPECT_DOUBLE_EQ(result.payment_for(3), 2.0);
+  EXPECT_TRUE(mech.is_truthful());
+  EXPECT_EQ(mech.name(), "myopic-vcg");
+}
+
+TEST(PayAsBidTest, SameSelectionPaysBids) {
+  PayAsBidGreedyMechanism mech;
+  const MechanismResult result = mech.run_round(market(), context_with(2, 100.0));
+  const std::set<ClientId> winners(result.winners.begin(), result.winners.end());
+  EXPECT_EQ(winners, (std::set<ClientId>{1, 3}));
+  EXPECT_DOUBLE_EQ(result.payment_for(1), 2.0);
+  EXPECT_DOUBLE_EQ(result.payment_for(3), 0.5);
+  EXPECT_FALSE(mech.is_truthful());
+}
+
+TEST(FixedPriceTest, AcceptsOnlyBidsAtOrBelowPrice) {
+  FixedPriceMechanism mech(1.5);
+  const MechanismResult result = mech.run_round(market(), context_with(10, 100.0));
+  const std::set<ClientId> winners(result.winners.begin(), result.winners.end());
+  EXPECT_EQ(winners, (std::set<ClientId>{0, 3}));  // bids 1.0 and 0.5
+  for (const double p : result.payments) {
+    EXPECT_DOUBLE_EQ(p, 1.5);
+  }
+}
+
+TEST(FixedPriceTest, CapPrefersHigherValue) {
+  FixedPriceMechanism mech(5.0);
+  const MechanismResult result = mech.run_round(market(), context_with(2, 100.0));
+  const std::set<ClientId> winners(result.winners.begin(), result.winners.end());
+  // All four accept at price 5; cap 2 keeps the two highest values (1 and 3).
+  EXPECT_EQ(winners, (std::set<ClientId>{1, 3}));
+  EXPECT_THROW(FixedPriceMechanism(0.0), std::invalid_argument);
+}
+
+TEST(RandomSelectionTest, PaysStipendToExactlyMClients) {
+  RandomSelectionMechanism mech(0.7, 99);
+  const MechanismResult result = mech.run_round(market(), context_with(3, 100.0));
+  EXPECT_EQ(result.winners.size(), 3u);
+  const std::set<ClientId> unique(result.winners.begin(), result.winners.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_NEAR(result.total_payment(), 2.1, 1e-12);
+}
+
+TEST(RandomSelectionTest, CoversAllClientsOverManyRounds) {
+  RandomSelectionMechanism mech(0.0, 7);
+  std::set<ClientId> seen;
+  for (int round = 0; round < 50; ++round) {
+    const MechanismResult result = mech.run_round(market(), context_with(1, 1.0));
+    seen.insert(result.winners.begin(), result.winners.end());
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(FirstBestOracleTest, PaysExactlyTheBids) {
+  FirstBestOracleMechanism mech;
+  const MechanismResult result = mech.run_round(market(), context_with(2, 100.0));
+  EXPECT_DOUBLE_EQ(result.payment_for(1), 2.0);
+  EXPECT_DOUBLE_EQ(result.payment_for(3), 0.5);
+}
+
+TEST(ProportionalShareTest, BudgetFeasibleOnRandomInstances) {
+  ProportionalShareMechanism mech;
+  sfl::util::Rng rng(300);
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 1 + rng.uniform_index(20);
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const double budget = rng.uniform(0.5, 8.0);
+    const MechanismResult result =
+        mech.run_round(instance.candidates, context_with(10, budget));
+    EXPECT_LE(result.total_payment(), budget + 1e-9) << "trial " << trial;
+    // IR: every winner paid at least its bid.
+    for (const ClientId id : result.winners) {
+      EXPECT_GE(result.payment_for(id), instance.candidates[id].bid - 1e-9);
+    }
+  }
+}
+
+TEST(ProportionalShareTest, CheapestEffectiveClientsWin) {
+  ProportionalShareMechanism mech;
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 4.0, .bid = 0.4, .energy_cost = 1.0},  // ratio .1
+      Candidate{.id = 1, .value = 4.0, .bid = 4.0, .energy_cost = 1.0},  // ratio 1
+  };
+  const MechanismResult result =
+      mech.run_round(candidates, context_with(10, 2.0));
+  EXPECT_TRUE(result.won(0));
+  EXPECT_FALSE(result.won(1));
+}
+
+TEST(ProportionalShareTest, RequiresFiniteBudget) {
+  ProportionalShareMechanism mech;
+  RoundContext ctx;  // default budget = infinity
+  ctx.max_winners = 3;
+  EXPECT_THROW((void)mech.run_round(market(), ctx), std::invalid_argument);
+}
+
+TEST(BudgetedOracleTest, SpendsWithinBudgetEveryRound) {
+  BudgetedOracleMechanism mech(0.01);
+  sfl::util::Rng rng(501);
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 1 + rng.uniform_index(12);
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const double budget = rng.uniform(0.5, 6.0);
+    const MechanismResult result =
+        mech.run_round(instance.candidates, context_with(5, budget));
+    // Pays true costs; the knapsack keeps the sum within budget (up to the
+    // DP grid resolution per winner).
+    EXPECT_LE(result.total_payment(),
+              budget + 0.01 * static_cast<double>(result.winners.size()) + 1e-9);
+  }
+}
+
+TEST(BudgetedOracleTest, PicksWelfareOptimalBudgetFeasibleSet) {
+  BudgetedOracleMechanism mech(0.01);
+  // Budget 2: best feasible set is {id 3 (w=4.5, c=0.5), id 0 (w=3, c=1)}
+  // with cost 1.5; adding id 1 (c=2) would exceed the budget.
+  const MechanismResult result = mech.run_round(market(), context_with(3, 2.0));
+  const std::set<ClientId> winners(result.winners.begin(), result.winners.end());
+  EXPECT_EQ(winners, (std::set<ClientId>{0, 3}));
+  EXPECT_DOUBLE_EQ(result.total_payment(), 1.5);
+}
+
+TEST(BudgetedOracleTest, RequiresFiniteBudgetAndValidResolution) {
+  EXPECT_THROW(BudgetedOracleMechanism(0.0), std::invalid_argument);
+  BudgetedOracleMechanism mech(0.01);
+  RoundContext ctx;  // infinite budget
+  EXPECT_THROW((void)mech.run_round(market(), ctx), std::invalid_argument);
+}
+
+TEST(BaselineNamesAreDistinct, AllMechanisms) {
+  MyopicVcgMechanism a;
+  PayAsBidGreedyMechanism b;
+  FixedPriceMechanism c(1.0);
+  RandomSelectionMechanism d(1.0, 1);
+  FirstBestOracleMechanism e;
+  ProportionalShareMechanism f;
+  BudgetedOracleMechanism g;
+  const std::set<std::string> names{a.name(), b.name(), c.name(), d.name(),
+                                    e.name(), f.name(), g.name()};
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace sfl::auction

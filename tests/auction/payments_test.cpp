@@ -1,0 +1,140 @@
+#include "auction/payments.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/random_instance.h"
+#include "auction/winner_determination.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+namespace {
+
+TEST(CriticalPaymentsTest, SlotCompetitionSetsThreshold) {
+  // Two candidates, one slot. Winner's payment is set by the loser's score:
+  // v0=5,b0=1 -> phi=4; v1=3,b1=2 -> phi=1. Critical bid: 5 - 1 = 4.
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 5.0, .bid = 1.0, .energy_cost = 1.0},
+      Candidate{.id = 1, .value = 3.0, .bid = 2.0, .energy_cost = 1.0}};
+  const ScoreWeights w{1.0, 1.0};
+  const Allocation alloc = select_top_m(candidates, w, 1);
+  ASSERT_EQ(alloc.selected, (std::vector<std::size_t>{0}));
+  const auto payments = critical_payments(candidates, w, 1, alloc);
+  ASSERT_EQ(payments.size(), 1u);
+  EXPECT_DOUBLE_EQ(payments[0], 4.0);
+}
+
+TEST(CriticalPaymentsTest, SlackSlateUsesZeroThreshold) {
+  // One candidate, many slots: critical bid is where score hits zero (= value
+  // under unit weights).
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 5.0, .bid = 1.0, .energy_cost = 1.0}};
+  const ScoreWeights w{1.0, 1.0};
+  const Allocation alloc = select_top_m(candidates, w, 3);
+  const auto payments = critical_payments(candidates, w, 3, alloc);
+  ASSERT_EQ(payments.size(), 1u);
+  EXPECT_DOUBLE_EQ(payments[0], 5.0);
+}
+
+TEST(CriticalPaymentsTest, WeightsScalePayments) {
+  // V=2, bid weight 4: phi0 = 2*5 - 4*1 = 6, phi1 = 2*3 - 4*0.5 = 4.
+  // One slot: p0 = (2*5 - 4) / 4 = 1.5.
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 5.0, .bid = 1.0, .energy_cost = 1.0},
+      Candidate{.id = 1, .value = 3.0, .bid = 0.5, .energy_cost = 1.0}};
+  const ScoreWeights w{2.0, 4.0};
+  const Allocation alloc = select_top_m(candidates, w, 1);
+  ASSERT_EQ(alloc.selected, (std::vector<std::size_t>{0}));
+  const auto payments = critical_payments(candidates, w, 1, alloc);
+  EXPECT_DOUBLE_EQ(payments[0], 1.5);
+}
+
+TEST(CriticalPaymentsTest, PenaltiesReducePayments) {
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 5.0, .bid = 1.0, .energy_cost = 1.0}};
+  const ScoreWeights w{1.0, 1.0};
+  const Penalties penalties{2.0};
+  const Allocation alloc = select_top_m(candidates, w, 1, penalties);
+  ASSERT_EQ(alloc.selected.size(), 1u);
+  const auto payments = critical_payments(candidates, w, 1, alloc, penalties);
+  EXPECT_DOUBLE_EQ(payments[0], 3.0);  // (5 - 2 - 0) / 1
+}
+
+TEST(CriticalPaymentsTest, PaymentsAlwaysCoverWinningBids) {
+  sfl::util::Rng rng(200);
+  for (int trial = 0; trial < 300; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 1 + rng.uniform_index(15);
+    spec.penalty_hi = trial % 3 == 0 ? 1.5 : 0.0;
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const ScoreWeights weights = make_random_weights(rng);
+    const std::size_t m = 1 + rng.uniform_index(spec.num_candidates);
+    const Allocation alloc =
+        select_top_m(instance.candidates, weights, m, instance.penalties);
+    const auto payments =
+        critical_payments(instance.candidates, weights, m, alloc,
+                          instance.penalties);
+    for (std::size_t k = 0; k < alloc.selected.size(); ++k) {
+      EXPECT_GE(payments[k], instance.candidates[alloc.selected[k]].bid - 1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(VcgPaymentsTest, EqualsCriticalValueOnModularObjective) {
+  // Weighted-VCG externality and Myerson critical value must coincide for
+  // the affine-maximizer top-m rule — the theoretical identity the E12
+  // ablation relies on.
+  sfl::util::Rng rng(201);
+  const WdpSolver solver = [](const std::vector<Candidate>& c,
+                              const ScoreWeights& w, std::size_t m,
+                              const Penalties& p) {
+    return select_top_m(c, w, m, p);
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 2 + rng.uniform_index(14);
+    spec.penalty_hi = trial % 2 == 0 ? 0.0 : 2.0;
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const ScoreWeights weights = make_random_weights(rng);
+    const std::size_t m = 1 + rng.uniform_index(spec.num_candidates);
+    const Allocation alloc =
+        select_top_m(instance.candidates, weights, m, instance.penalties);
+    const auto critical = critical_payments(instance.candidates, weights, m,
+                                            alloc, instance.penalties);
+    const auto vcg = vcg_payments(instance.candidates, weights, m, alloc, solver,
+                                  instance.penalties);
+    ASSERT_EQ(critical.size(), vcg.size());
+    for (std::size_t k = 0; k < critical.size(); ++k) {
+      EXPECT_NEAR(critical[k], vcg[k], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(VcgPaymentsTest, RequiresSolver) {
+  const std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 2.0, .bid = 1.0, .energy_cost = 1.0}};
+  const Allocation alloc = select_top_m(candidates, {1.0, 1.0}, 1);
+  EXPECT_THROW(
+      (void)vcg_payments(candidates, {1.0, 1.0}, 1, alloc, WdpSolver{}),
+      std::invalid_argument);
+}
+
+TEST(MakeResultTest, MapsIndicesToClientIds) {
+  std::vector<Candidate> candidates{
+      Candidate{.id = 17, .value = 5.0, .bid = 1.0, .energy_cost = 1.0},
+      Candidate{.id = 42, .value = 4.0, .bid = 1.0, .energy_cost = 1.0}};
+  Allocation alloc;
+  alloc.selected = {1};
+  const MechanismResult result = make_result(candidates, alloc, {2.5});
+  EXPECT_EQ(result.winners, (std::vector<ClientId>{42}));
+  EXPECT_DOUBLE_EQ(result.total_payment(), 2.5);
+  EXPECT_TRUE(result.won(42));
+  EXPECT_FALSE(result.won(17));
+  EXPECT_DOUBLE_EQ(result.payment_for(42), 2.5);
+  EXPECT_DOUBLE_EQ(result.payment_for(17), 0.0);
+  EXPECT_THROW((void)make_result(candidates, alloc, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::auction

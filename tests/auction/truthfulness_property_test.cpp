@@ -1,0 +1,220 @@
+// Property tests for the incentive guarantees.
+//
+// The affine-maximizer top-m rule with critical payments must be
+// dominant-strategy incentive compatible (DSIC): no client, whatever its
+// true cost and whatever the other bids, queue weights, or penalties, can
+// gain by misreporting. These suites sweep randomized instances
+// (parameterized by seed) and check DSIC, allocation monotonicity, the
+// critical-bid boundary, and — as a contrast — that pay-as-bid is
+// manipulable.
+#include <gtest/gtest.h>
+
+#include "auction/baselines.h"
+#include "auction/payments.h"
+#include "auction/random_instance.h"
+#include "auction/winner_determination.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+namespace {
+
+struct TruthfulRunOutcome {
+  bool won = false;
+  double utility = 0.0;  ///< payment - true_cost if won, else 0
+};
+
+/// Runs the affine-maximizer auction where client `target` bids `bid` and
+/// everyone else bids their instance bid; returns target's realized utility
+/// against `true_cost`.
+TruthfulRunOutcome run_with_bid(const RandomInstance& instance,
+                                const ScoreWeights& weights, std::size_t m,
+                                std::size_t target, double bid,
+                                double true_cost) {
+  std::vector<Candidate> candidates = instance.candidates;
+  candidates[target].bid = bid;
+  const Allocation alloc = select_top_m(candidates, weights, m, instance.penalties);
+  TruthfulRunOutcome outcome;
+  for (std::size_t k = 0; k < alloc.selected.size(); ++k) {
+    if (alloc.selected[k] != target) continue;
+    const auto payments =
+        critical_payments(candidates, weights, m, alloc, instance.penalties);
+    outcome.won = true;
+    outcome.utility = payments[k] - true_cost;
+  }
+  return outcome;
+}
+
+class TruthfulnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruthfulnessSweep, MisreportingNeverBeatsTruthfulBidding) {
+  sfl::util::Rng rng(GetParam() * 7919 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 2 + rng.uniform_index(12);
+    spec.penalty_hi = trial % 2 == 0 ? 0.0 : 1.5;
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const ScoreWeights weights = make_random_weights(rng);
+    const std::size_t m = 1 + rng.uniform_index(spec.num_candidates);
+
+    for (std::size_t target = 0; target < instance.candidates.size(); ++target) {
+      const double true_cost = instance.candidates[target].bid;
+      const TruthfulRunOutcome truthful =
+          run_with_bid(instance, weights, m, target, true_cost, true_cost);
+      // IR at truth: winning utility is never negative.
+      EXPECT_GE(truthful.utility, -1e-9);
+
+      for (const double factor :
+           {0.1, 0.25, 0.5, 0.8, 0.95, 1.05, 1.3, 1.8, 2.5, 4.0}) {
+        const TruthfulRunOutcome misreport = run_with_bid(
+            instance, weights, m, target, factor * true_cost, true_cost);
+        EXPECT_LE(misreport.utility, truthful.utility + 1e-9)
+            << "target " << target << " factor " << factor << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST_P(TruthfulnessSweep, AllocationIsMonotoneInEachBid) {
+  sfl::util::Rng rng(GetParam() * 104729 + 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 2 + rng.uniform_index(10);
+    spec.penalty_hi = trial % 2 == 0 ? 0.0 : 1.0;
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const ScoreWeights weights = make_random_weights(rng);
+    const std::size_t m = 1 + rng.uniform_index(spec.num_candidates);
+
+    for (std::size_t target = 0; target < instance.candidates.size(); ++target) {
+      const double original = instance.candidates[target].bid;
+      const bool wins_now = run_with_bid(instance, weights, m, target, original,
+                                         original)
+                                .won;
+      if (wins_now) {
+        // Lowering the bid must preserve the win.
+        for (const double factor : {0.7, 0.4, 0.1}) {
+          EXPECT_TRUE(run_with_bid(instance, weights, m, target,
+                                   factor * original, original)
+                          .won)
+              << "lowering a winning bid lost, trial " << trial;
+        }
+      } else {
+        // Raising the bid must preserve the loss.
+        for (const double factor : {1.5, 3.0, 10.0}) {
+          EXPECT_FALSE(run_with_bid(instance, weights, m, target,
+                                    factor * original, original)
+                           .won)
+              << "raising a losing bid won, trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(TruthfulnessSweep, CriticalPaymentIsTheWinLoseBoundary) {
+  sfl::util::Rng rng(GetParam() * 31337 + 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 3 + rng.uniform_index(10);
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const ScoreWeights weights = make_random_weights(rng);
+    const std::size_t m = 1 + rng.uniform_index(spec.num_candidates - 1);
+
+    const Allocation alloc =
+        select_top_m(instance.candidates, weights, m, instance.penalties);
+    const auto payments = critical_payments(instance.candidates, weights, m,
+                                            alloc, instance.penalties);
+    for (std::size_t k = 0; k < alloc.selected.size(); ++k) {
+      const std::size_t target = alloc.selected[k];
+      const double critical = payments[k];
+      const double true_cost = instance.candidates[target].bid;
+      if (critical < 1e-6) continue;  // degenerate boundary, skip
+      // Slightly below the critical bid: still wins.
+      const double below = std::max(critical * (1.0 - 1e-6) - 1e-9, 0.0);
+      EXPECT_TRUE(run_with_bid(instance, weights, m, target, below, true_cost).won)
+          << "trial " << trial;
+      // Slightly above: loses.
+      EXPECT_FALSE(run_with_bid(instance, weights, m, target,
+                                critical * (1.0 + 1e-6) + 1e-9, true_cost)
+                       .won)
+          << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, TruthfulnessSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(PayAsBidManipulabilityTest, OverbiddingProfitsExistSomewhere) {
+  // Pay-as-bid is not truthful: a winner can often raise its bid toward the
+  // critical threshold and pocket the difference. Verify a profitable
+  // deviation exists in a reasonable fraction of random markets.
+  sfl::util::Rng rng(404);
+  int markets_with_profitable_deviation = 0;
+  const int markets = 50;
+  for (int trial = 0; trial < markets; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 6;
+    const RandomInstance instance = make_random_instance(spec, rng);
+    const std::size_t m = 2;
+    const ScoreWeights weights{1.0, 1.0};
+
+    PayAsBidGreedyMechanism mech;
+    RoundContext ctx;
+    ctx.max_winners = m;
+
+    const MechanismResult truthful = mech.run_round(instance.candidates, ctx);
+    bool found = false;
+    for (std::size_t target = 0; target < instance.candidates.size() && !found;
+         ++target) {
+      const double true_cost = instance.candidates[target].bid;
+      const double truthful_utility =
+          truthful.won(target) ? truthful.payment_for(target) - true_cost : 0.0;
+      for (const double factor : {1.2, 1.5, 2.0}) {
+        std::vector<Candidate> shaded = instance.candidates;
+        shaded[target].bid = factor * true_cost;
+        const MechanismResult deviated = mech.run_round(shaded, ctx);
+        const double deviated_utility =
+            deviated.won(target) ? deviated.payment_for(target) - true_cost : 0.0;
+        if (deviated_utility > truthful_utility + 1e-9) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found) ++markets_with_profitable_deviation;
+    (void)weights;
+  }
+  EXPECT_GT(markets_with_profitable_deviation, markets / 2);
+}
+
+TEST(FixedPriceTruthfulnessTest, AcceptanceAtPostedPriceIsDominant) {
+  // Under a posted price, reporting any bid <= price yields the same posted
+  // payment, and reporting above the price loses a profitable trade (when
+  // cost <= price). Check on random instances that no report beats bidding
+  // the true cost.
+  sfl::util::Rng rng(505);
+  FixedPriceMechanism mech(1.5);
+  RoundContext ctx;
+  ctx.max_winners = 100;
+  for (int trial = 0; trial < 100; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 8;
+    const RandomInstance instance = make_random_instance(spec, rng);
+    for (std::size_t target = 0; target < instance.candidates.size(); ++target) {
+      const double true_cost = instance.candidates[target].bid;
+      const auto utility_with_bid = [&](double bid) {
+        std::vector<Candidate> candidates = instance.candidates;
+        candidates[target].bid = bid;
+        const MechanismResult result = mech.run_round(candidates, ctx);
+        return result.won(target) ? result.payment_for(target) - true_cost : 0.0;
+      };
+      const double truthful_utility = utility_with_bid(true_cost);
+      for (const double factor : {0.3, 0.9, 1.1, 2.0}) {
+        EXPECT_LE(utility_with_bid(factor * true_cost), truthful_utility + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfl::auction

@@ -1,0 +1,87 @@
+#include "core/adaptive_market.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/baselines.h"
+#include "core/long_term_online_vcg.h"
+
+namespace sfl::core {
+namespace {
+
+MarketSpec market_spec(std::size_t rounds) {
+  MarketSpec spec;
+  spec.num_clients = 25;
+  spec.rounds = rounds;
+  spec.max_winners = 6;
+  spec.per_round_budget = 5.0;
+  spec.seed = 77;
+  return spec;
+}
+
+AdaptiveMarketConfig adaptive_config() {
+  AdaptiveMarketConfig config;
+  config.learner.factor_grid = {0.7, 1.0, 1.5, 2.0};
+  config.learner.exploration = 0.08;
+  config.learner.reward_scale = 3.0;
+  config.sample_every = 100;
+  return config;
+}
+
+TEST(AdaptiveMarketTest, SeriesShapeAndDeterminism) {
+  const MarketSpec spec = market_spec(400);
+  LtoVcgConfig lto_config;
+  lto_config.v_weight = 10.0;
+  lto_config.per_round_budget = spec.per_round_budget;
+  LongTermOnlineVcgMechanism a(lto_config);
+  LongTermOnlineVcgMechanism b(lto_config);
+  const AdaptiveMarketResult ra = run_adaptive_market(a, spec, adaptive_config());
+  const AdaptiveMarketResult rb = run_adaptive_market(b, spec, adaptive_config());
+  EXPECT_EQ(ra.mean_factor_series, rb.mean_factor_series);
+  EXPECT_EQ(ra.rounds, 400u);
+  // initial sample + one per 100 rounds.
+  EXPECT_EQ(ra.mean_factor_series.size(), 1u + 4u);
+  EXPECT_DOUBLE_EQ(ra.mean_factor_series.front(), ra.initial_mean_factor);
+}
+
+TEST(AdaptiveMarketTest, LearnersApproachTruthUnderLtoVcg) {
+  const MarketSpec spec = market_spec(6000);
+  LtoVcgConfig lto_config;
+  lto_config.v_weight = 10.0;
+  lto_config.per_round_budget = spec.per_round_budget;
+  LongTermOnlineVcgMechanism mech(lto_config);
+  const AdaptiveMarketResult result =
+      run_adaptive_market(mech, spec, adaptive_config());
+  // The uniform prior starts at the grid mean (1.3); learning must pull the
+  // population toward 1.0.
+  EXPECT_LT(result.final_mean_factor, result.initial_mean_factor - 0.05);
+  EXPECT_LT(result.final_mean_factor, 1.25);
+  // A large share of clients' modal arm is the truthful factor. (Clients
+  // who rarely win receive no signal and stay near-uniform, so this cannot
+  // reach 1.)
+  EXPECT_GT(result.truthful_modal_fraction, 0.4);
+}
+
+TEST(AdaptiveMarketTest, LearnersDriftToOverbiddingUnderPayAsBid) {
+  const MarketSpec spec = market_spec(6000);
+  sfl::auction::PayAsBidGreedyMechanism mech;
+  const AdaptiveMarketResult result =
+      run_adaptive_market(mech, spec, adaptive_config());
+  // Truth pays zero rent under pay-as-bid; overbid arms win the bandit.
+  EXPECT_GT(result.final_mean_factor, 1.2);
+  EXPECT_LT(result.truthful_modal_fraction, 0.5);
+}
+
+TEST(AdaptiveMarketTest, Validation) {
+  MarketSpec spec = market_spec(10);
+  spec.rounds = 0;
+  sfl::auction::MyopicVcgMechanism mech;
+  EXPECT_THROW((void)run_adaptive_market(mech, spec), std::invalid_argument);
+  spec = market_spec(10);
+  AdaptiveMarketConfig config = adaptive_config();
+  config.sample_every = 0;
+  EXPECT_THROW((void)run_adaptive_market(mech, spec, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::core

@@ -1,0 +1,114 @@
+// Failure injection: auction winners that fail to deliver.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/long_term_online_vcg.h"
+#include "core/orchestrator.h"
+#include "fl/logistic_regression.h"
+
+namespace sfl::core {
+namespace {
+
+sim::ScenarioSpec scenario_spec() {
+  sim::ScenarioSpec spec;
+  spec.num_clients = 10;
+  spec.train_examples = 400;
+  spec.test_examples = 120;
+  spec.num_classes = 3;
+  spec.feature_dim = 5;
+  spec.class_separation = 2.5;
+  spec.seed = 31;
+  return spec;
+}
+
+OrchestratorConfig orch_config(double dropout) {
+  OrchestratorConfig config;
+  config.rounds = 40;
+  config.max_winners = 4;
+  config.per_round_budget = 3.0;
+  config.seed = 5;
+  config.dropout_probability = dropout;
+  return config;
+}
+
+RunResult run_with_dropout(const sim::Scenario& scenario,
+                           const sim::ScenarioSpec& sspec, double dropout) {
+  const OrchestratorConfig config = orch_config(dropout);
+  LtoVcgConfig mech_config;
+  mech_config.v_weight = 8.0;
+  mech_config.per_round_budget = config.per_round_budget;
+  fl::LocalTrainingSpec training;
+  training.local_steps = 5;
+  training.batch_size = 16;
+  training.optimizer.learning_rate = 0.1;
+  SustainableFlOrchestrator orchestrator(
+      scenario,
+      std::make_unique<fl::LogisticRegression>(sspec.feature_dim,
+                                               sspec.num_classes, 1e-4),
+      training, std::make_unique<LongTermOnlineVcgMechanism>(mech_config),
+      config);
+  return orchestrator.run();
+}
+
+TEST(DropoutTest, FullDropoutMeansNoTradesAndNoLearning) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const RunResult result = run_with_dropout(scenario, sspec, 1.0);
+  EXPECT_DOUBLE_EQ(result.cumulative_payment, 0.0);
+  EXPECT_DOUBLE_EQ(result.cumulative_welfare, 0.0);
+  for (const auto& record : result.rounds) {
+    EXPECT_EQ(record.participants, 0u);
+    EXPECT_GT(record.dropped, 0u);  // someone was selected, then lost
+  }
+  // 3-class task: untouched model stays near chance.
+  EXPECT_LT(result.final_accuracy, 0.55);
+}
+
+TEST(DropoutTest, PartialDropoutReducesDeliveryAndSpend) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const RunResult reliable = run_with_dropout(scenario, sspec, 0.0);
+  const RunResult flaky = run_with_dropout(scenario, sspec, 0.5);
+
+  double reliable_participants = 0.0;
+  double flaky_participants = 0.0;
+  std::size_t flaky_drops = 0;
+  for (std::size_t t = 0; t < reliable.rounds.size(); ++t) {
+    reliable_participants += static_cast<double>(reliable.rounds[t].participants);
+    flaky_participants += static_cast<double>(flaky.rounds[t].participants);
+    flaky_drops += flaky.rounds[t].dropped;
+    EXPECT_EQ(reliable.rounds[t].dropped, 0u);
+  }
+  EXPECT_GT(flaky_drops, 0u);
+  EXPECT_LT(flaky_participants, reliable_participants * 0.75);
+  EXPECT_LT(flaky.cumulative_payment, reliable.cumulative_payment);
+}
+
+TEST(DropoutTest, TrainingSurvivesModerateDropout) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const RunResult result = run_with_dropout(scenario, sspec, 0.3);
+  EXPECT_GT(result.final_accuracy, 0.6);
+  EXPECT_DOUBLE_EQ(result.ir_fraction, 1.0);  // delivered winners still IR
+}
+
+TEST(DropoutTest, Validation) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  OrchestratorConfig config = orch_config(1.5);
+  LtoVcgConfig mech_config;
+  mech_config.per_round_budget = config.per_round_budget;
+  fl::LocalTrainingSpec training;
+  EXPECT_THROW(
+      SustainableFlOrchestrator(
+          scenario,
+          std::make_unique<fl::LogisticRegression>(sspec.feature_dim,
+                                                   sspec.num_classes, 1e-4),
+          training, std::make_unique<LongTermOnlineVcgMechanism>(mech_config),
+          config),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::core

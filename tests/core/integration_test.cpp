@@ -1,0 +1,181 @@
+// Cross-module integration tests: the full system run end to end in
+// configurations the per-module suites do not cover.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "auction/adaptive_price.h"
+#include "auction/baselines.h"
+#include "core/long_term_online_vcg.h"
+#include "core/market_simulation.h"
+#include "core/orchestrator.h"
+#include "fl/mlp.h"
+#include "fl/logistic_regression.h"
+
+namespace sfl::core {
+namespace {
+
+sim::ScenarioSpec scenario_spec() {
+  sim::ScenarioSpec spec;
+  spec.num_clients = 10;
+  spec.train_examples = 500;
+  spec.test_examples = 150;
+  spec.num_classes = 3;
+  spec.feature_dim = 6;
+  spec.class_separation = 2.5;
+  spec.seed = 91;
+  return spec;
+}
+
+fl::LocalTrainingSpec training_spec() {
+  fl::LocalTrainingSpec spec;
+  spec.local_steps = 5;
+  spec.batch_size = 16;
+  spec.optimizer.learning_rate = 0.1;
+  return spec;
+}
+
+OrchestratorConfig orch_config(std::size_t rounds) {
+  OrchestratorConfig config;
+  config.rounds = rounds;
+  config.max_winners = 4;
+  config.per_round_budget = 3.0;
+  config.seed = 7;
+  return config;
+}
+
+std::unique_ptr<sfl::auction::Mechanism> lto(const OrchestratorConfig& cfg) {
+  LtoVcgConfig config;
+  config.v_weight = 8.0;
+  config.per_round_budget = cfg.per_round_budget;
+  return std::make_unique<LongTermOnlineVcgMechanism>(config);
+}
+
+TEST(IntegrationTest, MlpModelTrainsEndToEndUnderTheMechanism) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const OrchestratorConfig config = orch_config(50);
+  sfl::util::Rng init_rng(3);
+  auto model = std::make_unique<fl::Mlp>(sspec.feature_dim, 12,
+                                         sspec.num_classes, init_rng, 1e-4);
+  SustainableFlOrchestrator orchestrator(scenario, std::move(model),
+                                         training_spec(), lto(config), config);
+  const RunResult result = orchestrator.run();
+  EXPECT_GT(result.final_accuracy, 0.6);  // 3 classes, chance 0.33
+  EXPECT_DOUBLE_EQ(result.ir_fraction, 1.0);
+}
+
+TEST(IntegrationTest, FedProxAndScheduleComposeWithTheMechanism) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const OrchestratorConfig config = orch_config(40);
+  fl::LocalTrainingSpec training = training_spec();
+  training.proximal_mu = 0.1;
+  training.gradient_clip_norm = 50.0;
+  auto model = std::make_unique<fl::LogisticRegression>(sspec.feature_dim,
+                                                        sspec.num_classes, 1e-4);
+  SustainableFlOrchestrator orchestrator(scenario, std::move(model), training,
+                                         lto(config), config);
+  const RunResult result = orchestrator.run();
+  EXPECT_GT(result.final_accuracy, 0.6);
+}
+
+TEST(IntegrationTest, WelfareAccountingIdentityHoldsAcrossTheMarket) {
+  // welfare == server utility + sum of client utilities, where server
+  // utility = value - payment and client utility = payment - cost. Checked
+  // through the market simulation's independent accumulations.
+  MarketSpec spec;
+  spec.num_clients = 25;
+  spec.rounds = 200;
+  spec.max_winners = 6;
+  spec.per_round_budget = 4.0;
+  spec.seed = 3;
+  LtoVcgConfig config;
+  config.v_weight = 10.0;
+  config.per_round_budget = spec.per_round_budget;
+  LongTermOnlineVcgMechanism mech(config);
+  const MarketResult result = run_market(mech, spec);
+
+  const double client_total = std::accumulate(
+      result.client_utilities.begin(), result.client_utilities.end(), 0.0);
+  // Server utility = welfare - client transfers' surplus:
+  // sum(v - c) = sum(v - p) + sum(p - c).
+  const double server_utility = result.cumulative_welfare - client_total;
+  EXPECT_NEAR(result.cumulative_welfare, server_utility + client_total, 1e-9);
+  // Payments reconcile with the series.
+  const double series_sum = std::accumulate(result.payment_series.begin(),
+                                            result.payment_series.end(), 0.0);
+  EXPECT_NEAR(series_sum, result.cumulative_payment, 1e-6);
+  // Client utilities are non-negative under a truthful IR mechanism with
+  // truthful bidding.
+  for (const double u : result.client_utilities) {
+    EXPECT_GE(u, -1e-9);
+  }
+}
+
+TEST(IntegrationTest, MisreportingDoesNotHelpThroughTheFullFlStack) {
+  // FL-level incentive spot check: one client scales its bids; its ledger
+  // utility through the complete orchestrator (auction + training +
+  // reputation) must not beat truth-telling.
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const OrchestratorConfig config = orch_config(60);
+
+  const auto utility_with_factor = [&](double factor) {
+    StrategyTable strategies(sspec.num_clients);
+    for (auto& s : strategies) s = std::make_shared<econ::TruthfulStrategy>();
+    if (factor != 1.0) {
+      strategies[2] = std::make_shared<econ::ScaledMisreportStrategy>(factor);
+    }
+    auto model = std::make_unique<fl::LogisticRegression>(
+        sspec.feature_dim, sspec.num_classes, 1e-4);
+    SustainableFlOrchestrator orchestrator(scenario, std::move(model),
+                                           training_spec(), lto(config), config,
+                                           std::move(strategies));
+    return orchestrator.run().client_utilities[2];
+  };
+
+  const double truthful = utility_with_factor(1.0);
+  for (const double factor : {0.6, 1.5, 2.5}) {
+    EXPECT_LE(utility_with_factor(factor), truthful + 1e-6) << factor;
+  }
+}
+
+TEST(IntegrationTest, BudgetScheduleWorksThroughTheOrchestrator) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  OrchestratorConfig config = orch_config(80);
+
+  LtoVcgConfig mech_config;
+  mech_config.v_weight = 8.0;
+  mech_config.per_round_budget = config.per_round_budget;
+  mech_config.budget_schedule = {1.0, 5.0};  // mean 3 = per_round_budget
+  auto model = std::make_unique<fl::LogisticRegression>(sspec.feature_dim,
+                                                        sspec.num_classes, 1e-4);
+  SustainableFlOrchestrator orchestrator(
+      scenario, std::move(model), training_spec(),
+      std::make_unique<LongTermOnlineVcgMechanism>(mech_config), config);
+  const RunResult result = orchestrator.run();
+  EXPECT_LE(result.average_payment, 3.0 * 1.2);
+  EXPECT_GT(result.final_accuracy, 0.5);
+}
+
+TEST(IntegrationTest, AdaptivePriceMechanismRunsThroughTheOrchestrator) {
+  const auto sspec = scenario_spec();
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+  const OrchestratorConfig config = orch_config(40);
+  auto model = std::make_unique<fl::LogisticRegression>(sspec.feature_dim,
+                                                        sspec.num_classes, 1e-4);
+  SustainableFlOrchestrator orchestrator(
+      scenario, std::move(model), training_spec(),
+      std::make_unique<sfl::auction::AdaptivePostedPriceMechanism>(
+          sfl::auction::AdaptivePriceConfig{}),
+      config);
+  const RunResult result = orchestrator.run();
+  EXPECT_GT(result.final_accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(result.ir_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace sfl::core

@@ -1,0 +1,97 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sfl::data {
+namespace {
+
+Dataset small_classification() {
+  Matrix features(4, 2, {0, 0, 1, 1, 2, 2, 3, 3});
+  return Dataset(std::move(features), {0, 1, 0, 1}, 2);
+}
+
+TEST(DatasetTest, ClassificationBasics) {
+  const Dataset ds = small_classification();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.feature_dim(), 2u);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_TRUE(ds.is_classification());
+  EXPECT_EQ(ds.label(1), 1);
+  EXPECT_DOUBLE_EQ(ds.example(2)[0], 2.0);
+  EXPECT_THROW((void)ds.target(0), std::invalid_argument);
+}
+
+TEST(DatasetTest, RegressionBasics) {
+  Matrix features(3, 1, {1, 2, 3});
+  const Dataset ds(std::move(features), std::vector<double>{1.5, 2.5, 3.5});
+  EXPECT_FALSE(ds.is_classification());
+  EXPECT_DOUBLE_EQ(ds.target(2), 3.5);
+  EXPECT_THROW((void)ds.label(0), std::invalid_argument);
+}
+
+TEST(DatasetTest, ConstructorValidation) {
+  Matrix features(2, 2);
+  EXPECT_THROW(Dataset(features, std::vector<int>{0}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(features, std::vector<int>{0, 5}, 2), std::invalid_argument);
+  EXPECT_THROW(Dataset(features, std::vector<int>{0, 1}, 0), std::invalid_argument);
+  EXPECT_THROW(Dataset(features, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(DatasetTest, SubsetSelectsAndAllowsDuplicates) {
+  const Dataset ds = small_classification();
+  const std::vector<std::size_t> indices{3, 0, 3};
+  const Dataset sub = ds.subset(indices);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.example(0)[0], 3.0);
+  EXPECT_EQ(sub.label(1), 0);
+  EXPECT_EQ(sub.label(2), 1);
+  const std::vector<std::size_t> bad{7};
+  EXPECT_THROW((void)ds.subset(bad), std::out_of_range);
+}
+
+TEST(DatasetTest, ClassHistogram) {
+  const Dataset ds = small_classification();
+  const auto hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 2u);
+}
+
+TEST(DatasetTest, SplitPartitionsAllExamples) {
+  Matrix features(10, 1, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Dataset ds(std::move(features),
+                   std::vector<int>{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}, 2);
+  sfl::util::Rng rng(3);
+  const auto [first, second] = ds.split(0.7, rng);
+  EXPECT_EQ(first.size(), 7u);
+  EXPECT_EQ(second.size(), 3u);
+  // Every original feature value appears exactly once across the halves.
+  std::vector<int> seen(10, 0);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ++seen[static_cast<std::size_t>(first.example(i)[0])];
+  }
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ++seen[static_cast<std::size_t>(second.example(i)[0])];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(DatasetTest, SplitValidation) {
+  const Dataset ds = small_classification();
+  sfl::util::Rng rng(4);
+  EXPECT_THROW((void)ds.split(0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)ds.split(1.0, rng), std::invalid_argument);
+}
+
+TEST(DatasetTest, SetLabelValidates) {
+  Dataset ds = small_classification();
+  ds.set_label(0, 1);
+  EXPECT_EQ(ds.label(0), 1);
+  EXPECT_THROW(ds.set_label(0, 2), std::invalid_argument);
+  EXPECT_THROW(ds.set_label(9, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sfl::data

@@ -1,0 +1,148 @@
+#include "data/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sfl::data {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.empty());
+  for (const double v : m.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+
+  const Matrix empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(MatrixTest, ConstructFromValuesValidatesSize) {
+  const Matrix m(2, 2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 4.0);
+  EXPECT_THROW(Matrix(2, 2, {1.0}), std::invalid_argument);
+}
+
+TEST(MatrixTest, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)m.at(0, 2), std::invalid_argument);
+  m.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+}
+
+TEST(MatrixTest, IdentityAndFillAndScale) {
+  Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 1), 0.0);
+  id.scale(4.0);
+  EXPECT_DOUBLE_EQ(id.at(2, 2), 4.0);
+  id.fill(-1.0);
+  EXPECT_DOUBLE_EQ(id.at(1, 0), -1.0);
+}
+
+TEST(MatrixTest, RowViewsShareStorage) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 9.0);
+  EXPECT_THROW((void)m.row(2), std::invalid_argument);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(2, 2, {1.0, 2.0, 3.0, 4.0});
+  const Matrix b(2, 2, {10.0, 20.0, 30.0, 40.0});
+  a.add_scaled(b, 0.1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 8.0);
+  const Matrix wrong(1, 2);
+  EXPECT_THROW(a.add_scaled(wrong, 1.0), std::invalid_argument);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  const Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+  EXPECT_EQ(t.transpose(), m);
+}
+
+TEST(MatrixTest, MatmulMatchesHandComputation) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = matmul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+  EXPECT_THROW((void)matmul(a, a), std::invalid_argument);
+}
+
+TEST(MatrixTest, MatmulWithIdentityIsIdentityOp) {
+  sfl::util::Rng rng(3);
+  const Matrix m = Matrix::random_normal(4, 4, 1.0, rng);
+  EXPECT_EQ(matmul(m, Matrix::identity(4)), m);
+  EXPECT_EQ(matmul(Matrix::identity(4), m), m);
+}
+
+TEST(MatrixTest, MatvecAndTransposedMatvec) {
+  const Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  const std::vector<double> x{1.0, 0.0, -1.0};
+  const auto y = matvec(a, x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+
+  const std::vector<double> z{1.0, 1.0};
+  const auto w = matvec_transposed(a, z);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 7.0);
+  EXPECT_DOUBLE_EQ(w[2], 9.0);
+
+  EXPECT_THROW((void)matvec(a, z), std::invalid_argument);
+  EXPECT_THROW((void)matvec_transposed(a, x), std::invalid_argument);
+}
+
+TEST(MatrixTest, DotNormAxpy) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<double>{3.0, 4.0}), 5.0);
+  std::vector<double> c{1.0, 1.0, 1.0};
+  axpy(c, a, 2.0);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[2], 7.0);
+  const std::vector<double> shorter{1.0};
+  EXPECT_THROW((void)dot(a, shorter), std::invalid_argument);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m(2, 2, {1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(MatrixTest, RandomNormalHasRequestedMoments) {
+  sfl::util::Rng rng(11);
+  const Matrix m = Matrix::random_normal(100, 100, 2.0, rng);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : m.data()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 4.0, 0.15);
+}
+
+}  // namespace
+}  // namespace sfl::data

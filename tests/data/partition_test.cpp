@@ -1,0 +1,160 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace sfl::data {
+namespace {
+
+TEST(PartitionIidTest, CoversAllExamplesEvenly) {
+  sfl::util::Rng rng(1);
+  const Partition p = partition_iid(100, 7, rng);
+  ASSERT_EQ(p.size(), 7u);
+  validate_partition(p, 100);
+  std::size_t min_size = 100;
+  std::size_t max_size = 0;
+  for (const auto& shard : p) {
+    min_size = std::min(min_size, shard.size());
+    max_size = std::max(max_size, shard.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(PartitionIidTest, Validation) {
+  sfl::util::Rng rng(2);
+  EXPECT_THROW((void)partition_iid(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)partition_iid(3, 5, rng), std::invalid_argument);
+}
+
+TEST(PartitionDirichletTest, CoversAllExamples) {
+  sfl::util::Rng rng(3);
+  GaussianMixtureSpec spec;
+  spec.num_examples = 600;
+  spec.num_classes = 5;
+  spec.feature_dim = 2;
+  const Dataset ds = make_gaussian_mixture(spec, rng);
+  const Partition p = partition_dirichlet_label_skew(ds, 10, 0.5, rng);
+  ASSERT_EQ(p.size(), 10u);
+  validate_partition(p, 600);
+  for (const auto& shard : p) {
+    EXPECT_FALSE(shard.empty());
+  }
+}
+
+TEST(PartitionDirichletTest, SmallAlphaIsMoreSkewedThanLargeAlpha) {
+  // Measure label skew as the mean (over clients) of the max class share.
+  const auto mean_max_share = [](double alpha) {
+    sfl::util::Rng rng(4);
+    GaussianMixtureSpec spec;
+    spec.num_examples = 2000;
+    spec.num_classes = 5;
+    spec.feature_dim = 2;
+    const Dataset ds = make_gaussian_mixture(spec, rng);
+    const Partition p = partition_dirichlet_label_skew(ds, 10, alpha, rng);
+    double total_share = 0.0;
+    for (const auto& shard : p) {
+      std::vector<std::size_t> counts(5, 0);
+      for (const std::size_t i : shard) {
+        ++counts[static_cast<std::size_t>(ds.label(i))];
+      }
+      const auto max_count = *std::max_element(counts.begin(), counts.end());
+      total_share += static_cast<double>(max_count) /
+                     static_cast<double>(std::max<std::size_t>(shard.size(), 1));
+    }
+    return total_share / 10.0;
+  };
+  EXPECT_GT(mean_max_share(0.1), mean_max_share(100.0) + 0.1);
+}
+
+TEST(PartitionDirichletTest, TinyAlphaStillGivesEveryClientAnExample) {
+  sfl::util::Rng rng(5);
+  GaussianMixtureSpec spec;
+  spec.num_examples = 100;
+  spec.num_classes = 3;
+  spec.feature_dim = 2;
+  const Dataset ds = make_gaussian_mixture(spec, rng);
+  const Partition p = partition_dirichlet_label_skew(ds, 20, 0.01, rng);
+  validate_partition(p, 100);
+  for (const auto& shard : p) {
+    EXPECT_FALSE(shard.empty());
+  }
+}
+
+TEST(PartitionQuantitySkewTest, SkewGrowsWithSigma) {
+  const auto size_ratio = [](double sigma) {
+    sfl::util::Rng rng(6);
+    const Partition p = partition_quantity_skew(5000, 20, sigma, rng);
+    validate_partition(p, 5000);
+    std::size_t min_size = 5000;
+    std::size_t max_size = 0;
+    for (const auto& shard : p) {
+      min_size = std::min(min_size, shard.size());
+      max_size = std::max(max_size, shard.size());
+    }
+    return static_cast<double>(max_size) / static_cast<double>(min_size);
+  };
+  EXPECT_LT(size_ratio(0.0), 1.3);
+  EXPECT_GT(size_ratio(1.5), 3.0);
+}
+
+TEST(PartitionQuantitySkewTest, EveryClientGetsAtLeastOne) {
+  sfl::util::Rng rng(7);
+  const Partition p = partition_quantity_skew(30, 30, 2.0, rng);
+  validate_partition(p, 30);
+  for (const auto& shard : p) {
+    EXPECT_EQ(shard.size(), 1u);
+  }
+}
+
+TEST(ValidatePartitionTest, DetectsViolations) {
+  Partition missing{{0, 1}, {2}};
+  EXPECT_THROW(validate_partition(missing, 4), std::invalid_argument);
+  Partition duplicate{{0, 1}, {1, 2}};
+  EXPECT_THROW(validate_partition(duplicate, 3), std::invalid_argument);
+  Partition out_of_range{{0, 5}};
+  EXPECT_THROW(validate_partition(out_of_range, 2), std::invalid_argument);
+  Partition good{{1, 0}, {2}};
+  EXPECT_NO_THROW(validate_partition(good, 3));
+}
+
+TEST(FederatedDatasetTest, BuildsShardsMatchingPartition) {
+  sfl::util::Rng rng(8);
+  GaussianMixtureSpec spec;
+  spec.num_examples = 120;
+  spec.num_classes = 3;
+  spec.feature_dim = 2;
+  Dataset train = make_gaussian_mixture(spec, rng);
+  spec.num_examples = 30;
+  Dataset test = make_gaussian_mixture(spec, rng);
+  const Partition partition = partition_iid(120, 4, rng);
+
+  const FederatedDataset fed(std::move(train), std::move(test), partition);
+  EXPECT_EQ(fed.num_clients(), 4u);
+  EXPECT_EQ(fed.total_examples(), 120u);
+  EXPECT_EQ(fed.test_set().size(), 30u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(fed.shard_size(c), partition[c].size());
+    EXPECT_EQ(fed.shard(c).size(), partition[c].size());
+  }
+  EXPECT_THROW((void)fed.shard(4), std::out_of_range);
+}
+
+TEST(FederatedDatasetTest, ShardContentsMatchSourceExamples) {
+  sfl::util::Rng rng(9);
+  Matrix features(6, 1, {0, 10, 20, 30, 40, 50});
+  Dataset train(std::move(features), std::vector<int>{0, 1, 0, 1, 0, 1}, 2);
+  Matrix test_features(2, 1, {60, 70});
+  Dataset test(std::move(test_features), std::vector<int>{0, 1}, 2);
+  const Partition partition{{0, 2, 4}, {1, 3, 5}};
+  const FederatedDataset fed(std::move(train), std::move(test), partition);
+  EXPECT_DOUBLE_EQ(fed.shard(0).example(1)[0], 20.0);
+  EXPECT_DOUBLE_EQ(fed.shard(1).example(2)[0], 50.0);
+  EXPECT_EQ(fed.shard(1).label(0), 1);
+}
+
+}  // namespace
+}  // namespace sfl::data

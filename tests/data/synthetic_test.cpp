@@ -1,0 +1,138 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sfl::data {
+namespace {
+
+TEST(GaussianMixtureTest, ProducesRequestedShape) {
+  sfl::util::Rng rng(1);
+  GaussianMixtureSpec spec;
+  spec.num_examples = 500;
+  spec.num_classes = 4;
+  spec.feature_dim = 8;
+  const Dataset ds = make_gaussian_mixture(spec, rng);
+  EXPECT_EQ(ds.size(), 500u);
+  EXPECT_EQ(ds.feature_dim(), 8u);
+  EXPECT_EQ(ds.num_classes(), 4u);
+  const auto hist = ds.class_histogram();
+  for (const auto count : hist) {
+    EXPECT_GT(count, 60u);  // roughly balanced
+  }
+}
+
+TEST(GaussianMixtureTest, ClassWeightsSkewFrequencies) {
+  sfl::util::Rng rng(2);
+  GaussianMixtureSpec spec;
+  spec.num_examples = 2000;
+  spec.num_classes = 2;
+  spec.feature_dim = 2;
+  spec.class_weights = {9.0, 1.0};
+  const Dataset ds = make_gaussian_mixture(spec, rng);
+  const auto hist = ds.class_histogram();
+  EXPECT_NEAR(static_cast<double>(hist[0]) / 2000.0, 0.9, 0.04);
+}
+
+TEST(GaussianMixtureTest, HigherSeparationIsMoreLinearlySeparable) {
+  // Verify classes are far apart relative to within-class spread by
+  // comparing distance of class means for two separations.
+  const auto mean_distance = [](double separation) {
+    sfl::util::Rng rng(3);
+    GaussianMixtureSpec spec;
+    spec.num_examples = 1000;
+    spec.num_classes = 2;
+    spec.feature_dim = 4;
+    spec.class_separation = separation;
+    const Dataset ds = make_gaussian_mixture(spec, rng);
+    std::vector<double> mean0(4, 0.0);
+    std::vector<double> mean1(4, 0.0);
+    double n0 = 0.0;
+    double n1 = 0.0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      const auto x = ds.example(i);
+      auto& mean = ds.label(i) == 0 ? mean0 : mean1;
+      (ds.label(i) == 0 ? n0 : n1) += 1.0;
+      for (std::size_t j = 0; j < 4; ++j) mean[j] += x[j];
+    }
+    double dist_sq = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      dist_sq += std::pow(mean0[j] / n0 - mean1[j] / n1, 2);
+    }
+    return std::sqrt(dist_sq);
+  };
+  EXPECT_GT(mean_distance(6.0), mean_distance(1.0));
+}
+
+TEST(GaussianMixtureTest, Validation) {
+  sfl::util::Rng rng(4);
+  GaussianMixtureSpec spec;
+  spec.num_classes = 1;
+  EXPECT_THROW((void)make_gaussian_mixture(spec, rng), std::invalid_argument);
+  spec.num_classes = 3;
+  spec.class_weights = {1.0, 2.0};  // wrong length
+  EXPECT_THROW((void)make_gaussian_mixture(spec, rng), std::invalid_argument);
+}
+
+TEST(TwoBlobsTest, BinaryTwoDimensional) {
+  sfl::util::Rng rng(5);
+  const Dataset ds = make_two_blobs(100, 4.0, rng);
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_EQ(ds.feature_dim(), 2u);
+  EXPECT_EQ(ds.size(), 100u);
+}
+
+TEST(LinearRegressionDataTest, NoiselessTargetsMatchTrueModel) {
+  sfl::util::Rng rng(6);
+  const auto lr = make_linear_regression(50, 3, 0.0, rng);
+  EXPECT_EQ(lr.dataset.size(), 50u);
+  EXPECT_EQ(lr.true_weights.size(), 3u);
+  for (std::size_t i = 0; i < lr.dataset.size(); ++i) {
+    const auto x = lr.dataset.example(i);
+    double y = lr.true_bias;
+    for (std::size_t j = 0; j < 3; ++j) y += lr.true_weights[j] * x[j];
+    EXPECT_NEAR(lr.dataset.target(i), y, 1e-12);
+  }
+}
+
+TEST(LabelNoiseTest, FlipProbabilityRespected) {
+  sfl::util::Rng rng(7);
+  GaussianMixtureSpec spec;
+  spec.num_examples = 5000;
+  spec.num_classes = 10;
+  spec.feature_dim = 2;
+  Dataset ds = make_gaussian_mixture(spec, rng);
+  const auto original = ds.labels();
+  const std::size_t flipped = apply_label_noise(ds, 0.3, rng);
+  EXPECT_NEAR(static_cast<double>(flipped) / 5000.0, 0.3, 0.03);
+  // Every flipped label differs from the original (flip-to-different-class).
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.label(i) != original[i]) ++differing;
+  }
+  EXPECT_EQ(differing, flipped);
+}
+
+TEST(LabelNoiseTest, ZeroProbabilityIsNoOp) {
+  sfl::util::Rng rng(8);
+  Dataset ds = make_two_blobs(100, 3.0, rng);
+  const auto before = ds.labels();
+  EXPECT_EQ(apply_label_noise(ds, 0.0, rng), 0u);
+  EXPECT_EQ(ds.labels(), before);
+}
+
+TEST(LabelNoiseTest, FullProbabilityFlipsEverything) {
+  sfl::util::Rng rng(9);
+  Dataset ds = make_two_blobs(200, 3.0, rng);
+  const auto before = ds.labels();
+  EXPECT_EQ(apply_label_noise(ds, 1.0, rng), 200u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_NE(ds.label(i), before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sfl::data

@@ -1,0 +1,113 @@
+#include "econ/learning_bidder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfl::econ {
+namespace {
+
+Exp3Config small_config() {
+  Exp3Config config;
+  config.factor_grid = {0.5, 1.0, 2.0};
+  config.exploration = 0.1;
+  config.reward_scale = 1.0;
+  return config;
+}
+
+TEST(Exp3LearnerTest, ConfigValidation) {
+  Exp3Config config = small_config();
+  config.factor_grid.clear();
+  EXPECT_THROW(Exp3BiddingLearner(config, 1), std::invalid_argument);
+  config = small_config();
+  config.factor_grid = {0.0};
+  EXPECT_THROW(Exp3BiddingLearner(config, 1), std::invalid_argument);
+  config = small_config();
+  config.exploration = 0.0;
+  EXPECT_THROW(Exp3BiddingLearner(config, 1), std::invalid_argument);
+  config = small_config();
+  config.reward_scale = 0.0;
+  EXPECT_THROW(Exp3BiddingLearner(config, 1), std::invalid_argument);
+}
+
+TEST(Exp3LearnerTest, InitialStrategyIsUniform) {
+  const Exp3BiddingLearner learner(small_config(), 1);
+  const auto strategy = learner.strategy();
+  ASSERT_EQ(strategy.size(), 3u);
+  double sum = 0.0;
+  for (const double p : strategy) {
+    EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(learner.expected_factor(), (0.5 + 1.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(Exp3LearnerTest, ChooseRequiresFeedbackBeforeNextChoice) {
+  Exp3BiddingLearner learner(small_config(), 2);
+  (void)learner.choose_factor();
+  EXPECT_THROW((void)learner.choose_factor(), std::invalid_argument);
+  learner.observe_utility(0.1);
+  EXPECT_NO_THROW((void)learner.choose_factor());
+  Exp3BiddingLearner fresh(small_config(), 3);
+  EXPECT_THROW(fresh.observe_utility(0.1), std::invalid_argument);
+}
+
+TEST(Exp3LearnerTest, ConvergesToTheBestArmInAStationaryBandit) {
+  // Arm utilities: 0.5 -> -0.5, 1.0 -> +0.8, 2.0 -> 0.0. The learner must
+  // concentrate on factor 1.0.
+  Exp3BiddingLearner learner(small_config(), 4);
+  for (int t = 0; t < 4000; ++t) {
+    const double factor = learner.choose_factor();
+    double utility = 0.0;
+    if (factor == 0.5) utility = -0.5;
+    if (factor == 1.0) utility = 0.8;
+    learner.observe_utility(utility);
+  }
+  EXPECT_DOUBLE_EQ(learner.modal_factor(), 1.0);
+  const auto strategy = learner.strategy();
+  EXPECT_GT(strategy[1], 0.7);
+  EXPECT_EQ(learner.plays(), 4000u);
+}
+
+TEST(Exp3LearnerTest, TracksADifferentBestArm) {
+  Exp3BiddingLearner learner(small_config(), 5);
+  for (int t = 0; t < 4000; ++t) {
+    const double factor = learner.choose_factor();
+    learner.observe_utility(factor == 2.0 ? 0.9 : 0.0);
+  }
+  EXPECT_DOUBLE_EQ(learner.modal_factor(), 2.0);
+}
+
+TEST(Exp3LearnerTest, StrategyStaysNormalizedUnderExtremeRewards) {
+  Exp3BiddingLearner learner(small_config(), 6);
+  for (int t = 0; t < 20000; ++t) {
+    (void)learner.choose_factor();
+    learner.observe_utility(1e6);  // clamps to reward 1
+  }
+  const auto strategy = learner.strategy();
+  double sum = 0.0;
+  for (const double p : strategy) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Exp3LearnerTest, ExplorationFloorsEveryArm) {
+  Exp3Config config = small_config();
+  config.exploration = 0.3;
+  Exp3BiddingLearner learner(config, 7);
+  for (int t = 0; t < 2000; ++t) {
+    const double factor = learner.choose_factor();
+    learner.observe_utility(factor == 1.0 ? 1.0 : -1.0);
+  }
+  const auto strategy = learner.strategy();
+  for (const double p : strategy) {
+    EXPECT_GE(p, 0.3 / 3.0 - 1e-12);  // gamma / K floor
+  }
+}
+
+}  // namespace
+}  // namespace sfl::econ

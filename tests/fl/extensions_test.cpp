@@ -1,0 +1,181 @@
+// Tests for the FL training extensions: FedProx proximal term, gradient
+// clipping, server momentum, and per-round learning-rate schedules.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/matrix.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/federated_trainer.h"
+#include "fl/local_trainer.h"
+#include "fl/logistic_regression.h"
+#include "util/rng.h"
+
+namespace sfl::fl {
+namespace {
+
+data::FederatedDataset tiny_fed_data(std::uint64_t seed) {
+  sfl::util::Rng rng(seed);
+  data::GaussianMixtureSpec spec;
+  spec.num_examples = 300;
+  spec.num_classes = 3;
+  spec.feature_dim = 4;
+  spec.class_separation = 2.0;
+  const data::Dataset all = data::make_gaussian_mixture(spec, rng);
+  std::vector<std::size_t> order(all.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const std::span<const std::size_t> idx(order);
+  data::Dataset train = all.subset(idx.subspan(0, 240));
+  data::Dataset test = all.subset(idx.subspan(240));
+  const auto partition = data::partition_iid(240, 4, rng);
+  return data::FederatedDataset(std::move(train), std::move(test), partition);
+}
+
+LocalTrainingSpec base_spec() {
+  LocalTrainingSpec spec;
+  spec.local_steps = 10;
+  spec.batch_size = 16;
+  spec.optimizer.learning_rate = 0.2;
+  return spec;
+}
+
+TEST(FedProxTest, ProximalTermShrinksClientDrift) {
+  sfl::util::Rng data_rng(5);
+  const data::Dataset shard = data::make_two_blobs(100, 4.0, data_rng);
+  const LogisticRegression model(2, 2, 0.0);
+
+  LocalTrainingSpec plain = base_spec();
+  LocalTrainingSpec prox = base_spec();
+  prox.proximal_mu = 5.0;
+
+  sfl::util::Rng rng_a(9);
+  sfl::util::Rng rng_b(9);  // identical minibatch streams
+  const LocalUpdate plain_update = run_local_training(model, shard, plain, rng_a);
+  const LocalUpdate prox_update = run_local_training(model, shard, prox, rng_b);
+
+  EXPECT_LT(data::l2_norm(prox_update.delta), data::l2_norm(plain_update.delta));
+  EXPECT_GT(data::l2_norm(prox_update.delta), 0.0);
+}
+
+TEST(FedProxTest, ZeroMuMatchesPlainFedAvg) {
+  sfl::util::Rng data_rng(6);
+  const data::Dataset shard = data::make_two_blobs(60, 3.0, data_rng);
+  const LogisticRegression model(2, 2, 0.0);
+  LocalTrainingSpec explicit_zero = base_spec();
+  explicit_zero.proximal_mu = 0.0;
+  sfl::util::Rng rng_a(4);
+  sfl::util::Rng rng_b(4);
+  const LocalUpdate a = run_local_training(model, shard, base_spec(), rng_a);
+  const LocalUpdate b = run_local_training(model, shard, explicit_zero, rng_b);
+  EXPECT_EQ(a.delta, b.delta);
+}
+
+TEST(GradientClipTest, CapsStepMagnitude) {
+  sfl::util::Rng data_rng(7);
+  const data::Dataset shard = data::make_two_blobs(100, 8.0, data_rng);
+  const LogisticRegression model(2, 2, 0.0);
+
+  LocalTrainingSpec clipped = base_spec();
+  clipped.local_steps = 1;
+  clipped.gradient_clip_norm = 0.01;
+  sfl::util::Rng rng(3);
+  const LocalUpdate update = run_local_training(model, shard, clipped, rng);
+  // One SGD step of a gradient with norm <= 0.01 at lr 0.2.
+  EXPECT_LE(data::l2_norm(update.delta), 0.2 * 0.01 + 1e-12);
+  EXPECT_GT(data::l2_norm(update.delta), 0.0);
+}
+
+TEST(GradientClipTest, LooseClipIsNoOp) {
+  sfl::util::Rng data_rng(8);
+  const data::Dataset shard = data::make_two_blobs(60, 3.0, data_rng);
+  const LogisticRegression model(2, 2, 0.0);
+  LocalTrainingSpec loose = base_spec();
+  loose.gradient_clip_norm = 1e9;
+  sfl::util::Rng rng_a(11);
+  sfl::util::Rng rng_b(11);
+  const LocalUpdate a = run_local_training(model, shard, base_spec(), rng_a);
+  const LocalUpdate b = run_local_training(model, shard, loose, rng_b);
+  EXPECT_EQ(a.delta, b.delta);
+}
+
+TEST(ServerMomentumTest, ZeroBetaMatchesPlain) {
+  const auto fed = tiny_fed_data(20);
+  const std::vector<std::size_t> everyone{0, 1, 2, 3};
+  FederatedTrainer plain(fed, std::make_unique<LogisticRegression>(4, 3, 0.0),
+                         base_spec(), 42);
+  FederatedTrainer with_zero(fed, std::make_unique<LogisticRegression>(4, 3, 0.0),
+                             base_spec(), 42);
+  with_zero.set_server_momentum(0.0);
+  for (int r = 0; r < 5; ++r) {
+    (void)plain.run_round(everyone);
+    (void)with_zero.run_round(everyone);
+  }
+  EXPECT_EQ(plain.parameters(), with_zero.parameters());
+}
+
+TEST(ServerMomentumTest, AcceleratesEarlyProgress) {
+  const auto fed = tiny_fed_data(21);
+  const std::vector<std::size_t> everyone{0, 1, 2, 3};
+  LocalTrainingSpec slow = base_spec();
+  slow.optimizer.learning_rate = 0.02;
+  FederatedTrainer plain(fed, std::make_unique<LogisticRegression>(4, 3, 0.0),
+                         slow, 42);
+  FederatedTrainer momentum(fed, std::make_unique<LogisticRegression>(4, 3, 0.0),
+                            slow, 42);
+  momentum.set_server_momentum(0.9);
+  for (int r = 0; r < 8; ++r) {
+    (void)plain.run_round(everyone);
+    (void)momentum.run_round(everyone);
+  }
+  // Momentum covers more ground from the same updates.
+  EXPECT_GT(data::l2_norm(momentum.parameters()),
+            data::l2_norm(plain.parameters()));
+}
+
+TEST(ServerMomentumTest, ValidatesBeta) {
+  const auto fed = tiny_fed_data(22);
+  FederatedTrainer trainer(fed, std::make_unique<LogisticRegression>(4, 3, 0.0),
+                           base_spec(), 1);
+  EXPECT_THROW(trainer.set_server_momentum(1.0), std::invalid_argument);
+  EXPECT_THROW(trainer.set_server_momentum(-0.1), std::invalid_argument);
+}
+
+TEST(TrainerScheduleTest, ScheduleControlsRoundLearningRate) {
+  const auto fed = tiny_fed_data(23);
+  FederatedTrainer trainer(fed, std::make_unique<LogisticRegression>(4, 3, 0.0),
+                           base_spec(), 1);
+  EXPECT_DOUBLE_EQ(trainer.current_learning_rate(), 0.2);
+
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kStep;
+  spec.base_rate = 0.1;
+  spec.step_factor = 0.5;
+  spec.step_every = 2;
+  trainer.set_lr_schedule(LrSchedule(spec));
+  EXPECT_DOUBLE_EQ(trainer.current_learning_rate(), 0.1);
+
+  const std::vector<std::size_t> everyone{0, 1, 2, 3};
+  (void)trainer.run_round(everyone);
+  (void)trainer.run_round(everyone);
+  EXPECT_DOUBLE_EQ(trainer.current_learning_rate(), 0.05);  // round index 2
+}
+
+TEST(TrainerScheduleTest, DecayingScheduleStillLearns) {
+  const auto fed = tiny_fed_data(24);
+  FederatedTrainer trainer(fed, std::make_unique<LogisticRegression>(4, 3, 1e-4),
+                           base_spec(), 9);
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kInverseTime;
+  spec.base_rate = 0.2;
+  spec.tau = 20.0;
+  trainer.set_lr_schedule(LrSchedule(spec));
+  const std::vector<std::size_t> everyone{0, 1, 2, 3};
+  const double before = trainer.evaluate_test().accuracy;
+  for (int r = 0; r < 30; ++r) (void)trainer.run_round(everyone);
+  EXPECT_GT(trainer.evaluate_test().accuracy, before + 0.2);
+}
+
+}  // namespace
+}  // namespace sfl::fl

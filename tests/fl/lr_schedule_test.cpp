@@ -1,0 +1,105 @@
+#include "fl/lr_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace sfl::fl {
+namespace {
+
+TEST(LrScheduleTest, ConstantIsConstant) {
+  LrScheduleSpec spec;
+  spec.base_rate = 0.1;
+  const LrSchedule schedule(spec);
+  EXPECT_DOUBLE_EQ(schedule.rate(0), 0.1);
+  EXPECT_DOUBLE_EQ(schedule.rate(1000), 0.1);
+}
+
+TEST(LrScheduleTest, InverseTimeMatchesFormula) {
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kInverseTime;
+  spec.base_rate = 0.2;
+  spec.tau = 10.0;
+  const LrSchedule schedule(spec);
+  EXPECT_DOUBLE_EQ(schedule.rate(0), 0.2);
+  EXPECT_DOUBLE_EQ(schedule.rate(10), 0.1);   // base / (1 + 1)
+  EXPECT_DOUBLE_EQ(schedule.rate(30), 0.05);  // base / (1 + 3)
+}
+
+TEST(LrScheduleTest, InverseTimeSatisfiesTheoryRatioBound) {
+  // The convergence analyses need eta_t <= 2*eta_{t+T} for any fixed lag T;
+  // inverse-time decay satisfies it once t >= T - tau-ish. Spot-check the
+  // working regime.
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kInverseTime;
+  spec.base_rate = 0.5;
+  spec.tau = 20.0;
+  const LrSchedule schedule(spec);
+  const std::size_t lag = 5;
+  for (std::size_t t = 0; t < 500; ++t) {
+    EXPECT_LE(schedule.rate(t), 2.0 * schedule.rate(t + lag)) << t;
+  }
+}
+
+TEST(LrScheduleTest, StepDecaysByFactor) {
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kStep;
+  spec.base_rate = 0.4;
+  spec.step_factor = 0.5;
+  spec.step_every = 100;
+  const LrSchedule schedule(spec);
+  EXPECT_DOUBLE_EQ(schedule.rate(0), 0.4);
+  EXPECT_DOUBLE_EQ(schedule.rate(99), 0.4);
+  EXPECT_DOUBLE_EQ(schedule.rate(100), 0.2);
+  EXPECT_DOUBLE_EQ(schedule.rate(250), 0.1);
+}
+
+TEST(LrScheduleTest, CosineAnnealsToFloorAndStaysThere) {
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kCosine;
+  spec.base_rate = 0.1;
+  spec.floor_rate = 0.01;
+  spec.horizon = 100;
+  const LrSchedule schedule(spec);
+  EXPECT_DOUBLE_EQ(schedule.rate(0), 0.1);
+  EXPECT_NEAR(schedule.rate(50), 0.055, 1e-12);  // midpoint = mean
+  EXPECT_NEAR(schedule.rate(100), 0.01, 1e-12);
+  EXPECT_NEAR(schedule.rate(500), 0.01, 1e-12);  // clamped past horizon
+  // Monotone non-increasing within the horizon.
+  for (std::size_t t = 1; t <= 100; ++t) {
+    EXPECT_LE(schedule.rate(t), schedule.rate(t - 1) + 1e-15);
+  }
+}
+
+TEST(LrScheduleTest, RatesAreAlwaysPositive) {
+  LrScheduleSpec spec;
+  spec.kind = LrScheduleKind::kCosine;
+  spec.base_rate = 0.1;
+  spec.floor_rate = 0.0;  // even a zero floor must not emit zero
+  spec.horizon = 10;
+  const LrSchedule schedule(spec);
+  for (std::size_t t = 0; t < 50; ++t) {
+    EXPECT_GT(schedule.rate(t), 0.0);
+  }
+}
+
+TEST(LrScheduleTest, Validation) {
+  LrScheduleSpec spec;
+  spec.base_rate = 0.0;
+  EXPECT_THROW(LrSchedule{spec}, std::invalid_argument);
+  spec.base_rate = 0.1;
+  spec.kind = LrScheduleKind::kInverseTime;
+  spec.tau = 0.0;
+  EXPECT_THROW(LrSchedule{spec}, std::invalid_argument);
+  spec.kind = LrScheduleKind::kStep;
+  spec.step_factor = 1.5;
+  EXPECT_THROW(LrSchedule{spec}, std::invalid_argument);
+  spec.step_factor = 0.5;
+  spec.step_every = 0;
+  EXPECT_THROW(LrSchedule{spec}, std::invalid_argument);
+  spec.kind = LrScheduleKind::kCosine;
+  spec.step_every = 10;
+  spec.floor_rate = 0.5;  // above base
+  EXPECT_THROW(LrSchedule{spec}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::fl

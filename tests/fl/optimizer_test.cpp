@@ -1,0 +1,155 @@
+#include "fl/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sfl::fl {
+namespace {
+
+/// Minimizes f(x) = 0.5*||x - target||^2 whose gradient is (x - target).
+std::vector<double> optimize_quadratic(Optimizer& opt, std::vector<double> x,
+                                       const std::vector<double>& target,
+                                       int steps) {
+  std::vector<double> grad(x.size());
+  for (int s = 0; s < steps; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) grad[i] = x[i] - target[i];
+    opt.step(x, grad);
+  }
+  return x;
+}
+
+TEST(OptimizerTest, FactoryValidatesSpecs) {
+  OptimizerSpec spec;
+  spec.learning_rate = 0.0;
+  EXPECT_THROW((void)make_optimizer(spec), std::invalid_argument);
+  spec.learning_rate = 0.1;
+  spec.kind = OptimizerKind::kMomentum;
+  spec.momentum = 1.0;
+  EXPECT_THROW((void)make_optimizer(spec), std::invalid_argument);
+  spec.momentum = 0.9;
+  EXPECT_NO_THROW((void)make_optimizer(spec));
+  spec.kind = OptimizerKind::kAdam;
+  spec.beta2 = 1.0;
+  EXPECT_THROW((void)make_optimizer(spec), std::invalid_argument);
+}
+
+TEST(OptimizerTest, SgdSingleStepIsExact) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kSgd;
+  spec.learning_rate = 0.5;
+  const auto opt = make_optimizer(spec);
+  std::vector<double> x{1.0, -2.0};
+  const std::vector<double> grad{2.0, 4.0};
+  opt->step(x, grad);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], -4.0);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  OptimizerSpec spec;
+  spec.learning_rate = 0.1;
+  const auto opt = make_optimizer(spec);
+  const std::vector<double> target{3.0, -1.0, 2.0};
+  const auto x = optimize_quadratic(*opt, {0.0, 0.0, 0.0}, target, 200);
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    EXPECT_NEAR(x[i], target[i], 1e-6);
+  }
+}
+
+TEST(OptimizerTest, MomentumConvergesOnQuadratic) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kMomentum;
+  spec.learning_rate = 0.05;
+  spec.momentum = 0.9;
+  const auto opt = make_optimizer(spec);
+  const std::vector<double> target{5.0, 5.0};
+  const auto x = optimize_quadratic(*opt, {0.0, 0.0}, target, 400);
+  EXPECT_NEAR(x[0], 5.0, 1e-4);
+  EXPECT_NEAR(x[1], 5.0, 1e-4);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kAdam;
+  spec.learning_rate = 0.1;
+  const auto opt = make_optimizer(spec);
+  const std::vector<double> target{-2.0, 7.0};
+  const auto x = optimize_quadratic(*opt, {0.0, 0.0}, target, 500);
+  EXPECT_NEAR(x[0], -2.0, 1e-3);
+  EXPECT_NEAR(x[1], 7.0, 1e-3);
+}
+
+TEST(OptimizerTest, AdamFirstStepIsLearningRateSized) {
+  // With bias correction, the very first Adam step has magnitude ~lr
+  // regardless of gradient scale.
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kAdam;
+  spec.learning_rate = 0.1;
+  const auto opt = make_optimizer(spec);
+  std::vector<double> x{0.0};
+  opt->step(x, std::vector<double>{1000.0});
+  EXPECT_NEAR(x[0], -0.1, 1e-6);
+}
+
+TEST(OptimizerTest, MomentumAcceleratesVersusSgd) {
+  // On an ill-conditioned quadratic, momentum makes more progress than
+  // plain SGD with the same learning rate after the same step count.
+  const std::vector<double> target{10.0};
+  OptimizerSpec sgd_spec;
+  sgd_spec.learning_rate = 0.01;
+  const auto sgd = make_optimizer(sgd_spec);
+  OptimizerSpec mom_spec;
+  mom_spec.kind = OptimizerKind::kMomentum;
+  mom_spec.learning_rate = 0.01;
+  mom_spec.momentum = 0.9;
+  const auto momentum = make_optimizer(mom_spec);
+  const auto x_sgd = optimize_quadratic(*sgd, {0.0}, target, 50);
+  const auto x_mom = optimize_quadratic(*momentum, {0.0}, target, 50);
+  EXPECT_LT(std::abs(x_mom[0] - 10.0), std::abs(x_sgd[0] - 10.0));
+}
+
+TEST(OptimizerTest, ResetClearsState) {
+  OptimizerSpec spec;
+  spec.kind = OptimizerKind::kMomentum;
+  spec.learning_rate = 0.1;
+  spec.momentum = 0.9;
+  const auto opt = make_optimizer(spec);
+  std::vector<double> x{0.0};
+  const std::vector<double> grad{1.0};
+  opt->step(x, grad);
+  opt->step(x, grad);
+  const double with_velocity = x[0];
+  opt->reset();
+  std::vector<double> y{0.0};
+  opt->step(y, grad);
+  opt->step(y, grad);
+  EXPECT_DOUBLE_EQ(y[0], with_velocity);  // same trajectory after reset
+}
+
+TEST(OptimizerTest, LearningRateAccessors) {
+  OptimizerSpec spec;
+  spec.learning_rate = 0.2;
+  const auto opt = make_optimizer(spec);
+  EXPECT_DOUBLE_EQ(opt->learning_rate(), 0.2);
+  opt->set_learning_rate(0.4);
+  EXPECT_DOUBLE_EQ(opt->learning_rate(), 0.4);
+  EXPECT_THROW(opt->set_learning_rate(0.0), std::invalid_argument);
+}
+
+TEST(OptimizerTest, SizeMismatchThrows) {
+  OptimizerSpec spec;
+  const auto opt = make_optimizer(spec);
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_THROW(opt->step(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(OptimizerTest, KindToString) {
+  EXPECT_EQ(to_string(OptimizerKind::kSgd), "sgd");
+  EXPECT_EQ(to_string(OptimizerKind::kMomentum), "momentum");
+  EXPECT_EQ(to_string(OptimizerKind::kAdam), "adam");
+}
+
+}  // namespace
+}  // namespace sfl::fl

@@ -1,0 +1,85 @@
+#include "fl/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "fl/logistic_regression.h"
+#include "fl/mlp.h"
+#include "util/rng.h"
+
+namespace sfl::fl {
+namespace {
+
+TEST(SerializationTest, RoundTripPreservesParametersExactly) {
+  sfl::util::Rng rng(1);
+  LogisticRegression model(7, 3, 0.0);
+  std::vector<double> params(model.parameter_count());
+  for (auto& p : params) p = rng.normal(0.0, 3.0);
+  params[0] = 1.0 / 3.0;  // non-terminating binary fraction
+  model.set_parameters(params);
+
+  std::stringstream buffer;
+  save_parameters(model, buffer);
+
+  LogisticRegression restored(7, 3, 0.0);
+  load_parameters(restored, buffer);
+  EXPECT_EQ(restored.parameters(), params);  // bit-exact round trip
+}
+
+TEST(SerializationTest, MlpRoundTrip) {
+  sfl::util::Rng rng(2);
+  Mlp model(4, 6, 3, rng, 0.0);
+  const auto params = model.parameters();
+  std::stringstream buffer;
+  save_parameters(model, buffer);
+  Mlp restored(4, 6, 3, rng, 0.0);  // different random init
+  EXPECT_NE(restored.parameters(), params);
+  load_parameters(restored, buffer);
+  EXPECT_EQ(restored.parameters(), params);
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  LogisticRegression model(2, 2, 0.0);
+  std::stringstream buffer("other-format\n6\n0 0 0 0 0 0\n");
+  EXPECT_THROW(load_parameters(model, buffer), std::invalid_argument);
+}
+
+TEST(SerializationTest, RejectsCountMismatch) {
+  LogisticRegression small(2, 2, 0.0);
+  std::stringstream buffer;
+  save_parameters(small, buffer);
+  LogisticRegression bigger(3, 2, 0.0);
+  EXPECT_THROW(load_parameters(bigger, buffer), std::invalid_argument);
+}
+
+TEST(SerializationTest, RejectsTruncatedPayload) {
+  LogisticRegression model(2, 2, 0.0);
+  std::stringstream buffer("sfl-model-v1\n6\n1.0 2.0\n");  // declares 6, has 2
+  EXPECT_THROW(load_parameters(model, buffer), std::invalid_argument);
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const std::string path = "/tmp/sfl_serialization_test_model.txt";
+  sfl::util::Rng rng(3);
+  LogisticRegression model(3, 2, 0.0);
+  std::vector<double> params(model.parameter_count());
+  for (auto& p : params) p = rng.normal();
+  model.set_parameters(params);
+  save_parameters_to_file(model, path);
+
+  LogisticRegression restored(3, 2, 0.0);
+  load_parameters_from_file(restored, path);
+  EXPECT_EQ(restored.parameters(), params);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileThrows) {
+  LogisticRegression model(2, 2, 0.0);
+  EXPECT_THROW(load_parameters_from_file(model, "/nonexistent/dir/model.txt"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::fl

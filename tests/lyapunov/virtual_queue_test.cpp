@@ -1,0 +1,113 @@
+#include "lyapunov/virtual_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sfl::lyapunov {
+namespace {
+
+TEST(VirtualQueueTest, UpdateFollowsLindleyRecursion) {
+  VirtualQueue q(2.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 0.0);
+  q.update(5.0);  // max(0 + 5 - 2, 0) = 3
+  EXPECT_DOUBLE_EQ(q.backlog(), 3.0);
+  q.update(0.0);  // max(3 - 2, 0) = 1
+  EXPECT_DOUBLE_EQ(q.backlog(), 1.0);
+  q.update(0.0);  // max(1 - 2, 0) = 0
+  EXPECT_DOUBLE_EQ(q.backlog(), 0.0);
+  EXPECT_EQ(q.updates(), 3u);
+}
+
+TEST(VirtualQueueTest, InitialBacklogAndReset) {
+  VirtualQueue q(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 4.0);
+  q.update(0.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 3.0);
+  q.reset();
+  EXPECT_DOUBLE_EQ(q.backlog(), 0.0);
+  EXPECT_EQ(q.updates(), 0u);
+  EXPECT_DOUBLE_EQ(q.average_backlog(), 0.0);
+}
+
+TEST(VirtualQueueTest, Validation) {
+  EXPECT_THROW(VirtualQueue(-1.0), std::invalid_argument);
+  EXPECT_THROW(VirtualQueue(1.0, -0.5), std::invalid_argument);
+  VirtualQueue q(1.0);
+  EXPECT_THROW(q.update(-0.1), std::invalid_argument);
+}
+
+TEST(VirtualQueueTest, StableWhenArrivalsBelowService) {
+  // Arrivals ~ U[0, 1.6] with service 1.0: queue is stable, so the
+  // normalized backlog Q(t)/t must vanish.
+  sfl::util::Rng rng(1);
+  VirtualQueue q(1.0);
+  for (int t = 0; t < 20000; ++t) {
+    q.update(rng.uniform(0.0, 1.6));
+  }
+  EXPECT_LT(q.normalized_backlog(), 0.01);
+  EXPECT_LT(q.average_backlog(), 50.0);
+}
+
+TEST(VirtualQueueTest, GrowsLinearlyWhenOverloaded) {
+  // Constant arrival 2.0 against service 1.0: backlog = t exactly.
+  VirtualQueue q(1.0);
+  for (int t = 0; t < 1000; ++t) q.update(2.0);
+  EXPECT_DOUBLE_EQ(q.backlog(), 1000.0);
+  EXPECT_NEAR(q.normalized_backlog(), 1.0, 1e-12);
+}
+
+TEST(VirtualQueueTest, AverageBacklogTracksHistory) {
+  VirtualQueue q(0.0);
+  q.update(1.0);  // backlog 1
+  q.update(1.0);  // backlog 2
+  q.update(1.0);  // backlog 3
+  EXPECT_DOUBLE_EQ(q.average_backlog(), 2.0);
+}
+
+TEST(QueueBankTest, IndependentPerClientQueues) {
+  QueueBank bank(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(bank.size(), 2u);
+  bank.update_all({3.0, 3.0});
+  EXPECT_DOUBLE_EQ(bank.backlog(0), 2.0);
+  EXPECT_DOUBLE_EQ(bank.backlog(1), 1.0);
+  EXPECT_DOUBLE_EQ(bank.max_backlog(), 2.0);
+  EXPECT_DOUBLE_EQ(bank.total_backlog(), 3.0);
+}
+
+TEST(QueueBankTest, Validation) {
+  EXPECT_THROW(QueueBank(std::vector<double>{}), std::invalid_argument);
+  QueueBank bank(std::vector<double>{1.0});
+  EXPECT_THROW(bank.update_all({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)bank.backlog(1), std::out_of_range);
+}
+
+TEST(QueueBankTest, PacesToServiceRates) {
+  // A queue bank with rates {0.2, 0.8} driven by a threshold controller
+  // (send a unit arrival whenever the backlog is at most one arrival) keeps
+  // every queue bounded, so the long-run arrival rate equals the service
+  // rate — exactly the pacing argument the Z_i sustainability queues use.
+  QueueBank bank(std::vector<double>{0.2, 0.8});
+  int wins0 = 0;
+  int wins1 = 0;
+  const int rounds = 5000;
+  for (int t = 0; t < rounds; ++t) {
+    std::vector<double> arrivals{0.0, 0.0};
+    if (bank.backlog(0) <= 1.0 + 1e-9) {
+      arrivals[0] = 1.0;
+      ++wins0;
+    }
+    if (bank.backlog(1) <= 1.0 + 1e-9) {
+      arrivals[1] = 1.0;
+      ++wins1;
+    }
+    bank.update_all(arrivals);
+  }
+  EXPECT_NEAR(wins0 / static_cast<double>(rounds), 0.2, 0.02);
+  EXPECT_NEAR(wins1 / static_cast<double>(rounds), 0.8, 0.02);
+  // Boundedness: the controller never let either backlog run away.
+  EXPECT_LT(bank.max_backlog(), 3.0);
+}
+
+}  // namespace
+}  // namespace sfl::lyapunov

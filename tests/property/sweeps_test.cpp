@@ -1,0 +1,333 @@
+// Parameterized property sweeps across the library.
+//
+// These TEST_P suites re-verify the core invariants over grids of
+// configurations rather than single fixtures: gradients stay correct at any
+// model shape, partitions stay exact at any skew, WDP solvers agree at any
+// winner cap, queues are stable exactly when the load allows, and market
+// simulations are reproducible under every mechanism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "auction/adaptive_price.h"
+#include "auction/baselines.h"
+#include "auction/payments.h"
+#include "auction/random_instance.h"
+#include "auction/winner_determination.h"
+#include "core/long_term_online_vcg.h"
+#include "core/market_simulation.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/logistic_regression.h"
+#include "fl/mlp.h"
+#include "fl/optimizer.h"
+#include "lyapunov/virtual_queue.h"
+#include "util/rng.h"
+
+namespace sfl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gradient correctness across model shapes.
+// ---------------------------------------------------------------------------
+
+class GradientShapeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GradientShapeSweep, LogisticRegressionGradientMatchesFiniteDifferences) {
+  const auto [dim, classes] = GetParam();
+  util::Rng rng(dim * 100 + classes);
+  data::GaussianMixtureSpec spec;
+  spec.num_examples = 8;
+  spec.num_classes = classes;
+  spec.feature_dim = dim;
+  const data::Dataset ds = data::make_gaussian_mixture(spec, rng);
+
+  fl::LogisticRegression model(dim, classes, 0.01);
+  std::vector<double> params(model.parameter_count());
+  for (auto& p : params) p = rng.normal(0.0, 0.4);
+  model.set_parameters(params);
+
+  std::vector<double> analytic(params.size());
+  const auto batch = fl::full_batch(ds);
+  model.loss_and_gradient(ds, batch, analytic);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 3) {  // sampled coordinates
+    auto perturbed = params;
+    perturbed[i] += eps;
+    model.set_parameters(perturbed);
+    const double up = model.loss(ds, batch);
+    perturbed[i] = params[i] - eps;
+    model.set_parameters(perturbed);
+    const double down = model.loss(ds, batch);
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                1e-5 * std::max(1.0, std::abs(numeric)))
+        << "coordinate " << i;
+    model.set_parameters(params);
+  }
+}
+
+TEST_P(GradientShapeSweep, MlpGradientMatchesFiniteDifferences) {
+  const auto [dim, classes] = GetParam();
+  util::Rng rng(dim * 1000 + classes);
+  data::GaussianMixtureSpec spec;
+  spec.num_examples = 6;
+  spec.num_classes = classes;
+  spec.feature_dim = dim;
+  const data::Dataset ds = data::make_gaussian_mixture(spec, rng);
+
+  fl::Mlp model(dim, 5, classes, rng, 0.01);
+  const std::vector<double> params = model.parameters();
+  std::vector<double> analytic(params.size());
+  const auto batch = fl::full_batch(ds);
+  model.loss_and_gradient(ds, batch, analytic);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < params.size(); i += 7) {
+    auto perturbed = params;
+    perturbed[i] += eps;
+    model.set_parameters(perturbed);
+    const double up = model.loss(ds, batch);
+    perturbed[i] = params[i] - eps;
+    model.set_parameters(perturbed);
+    const double down = model.loss(ds, batch);
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "coordinate " << i;
+    model.set_parameters(params);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GradientShapeSweep,
+                         ::testing::Combine(::testing::Values<std::size_t>(2, 5,
+                                                                           9),
+                                            ::testing::Values<std::size_t>(2, 4,
+                                                                           7)));
+
+// ---------------------------------------------------------------------------
+// Partition invariants across client counts and skew levels.
+// ---------------------------------------------------------------------------
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(PartitionSweep, DirichletPartitionIsExactAndNonEmpty) {
+  const auto [clients, alpha] = GetParam();
+  util::Rng rng(clients * 13 + static_cast<std::uint64_t>(alpha * 100));
+  data::GaussianMixtureSpec spec;
+  spec.num_examples = 400;
+  spec.num_classes = 5;
+  spec.feature_dim = 3;
+  const data::Dataset ds = data::make_gaussian_mixture(spec, rng);
+  const data::Partition p =
+      data::partition_dirichlet_label_skew(ds, clients, alpha, rng);
+  ASSERT_EQ(p.size(), clients);
+  data::validate_partition(p, ds.size());
+  for (const auto& shard : p) {
+    EXPECT_FALSE(shard.empty());
+  }
+}
+
+TEST_P(PartitionSweep, QuantitySkewPartitionIsExactAndNonEmpty) {
+  const auto [clients, sigma] = GetParam();
+  util::Rng rng(clients * 29 + static_cast<std::uint64_t>(sigma * 100));
+  const data::Partition p = data::partition_quantity_skew(500, clients, sigma, rng);
+  ASSERT_EQ(p.size(), clients);
+  data::validate_partition(p, 500);
+  for (const auto& shard : p) {
+    EXPECT_FALSE(shard.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, PartitionSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 10, 40),
+                       ::testing::Values(0.05, 0.5, 5.0)));
+
+// ---------------------------------------------------------------------------
+// Optimizer convergence across kinds and learning rates.
+// ---------------------------------------------------------------------------
+
+class OptimizerSweep
+    : public ::testing::TestWithParam<std::tuple<fl::OptimizerKind, double>> {};
+
+TEST_P(OptimizerSweep, ConvergesOnQuadraticBowl) {
+  const auto [kind, lr] = GetParam();
+  fl::OptimizerSpec spec;
+  spec.kind = kind;
+  spec.learning_rate = lr;
+  const auto optimizer = fl::make_optimizer(spec);
+
+  const std::vector<double> target{2.0, -3.0, 0.5};
+  std::vector<double> x(3, 0.0);
+  std::vector<double> grad(3, 0.0);
+  for (int step = 0; step < 3000; ++step) {
+    for (std::size_t i = 0; i < x.size(); ++i) grad[i] = x[i] - target[i];
+    optimizer->step(x, grad);
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], target[i], 1e-2) << fl::to_string(kind) << " lr " << lr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndRates, OptimizerSweep,
+    ::testing::Combine(::testing::Values(fl::OptimizerKind::kSgd,
+                                         fl::OptimizerKind::kMomentum,
+                                         fl::OptimizerKind::kAdam),
+                       ::testing::Values(0.01, 0.05)));
+
+// ---------------------------------------------------------------------------
+// WDP solver agreement across winner caps.
+// ---------------------------------------------------------------------------
+
+class WdpCapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WdpCapSweep, TopMEqualsExhaustiveForEveryCap) {
+  const std::size_t cap = GetParam();
+  util::Rng rng(4000 + cap);
+  for (int trial = 0; trial < 40; ++trial) {
+    auction::RandomInstanceSpec spec;
+    spec.num_candidates = 12;
+    spec.penalty_hi = trial % 2 == 0 ? 0.0 : 1.0;
+    const auto instance = make_random_instance(spec, rng);
+    const auction::ScoreWeights weights = auction::make_random_weights(rng);
+    const auto greedy =
+        select_top_m(instance.candidates, weights, cap, instance.penalties);
+    const auto oracle =
+        select_exhaustive(instance.candidates, weights, cap, instance.penalties);
+    EXPECT_NEAR(greedy.total_score, oracle.total_score, 1e-9);
+    EXPECT_EQ(greedy.selected, oracle.selected);
+  }
+}
+
+TEST_P(WdpCapSweep, CriticalPaymentsCoverBidsForEveryCap) {
+  const std::size_t cap = GetParam();
+  util::Rng rng(5000 + cap);
+  for (int trial = 0; trial < 40; ++trial) {
+    auction::RandomInstanceSpec spec;
+    spec.num_candidates = 12;
+    const auto instance = make_random_instance(spec, rng);
+    const auction::ScoreWeights weights = auction::make_random_weights(rng);
+    const auto alloc =
+        select_top_m(instance.candidates, weights, cap, instance.penalties);
+    const auto payments = critical_payments(instance.candidates, weights, cap,
+                                            alloc, instance.penalties);
+    for (std::size_t k = 0; k < alloc.selected.size(); ++k) {
+      EXPECT_GE(payments[k], instance.candidates[alloc.selected[k]].bid - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, WdpCapSweep,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 12));
+
+// ---------------------------------------------------------------------------
+// Queue stability exactly when the load allows.
+// ---------------------------------------------------------------------------
+
+class QueueLoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QueueLoadSweep, StableUnderLoadBelowOne) {
+  const double load = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(load * 1000));
+  lyapunov::VirtualQueue queue(1.0);
+  for (int t = 0; t < 30000; ++t) {
+    queue.update(rng.uniform(0.0, 2.0 * load));  // mean arrival = load
+  }
+  if (load < 1.0) {
+    EXPECT_LT(queue.normalized_backlog(), 0.05) << "load " << load;
+  } else {
+    // Overloaded queue drifts linearly: backlog/t -> load - 1.
+    EXPECT_NEAR(queue.normalized_backlog(), load - 1.0, 0.05) << load;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, QueueLoadSweep,
+                         ::testing::Values(0.3, 0.6, 0.9, 1.2, 1.5));
+
+// ---------------------------------------------------------------------------
+// Market reproducibility for every mechanism.
+// ---------------------------------------------------------------------------
+
+class MechanismDeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MechanismDeterminismSweep, SameSeedSameMarketOutcome) {
+  const int which = GetParam();
+  const auto make = [&]() -> std::unique_ptr<auction::Mechanism> {
+    switch (which) {
+      case 0: {
+        core::LtoVcgConfig config;
+        config.v_weight = 8.0;
+        config.per_round_budget = 4.0;
+        return std::make_unique<core::LongTermOnlineVcgMechanism>(config);
+      }
+      case 1: return std::make_unique<auction::MyopicVcgMechanism>();
+      case 2: return std::make_unique<auction::PayAsBidGreedyMechanism>();
+      case 3: return std::make_unique<auction::FixedPriceMechanism>(1.2);
+      case 4: return std::make_unique<auction::RandomSelectionMechanism>(1.0, 5);
+      case 5: return std::make_unique<auction::ProportionalShareMechanism>();
+      case 6:
+        return std::make_unique<auction::AdaptivePostedPriceMechanism>(
+            auction::AdaptivePriceConfig{});
+      default: return std::make_unique<auction::BudgetedOracleMechanism>(0.05);
+    }
+  };
+  core::MarketSpec spec;
+  spec.num_clients = 20;
+  spec.rounds = 120;
+  spec.max_winners = 5;
+  spec.per_round_budget = 4.0;
+  spec.seed = 17;
+
+  const auto a = make();
+  const auto b = make();
+  const core::MarketResult ra = core::run_market(*a, spec);
+  const core::MarketResult rb = core::run_market(*b, spec);
+  EXPECT_EQ(ra.welfare_series, rb.welfare_series);
+  EXPECT_EQ(ra.payment_series, rb.payment_series);
+  EXPECT_EQ(ra.client_utilities, rb.client_utilities);
+  EXPECT_EQ(ra.participation_counts, rb.participation_counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, MechanismDeterminismSweep,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Knapsack budget compliance across budgets and resolutions.
+// ---------------------------------------------------------------------------
+
+class KnapsackSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(KnapsackSweep, SelectionFitsBudgetAtAnyResolution) {
+  const auto [budget, resolution] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(budget * 100 + resolution * 1e4));
+  for (int trial = 0; trial < 30; ++trial) {
+    auction::RandomInstanceSpec spec;
+    spec.num_candidates = 10;
+    const auto instance = make_random_instance(spec, rng);
+    const auto alloc = select_knapsack(instance.candidates, {1.0, 1.0}, budget,
+                                       5, resolution);
+    double bid_sum = 0.0;
+    for (const std::size_t i : alloc.selected) {
+      bid_sum += instance.candidates[i].bid;
+    }
+    // Ceil-discretized weights can under-count each bid by < resolution.
+    EXPECT_LE(bid_sum,
+              budget + resolution * static_cast<double>(alloc.selected.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndResolutions, KnapsackSweep,
+    ::testing::Combine(::testing::Values(0.5, 2.0, 8.0),
+                       ::testing::Values(0.01, 0.1)));
+
+}  // namespace
+}  // namespace sfl

@@ -1,0 +1,139 @@
+#include "reputation/reputation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfl::reputation {
+namespace {
+
+TEST(CosineSimilarityTest, KnownValues) {
+  const std::vector<double> a{1.0, 0.0};
+  const std::vector<double> b{0.0, 1.0};
+  const std::vector<double> c{2.0, 0.0};
+  const std::vector<double> d{-1.0, 0.0};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(a, c), 1.0, 1e-12);
+  EXPECT_NEAR(cosine_similarity(a, d), -1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorsGiveZero) {
+  const std::vector<double> zero{0.0, 0.0};
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(cosine_similarity(zero, a), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(zero, zero), 0.0);
+}
+
+TEST(CosineSimilarityTest, SizeMismatchThrows) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(AlignmentToQualityTest, MapsRangeCorrectly) {
+  EXPECT_DOUBLE_EQ(alignment_to_quality(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(alignment_to_quality(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(alignment_to_quality(1.0), 1.0);
+}
+
+TEST(ReputationTrackerTest, StartsAtPrior) {
+  const ReputationTracker tracker(3, 0.7, 0.2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(tracker.quality(i), 0.7);
+    EXPECT_EQ(tracker.observation_count(i), 0u);
+  }
+  EXPECT_EQ(tracker.num_clients(), 3u);
+}
+
+TEST(ReputationTrackerTest, EwmaBlendsObservations) {
+  ReputationTracker tracker(1, 0.5, 0.5);
+  tracker.observe(0, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.quality(0), 0.75);
+  tracker.observe(0, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.quality(0), 0.375);
+  EXPECT_EQ(tracker.observation_count(0), 2u);
+}
+
+TEST(ReputationTrackerTest, ConvergesToStationarySignal) {
+  ReputationTracker tracker(2, 0.5, 0.3);
+  for (int i = 0; i < 100; ++i) {
+    tracker.observe(0, 0.9);
+    tracker.observe(1, 0.2);
+  }
+  EXPECT_NEAR(tracker.quality(0), 0.9, 1e-3);
+  EXPECT_NEAR(tracker.quality(1), 0.2, 1e-3);
+}
+
+TEST(ReputationTrackerTest, SeparatesAlignedFromMisaligned) {
+  ReputationTracker tracker(2, 0.8, 0.2);
+  for (int i = 0; i < 50; ++i) {
+    tracker.observe_alignment(0, 0.9);    // well-aligned client
+    tracker.observe_alignment(1, -0.4);   // adversarially misaligned client
+  }
+  EXPECT_GT(tracker.quality(0), 0.85);
+  EXPECT_LT(tracker.quality(1), 0.4);
+  EXPECT_GT(tracker.quality(0) - tracker.quality(1), 0.4);
+}
+
+TEST(ReputationTrackerTest, Validation) {
+  EXPECT_THROW(ReputationTracker(0), std::invalid_argument);
+  EXPECT_THROW(ReputationTracker(1, 1.5), std::invalid_argument);
+  EXPECT_THROW(ReputationTracker(1, 0.5, 0.0), std::invalid_argument);
+  ReputationTracker tracker(1);
+  EXPECT_THROW(tracker.observe(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(tracker.observe(5, 0.5), std::out_of_range);
+  EXPECT_THROW(tracker.observe_alignment(0, 2.0), std::invalid_argument);
+}
+
+TEST(ReputationTrackerTest, QualityVectorReflectsState) {
+  ReputationTracker tracker(2, 0.6, 1.0);
+  tracker.observe(1, 0.1);
+  const auto& v = tracker.quality_vector();
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+  EXPECT_DOUBLE_EQ(v[1], 0.1);
+}
+
+TEST(LeaveOneOutAlignmentTest, ExcludesOwnUpdateFromReference) {
+  // Four updates: three pointing +x, one pointing -x. Against the
+  // leave-one-out reference, the outlier is anti-aligned even though it
+  // would drag a naive full aggregate toward itself.
+  const std::vector<std::vector<double>> updates{
+      {1.0, 0.0}, {1.0, 0.1}, {1.0, -0.1}, {-1.0, 0.0}};
+  const std::vector<double> weights{1.0, 1.0, 1.0, 1.0};
+  EXPECT_GT(leave_one_out_alignment(updates, weights, 0), 0.9);
+  EXPECT_GT(leave_one_out_alignment(updates, weights, 1), 0.9);
+  EXPECT_LT(leave_one_out_alignment(updates, weights, 3), -0.9);
+}
+
+TEST(LeaveOneOutAlignmentTest, WeightsShiftTheReference) {
+  const std::vector<std::vector<double>> updates{
+      {1.0, 0.0}, {0.0, 1.0}, {0.0, 1.0}};
+  // Under equal weights, update 0's reference is +y: orthogonal.
+  EXPECT_NEAR(leave_one_out_alignment(updates, {1.0, 1.0, 1.0}, 0), 0.0, 1e-12);
+  // Same direction either way for update 1 (reference mixes 0 and 2).
+  const double a = leave_one_out_alignment(updates, {10.0, 1.0, 1.0}, 1);
+  const double b = leave_one_out_alignment(updates, {0.1, 1.0, 1.0}, 1);
+  EXPECT_LT(a, b);  // heavier weight on the orthogonal update lowers alignment
+}
+
+TEST(LeaveOneOutAlignmentTest, SingleUpdateReturnsZero) {
+  const std::vector<std::vector<double>> updates{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(leave_one_out_alignment(updates, {1.0}, 0), 0.0);
+}
+
+TEST(LeaveOneOutAlignmentTest, Validation) {
+  const std::vector<std::vector<double>> updates{{1.0}, {2.0}};
+  EXPECT_THROW((void)leave_one_out_alignment(updates, {1.0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)leave_one_out_alignment(updates, {1.0, 0.0}, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)leave_one_out_alignment({}, {}, 0), std::invalid_argument);
+  EXPECT_THROW((void)leave_one_out_alignment(updates, {1.0, 1.0}, 5),
+               std::out_of_range);
+  const std::vector<std::vector<double>> mismatched{{1.0}, {2.0, 3.0}};
+  EXPECT_THROW((void)leave_one_out_alignment(mismatched, {1.0, 1.0}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::reputation

@@ -1,0 +1,119 @@
+#include "sim/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sfl::sim {
+namespace {
+
+EnergySpec default_spec() {
+  EnergySpec spec;
+  spec.battery_capacity = 3.0;
+  spec.initial_charge = 1.0;
+  spec.harvest_amount = 1.0;
+  return spec;
+}
+
+TEST(EnergySystemTest, InitialChargeAndAvailability) {
+  const EnergySystem energy(2, default_spec());
+  EXPECT_EQ(energy.num_clients(), 2u);
+  EXPECT_DOUBLE_EQ(energy.battery(0), 1.0);
+  EXPECT_TRUE(energy.available(0, 1.0));
+  EXPECT_FALSE(energy.available(0, 1.5));
+}
+
+TEST(EnergySystemTest, ConsumeDrainsBattery) {
+  EnergySystem energy(1, default_spec());
+  energy.consume(0, 0.6);
+  EXPECT_NEAR(energy.battery(0), 0.4, 1e-12);
+  EXPECT_THROW(energy.consume(0, 1.0), std::invalid_argument);
+}
+
+TEST(EnergySystemTest, HarvestCapsAtCapacity) {
+  EnergySpec spec = default_spec();
+  spec.harvest_probabilities = {1.0};  // deterministic harvest
+  EnergySystem energy(1, spec);
+  sfl::util::Rng rng(1);
+  for (int t = 0; t < 10; ++t) {
+    energy.harvest_round(rng);
+  }
+  EXPECT_DOUBLE_EQ(energy.battery(0), 3.0);  // capped
+}
+
+TEST(EnergySystemTest, HarvestRateMatchesSpec) {
+  EnergySpec spec = default_spec();
+  spec.harvest_amount = 2.0;
+  spec.harvest_probabilities = {0.25, 0.75};
+  const EnergySystem energy(2, spec);
+  EXPECT_DOUBLE_EQ(energy.harvest_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(energy.harvest_rate(1), 1.5);
+}
+
+TEST(EnergySystemTest, EmpiricalHarvestFrequency) {
+  EnergySpec spec = default_spec();
+  spec.battery_capacity = 1e9;  // never caps
+  spec.initial_charge = 0.0;
+  spec.harvest_probabilities = {0.3};
+  EnergySystem energy(1, spec);
+  sfl::util::Rng rng(2);
+  const int rounds = 20000;
+  for (int t = 0; t < rounds; ++t) energy.harvest_round(rng);
+  EXPECT_NEAR(energy.battery(0) / rounds, 0.3, 0.01);
+}
+
+TEST(EnergySystemTest, StarvationBookkeeping) {
+  EnergySystem energy(2, default_spec());
+  EXPECT_EQ(energy.starvation_count(0), 0u);
+  energy.note_starvation(0);
+  energy.note_starvation(0);
+  EXPECT_EQ(energy.starvation_count(0), 2u);
+  EXPECT_EQ(energy.starvation_count(1), 0u);
+}
+
+TEST(EnergySystemTest, Validation) {
+  EnergySpec spec = default_spec();
+  EXPECT_THROW(EnergySystem(0, spec), std::invalid_argument);
+  spec.initial_charge = 5.0;  // exceeds capacity 3
+  EXPECT_THROW(EnergySystem(1, spec), std::invalid_argument);
+  spec = default_spec();
+  spec.harvest_probabilities = {0.5, 0.5};  // wrong count for 1 client
+  EXPECT_THROW(EnergySystem(1, spec), std::invalid_argument);
+  spec.harvest_probabilities = {1.5};
+  EXPECT_THROW(EnergySystem(1, spec), std::invalid_argument);
+}
+
+TEST(EnergySystemTest, SustainedOverdraftDepletes) {
+  // A client that participates every round while harvesting only half the
+  // time goes broke; one paced at the harvest rate stays solvent.
+  EnergySpec spec = default_spec();
+  spec.battery_capacity = 5.0;
+  spec.initial_charge = 5.0;
+  spec.harvest_probabilities = {0.5, 0.5};
+  EnergySystem energy(2, spec);
+  sfl::util::Rng rng(3);
+  int greedy_starved = 0;
+  int paced_starved = 0;
+  for (int t = 0; t < 2000; ++t) {
+    energy.harvest_round(rng);
+    // Client 0 greedy: participates whenever possible.
+    if (energy.available(0, 1.0)) {
+      energy.consume(0, 1.0);
+    } else {
+      ++greedy_starved;
+    }
+    // Client 1 paced at its harvest rate (every other round).
+    if (t % 2 == 0) {
+      if (energy.available(1, 1.0)) {
+        energy.consume(1, 1.0);
+      } else {
+        ++paced_starved;
+      }
+    }
+  }
+  EXPECT_GT(greedy_starved, 100);
+  EXPECT_LT(paced_starved, greedy_starved / 2);
+}
+
+}  // namespace
+}  // namespace sfl::sim

@@ -1,0 +1,125 @@
+#include "sim/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace sfl::sim {
+namespace {
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.num_clients = 8;
+  spec.train_examples = 400;
+  spec.test_examples = 100;
+  spec.num_classes = 4;
+  spec.feature_dim = 6;
+  spec.seed = 77;
+  return spec;
+}
+
+TEST(ScenarioTest, BuildsConsistentPopulation) {
+  const Scenario scenario = build_scenario(small_spec());
+  EXPECT_EQ(scenario.num_clients(), 8u);
+  EXPECT_EQ(scenario.data.total_examples(), 400u);
+  EXPECT_EQ(scenario.data.test_set().size(), 100u);
+  EXPECT_EQ(scenario.true_quality.size(), 8u);
+  EXPECT_EQ(scenario.data_sizes.size(), 8u);
+  EXPECT_EQ(scenario.energy_costs.size(), 8u);
+  double total = 0.0;
+  for (const double s : scenario.data_sizes) total += s;
+  EXPECT_DOUBLE_EQ(total, 400.0);
+  EXPECT_NEAR(scenario.mean_data_size(), 50.0, 1e-9);
+}
+
+TEST(ScenarioTest, CleanScenarioHasPerfectQuality) {
+  const Scenario scenario = build_scenario(small_spec());
+  for (const double q : scenario.true_quality) {
+    EXPECT_DOUBLE_EQ(q, 1.0);
+  }
+}
+
+TEST(ScenarioTest, NoisyClientsAreTheLastIds) {
+  ScenarioSpec spec = small_spec();
+  spec.noisy_client_fraction = 0.25;  // ceil(0.25*8) = 2 clients
+  spec.noisy_flip_probability = 0.4;
+  const Scenario scenario = build_scenario(spec);
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_DOUBLE_EQ(scenario.true_quality[c], 1.0) << c;
+  }
+  EXPECT_DOUBLE_EQ(scenario.true_quality[6], 0.6);
+  EXPECT_DOUBLE_EQ(scenario.true_quality[7], 0.6);
+}
+
+TEST(ScenarioTest, NoiseOnlyTouchesNoisyShards) {
+  ScenarioSpec spec = small_spec();
+  spec.noisy_client_fraction = 0.25;
+  spec.noisy_flip_probability = 1.0;  // flip everything on noisy clients
+  const Scenario noisy = build_scenario(spec);
+  spec.noisy_client_fraction = 0.0;
+  const Scenario clean = build_scenario(spec);
+  // Same seed: clean shards identical across the two builds.
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(noisy.data.shard(c).labels(), clean.data.shard(c).labels()) << c;
+  }
+  // Noisy shards differ everywhere (flip prob 1).
+  for (std::size_t c = 6; c < 8; ++c) {
+    const auto& a = noisy.data.shard(c).labels();
+    const auto& b = clean.data.shard(c).labels();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NE(a[i], b[i]);
+    }
+  }
+  // Test sets stay identical (never poisoned).
+  EXPECT_EQ(noisy.data.test_set().labels(), clean.data.test_set().labels());
+}
+
+TEST(ScenarioTest, PartitionKindsProduceValidShards) {
+  for (const PartitionKind kind :
+       {PartitionKind::kIid, PartitionKind::kDirichletLabelSkew,
+        PartitionKind::kQuantitySkew}) {
+    ScenarioSpec spec = small_spec();
+    spec.partition = kind;
+    const Scenario scenario = build_scenario(spec);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < scenario.num_clients(); ++c) {
+      EXPECT_GT(scenario.data.shard_size(c), 0u);
+      total += scenario.data.shard_size(c);
+    }
+    EXPECT_EQ(total, 400u);
+  }
+}
+
+TEST(ScenarioTest, QuantitySkewIsSkewed) {
+  ScenarioSpec spec = small_spec();
+  spec.partition = PartitionKind::kQuantitySkew;
+  spec.quantity_sigma = 1.5;
+  const Scenario scenario = build_scenario(spec);
+  double min_size = 1e18;
+  double max_size = 0.0;
+  for (const double s : scenario.data_sizes) {
+    min_size = std::min(min_size, s);
+    max_size = std::max(max_size, s);
+  }
+  EXPECT_GT(max_size / min_size, 2.0);
+}
+
+TEST(ScenarioTest, CustomEnergyCosts) {
+  ScenarioSpec spec = small_spec();
+  spec.energy_costs = std::vector<double>(8, 2.5);
+  const Scenario scenario = build_scenario(spec);
+  for (const double e : scenario.energy_costs) {
+    EXPECT_DOUBLE_EQ(e, 2.5);
+  }
+  spec.energy_costs = {1.0};  // wrong size
+  EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioTest, SameSeedSameScenario) {
+  const Scenario a = build_scenario(small_spec());
+  const Scenario b = build_scenario(small_spec());
+  EXPECT_EQ(a.data_sizes, b.data_sizes);
+  EXPECT_EQ(a.data.test_set().labels(), b.data.test_set().labels());
+  EXPECT_EQ(a.data.shard(0).labels(), b.data.shard(0).labels());
+}
+
+}  // namespace
+}  // namespace sfl::sim

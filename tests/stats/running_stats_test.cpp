@@ -1,0 +1,99 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sfl::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulatorIsZeroed) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.standard_error(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesClosedFormOnSmallSample) {
+  RunningStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population variance
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sample_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  sfl::util::Rng rng(5);
+  RunningStats all;
+  RunningStats part_a;
+  RunningStats part_b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    all.add(v);
+    (i % 2 == 0 ? part_a : part_b).add(v);
+  }
+  RunningStats merged = part_a;
+  merged.merge(part_b);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_NEAR(merged.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(merged.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(merged.min(), all.min());
+  EXPECT_DOUBLE_EQ(merged.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySidesIsIdentity) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  RunningStats empty;
+  RunningStats merged = stats;
+  merged.merge(empty);
+  EXPECT_DOUBLE_EQ(merged.mean(), 1.5);
+  RunningStats other;
+  other.merge(stats);
+  EXPECT_DOUBLE_EQ(other.mean(), 1.5);
+  EXPECT_EQ(other.count(), 2u);
+}
+
+TEST(RunningStatsTest, StandardErrorShrinksWithSamples) {
+  sfl::util::Rng rng(6);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10000; ++i) large.add(rng.normal());
+  EXPECT_GT(small.standard_error(), large.standard_error());
+  EXPECT_NEAR(large.standard_error(), 1.0 / std::sqrt(10000.0), 0.002);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (const double v : {offset + 1.0, offset + 2.0, offset + 3.0}) {
+    stats.add(v);
+  }
+  EXPECT_NEAR(stats.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(stats.sample_variance(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sfl::stats

@@ -1,0 +1,126 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sfl::stats {
+namespace {
+
+TEST(QuantileTest, MatchesLinearInterpolationConvention) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(QuantileTest, SingleElementAndValidation) {
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.7), 42.0);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(JainFairnessTest, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({3.0, 3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(JainFairnessTest, SingleWinnerIsOneOverN) {
+  EXPECT_NEAR(jain_fairness_index({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainFairnessTest, Validation) {
+  EXPECT_THROW((void)jain_fairness_index({}), std::invalid_argument);
+  EXPECT_THROW((void)jain_fairness_index({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)jain_fairness_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(GiniTest, EqualityAndExtremes) {
+  EXPECT_NEAR(gini_coefficient({5.0, 5.0, 5.0}), 0.0, 1e-12);
+  // One person owns everything among n: gini = (n-1)/n.
+  EXPECT_NEAR(gini_coefficient({0.0, 0.0, 0.0, 12.0}), 0.75, 1e-12);
+  EXPECT_NEAR(gini_coefficient({0.0, 0.0}), 0.0, 1e-12);  // all-zero: equal
+}
+
+TEST(BootstrapTest, IntervalCoversTrueMeanForGaussian) {
+  sfl::util::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 400; ++i) values.push_back(rng.normal(10.0, 2.0));
+  sfl::util::Rng boot_rng(8);
+  const auto ci = bootstrap_mean_ci(values, 0.95, 1000, boot_rng);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 10.0 + 0.5);
+  EXPECT_GT(ci.hi, 10.0 - 0.5);
+  EXPECT_NEAR(ci.point, 10.0, 0.3);
+}
+
+TEST(BootstrapTest, Validation) {
+  sfl::util::Rng rng(9);
+  EXPECT_THROW((void)bootstrap_mean_ci({}, 0.95, 10, rng), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 1.5, 10, rng), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 0.95, 0, rng), std::invalid_argument);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyLineHasHighButImperfectR2) {
+  sfl::util::Rng rng(10);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(3.0 * x + 1.0 + rng.normal(0.0, 5.0));
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(LinearFitTest, Validation) {
+  EXPECT_THROW((void)linear_fit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)linear_fit({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)linear_fit({2.0, 2.0}, {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(PearsonTest, PerfectAndAnticorrelation) {
+  EXPECT_NEAR(pearson_correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bucket_count(), 5u);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3.0);  // clamps to bucket 0
+  h.add(25.0);  // clamps to bucket 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 4.0);
+  EXPECT_THROW((void)h.count(5), std::out_of_range);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::stats

@@ -1,0 +1,46 @@
+#include "util/require.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sfl::util {
+namespace {
+
+TEST(RequireTest, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(require(true, "never fires"));
+  EXPECT_NO_THROW(check_invariant(true, "never fires"));
+}
+
+TEST(RequireTest, FailingRequireThrowsInvalidArgument) {
+  EXPECT_THROW(require(false, "bad argument"), std::invalid_argument);
+}
+
+TEST(RequireTest, FailingInvariantThrowsLogicError) {
+  EXPECT_THROW(check_invariant(false, "broken invariant"), std::logic_error);
+}
+
+TEST(RequireTest, MessageIncludesTextAndLocation) {
+  try {
+    require(false, "distinctive-message");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("distinctive-message"), std::string::npos);
+    EXPECT_NE(what.find("require_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckedIndexTest, InRangeReturnsIndex) {
+  EXPECT_EQ(checked_index(0, 3, "thing"), 0u);
+  EXPECT_EQ(checked_index(2, 3, "thing"), 2u);
+}
+
+TEST(CheckedIndexTest, OutOfRangeThrows) {
+  EXPECT_THROW(checked_index(3, 3, "thing"), std::out_of_range);
+  EXPECT_THROW(checked_index(100, 3, "thing"), std::out_of_range);
+  EXPECT_THROW(checked_index(0, 0, "thing"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sfl::util
