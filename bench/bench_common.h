@@ -12,9 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "auction/adaptive_price.h"
-#include "auction/baselines.h"
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/market_simulation.h"
 #include "core/orchestrator.h"
 #include "fl/logistic_regression.h"
@@ -87,40 +85,40 @@ inline fl::LocalTrainingSpec canonical_training_spec() {
 /// device energy budgets and rotates coverage across non-IID shards.
 inline constexpr double kCanonicalPacingRate = 0.5;
 
-/// Mechanism factory by name; the LTO config inherits the orchestrator's
-/// budget. Names: lto-vcg (paced, the paper mechanism), lto-vcg-unpaced
-/// (Z queues off, ablation), myopic-vcg, pay-as-bid, fixed-price,
-/// random-stipend, proportional-share.
+/// Registry config for the canonical FL experiments: the LTO mechanism
+/// inherits the orchestrator's budget and paces every client at
+/// kCanonicalPacingRate (the "lto-vcg-unpaced" key ignores the pacing).
+inline auction::MechanismConfig canonical_mechanism_config(
+    const core::OrchestratorConfig& config, std::size_t num_clients,
+    double v_weight = 10.0) {
+  auction::MechanismConfig mc;
+  mc.num_clients = num_clients;
+  mc.per_round_budget = config.per_round_budget;
+  mc.seed = config.seed;
+  mc.lto.v_weight = v_weight;
+  mc.lto.pacing_rate = kCanonicalPacingRate;
+  return mc;
+}
+
+/// Registry config for the auction-only market benches (E2-E6, E10, E12,
+/// E13): unpaced LTO (no Z queues) matching the market's flat energy model.
+inline auction::MechanismConfig market_mechanism_config(
+    const core::MarketSpec& spec, double v_weight = 10.0) {
+  auction::MechanismConfig mc;
+  mc.num_clients = spec.num_clients;
+  mc.per_round_budget = spec.per_round_budget;
+  mc.seed = spec.seed;
+  mc.lto.v_weight = v_weight;
+  return mc;
+}
+
+/// Mechanism factory by name via the global MechanismRegistry (the single
+/// source of truth for mechanism keys; see `describe()` for the list).
 inline std::unique_ptr<auction::Mechanism> make_mechanism(
     const std::string& name, const core::OrchestratorConfig& config,
     std::size_t num_clients, double v_weight = 10.0) {
-  if (name == "lto-vcg" || name == "lto-vcg-unpaced") {
-    core::LtoVcgConfig lto;
-    lto.v_weight = v_weight;
-    lto.per_round_budget = config.per_round_budget;
-    if (name == "lto-vcg") {
-      lto.energy_rates.assign(num_clients, kCanonicalPacingRate);
-    }
-    return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
-  }
-  if (name == "myopic-vcg") return std::make_unique<auction::MyopicVcgMechanism>();
-  if (name == "pay-as-bid") {
-    return std::make_unique<auction::PayAsBidGreedyMechanism>();
-  }
-  if (name == "fixed-price") {
-    return std::make_unique<auction::FixedPriceMechanism>(1.0);
-  }
-  if (name == "random-stipend") {
-    return std::make_unique<auction::RandomSelectionMechanism>(1.0, config.seed);
-  }
-  if (name == "proportional-share") {
-    return std::make_unique<auction::ProportionalShareMechanism>();
-  }
-  if (name == "adaptive-price") {
-    return std::make_unique<auction::AdaptivePostedPriceMechanism>(
-        auction::AdaptivePriceConfig{});
-  }
-  throw std::invalid_argument("unknown mechanism: " + name);
+  return auction::build_mechanism(
+      name, canonical_mechanism_config(config, num_clients, v_weight));
 }
 
 /// All mechanism names compared in the FL experiments.

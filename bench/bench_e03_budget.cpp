@@ -15,13 +15,12 @@ int main() {
 
   // --- Figure: cumulative payment vs budget line ---
   {
-    core::LtoVcgConfig lto_config;
-    lto_config.v_weight = 10.0;
-    lto_config.per_round_budget = base.per_round_budget;
-    core::LongTermOnlineVcgMechanism lto(lto_config);
-    const core::MarketResult lto_result = core::run_market(lto, base);
-    auction::MyopicVcgMechanism myopic;
-    const core::MarketResult myopic_result = core::run_market(myopic, base);
+    const auto lto = auction::build_mechanism(
+        "lto-vcg", bench::market_mechanism_config(base));
+    const core::MarketResult lto_result = core::run_market(*lto, base);
+    const auto myopic = auction::build_mechanism(
+        "myopic-vcg", bench::market_mechanism_config(base));
+    const core::MarketResult myopic_result = core::run_market(*myopic, base);
 
     util::TablePrinter series({"round", "budget_line", "lto_cum_payment",
                                "myopic_cum_payment"});
@@ -42,18 +41,17 @@ int main() {
     core::MarketSpec spec = base;
     spec.per_round_budget = budget;
 
-    core::LtoVcgConfig lto_config;
-    lto_config.v_weight = 10.0;
-    lto_config.per_round_budget = budget;
-    core::LongTermOnlineVcgMechanism lto(lto_config);
-    const core::MarketResult lto_result = core::run_market(lto, spec);
+    const auto lto = auction::build_mechanism(
+        "lto-vcg", bench::market_mechanism_config(spec));
+    const core::MarketResult lto_result = core::run_market(*lto, spec);
     sweep.row(budget, "lto-vcg", lto_result.average_payment,
               lto_result.average_payment / budget,
               lto_result.peak_budget_violation,
               lto_result.time_average_welfare);
 
-    auction::MyopicVcgMechanism myopic;
-    const core::MarketResult myopic_result = core::run_market(myopic, spec);
+    const auto myopic = auction::build_mechanism(
+        "myopic-vcg", bench::market_mechanism_config(spec));
+    const core::MarketResult myopic_result = core::run_market(*myopic, spec);
     sweep.row(budget, "myopic-vcg", myopic_result.average_payment,
               myopic_result.average_payment / budget,
               myopic_result.peak_budget_violation,

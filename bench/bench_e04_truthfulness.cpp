@@ -23,11 +23,9 @@ int main() {
   // Pick attackers: the five most frequent winners under truthful bidding.
   std::vector<std::size_t> attackers;
   {
-    core::LtoVcgConfig config;
-    config.v_weight = 10.0;
-    config.per_round_budget = spec.per_round_budget;
-    core::LongTermOnlineVcgMechanism reference(config);
-    const core::MarketResult truthful_run = core::run_market(reference, spec);
+    const auto reference = auction::build_mechanism(
+        "lto-vcg", bench::market_mechanism_config(spec));
+    const core::MarketResult truthful_run = core::run_market(*reference, spec);
     std::vector<std::size_t> order(spec.num_clients);
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -52,13 +50,12 @@ int main() {
     double lto_total = 0.0;
     double pab_total = 0.0;
     for (const std::size_t attacker : attackers) {
-      core::LtoVcgConfig lto_config;
-      lto_config.v_weight = 10.0;
-      lto_config.per_round_budget = spec.per_round_budget;
-      core::LongTermOnlineVcgMechanism lto(lto_config);
-      lto_total += core::deviation_utility(lto, spec, attacker, gamma);
-      auction::PayAsBidGreedyMechanism pab;
-      pab_total += core::deviation_utility(pab, spec, attacker, gamma);
+      const auto lto = auction::build_mechanism(
+          "lto-vcg", bench::market_mechanism_config(spec));
+      lto_total += core::deviation_utility(*lto, spec, attacker, gamma);
+      const auto pab = auction::build_mechanism(
+          "pay-as-bid", bench::market_mechanism_config(spec));
+      pab_total += core::deviation_utility(*pab, spec, attacker, gamma);
     }
     const double lto_mean = lto_total / static_cast<double>(attackers.size());
     const double pab_mean = pab_total / static_cast<double>(attackers.size());

@@ -82,19 +82,16 @@ int main() {
               stats.max_misreport_gain, stats.ir_fraction);
   };
 
-  core::LtoVcgConfig lto_config;
-  lto_config.v_weight = 5.0;
-  lto_config.per_round_budget = 6.0;
-  core::LongTermOnlineVcgMechanism lto(lto_config);
-  audit(lto);
-  auction::MyopicVcgMechanism myopic;
-  audit(myopic);
-  auction::PayAsBidGreedyMechanism pab;
-  audit(pab);
-  auction::FixedPriceMechanism fixed(1.5);
-  audit(fixed);
-  auction::ProportionalShareMechanism prop;
-  audit(prop);
+  auction::MechanismConfig mc;
+  mc.per_round_budget = 6.0;
+  mc.lto.v_weight = 5.0;
+  mc.fixed_price.price = 1.5;
+  for (const std::string& name :
+       {"lto-vcg", "myopic-vcg", "pay-as-bid", "fixed-price",
+        "proportional-share"}) {
+    const auto mechanism = auction::build_mechanism(name, mc);
+    audit(*mechanism);
+  }
   table.print(std::cout);
 
   // Payment-rule equivalence: max |critical - vcg| over random instances,

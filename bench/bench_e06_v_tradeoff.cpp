@@ -23,11 +23,9 @@ int main() {
   const std::vector<double> v_values{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
 
   const auto run_with_v = [&](double v) {
-    core::LtoVcgConfig config;
-    config.v_weight = v;
-    config.per_round_budget = spec.per_round_budget;
-    core::LongTermOnlineVcgMechanism mech(config);
-    return core::run_market(mech, spec);
+    const auto mech = auction::build_mechanism(
+        "lto-vcg", bench::market_mechanism_config(spec, v));
+    return core::run_market(*mech, spec);
   };
 
   std::vector<double> welfare(v_values.size());

@@ -46,21 +46,21 @@ int main() {
   };
 
   const auto run_variant = [&](double pacing_fraction) {
-    core::LtoVcgConfig lto;
-    lto.v_weight = 10.0;
-    lto.per_round_budget = config.per_round_budget;
+    auction::MechanismConfig mc =
+        bench::canonical_mechanism_config(config, sspec.num_clients);
+    mc.lto.pacing_rate = 0.0;
     if (pacing_fraction > 0.0) {
       for (std::size_t c = 0; c < sspec.num_clients; ++c) {
-        lto.energy_rates.push_back(pacing_fraction *
-                                   config.energy.harvest_probabilities[c] *
-                                   config.energy.harvest_amount);
+        mc.lto.energy_rates.push_back(pacing_fraction *
+                                      config.energy.harvest_probabilities[c] *
+                                      config.energy.harvest_amount);
       }
     }
     auto model = std::make_unique<fl::LogisticRegression>(
         sspec.feature_dim, sspec.num_classes, 1e-4);
     core::SustainableFlOrchestrator orchestrator(
         scenario, std::move(model), bench::canonical_training_spec(),
-        std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
+        auction::build_mechanism("lto-vcg", mc), config);
     return orchestrator.run();
   };
 

@@ -26,17 +26,16 @@ int main() {
     core::MarketSpec spec = bench::canonical_market_spec(99);
     spec.rounds = bench::scaled(horizon);
 
-    auction::FirstBestOracleMechanism first_best;
-    const core::MarketResult fb = core::run_market(first_best, spec);
+    const auction::MechanismConfig mc = bench::market_mechanism_config(spec);
 
-    auction::BudgetedOracleMechanism budgeted(0.05);
-    const core::MarketResult bo = core::run_market(budgeted, spec);
+    const auto first_best = auction::build_mechanism("first-best-oracle", mc);
+    const core::MarketResult fb = core::run_market(*first_best, spec);
 
-    core::LtoVcgConfig config;
-    config.v_weight = 10.0;
-    config.per_round_budget = spec.per_round_budget;
-    core::LongTermOnlineVcgMechanism lto(config);
-    const core::MarketResult lr = core::run_market(lto, spec);
+    const auto budgeted = auction::build_mechanism("budgeted-oracle", mc);
+    const core::MarketResult bo = core::run_market(*budgeted, spec);
+
+    const auto lto = auction::build_mechanism("lto-vcg", mc);
+    const core::MarketResult lr = core::run_market(*lto, spec);
 
     const double budget_gap =
         std::abs(lr.average_payment - spec.per_round_budget);

@@ -24,17 +24,13 @@ int main() {
   {
     util::TablePrinter table({"payment rule", "avg_welfare", "avg_payment",
                               "IR", "wall_time_s"});
-    for (const auto rule : {core::PaymentRule::kCriticalValue,
-                            core::PaymentRule::kVcgExternality}) {
-      core::LtoVcgConfig config;
-      config.v_weight = 10.0;
-      config.per_round_budget = spec.per_round_budget;
-      config.payment_rule = rule;
-      core::LongTermOnlineVcgMechanism mech(config);
+    for (const bool vcg_externality : {false, true}) {
+      auction::MechanismConfig mc = bench::market_mechanism_config(spec);
+      mc.lto.vcg_externality_payments = vcg_externality;
+      const auto mech = auction::build_mechanism("lto-vcg", mc);
       util::Timer timer;
-      const core::MarketResult result = core::run_market(mech, spec);
-      table.row(rule == core::PaymentRule::kCriticalValue ? "critical-value"
-                                                          : "vcg-externality",
+      const core::MarketResult result = core::run_market(*mech, spec);
+      table.row(vcg_externality ? "vcg-externality" : "critical-value",
                 result.time_average_welfare, result.average_payment,
                 result.ir_fraction, timer.elapsed_seconds());
     }
@@ -47,17 +43,12 @@ int main() {
   {
     util::TablePrinter table({"queue arrival", "avg_payment",
                               "peak_violation", "avg_welfare"});
-    for (const auto mode : {core::QueueArrivalMode::kRealizedPayment,
-                            core::QueueArrivalMode::kBidProxy}) {
-      core::LtoVcgConfig config;
-      config.v_weight = 10.0;
-      config.per_round_budget = spec.per_round_budget;
-      config.queue_arrival = mode;
-      core::LongTermOnlineVcgMechanism mech(config);
-      const core::MarketResult result = core::run_market(mech, spec);
-      table.row(mode == core::QueueArrivalMode::kRealizedPayment
-                    ? "realized payments"
-                    : "winning-bid proxy",
+    for (const bool bid_proxy : {false, true}) {
+      auction::MechanismConfig mc = bench::market_mechanism_config(spec);
+      mc.lto.bid_proxy_queue_arrival = bid_proxy;
+      const auto mech = auction::build_mechanism("lto-vcg", mc);
+      const core::MarketResult result = core::run_market(*mech, spec);
+      table.row(bid_proxy ? "winning-bid proxy" : "realized payments",
                 result.average_payment, result.peak_budget_violation,
                 result.time_average_welfare);
     }

@@ -29,22 +29,10 @@ int main() {
     core::AdaptiveMarketResult result;
   };
   std::vector<Entry> entries;
-  {
-    core::LtoVcgConfig lto;
-    lto.v_weight = 10.0;
-    lto.per_round_budget = spec.per_round_budget;
-    core::LongTermOnlineVcgMechanism mech(lto);
-    entries.push_back({"lto-vcg", core::run_adaptive_market(mech, spec, config)});
-  }
-  {
-    auction::MyopicVcgMechanism mech;
-    entries.push_back(
-        {"myopic-vcg", core::run_adaptive_market(mech, spec, config)});
-  }
-  {
-    auction::PayAsBidGreedyMechanism mech;
-    entries.push_back(
-        {"pay-as-bid", core::run_adaptive_market(mech, spec, config)});
+  const auction::MechanismConfig mc = bench::market_mechanism_config(spec);
+  for (const std::string& name : {"lto-vcg", "myopic-vcg", "pay-as-bid"}) {
+    const auto mech = auction::build_mechanism(name, mc);
+    entries.push_back({name, core::run_adaptive_market(*mech, spec, config)});
   }
 
   // Winning-bid-factor trajectory (the factor trades actually happen at).

@@ -9,7 +9,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/orchestrator.h"
 #include "fl/logistic_regression.h"
 #include "stats/summary.h"
@@ -22,15 +22,15 @@ sfl::core::RunResult run_one(const sfl::sim::Scenario& scenario,
                              const sfl::sim::ScenarioSpec& sspec,
                              const sfl::core::OrchestratorConfig& config,
                              bool with_sustainability_queues) {
-  sfl::core::LtoVcgConfig lto;
-  lto.v_weight = 10.0;
-  lto.per_round_budget = config.per_round_budget;
+  sfl::auction::MechanismConfig mc;
+  mc.num_clients = scenario.num_clients();
+  mc.per_round_budget = config.per_round_budget;
   if (with_sustainability_queues) {
     // Pace each client's wins to its battery harvest rate.
-    lto.energy_rates.reserve(scenario.num_clients());
+    mc.lto.energy_rates.reserve(scenario.num_clients());
     for (std::size_t c = 0; c < scenario.num_clients(); ++c) {
-      lto.energy_rates.push_back(config.energy.harvest_probabilities[c] *
-                                 config.energy.harvest_amount);
+      mc.lto.energy_rates.push_back(config.energy.harvest_probabilities[c] *
+                                    config.energy.harvest_amount);
     }
   }
   sfl::fl::LocalTrainingSpec training;
@@ -41,7 +41,7 @@ sfl::core::RunResult run_one(const sfl::sim::Scenario& scenario,
       sspec.feature_dim, sspec.num_classes, 1e-4);
   sfl::core::SustainableFlOrchestrator orchestrator(
       scenario, std::move(model), training,
-      std::make_unique<sfl::core::LongTermOnlineVcgMechanism>(lto), config);
+      sfl::auction::build_mechanism("lto-vcg", mc), config);
   return orchestrator.run();
 }
 

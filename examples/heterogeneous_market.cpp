@@ -7,8 +7,7 @@
 #include <iostream>
 #include <memory>
 
-#include "auction/baselines.h"
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/orchestrator.h"
 #include "fl/logistic_regression.h"
 #include "stats/summary.h"
@@ -60,27 +59,17 @@ int main(int argc, char** argv) {
   config.cost.base_sigma = 0.6;  // heavy-tailed cost heterogeneity
   config.seed = sspec.seed;
 
+  sfl::auction::MechanismConfig mc;
+  mc.num_clients = sspec.num_clients;
+  mc.per_round_budget = config.per_round_budget;
+  mc.seed = sspec.seed;
+
   std::vector<NamedRun> runs;
-  {
-    sfl::core::LtoVcgConfig lto;
-    lto.v_weight = 10.0;
-    lto.per_round_budget = config.per_round_budget;
-    runs.push_back(
-        {"lto-vcg",
-         run_one(scenario, sspec,
-                 std::make_unique<sfl::core::LongTermOnlineVcgMechanism>(lto),
-                 config)});
+  for (const std::string& name : {"lto-vcg", "myopic-vcg", "random-stipend"}) {
+    runs.push_back({name, run_one(scenario, sspec,
+                                  sfl::auction::build_mechanism(name, mc),
+                                  config)});
   }
-  runs.push_back({"myopic-vcg",
-                  run_one(scenario, sspec,
-                          std::make_unique<sfl::auction::MyopicVcgMechanism>(),
-                          config)});
-  runs.push_back(
-      {"random-stipend",
-       run_one(scenario, sspec,
-               std::make_unique<sfl::auction::RandomSelectionMechanism>(
-                   1.0, sspec.seed),
-               config)});
 
   std::cout << "Heterogeneous federated market — " << sspec.num_clients
             << " clients, 25% noisy labels, quantity-skewed shards\n\n";

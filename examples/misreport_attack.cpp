@@ -8,8 +8,7 @@
 #include <iostream>
 #include <memory>
 
-#include "auction/baselines.h"
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/market_simulation.h"
 #include "util/config.h"
 #include "util/table.h"
@@ -42,17 +41,18 @@ int main(int argc, char** argv) {
   double pab_best = -1e18;
   double lto_best_factor = 1.0;
   double pab_best_factor = 1.0;
+  sfl::auction::MechanismConfig mc;
+  mc.num_clients = spec.num_clients;
+  mc.per_round_budget = spec.per_round_budget;
+  mc.seed = spec.seed;
   for (const double factor : factors) {
-    sfl::core::LtoVcgConfig lto_config;
-    lto_config.v_weight = 10.0;
-    lto_config.per_round_budget = spec.per_round_budget;
-    sfl::core::LongTermOnlineVcgMechanism lto(lto_config);
+    const auto lto = sfl::auction::build_mechanism("lto-vcg", mc);
     const double lto_utility =
-        sfl::core::deviation_utility(lto, spec, attacker, factor);
+        sfl::core::deviation_utility(*lto, spec, attacker, factor);
 
-    sfl::auction::PayAsBidGreedyMechanism pab;
+    const auto pab = sfl::auction::build_mechanism("pay-as-bid", mc);
     const double pab_utility =
-        sfl::core::deviation_utility(pab, spec, attacker, factor);
+        sfl::core::deviation_utility(*pab, spec, attacker, factor);
 
     if (factor == 1.0) {
       lto_truth = lto_utility;

@@ -9,7 +9,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/orchestrator.h"
 #include "fl/logistic_regression.h"
 #include "util/config.h"
@@ -34,11 +34,11 @@ int main(int argc, char** argv) {
   config.per_round_budget = args.get_double("budget", 4.0);
   config.seed = scenario_spec.seed;
 
-  sfl::core::LtoVcgConfig mechanism_config;
-  mechanism_config.v_weight = args.get_double("v", 10.0);
+  sfl::auction::MechanismConfig mechanism_config;
+  mechanism_config.num_clients = scenario_spec.num_clients;
   mechanism_config.per_round_budget = config.per_round_budget;
-  auto mechanism =
-      std::make_unique<sfl::core::LongTermOnlineVcgMechanism>(mechanism_config);
+  mechanism_config.lto.v_weight = args.get_double("v", 10.0);
+  auto mechanism = sfl::auction::build_mechanism("lto-vcg", mechanism_config);
 
   // 3. Local training recipe shared by all clients.
   sfl::fl::LocalTrainingSpec training;

@@ -11,15 +11,13 @@
 //                  [use_reputation=1] [energy=0] [seed=42]
 //                  [csv=/path/to/rounds.csv]
 //
-// Mechanisms: lto-vcg, lto-vcg-unpaced, myopic-vcg, pay-as-bid,
-// fixed-price, adaptive-price, random-stipend, proportional-share.
+// Mechanisms: any key in the MechanismRegistry — run with mechanism=list
+// to print them all with descriptions.
 #include <fstream>
 #include <iostream>
 #include <memory>
 
-#include "auction/adaptive_price.h"
-#include "auction/baselines.h"
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/orchestrator.h"
 #include "fl/logistic_regression.h"
 #include "fl/mlp.h"
@@ -30,49 +28,36 @@ namespace {
 
 using sfl::util::Config;
 
-std::unique_ptr<sfl::auction::Mechanism> make_mechanism(
-    const std::string& name, const Config& args, double budget,
-    std::size_t num_clients) {
-  if (name == "lto-vcg" || name == "lto-vcg-unpaced") {
-    sfl::core::LtoVcgConfig config;
-    config.v_weight = args.get_double("v", 10.0);
-    config.per_round_budget = budget;
-    if (name == "lto-vcg") {
-      const double pacing = args.get_double("pacing", 0.5);
-      if (pacing > 0.0) {
-        config.energy_rates.assign(num_clients, pacing);
-      }
-    }
-    return std::make_unique<sfl::core::LongTermOnlineVcgMechanism>(config);
-  }
-  if (name == "myopic-vcg") {
-    return std::make_unique<sfl::auction::MyopicVcgMechanism>();
-  }
-  if (name == "pay-as-bid") {
-    return std::make_unique<sfl::auction::PayAsBidGreedyMechanism>();
-  }
-  if (name == "fixed-price") {
-    return std::make_unique<sfl::auction::FixedPriceMechanism>(
-        args.get_double("price", 1.0));
-  }
-  if (name == "adaptive-price") {
-    return std::make_unique<sfl::auction::AdaptivePostedPriceMechanism>(
-        sfl::auction::AdaptivePriceConfig{});
-  }
-  if (name == "random-stipend") {
-    return std::make_unique<sfl::auction::RandomSelectionMechanism>(
-        args.get_double("stipend", 1.0), args.get_size("seed", 42));
-  }
-  if (name == "proportional-share") {
-    return std::make_unique<sfl::auction::ProportionalShareMechanism>();
-  }
-  throw std::invalid_argument("unknown mechanism: " + name);
+/// Maps the command line onto the registry's config; the registry is the
+/// single source of truth for mechanism names.
+sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
+                                                    double budget,
+                                                    std::size_t num_clients) {
+  sfl::auction::MechanismConfig config;
+  config.num_clients = num_clients;
+  config.per_round_budget = budget;
+  config.seed = args.get_size("seed", 42);
+  config.lto.v_weight = args.get_double("v", 10.0);
+  config.lto.pacing_rate = args.get_double("pacing", 0.5);
+  config.fixed_price.price = args.get_double("price", 1.0);
+  config.random_stipend.stipend = args.get_double("stipend", 1.0);
+  return config;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Config args = Config::from_args(argc, argv);
+
+  if (args.get_string("mechanism", "lto-vcg") == "list") {
+    sfl::util::TablePrinter listing({"mechanism", "description"});
+    for (const auto& info :
+         sfl::auction::MechanismRegistry::global().describe()) {
+      listing.row(info.name, info.description);
+    }
+    listing.print(std::cout);
+    return 0;
+  }
 
   // --- scenario ---
   sfl::sim::ScenarioSpec sspec;
@@ -142,8 +127,10 @@ int main(int argc, char** argv) {
   const std::string mechanism_name = args.get_string("mechanism", "lto-vcg");
   sfl::core::SustainableFlOrchestrator orchestrator(
       scenario, std::move(model), training,
-      make_mechanism(mechanism_name, args, config.per_round_budget,
-                     sspec.num_clients),
+      sfl::auction::build_mechanism(
+          mechanism_name,
+          mechanism_config_from(args, config.per_round_budget,
+                                sspec.num_clients)),
       config);
   const sfl::core::RunResult result = orchestrator.run();
 

@@ -7,7 +7,7 @@
 // Usage: seasonal_budget [rounds=7000] [clients=60]
 #include <iostream>
 
-#include "core/long_term_online_vcg.h"
+#include "auction/registry.h"
 #include "core/market_simulation.h"
 #include "util/config.h"
 #include "util/table.h"
@@ -29,12 +29,13 @@ int main(int argc, char** argv) {
   spec.per_round_budget = mean_budget;
 
   const auto run_variant = [&](bool scheduled) {
-    sfl::core::LtoVcgConfig config;
-    config.v_weight = 10.0;
-    config.per_round_budget = mean_budget;
-    if (scheduled) config.budget_schedule = week;
-    sfl::core::LongTermOnlineVcgMechanism mech(config);
-    return sfl::core::run_market(mech, spec);
+    sfl::auction::MechanismConfig mc;
+    mc.num_clients = spec.num_clients;
+    mc.per_round_budget = mean_budget;
+    mc.seed = spec.seed;
+    if (scheduled) mc.lto.budget_schedule = week;
+    const auto mech = sfl::auction::build_mechanism("lto-vcg", mc);
+    return sfl::core::run_market(*mech, spec);
   };
 
   const sfl::core::MarketResult flat = run_variant(false);

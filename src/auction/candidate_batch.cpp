@@ -1,0 +1,49 @@
+#include "auction/candidate_batch.h"
+
+namespace sfl::auction {
+
+CandidateBatch CandidateBatch::from_aos(std::span<const Candidate> candidates) {
+  CandidateBatch batch;
+  batch.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    batch.push_back(candidate);
+  }
+  return batch;
+}
+
+void CandidateBatch::reserve(std::size_t capacity) {
+  ids_.reserve(capacity);
+  values_.reserve(capacity);
+  bids_.reserve(capacity);
+  energy_costs_.reserve(capacity);
+}
+
+void CandidateBatch::clear() noexcept {
+  ids_.clear();
+  values_.clear();
+  bids_.clear();
+  energy_costs_.clear();
+}
+
+void CandidateBatch::push_back(const Candidate& candidate) {
+  emplace(candidate.id, candidate.value, candidate.bid, candidate.energy_cost);
+}
+
+void CandidateBatch::emplace(ClientId id, double value, double bid,
+                             double energy_cost) {
+  ids_.push_back(id);
+  values_.push_back(value);
+  bids_.push_back(bid);
+  energy_costs_.push_back(energy_cost);
+}
+
+std::vector<Candidate> CandidateBatch::to_aos() const {
+  std::vector<Candidate> candidates;
+  candidates.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    candidates.push_back(at(i));
+  }
+  return candidates;
+}
+
+}  // namespace sfl::auction

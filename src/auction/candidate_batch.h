@@ -1,0 +1,64 @@
+// Structure-of-arrays candidate slate for the batched auction path.
+//
+// The AoS `std::vector<Candidate>` interface is convenient for tests and
+// small markets, but the production hot path (score N candidates, select
+// top-m) is a streaming pass over four parallel arrays. CandidateBatch keeps
+// ids, values, bids, and energy costs contiguous so scoring vectorizes and
+// stays cache-resident at N = 100k+; `std::span` views let solvers and
+// payment rules consume the arrays without copying. Converters to/from the
+// AoS representation keep every existing mechanism working unchanged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+class CandidateBatch {
+ public:
+  CandidateBatch() = default;
+
+  /// Gathers an AoS slate into parallel arrays.
+  [[nodiscard]] static CandidateBatch from_aos(
+      std::span<const Candidate> candidates);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  void reserve(std::size_t capacity);
+  void clear() noexcept;
+
+  void push_back(const Candidate& candidate);
+  void emplace(ClientId id, double value, double bid, double energy_cost);
+
+  /// Materializes candidate `index` (bounds-checked by the caller).
+  [[nodiscard]] Candidate at(std::size_t index) const {
+    return Candidate{.id = ids_[index],
+                     .value = values_[index],
+                     .bid = bids_[index],
+                     .energy_cost = energy_costs_[index]};
+  }
+
+  /// Scatters back to the AoS representation (adapter for mechanisms that
+  /// have no native batch path).
+  [[nodiscard]] std::vector<Candidate> to_aos() const;
+
+  [[nodiscard]] std::span<const ClientId> ids() const noexcept { return ids_; }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::span<const double> bids() const noexcept { return bids_; }
+  [[nodiscard]] std::span<const double> energy_costs() const noexcept {
+    return energy_costs_;
+  }
+
+ private:
+  std::vector<ClientId> ids_;
+  std::vector<double> values_;
+  std::vector<double> bids_;
+  std::vector<double> energy_costs_;
+};
+
+}  // namespace sfl::auction

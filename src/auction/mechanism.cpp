@@ -2,6 +2,25 @@
 
 namespace sfl::auction {
 
+MechanismResult Mechanism::run_round(const CandidateBatch& batch,
+                                     const RoundContext& context) {
+  // Default adapter: AoS-only mechanisms see the slate they expect.
+  return run_round(batch.to_aos(), context);
+}
+
+void Mechanism::settle(const RoundSettlement& settlement) {
+  // Compatibility default: fold the settlement down to the legacy
+  // observation so mechanisms that only override observe() keep working.
+  RoundObservation observation;
+  observation.round = settlement.round;
+  observation.total_payment = settlement.total_payment;
+  observation.winners.reserve(settlement.winners.size());
+  for (const WinnerSettlement& w : settlement.winners) {
+    if (!w.dropped) observation.winners.push_back(w.client);
+  }
+  observe(observation);
+}
+
 void Mechanism::observe(const RoundObservation& /*observation*/) {}
 
 }  // namespace sfl::auction

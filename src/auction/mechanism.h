@@ -1,25 +1,72 @@
-// Round-level mechanism interface.
+// Round-level mechanism interface (v2).
 //
 // A mechanism is the full auction rule: given the round's candidates (ids,
-// public values, bids), it picks winners and payments. Stateful mechanisms
-// (the long-term online VCG in sfl::core) additionally observe realized
-// outcomes via `observe` to update their internal queues.
+// public values, bids), it picks winners and payments. Candidates arrive
+// either as the classic AoS vector or as a batched SoA CandidateBatch (the
+// production hot path); a default adapter keeps AoS-only mechanisms working
+// under the batch entry point and vice versa.
+//
+// After the round settles in the real world (payments cleared, dropouts
+// known), the caller reports back via `settle(RoundSettlement)`: per-winner
+// realized payments, winning bids, energy costs, and dropout flags. Stateful
+// mechanisms (the long-term online VCG in sfl::core) update their virtual
+// queues there. The older `observe(RoundObservation)` — which only carried
+// the round's total payment — survives as a deprecated shim for existing
+// callers and is routed into settle() by default.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "auction/candidate_batch.h"
 #include "auction/types.h"
 
 namespace sfl::auction {
 
-/// Realized outcome of a round, reported back to stateful mechanisms after
-/// payments settle.
+/// Realized outcome of a round as reported by the legacy observe() API.
+/// Deprecated: lossy (no per-winner payments, bids, or dropout flags).
+/// New code reports RoundSettlement through settle().
 struct RoundObservation {
   std::size_t round = 0;
   double total_payment = 0.0;
   std::vector<ClientId> winners;
+};
+
+/// One auction winner's settled outcome.
+struct WinnerSettlement {
+  ClientId client = 0;
+  double bid = 0.0;          ///< the winning bid (drives bid-proxy queues)
+  double payment = 0.0;      ///< realized payment; 0 when the winner dropped
+  double energy_cost = 1.0;  ///< e_i the win would drain
+  bool dropped = false;      ///< failed to deliver (unpaid, did not train)
+};
+
+/// Full realized outcome of one round, reported to the mechanism after
+/// payments settle. `winners` covers every auction winner including dropped
+/// ones, so stateful rules can decide which flows (payments, bids, energy)
+/// each queue should see.
+struct RoundSettlement {
+  std::size_t round = 0;
+  /// Sum of realized payments (delivered winners only).
+  double total_payment = 0.0;
+  std::vector<WinnerSettlement> winners;
+
+  /// Sum of winning bids over all auction winners, delivered or not — the
+  /// drift objective's spend proxy.
+  [[nodiscard]] double total_bid() const noexcept {
+    double sum = 0.0;
+    for (const WinnerSettlement& w : winners) sum += w.bid;
+    return sum;
+  }
+
+  [[nodiscard]] std::size_t delivered_count() const noexcept {
+    std::size_t count = 0;
+    for (const WinnerSettlement& w : winners) {
+      if (!w.dropped) ++count;
+    }
+    return count;
+  }
 };
 
 class Mechanism {
@@ -34,7 +81,21 @@ class Mechanism {
   [[nodiscard]] virtual MechanismResult run_round(
       const std::vector<Candidate>& candidates, const RoundContext& context) = 0;
 
-  /// Default no-op; stateful mechanisms update virtual queues here.
+  /// Batched SoA entry point. The default adapter scatters the batch back to
+  /// AoS and calls the vector overload, so existing mechanisms work
+  /// unchanged; hot-path mechanisms override this to stay in SoA form.
+  /// Overrides must produce results identical to the AoS path.
+  [[nodiscard]] virtual MechanismResult run_round(const CandidateBatch& batch,
+                                                  const RoundContext& context);
+
+  /// Reports the round's realized outcome. Default: synthesizes a legacy
+  /// RoundObservation (round, total payment, delivered winners) and forwards
+  /// to observe(), so mechanisms that only implement the old hook keep
+  /// working. Stateful mechanisms override this to read the full settlement.
+  virtual void settle(const RoundSettlement& settlement);
+
+  /// Deprecated lossy predecessor of settle(); default no-op. Kept so
+  /// pre-settlement callers and tests compile unchanged.
   virtual void observe(const RoundObservation& observation);
 
   /// True when bidding one's true cost is a dominant strategy under this

@@ -10,48 +10,85 @@ namespace sfl::auction {
 using sfl::util::check_invariant;
 using sfl::util::require;
 
-std::vector<double> critical_payments(const std::vector<Candidate>& candidates,
-                                      const ScoreWeights& weights,
-                                      std::size_t max_winners,
-                                      const Allocation& allocation,
-                                      const Penalties& penalties) {
+namespace {
+
+[[nodiscard]] double penalty_at(const Penalties& penalties, std::size_t index) {
+  return penalties.empty() ? 0.0 : penalties[index];
+}
+
+/// Accessor-based critical-payment core shared by the AoS and SoA overloads
+/// (reads candidates in place, no gather copies). The arithmetic per
+/// candidate mirrors score() exactly so both paths produce bit-identical
+/// payments.
+template <typename ValueAt, typename BidAt>
+std::vector<double> critical_payments_core(std::size_t num_candidates,
+                                           ValueAt value_at, BidAt bid_at,
+                                           const ScoreWeights& weights,
+                                           std::size_t max_winners,
+                                           const Allocation& allocation,
+                                           const Penalties& penalties) {
   require(weights.bid_weight > 0.0, "bid weight must be > 0");
-  require(penalties.empty() || penalties.size() == candidates.size(),
+  require(penalties.empty() || penalties.size() == num_candidates,
           "penalties must be empty or one per candidate");
   require(allocation.selected.size() <= max_winners,
           "allocation exceeds the winner cap");
-
-  const auto penalty_at = [&](std::size_t i) {
-    return penalties.empty() ? 0.0 : penalties[i];
-  };
 
   // Best score among losers: the bar a winner's score must stay above when
   // the slate is full. (When fewer than max_winners won, every positive
   // score was taken, so the bar is 0.)
   double best_loser_score = 0.0;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
+  for (std::size_t i = 0; i < num_candidates; ++i) {
     if (allocation.contains(i)) continue;
-    best_loser_score =
-        std::max(best_loser_score, score(candidates[i], weights, penalty_at(i)));
+    const double loser_score = weights.value_weight * value_at(i) -
+                               weights.bid_weight * bid_at(i) -
+                               penalty_at(penalties, i);
+    best_loser_score = std::max(best_loser_score, loser_score);
   }
   const bool slate_full = allocation.selected.size() == max_winners;
   const double threshold = slate_full ? best_loser_score : 0.0;
 
   std::vector<double> payments;
   payments.reserve(allocation.selected.size());
-  for (const std::size_t index : allocation.selected) {
-    const Candidate& winner =
-        candidates[sfl::util::checked_index(index, candidates.size(), "winner")];
+  for (const std::size_t raw_index : allocation.selected) {
+    const std::size_t index =
+        sfl::util::checked_index(raw_index, num_candidates, "winner");
     // phi_i(b) = vw*v_i - bw*b - pen_i stays above `threshold` while
     // b < (vw*v_i - pen_i - threshold)/bw: that boundary is the payment.
     const double critical_bid =
-        (weights.value_weight * winner.value - penalty_at(index) - threshold) /
+        (weights.value_weight * value_at(index) - penalty_at(penalties, index) -
+         threshold) /
         weights.bid_weight;
-    check_invariant(critical_bid >= winner.bid - 1e-9,
+    check_invariant(critical_bid >= bid_at(index) - 1e-9,
                     "critical payment below the winning bid");
-    payments.push_back(std::max(critical_bid, winner.bid));
+    payments.push_back(std::max(critical_bid, bid_at(index)));
   }
   return payments;
+}
+
+}  // namespace
+
+std::vector<double> critical_payments(const std::vector<Candidate>& candidates,
+                                      const ScoreWeights& weights,
+                                      std::size_t max_winners,
+                                      const Allocation& allocation,
+                                      const Penalties& penalties) {
+  return critical_payments_core(
+      candidates.size(), [&](std::size_t i) { return candidates[i].value; },
+      [&](std::size_t i) { return candidates[i].bid; }, weights, max_winners,
+      allocation, penalties);
+}
+
+std::vector<double> critical_payments(const CandidateBatch& batch,
+                                      const ScoreWeights& weights,
+                                      std::size_t max_winners,
+                                      const Allocation& allocation,
+                                      const Penalties& penalties) {
+  const std::span<const double> values = batch.values();
+  const std::span<const double> bids = batch.bids();
+  return critical_payments_core(
+      batch.size(), [&](std::size_t i) { return values[i]; },
+      [&](std::size_t i) { return bids[i]; }, weights, max_winners, allocation,
+      penalties);
 }
 
 std::vector<double> vcg_payments(const std::vector<Candidate>& candidates,
@@ -102,6 +139,22 @@ MechanismResult make_result(const std::vector<Candidate>& candidates,
   for (const std::size_t index : allocation.selected) {
     result.winners.push_back(
         candidates[sfl::util::checked_index(index, candidates.size(), "winner")].id);
+  }
+  result.payments = std::move(payments);
+  return result;
+}
+
+MechanismResult make_result(const CandidateBatch& batch,
+                            const Allocation& allocation,
+                            std::vector<double> payments) {
+  require(payments.size() == allocation.selected.size(),
+          "one payment per winner required");
+  const std::span<const ClientId> ids = batch.ids();
+  MechanismResult result;
+  result.winners.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    result.winners.push_back(
+        ids[sfl::util::checked_index(index, batch.size(), "winner")]);
   }
   result.payments = std::move(payments);
   return result;

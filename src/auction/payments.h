@@ -12,11 +12,17 @@
 // implemented and their equality is enforced by tests. Payments are in money
 // units (not score units): score-space externalities are divided by
 // bid_weight = V + Q(t).
+//
+// Each rule has an AoS entry point and an SoA (CandidateBatch) overload; the
+// batch overloads stream over contiguous arrays and are the pair of the
+// batched select_top_m on the production path.
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
+#include "auction/candidate_batch.h"
 #include "auction/types.h"
 
 namespace sfl::auction {
@@ -26,6 +32,12 @@ namespace sfl::auction {
 /// produced by select_top_m on the same inputs.
 [[nodiscard]] std::vector<double> critical_payments(
     const std::vector<Candidate>& candidates, const ScoreWeights& weights,
+    std::size_t max_winners, const Allocation& allocation,
+    const Penalties& penalties = {});
+
+/// Batched SoA variant; identical results to the AoS overload.
+[[nodiscard]] std::vector<double> critical_payments(
+    const CandidateBatch& batch, const ScoreWeights& weights,
     std::size_t max_winners, const Allocation& allocation,
     const Penalties& penalties = {});
 
@@ -45,6 +57,11 @@ using WdpSolver = std::function<Allocation(
 /// Packages an allocation + aligned payments into a MechanismResult keyed by
 /// client ids.
 [[nodiscard]] MechanismResult make_result(const std::vector<Candidate>& candidates,
+                                          const Allocation& allocation,
+                                          std::vector<double> payments);
+
+/// Batch variant of make_result.
+[[nodiscard]] MechanismResult make_result(const CandidateBatch& batch,
                                           const Allocation& allocation,
                                           std::vector<double> payments);
 

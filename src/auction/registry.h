@@ -1,0 +1,138 @@
+// MechanismRegistry: string-keyed construction of every auction rule.
+//
+// Benches, examples, and the experiment runner used to each carry a private
+// name -> mechanism if-chain; this registry is the single source of truth
+// for mechanism names. A factory receives one MechanismConfig — common
+// market facts (client count, budget, seed) plus per-mechanism option
+// structs — and returns a ready Mechanism. describe() lists every key with
+// a one-line summary, so front-ends can enumerate rules without linking
+// against their headers.
+//
+// Built-in keys (see registry.cpp): lto-vcg, lto-vcg-unpaced, myopic-vcg,
+// pay-as-bid, fixed-price, adaptive-price, random-stipend,
+// proportional-share, first-best-oracle, budgeted-oracle. New mechanisms
+// register under a new key; downstream sharding/async work addresses rules
+// by key only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/mechanism.h"
+
+namespace sfl::auction {
+
+/// Options consumed by the "lto-vcg" / "lto-vcg-unpaced" factories.
+struct LtoVcgOptions {
+  /// Lyapunov penalty weight V > 0.
+  double v_weight = 10.0;
+  /// Explicit per-client pacing rates r_i; wins over pacing_rate when
+  /// non-empty. Ignored by "lto-vcg-unpaced".
+  std::vector<double> energy_rates{};
+  /// Uniform pacing rate applied to all num_clients clients when
+  /// energy_rates is empty and the value is > 0. Ignored by
+  /// "lto-vcg-unpaced".
+  double pacing_rate = 0.0;
+  /// Optional time-varying budget profile (see LtoVcgConfig).
+  std::vector<double> budget_schedule{};
+  /// E12 ablations: VCG-externality payments instead of critical values,
+  /// and the winning-bid queue arrival proxy instead of realized payments.
+  bool vcg_externality_payments = false;
+  bool bid_proxy_queue_arrival = false;
+};
+
+/// Options consumed by the "fixed-price" factory.
+struct FixedPriceOptions {
+  double price = 1.0;
+};
+
+/// Options consumed by the "random-stipend" factory.
+struct RandomStipendOptions {
+  double stipend = 1.0;
+};
+
+/// Options consumed by the "adaptive-price" factory (mirrors
+/// AdaptivePriceConfig without pulling in the mechanism header).
+struct AdaptivePriceOptions {
+  double initial_price = 1.0;  ///< > 0
+  double step = 0.05;          ///< multiplicative step in (0, 1)
+  double min_price = 0.01;     ///< > 0
+  double max_price = 100.0;    ///< >= min_price
+};
+
+/// Options consumed by the "budgeted-oracle" factory.
+struct BudgetedOracleOptions {
+  /// Knapsack DP money grid.
+  double resolution = 0.05;
+};
+
+/// Everything a factory may need. Callers fill the common fields plus the
+/// option struct(s) for the mechanisms they intend to build; unused options
+/// are ignored.
+struct MechanismConfig {
+  /// Number of clients in the market (needed by uniform pacing).
+  std::size_t num_clients = 0;
+  /// Long-term per-round payment budget B-bar.
+  double per_round_budget = 5.0;
+  /// Seed for randomized rules (random-stipend).
+  std::uint64_t seed = 42;
+
+  LtoVcgOptions lto{};
+  FixedPriceOptions fixed_price{};
+  AdaptivePriceOptions adaptive_price{};
+  RandomStipendOptions random_stipend{};
+  BudgetedOracleOptions budgeted_oracle{};
+};
+
+/// One registry entry's metadata.
+struct MechanismInfo {
+  std::string name;
+  std::string description;
+};
+
+class MechanismRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Mechanism>(const MechanismConfig&)>;
+
+  /// The process-wide registry, pre-populated with the built-in rules.
+  [[nodiscard]] static MechanismRegistry& global();
+
+  /// Registers a factory under `name`. Throws std::invalid_argument on a
+  /// duplicate key or an empty factory.
+  void add(std::string name, std::string description, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  /// Builds the named mechanism. Throws std::invalid_argument for unknown
+  /// names, with the known keys in the message.
+  [[nodiscard]] std::unique_ptr<Mechanism> build(
+      const std::string& name, const MechanismConfig& config) const;
+
+  /// Every registered key with its one-line description, in registration
+  /// order (built-ins first, in their canonical comparison order).
+  [[nodiscard]] std::vector<MechanismInfo> describe() const;
+
+  /// Just the keys, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MechanismInfo info;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
+
+  [[nodiscard]] const Entry* find(const std::string& name) const noexcept;
+};
+
+/// Convenience: MechanismRegistry::global().build(name, config).
+[[nodiscard]] std::unique_ptr<Mechanism> build_mechanism(
+    const std::string& name, const MechanismConfig& config);
+
+}  // namespace sfl::auction

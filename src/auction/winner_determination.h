@@ -1,19 +1,25 @@
 // Winner determination for the affine-maximizer procurement auction.
 //
 // Three solvers:
-//  - select_top_m: exact for the modular objective with a cardinality cap
-//    (the production path, O(n log n)).
+//  - select_top_m: exact for the modular objective with a cardinality cap.
+//    The production path: scores every candidate, then takes the top m by
+//    std::nth_element partial selection — O(n + m log m) expected instead
+//    of a full O(n log n) sort. An SoA overload consumes a CandidateBatch
+//    directly so the hot loop streams over contiguous arrays.
 //  - select_exhaustive: brute force over all subsets (n <= 24); the oracle
 //    property tests compare against.
 //  - select_knapsack: exact DP for the budget-constrained variant
 //    (sum of bids <= budget), used by the budget-capped myopic baseline and
 //    the scalability study.
-// All solvers break score ties deterministically by candidate index so the
-// allocation rule is a well-defined function of the bids.
+// All solvers break score ties deterministically — by ClientId first (so the
+// rule is a function of the market, not of slate order), then by candidate
+// index — making the allocation a well-defined function of the bids.
 #pragma once
 
+#include <span>
 #include <vector>
 
+#include "auction/candidate_batch.h"
 #include "auction/types.h"
 
 namespace sfl::auction {
@@ -25,6 +31,22 @@ namespace sfl::auction {
                                       const ScoreWeights& weights,
                                       std::size_t max_winners,
                                       const Penalties& penalties = {});
+
+/// Batched SoA variant of select_top_m: identical selection (bit-for-bit
+/// scores and tie-breaks), but scoring streams over the batch's contiguous
+/// arrays. This is the entry point the scalability path measures.
+[[nodiscard]] Allocation select_top_m(const CandidateBatch& batch,
+                                      const ScoreWeights& weights,
+                                      std::size_t max_winners,
+                                      const Penalties& penalties = {});
+
+/// Shared selection core: given precomputed scores (aligned with `ids`),
+/// returns the top-max_winners positive-score subset with deterministic
+/// (score desc, ClientId asc, index asc) ordering. Exposed for solvers and
+/// tests that already hold a score array.
+[[nodiscard]] Allocation top_m_from_scores(std::span<const double> scores,
+                                           std::span<const ClientId> ids,
+                                           std::size_t max_winners);
 
 /// Brute-force oracle (throws if candidates.size() > 24).
 [[nodiscard]] Allocation select_exhaustive(const std::vector<Candidate>& candidates,

@@ -7,10 +7,11 @@
 
 namespace sfl::core {
 
-using sfl::auction::Candidate;
+using sfl::auction::CandidateBatch;
 using sfl::auction::MechanismResult;
 using sfl::auction::RoundContext;
-using sfl::auction::RoundObservation;
+using sfl::auction::RoundSettlement;
+using sfl::auction::WinnerSettlement;
 using sfl::util::require;
 
 AdaptiveMarketResult run_adaptive_market(sfl::auction::Mechanism& mechanism,
@@ -57,20 +58,18 @@ AdaptiveMarketResult run_adaptive_market(sfl::auction::Mechanism& mechanism,
   for (std::size_t round = 0; round < spec.rounds; ++round) {
     const std::vector<double> costs = cost_model.draw_round(cost_rng);
 
-    std::vector<Candidate> candidates(spec.num_clients);
+    CandidateBatch batch;
+    batch.reserve(spec.num_clients);
     for (std::size_t i = 0; i < spec.num_clients; ++i) {
       factors[i] = learners[i].choose_factor();
-      candidates[i] = Candidate{.id = i,
-                                .value = values[i],
-                                .bid = factors[i] * costs[i],
-                                .energy_cost = 1.0};
+      batch.emplace(i, values[i], factors[i] * costs[i], 1.0);
     }
 
     RoundContext context;
     context.round = round;
     context.max_winners = spec.max_winners;
     context.per_round_budget = spec.per_round_budget;
-    const MechanismResult outcome = mechanism.run_round(candidates, context);
+    const MechanismResult outcome = mechanism.run_round(batch, context);
 
     for (std::size_t i = 0; i < spec.num_clients; ++i) {
       const double utility =
@@ -84,11 +83,19 @@ AdaptiveMarketResult run_adaptive_market(sfl::auction::Mechanism& mechanism,
     }
     result.cumulative_payment += outcome.total_payment();
 
-    RoundObservation observation;
-    observation.round = round;
-    observation.total_payment = outcome.total_payment();
-    observation.winners = outcome.winners;
-    mechanism.observe(observation);
+    RoundSettlement settlement;
+    settlement.round = round;
+    settlement.total_payment = outcome.total_payment();
+    settlement.winners.reserve(outcome.winners.size());
+    for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
+      settlement.winners.push_back(
+          WinnerSettlement{.client = outcome.winners[w],
+                           .bid = batch.bids()[outcome.winners[w]],
+                           .payment = outcome.payments[w],
+                           .energy_cost = 1.0,
+                           .dropped = false});
+    }
+    mechanism.settle(settlement);
 
     if ((round + 1) % config.sample_every == 0) {
       result.mean_factor_series.push_back(population_mean_factor());

@@ -8,11 +8,14 @@ namespace sfl::core {
 
 using sfl::auction::Allocation;
 using sfl::auction::Candidate;
+using sfl::auction::CandidateBatch;
 using sfl::auction::MechanismResult;
 using sfl::auction::Penalties;
 using sfl::auction::RoundContext;
 using sfl::auction::RoundObservation;
+using sfl::auction::RoundSettlement;
 using sfl::auction::ScoreWeights;
+using sfl::auction::WinnerSettlement;
 using sfl::util::require;
 
 LongTermOnlineVcgMechanism::LongTermOnlineVcgMechanism(const LtoVcgConfig& config)
@@ -24,7 +27,6 @@ LongTermOnlineVcgMechanism::LongTermOnlineVcgMechanism(const LtoVcgConfig& confi
       require(rate >= 0.0, "energy rates must be >= 0");
     }
     sustainability_queues_.emplace(config.energy_rates);
-    pending_energy_arrivals_.assign(config.energy_rates.size(), 0.0);
   }
   for (const double budget : config.budget_schedule) {
     require(budget > 0.0, "scheduled budgets must be > 0");
@@ -42,31 +44,47 @@ double LongTermOnlineVcgMechanism::sustainability_backlog(
   return sustainability_queues_->backlog(id);
 }
 
+Penalties LongTermOnlineVcgMechanism::penalties_for(
+    std::span<const sfl::auction::ClientId> ids,
+    std::span<const double> energy_costs) const {
+  Penalties penalties;
+  if (!sustainability_queues_.has_value()) return penalties;
+  penalties.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    require(ids[i] < sustainability_queues_->size(),
+            "candidate id outside the configured energy-rate table");
+    penalties.push_back(sustainability_queues_->backlog(ids[i]) *
+                        energy_costs[i]);
+  }
+  return penalties;
+}
+
 MechanismResult LongTermOnlineVcgMechanism::run_round(
     const std::vector<Candidate>& candidates, const RoundContext& context) {
-  const ScoreWeights weights = current_weights();
+  // Single implementation: the AoS slate is gathered into SoA form and runs
+  // the same batch path, so both entry points agree bit-for-bit.
+  return run_round(CandidateBatch::from_aos(candidates), context);
+}
 
-  Penalties penalties;
-  if (sustainability_queues_.has_value()) {
-    penalties.reserve(candidates.size());
-    for (const Candidate& c : candidates) {
-      require(c.id < sustainability_queues_->size(),
-              "candidate id outside the configured energy-rate table");
-      penalties.push_back(sustainability_queues_->backlog(c.id) * c.energy_cost);
-    }
-  }
+MechanismResult LongTermOnlineVcgMechanism::run_round(
+    const CandidateBatch& batch, const RoundContext& context) {
+  const ScoreWeights weights = current_weights();
+  const Penalties penalties =
+      penalties_for(batch.ids(), batch.energy_costs());
 
   const Allocation allocation = sfl::auction::select_top_m(
-      candidates, weights, context.max_winners, penalties);
+      batch, weights, context.max_winners, penalties);
 
   std::vector<double> payments;
   if (config_.payment_rule == PaymentRule::kCriticalValue) {
-    payments = sfl::auction::critical_payments(candidates, weights,
+    payments = sfl::auction::critical_payments(batch, weights,
                                                context.max_winners, allocation,
                                                penalties);
   } else {
+    // The externality rule re-solves the WDP per winner; it is the E12
+    // ablation path, so the AoS materialization cost is acceptable.
     payments = sfl::auction::vcg_payments(
-        candidates, weights, context.max_winners, allocation,
+        batch.to_aos(), weights, context.max_winners, allocation,
         [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
            std::size_t m, const Penalties& p) {
           return sfl::auction::select_top_m(reduced, w, m, p);
@@ -74,37 +92,65 @@ MechanismResult LongTermOnlineVcgMechanism::run_round(
         penalties);
   }
 
-  // Remember round-scoped quantities for observe().
-  last_bid_proxy_ = 0.0;
-  if (sustainability_queues_.has_value()) {
-    pending_energy_arrivals_.assign(sustainability_queues_->size(), 0.0);
-  }
-  for (const std::size_t index : allocation.selected) {
-    last_bid_proxy_ += candidates[index].bid;
-    if (sustainability_queues_.has_value()) {
-      pending_energy_arrivals_[candidates[index].id] +=
-          candidates[index].energy_cost;
-    }
-  }
-
-  return sfl::auction::make_result(candidates, allocation, std::move(payments));
+  return finish_round(batch, allocation, std::move(payments));
 }
 
-void LongTermOnlineVcgMechanism::observe(const RoundObservation& observation) {
-  const double arrival = config_.queue_arrival == QueueArrivalMode::kRealizedPayment
-                             ? observation.total_payment
-                             : last_bid_proxy_;
+MechanismResult LongTermOnlineVcgMechanism::finish_round(
+    const CandidateBatch& batch, const Allocation& allocation,
+    std::vector<double> payments) {
+  // Cache this round's winners for the deprecated observe() shim; settle()
+  // never reads it.
+  last_round_winners_.clear();
+  last_round_winners_.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    last_round_winners_.push_back(
+        WinnerSettlement{.client = batch.ids()[index],
+                         .bid = batch.bids()[index],
+                         .payment = 0.0,
+                         .energy_cost = batch.energy_costs()[index],
+                         .dropped = false});
+  }
+  return sfl::auction::make_result(batch, allocation, std::move(payments));
+}
+
+void LongTermOnlineVcgMechanism::settle(const RoundSettlement& settlement) {
+  // Q arrival: realized payments are what the long-term constraint is
+  // written on; the bid proxy is the drift objective's internal surrogate.
+  const double arrival =
+      config_.queue_arrival == QueueArrivalMode::kRealizedPayment
+          ? settlement.total_payment
+          : settlement.total_bid();
   if (config_.budget_schedule.empty()) {
     budget_queue_.update(arrival);
   } else {
     const double service =
-        config_.budget_schedule[observation.round % config_.budget_schedule.size()];
+        config_.budget_schedule[settlement.round % config_.budget_schedule.size()];
     budget_queue_.update_with_service(arrival, service);
   }
   if (sustainability_queues_.has_value()) {
-    sustainability_queues_->update_all(pending_energy_arrivals_);
-    pending_energy_arrivals_.assign(sustainability_queues_->size(), 0.0);
+    // Every auction winner's Z queue is charged, dropped or not: the pacing
+    // constraint bounds how often a client is *selected*, which is also the
+    // only quantity the mechanism controls.
+    std::vector<double> arrivals(sustainability_queues_->size(), 0.0);
+    for (const WinnerSettlement& w : settlement.winners) {
+      require(w.client < sustainability_queues_->size(),
+              "settled winner outside the configured energy-rate table");
+      arrivals[w.client] += w.energy_cost;
+    }
+    sustainability_queues_->update_all(arrivals);
   }
+}
+
+void LongTermOnlineVcgMechanism::observe(const RoundObservation& observation) {
+  // Deprecated shim: legacy callers only report the round total, so the
+  // per-winner breakdown (bids for the proxy queue, energy costs for the Z
+  // queues) is rebuilt from this round's own allocation.
+  RoundSettlement settlement;
+  settlement.round = observation.round;
+  settlement.total_payment = observation.total_payment;
+  settlement.winners = last_round_winners_;
+  last_round_winners_.clear();
+  settle(settlement);
 }
 
 }  // namespace sfl::core

@@ -13,8 +13,10 @@
 //        p_i = (V*v_i - Z_i*e_i - theta_i) / (V + Q(t)),
 //      theta_i = best excluded score — dominant-strategy truthful and
 //      individually rational per round by Myerson's lemma;
-//   4. on observe(), pushes the realized round payment into Q and the
-//      winners' energy costs into Z.
+//   4. on settle(), pushes the realized round payment into Q and the
+//      winners' energy costs into Z. Queue arrivals count every auction
+//      winner (dropped or not): selection is what the drift bound and the
+//      pacing constraint are written on.
 //
 // Lyapunov guarantees (verified empirically in E6): time-average welfare
 // within O(1/V) of the constrained optimum, queue backlog (and hence budget
@@ -64,7 +66,21 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   [[nodiscard]] sfl::auction::MechanismResult run_round(
       const std::vector<sfl::auction::Candidate>& candidates,
       const sfl::auction::RoundContext& context) override;
+  /// Native SoA path: scores, selects, and prices directly on the batch
+  /// arrays. Bit-identical to the AoS overload.
+  [[nodiscard]] sfl::auction::MechanismResult run_round(
+      const sfl::auction::CandidateBatch& batch,
+      const sfl::auction::RoundContext& context) override;
+
+  /// Queue updates from the full settlement: Q sees the realized payments
+  /// (or the bid proxy), each winner's Z sees its energy cost.
+  void settle(const sfl::auction::RoundSettlement& settlement) override;
+
+  /// Deprecated shim: reconstructs a settlement for callers that only
+  /// report the legacy (round, total payment) observation. Bids and energy
+  /// costs come from this round's own allocation, cached by run_round.
   void observe(const sfl::auction::RoundObservation& observation) override;
+
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
 
   /// Current budget-queue backlog Q(t).
@@ -85,13 +101,24 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   [[nodiscard]] sfl::auction::ScoreWeights current_weights() const noexcept;
 
  private:
+  /// Shared tail of both run_round overloads: caches the allocation for the
+  /// observe() shim and packages the result.
+  [[nodiscard]] sfl::auction::MechanismResult finish_round(
+      const sfl::auction::CandidateBatch& batch,
+      const sfl::auction::Allocation& allocation, std::vector<double> payments);
+
+  [[nodiscard]] sfl::auction::Penalties penalties_for(
+      std::span<const sfl::auction::ClientId> ids,
+      std::span<const double> energy_costs) const;
+
   LtoVcgConfig config_;
   sfl::lyapunov::VirtualQueue budget_queue_;
   std::optional<sfl::lyapunov::QueueBank> sustainability_queues_;
 
-  // Round-scoped memory between run_round and observe.
-  double last_bid_proxy_ = 0.0;
-  std::vector<double> pending_energy_arrivals_;
+  /// Last round's winners (client, bid, energy) — consumed ONLY by the
+  /// deprecated observe() shim, which must rebuild the settlement a legacy
+  /// caller cannot supply. settle() itself is stateless across rounds.
+  std::vector<sfl::auction::WinnerSettlement> last_round_winners_;
 };
 
 }  // namespace sfl::core

@@ -5,10 +5,11 @@
 
 namespace sfl::core {
 
-using sfl::auction::Candidate;
+using sfl::auction::CandidateBatch;
 using sfl::auction::MechanismResult;
 using sfl::auction::RoundContext;
-using sfl::auction::RoundObservation;
+using sfl::auction::RoundSettlement;
+using sfl::auction::WinnerSettlement;
 using sfl::util::require;
 
 MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& spec,
@@ -46,15 +47,14 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
   for (std::size_t round = 0; round < spec.rounds; ++round) {
     const std::vector<double> costs = cost_model.draw_round(cost_rng);
 
-    std::vector<Candidate> candidates(spec.num_clients);
+    // SoA slate: every client bids, so batch row i is client i.
+    CandidateBatch batch;
+    batch.reserve(spec.num_clients);
     for (std::size_t i = 0; i < spec.num_clients; ++i) {
       const econ::BiddingStrategy& strategy =
           (!strategies.empty() && strategies[i] != nullptr) ? *strategies[i]
                                                             : truthful;
-      candidates[i] = Candidate{.id = i,
-                                .value = values[i],
-                                .bid = strategy.bid(costs[i], round, bid_rng),
-                                .energy_cost = 1.0};
+      batch.emplace(i, values[i], strategy.bid(costs[i], round, bid_rng), 1.0);
     }
 
     RoundContext context;
@@ -62,9 +62,12 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
     context.max_winners = spec.max_winners;
     context.per_round_budget = spec.per_round_budget;
 
-    const MechanismResult outcome = mechanism.run_round(candidates, context);
+    const MechanismResult outcome = mechanism.run_round(batch, context);
 
     double round_welfare = 0.0;
+    RoundSettlement settlement;
+    settlement.round = round;
+    settlement.winners.reserve(outcome.winners.size());
     for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
       const std::size_t client = outcome.winners[w];
       ledger.record(econ::LedgerEntry{.round = round,
@@ -73,15 +76,17 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
                                       .payment = outcome.payments[w],
                                       .true_cost = costs[client]});
       round_welfare += values[client] - costs[client];
+      settlement.winners.push_back(
+          WinnerSettlement{.client = client,
+                           .bid = batch.bids()[client],
+                           .payment = outcome.payments[w],
+                           .energy_cost = 1.0,
+                           .dropped = false});
     }
     const double round_payment = outcome.total_payment();
     budget.record_round(round_payment);
-
-    RoundObservation observation;
-    observation.round = round;
-    observation.total_payment = round_payment;
-    observation.winners = outcome.winners;
-    mechanism.observe(observation);
+    settlement.total_payment = round_payment;
+    mechanism.settle(settlement);
 
     result.welfare_series.push_back(round_welfare);
     result.payment_series.push_back(round_payment);

@@ -12,10 +12,11 @@
 
 namespace sfl::core {
 
-using sfl::auction::Candidate;
+using sfl::auction::CandidateBatch;
 using sfl::auction::MechanismResult;
 using sfl::auction::RoundContext;
-using sfl::auction::RoundObservation;
+using sfl::auction::RoundSettlement;
+using sfl::auction::WinnerSettlement;
 using sfl::util::require;
 
 namespace {
@@ -104,9 +105,11 @@ RunResult SustainableFlOrchestrator::run() {
       }
     }
 
-    // Build the candidate slate from available clients.
-    std::vector<Candidate> candidates;
-    candidates.reserve(num_clients);
+    // Build the candidate slate (SoA batch) from available clients;
+    // slot_of_client maps a winning id back to its batch row.
+    CandidateBatch batch;
+    batch.reserve(num_clients);
+    std::vector<std::size_t> slot_of_client(num_clients, num_clients);
     for (std::size_t i = 0; i < num_clients; ++i) {
       const double e_i = scenario_->energy_costs[i];
       if (energy.has_value() && !energy->available(i, e_i)) {
@@ -118,12 +121,12 @@ RunResult SustainableFlOrchestrator::run() {
                                                               : truthful;
       const double quality =
           config_.use_reputation ? reputation.quality(i) : 1.0;
-      candidates.push_back(Candidate{
-          .id = i,
-          .value = config_.valuation_scale * (scenario_->data_sizes[i] / mean_size) *
-                   quality,
-          .bid = strategy.bid(costs[i], round, bid_rng),
-          .energy_cost = e_i});
+      slot_of_client[i] = batch.size();
+      batch.emplace(
+          i,
+          config_.valuation_scale * (scenario_->data_sizes[i] / mean_size) *
+              quality,
+          strategy.bid(costs[i], round, bid_rng), e_i);
     }
 
     RoundContext context;
@@ -132,58 +135,61 @@ RunResult SustainableFlOrchestrator::run() {
     context.per_round_budget = config_.per_round_budget;
 
     MechanismResult outcome;
-    if (!candidates.empty()) {
-      outcome = mechanism_->run_round(candidates, context);
+    if (!batch.empty()) {
+      outcome = mechanism_->run_round(batch, context);
     }
 
     // Failure injection: winners may drop before doing any work. Dropped
-    // winners are unpaid and train nothing.
+    // winners are unpaid and train nothing; the settlement below reports
+    // them with a dropout flag instead of erasing them.
     std::size_t dropped = 0;
+    std::vector<bool> dropped_flag(outcome.winners.size(), false);
     if (config_.dropout_probability > 0.0 && !outcome.winners.empty()) {
-      MechanismResult delivered;
       for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
         if (dropout_rng.bernoulli(config_.dropout_probability)) {
+          dropped_flag[w] = true;
           ++dropped;
-          continue;
         }
-        delivered.winners.push_back(outcome.winners[w]);
-        delivered.payments.push_back(outcome.payments[w]);
       }
-      outcome = std::move(delivered);
     }
 
-    // Settle: payments, energy, ledger.
+    // Settle: payments, energy, ledger, and the mechanism's settlement.
     double round_welfare = 0.0;
+    double round_payment = 0.0;
     std::vector<std::size_t> participants;
     participants.reserve(outcome.winners.size());
+    RoundSettlement settlement;
+    settlement.round = round;
+    settlement.winners.reserve(outcome.winners.size());
     for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
       const std::size_t client = outcome.winners[w];
+      require(client < num_clients, "mechanism returned an unknown winner id");
+      const std::size_t slot = slot_of_client[client];
+      require(slot < batch.size(),
+              "mechanism returned a winner that was not a candidate");
+      const double value = batch.values()[slot];
+      settlement.winners.push_back(
+          WinnerSettlement{.client = client,
+                           .bid = batch.bids()[slot],
+                           .payment = dropped_flag[w] ? 0.0 : outcome.payments[w],
+                           .energy_cost = batch.energy_costs()[slot],
+                           .dropped = dropped_flag[w]});
+      if (dropped_flag[w]) continue;
       participants.push_back(client);
-      double value = 0.0;
-      for (const Candidate& c : candidates) {
-        if (c.id == client) {
-          value = c.value;
-          break;
-        }
-      }
       ledger.record(econ::LedgerEntry{.round = round,
                                       .client = client,
                                       .value = value,
                                       .payment = outcome.payments[w],
                                       .true_cost = costs[client]});
       round_welfare += value - costs[client];
+      round_payment += outcome.payments[w];
       if (energy.has_value()) {
         energy->consume(client, scenario_->energy_costs[client]);
       }
     }
-    const double round_payment = outcome.total_payment();
+    settlement.total_payment = round_payment;
     budget.record_round(round_payment);
-
-    RoundObservation observation;
-    observation.round = round;
-    observation.total_payment = round_payment;
-    observation.winners = outcome.winners;
-    mechanism_->observe(observation);
+    mechanism_->settle(settlement);
 
     // Local training + aggregation. Reputation observes, for each winner,
     // how that client's update alone would move the server-held validation
@@ -217,7 +223,7 @@ RunResult SustainableFlOrchestrator::run() {
 
     RoundRecord record;
     record.round = round;
-    record.available = candidates.size();
+    record.available = batch.size();
     record.participants = participants.size();
     record.dropped = dropped;
     record.payment = round_payment;

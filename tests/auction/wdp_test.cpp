@@ -1,8 +1,10 @@
 #include "auction/winner_determination.h"
 
 #include <gtest/gtest.h>
-#include <cmath>
+#include <algorithm>
 #include <bit>
+#include <cmath>
+#include <numeric>
 
 #include "auction/random_instance.h"
 #include "auction/valuation.h"
@@ -67,6 +69,67 @@ TEST(SelectTopMTest, Validation) {
   std::vector<Candidate> negative{{.id = 0, .value = -1.0, .bid = 0.0,
                                    .energy_cost = 1.0}};
   EXPECT_THROW((void)select_top_m(negative, {1.0, 1.0}, 1), std::invalid_argument);
+}
+
+TEST(SelectTopMTest, TiesBreakByClientIdNotSlateOrder) {
+  // Three equal-score candidates whose ids arrive out of slate order: the
+  // winner under a cap of 2 must be the two smallest ClientIds, regardless
+  // of where they sit in the vector.
+  std::vector<Candidate> candidates{
+      Candidate{.id = 9, .value = 2.0, .bid = 1.0, .energy_cost = 1.0},
+      Candidate{.id = 3, .value = 2.0, .bid = 1.0, .energy_cost = 1.0},
+      Candidate{.id = 5, .value = 2.0, .bid = 1.0, .energy_cost = 1.0}};
+  const Allocation alloc = select_top_m(candidates, {1.0, 1.0}, 2);
+  // Indices 1 (id 3) and 2 (id 5) win; index 0 (id 9) loses the tie.
+  EXPECT_EQ(alloc.selected, (std::vector<std::size_t>{1, 2}));
+
+  // Permuting the slate must not change the winning id set.
+  std::vector<Candidate> permuted{candidates[2], candidates[0], candidates[1]};
+  const Allocation alloc_permuted = select_top_m(permuted, {1.0, 1.0}, 2);
+  std::vector<ClientId> ids;
+  for (const std::size_t index : alloc_permuted.selected) {
+    ids.push_back(permuted[index].id);
+  }
+  EXPECT_EQ(ids, (std::vector<ClientId>{5, 3}));  // selected sorted by index
+}
+
+TEST(SelectTopMTest, PartialSelectionMatchesFullSortOnRandomInstances) {
+  // The nth_element path must agree with a reference full sort on the same
+  // (score desc, id asc, index asc) order, including at m >= n and m = 0.
+  sfl::util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomInstanceSpec spec;
+    spec.num_candidates = 1 + rng.uniform_index(40);
+    const auto instance = make_random_instance(spec, rng);
+    const ScoreWeights weights = make_random_weights(rng);
+    const std::size_t m = rng.uniform_index(instance.candidates.size() + 3);
+
+    std::vector<double> scores(instance.candidates.size());
+    for (std::size_t i = 0; i < instance.candidates.size(); ++i) {
+      scores[i] = score(instance.candidates[i], weights);
+    }
+    std::vector<std::size_t> order(instance.candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      if (instance.candidates[a].id != instance.candidates[b].id) {
+        return instance.candidates[a].id < instance.candidates[b].id;
+      }
+      return a < b;
+    });
+    Allocation reference;
+    for (const std::size_t index : order) {
+      if (reference.selected.size() >= m) break;
+      if (scores[index] <= 0.0) break;
+      reference.selected.push_back(index);
+      reference.total_score += scores[index];
+    }
+    std::sort(reference.selected.begin(), reference.selected.end());
+
+    const Allocation alloc = select_top_m(instance.candidates, weights, m);
+    EXPECT_EQ(alloc.selected, reference.selected) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(alloc.total_score, reference.total_score);
+  }
 }
 
 TEST(SelectExhaustiveTest, MatchesTopMOnModularObjective) {

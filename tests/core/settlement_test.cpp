@@ -1,0 +1,160 @@
+// The unified settlement protocol: settle(RoundSettlement) must reproduce
+// the legacy observe(RoundObservation) queue dynamics bit-for-bit, carry
+// the per-winner detail observe() lost, and keep dropout accounting exact.
+#include <gtest/gtest.h>
+
+#include "auction/adaptive_price.h"
+#include "auction/random_instance.h"
+#include "core/long_term_online_vcg.h"
+#include "util/rng.h"
+
+namespace sfl::core {
+namespace {
+
+using sfl::auction::Candidate;
+using sfl::auction::MechanismResult;
+using sfl::auction::RoundContext;
+using sfl::auction::RoundObservation;
+using sfl::auction::RoundSettlement;
+using sfl::auction::WinnerSettlement;
+
+LtoVcgConfig paced_config() {
+  LtoVcgConfig config;
+  config.v_weight = 6.0;
+  config.per_round_budget = 2.5;
+  config.energy_rates.assign(10, 0.3);
+  return config;
+}
+
+RoundSettlement settlement_for(const std::vector<Candidate>& candidates,
+                               const MechanismResult& result,
+                               std::size_t round) {
+  RoundSettlement settlement;
+  settlement.round = round;
+  settlement.total_payment = result.total_payment();
+  for (std::size_t w = 0; w < result.winners.size(); ++w) {
+    settlement.winners.push_back(
+        WinnerSettlement{.client = result.winners[w],
+                         .bid = candidates[result.winners[w]].bid,
+                         .payment = result.payments[w],
+                         .energy_cost = candidates[result.winners[w]].energy_cost,
+                         .dropped = false});
+  }
+  return settlement;
+}
+
+TEST(SettlementTest, SettleMatchesLegacyObserveBitForBit) {
+  // Two identical LTO mechanisms, one driven through settle(), one through
+  // the deprecated observe() shim: queue backlogs (and hence all downstream
+  // selection) must stay exactly equal for hundreds of rounds.
+  for (const bool bid_proxy : {false, true}) {
+    LtoVcgConfig config = paced_config();
+    if (bid_proxy) config.queue_arrival = QueueArrivalMode::kBidProxy;
+    config.budget_schedule = {4.0, 1.5, 2.0};
+    LongTermOnlineVcgMechanism via_settle(config);
+    LongTermOnlineVcgMechanism via_observe(config);
+
+    sfl::util::Rng rng(314);
+    for (std::size_t round = 0; round < 400; ++round) {
+      sfl::auction::RandomInstanceSpec spec;
+      spec.num_candidates = 10;
+      const auto instance = make_random_instance(spec, rng);
+      RoundContext ctx;
+      ctx.round = round;
+      ctx.max_winners = 3;
+
+      const MechanismResult a = via_settle.run_round(instance.candidates, ctx);
+      const MechanismResult b = via_observe.run_round(instance.candidates, ctx);
+      ASSERT_EQ(a.winners, b.winners) << "round " << round;
+      ASSERT_EQ(a.payments, b.payments) << "round " << round;
+
+      via_settle.settle(settlement_for(instance.candidates, a, round));
+      RoundObservation obs;
+      obs.round = round;
+      obs.total_payment = b.total_payment();
+      obs.winners = b.winners;
+      via_observe.observe(obs);
+
+      ASSERT_EQ(via_settle.budget_backlog(), via_observe.budget_backlog())
+          << "round " << round << " bid_proxy " << bid_proxy;
+      for (std::size_t client = 0; client < 10; ++client) {
+        ASSERT_EQ(via_settle.sustainability_backlog(client),
+                  via_observe.sustainability_backlog(client))
+            << "round " << round << " client " << client;
+      }
+    }
+  }
+}
+
+TEST(SettlementTest, DroppedWinnersAreUnpaidButStillPaced) {
+  // A dropped winner contributes no realized payment to Q but still charges
+  // its Z queue: pacing bounds selection frequency, not delivery.
+  LtoVcgConfig config = paced_config();
+  LongTermOnlineVcgMechanism mech(config);
+
+  RoundSettlement settlement;
+  settlement.round = 0;
+  settlement.winners = {
+      WinnerSettlement{.client = 2, .bid = 1.0, .payment = 1.5,
+                       .energy_cost = 1.0, .dropped = false},
+      WinnerSettlement{.client = 5, .bid = 0.8, .payment = 0.0,
+                       .energy_cost = 1.0, .dropped = true}};
+  settlement.total_payment = 1.5;  // delivered winners only
+
+  EXPECT_DOUBLE_EQ(settlement.total_bid(), 1.8);
+  EXPECT_EQ(settlement.delivered_count(), 1u);
+
+  mech.settle(settlement);
+  // Q arrival 1.5 - service 2.5 -> clamped at 0.
+  EXPECT_DOUBLE_EQ(mech.budget_backlog(), 0.0);
+  // Both Z queues grew by e - r = 0.7, dropped or not.
+  EXPECT_NEAR(mech.sustainability_backlog(2), 0.7, 1e-12);
+  EXPECT_NEAR(mech.sustainability_backlog(5), 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(mech.sustainability_backlog(0), 0.0);
+}
+
+TEST(SettlementTest, SettlementOutsideEnergyTableThrows) {
+  LtoVcgConfig config = paced_config();  // clients 0..9
+  LongTermOnlineVcgMechanism mech(config);
+  RoundSettlement settlement;
+  settlement.winners = {WinnerSettlement{.client = 10, .bid = 1.0,
+                                         .payment = 1.0, .energy_cost = 1.0,
+                                         .dropped = false}};
+  settlement.total_payment = 1.0;
+  EXPECT_THROW(mech.settle(settlement), std::invalid_argument);
+}
+
+TEST(SettlementTest, DefaultSettleRoutesToObserveForLegacyMechanisms) {
+  // AdaptivePostedPriceMechanism only implements observe(); the base-class
+  // settle() must forward the folded observation, so price dynamics match a
+  // hand-driven observe() exactly.
+  sfl::auction::AdaptivePriceConfig config;
+  sfl::auction::AdaptivePostedPriceMechanism via_settle(config);
+  sfl::auction::AdaptivePostedPriceMechanism via_observe(config);
+
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 3.0, .bid = 0.6, .energy_cost = 1.0},
+      Candidate{.id = 1, .value = 2.0, .bid = 0.9, .energy_cost = 1.0}};
+  RoundContext ctx;
+  ctx.max_winners = 2;
+  ctx.per_round_budget = 1.0;
+
+  for (std::size_t round = 0; round < 50; ++round) {
+    ctx.round = round;
+    const MechanismResult a = via_settle.run_round(candidates, ctx);
+    const MechanismResult b = via_observe.run_round(candidates, ctx);
+    ASSERT_EQ(a.winners, b.winners);
+
+    via_settle.settle(settlement_for(candidates, a, round));
+    RoundObservation obs;
+    obs.round = round;
+    obs.total_payment = b.total_payment();
+    obs.winners = b.winners;
+    via_observe.observe(obs);
+    ASSERT_EQ(via_settle.current_price(), via_observe.current_price())
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace sfl::core
