@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "auction/registry.h"
@@ -162,5 +165,75 @@ inline void banner(const std::string& id, const std::string& title) {
             << id << " — " << title << "\n"
             << "==============================================================\n";
 }
+
+// --- machine-readable bench output -----------------------------------------
+//
+// Benches accept `--json=<path>` (or `json=<path>`) and emit a small JSON
+// file with one entry per measured (benchmark, N) pair, so the perf
+// trajectory is diffable across PRs and CI uploads it as an artifact.
+
+/// Collects per-variant wall times and writes them as BENCH_<id>.json.
+class BenchJsonWriter {
+ public:
+  struct Entry {
+    std::string benchmark;  ///< full benchmark name, e.g. "BM_FullRound/1000"
+    std::string variant;    ///< family label, e.g. "sharded-auto"
+    std::size_t n = 0;      ///< problem size (0 when not applicable)
+    double real_time_us = 0.0;  ///< wall time per iteration, microseconds
+    std::size_t iterations = 0;
+  };
+
+  void add(Entry entry) { entries_.push_back(std::move(entry)); }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  /// Writes `{"bench": id, "repro_fast": ..., "entries": [...]}`. Returns
+  /// false (after printing to stderr) when the file cannot be opened.
+  bool write(const std::string& path, const std::string& bench_id) const {
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::cerr << "bench json: cannot write " << path << "\n";
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_id << "\",\n"
+        << "  \"repro_fast\": "
+        << (sfl::util::fast_mode_enabled() ? "true" : "false") << ",\n"
+        << "  \"entries\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << (i == 0 ? "\n" : ",\n")
+          << "    {\"benchmark\": \"" << e.benchmark << "\", \"variant\": \""
+          << e.variant << "\", \"n\": " << e.n
+          << ", \"real_time_us\": " << e.real_time_us
+          << ", \"iterations\": " << e.iterations << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.good();
+  }
+
+  /// Extracts `--json=<path>` / `json=<path>` from argv (removing it so
+  /// downstream flag parsers — e.g. google-benchmark — never see it).
+  static std::optional<std::string> extract_json_path(int& argc, char** argv) {
+    std::optional<std::string> path;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        path = std::string(arg.substr(7));
+      } else if (arg.rfind("json=", 0) == 0) {
+        path = std::string(arg.substr(5));
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    return path;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
 
 }  // namespace sfl::bench

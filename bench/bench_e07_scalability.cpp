@@ -1,21 +1,45 @@
 // E7 (Table): winner-determination + payment scalability (google-benchmark).
 //
 // Wall time of one full auction round (WDP + truthful payments) as the
-// market grows: the production top-m path at N up to 100k clients, the
-// knapsack DP used by budget-capped variants, and the exhaustive oracle
-// (tiny N only). Regenerates the paper-style "mechanism overhead is
-// negligible next to a training round" table.
+// market grows: the production top-m path at N up to 1M clients — serial
+// allocating, serial scratch-reusing (zero-allocation), and sharded
+// parallel (explicit shard counts and shards=auto) — plus the knapsack DP
+// used by budget-capped variants and the exhaustive oracle (tiny N only).
+// Regenerates the paper-style "mechanism overhead is negligible next to a
+// training round" table.
+//
+// Before any timing, main() runs a serial-vs-sharded equivalence sweep and
+// exits non-zero on any mismatch, so the ctest smoke target turns a merge-
+// logic regression into a build failure, not a silently wrong bench.
+//
+// `--json=<path>` writes BENCH_e07.json with per-N/per-variant wall times
+// (see BenchJsonWriter in bench_common.h); REPRO_FAST=1 caps N for smoke
+// runs.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
 
 #include "auction/payments.h"
 #include "auction/random_instance.h"
+#include "auction/round_scratch.h"
+#include "auction/sharded_wdp.h"
 #include "auction/valuation.h"
 #include "auction/winner_determination.h"
+#include "bench_common.h"
+#include "util/config.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace sfl::auction;
+
+/// Full-scale N for the top-m benches; smoke runs shrink it so CI finishes
+/// in seconds.
+std::int64_t scal_max_n() {
+  return sfl::util::fast_mode_enabled() ? 10'000 : 1'000'000;
+}
 
 RandomInstance make_instance(std::size_t n) {
   sfl::util::Rng rng(1234 + n);
@@ -40,12 +64,12 @@ void BM_TopMWithCriticalPayments(benchmark::State& state) {
 // nth_element partial selection makes one full round O(n + m log m).
 BENCHMARK(BM_TopMWithCriticalPayments)
     ->RangeMultiplier(10)
-    ->Range(100, 100000)
+    ->Range(100, scal_max_n())
     ->Unit(benchmark::kMicrosecond)
     ->Complexity(benchmark::oN);
 
 void BM_TopMWithCriticalPaymentsBatchSoA(benchmark::State& state) {
-  // The production batch path: SoA scoring + nth_element selection +
+  // The allocating batch path: SoA scoring + nth_element selection +
   // span-based critical payments, no AoS materialization anywhere.
   const auto n = static_cast<std::size_t>(state.range(0));
   const RandomInstance instance = make_instance(n);
@@ -61,9 +85,73 @@ void BM_TopMWithCriticalPaymentsBatchSoA(benchmark::State& state) {
 }
 BENCHMARK(BM_TopMWithCriticalPaymentsBatchSoA)
     ->RangeMultiplier(10)
-    ->Range(100, 100000)
+    ->Range(100, scal_max_n())
     ->Unit(benchmark::kMicrosecond)
     ->Complexity(benchmark::oN);
+
+void BM_FullRoundScratchSerial(benchmark::State& state) {
+  // Scratch-reusing serial engine round: identical results to the
+  // allocating path, zero heap allocations after the first iteration.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  RoundScratch scratch;
+  for (auto _ : state) {
+    engine.run_round(batch, weights, m, {}, scratch);
+    benchmark::DoNotOptimize(scratch.payments.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullRoundScratchSerial)
+    ->RangeMultiplier(10)
+    ->Range(100, scal_max_n())
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+void BM_FullRoundSharded(benchmark::State& state) {
+  // Explicit shard counts: arg0 = N, arg1 = shards. The serial-vs-sharded
+  // speedup at a given core count reads off this family vs ScratchSerial.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  const RandomInstance instance = make_instance(n);
+  const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const ShardedWdp engine{ShardedWdpConfig{.shards = shards}};
+  RoundScratch scratch;
+  for (auto _ : state) {
+    engine.run_round(batch, weights, m, {}, scratch);
+    benchmark::DoNotOptimize(scratch.payments.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullRoundSharded)
+    ->ArgsProduct({benchmark::CreateRange(10'000, scal_max_n(), 10), {2, 4, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullRoundShardedAuto(benchmark::State& state) {
+  // shards=0: one shard per hardware thread (auto mode also keeps spans
+  // >= 4096 candidates, so small N stays effectively serial).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const RandomInstance instance = make_instance(n);
+  const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 0}};
+  RoundScratch scratch;
+  for (auto _ : state) {
+    engine.run_round(batch, weights, m, {}, scratch);
+    benchmark::DoNotOptimize(scratch.payments.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullRoundShardedAuto)
+    ->RangeMultiplier(10)
+    ->Range(100, scal_max_n())
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TopMWithVcgExternalityPayments(benchmark::State& state) {
   // VCG externality payments re-solve the WDP per winner: O(m) x WDP.
@@ -132,6 +220,86 @@ BENCHMARK(BM_GreedyConcave)
     ->Range(100, 10000)
     ->Unit(benchmark::kMicrosecond);
 
+/// Pre-bench guard: serial and sharded rounds must agree exactly. Returns
+/// false (and prints the first divergence) on any mismatch — main() exits
+/// non-zero, so the CI smoke run fails on a merge-logic regression.
+bool verify_sharded_equivalence() {
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const std::size_t shard_counts[] = {0, 2, 3, 7, 16};
+  const std::size_t sizes[] = {
+      1'000, 4'096, sfl::util::fast_mode_enabled() ? std::size_t{8'192}
+                                                   : std::size_t{100'000}};
+  for (const std::size_t n : sizes) {
+    const RandomInstance instance = make_instance(n);
+    const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+    const Allocation serial = select_top_m(batch, weights, m);
+    const auto serial_payments =
+        critical_payments(batch, weights, m, serial);
+    for (const std::size_t shards : shard_counts) {
+      const ShardedWdp engine{ShardedWdpConfig{.shards = shards}};
+      RoundScratch scratch;
+      engine.run_round(batch, weights, m, {}, scratch);
+      if (scratch.allocation.selected != serial.selected ||
+          scratch.allocation.total_score != serial.total_score ||
+          scratch.payments != serial_payments) {
+        std::cerr << "E7 FATAL: sharded WDP diverges from serial at n=" << n
+                  << " shards=" << shards << "\n";
+        return false;
+      }
+    }
+  }
+  std::cout << "E7: serial-vs-sharded equivalence sweep OK\n";
+  return true;
+}
+
+/// Console reporter that also captures every run for the JSON writer.
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(sfl::bench::BenchJsonWriter& writer)
+      : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.report_big_o ||
+          run.report_rms) {
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const std::size_t slash = name.find('/');
+      sfl::bench::BenchJsonWriter::Entry entry;
+      entry.benchmark = name;
+      entry.variant = slash == std::string::npos ? name : name.substr(0, slash);
+      if (slash != std::string::npos) {
+        entry.n = static_cast<std::size_t>(
+            std::strtoull(name.c_str() + slash + 1, nullptr, 10));
+      }
+      // Unit is microseconds for every benchmark in this file.
+      entry.real_time_us = run.GetAdjustedRealTime();
+      entry.iterations = static_cast<std::size_t>(run.iterations);
+      writer_.add(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  sfl::bench::BenchJsonWriter& writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::optional<std::string> json_path =
+      sfl::bench::BenchJsonWriter::extract_json_path(argc, argv);
+  if (!verify_sharded_equivalence()) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  sfl::bench::BenchJsonWriter writer;
+  CapturingReporter reporter(writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (json_path.has_value() && !writer.write(*json_path, "e07_scalability")) {
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

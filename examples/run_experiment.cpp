@@ -5,14 +5,17 @@
 //   run_experiment [mechanism=lto-vcg] [rounds=200] [clients=40]
 //                  [partition=dirichlet|iid|quantity] [alpha=0.3]
 //                  [noisy_fraction=0.3] [flip_prob=0.8]
-//                  [budget=6] [winners=8] [v=10] [pacing=0.5]
+//                  [budget=6] [winners=8] [v=10] [pacing=0.5] [shards=0]
 //                  [model=logreg|mlp] [hidden=32] [lr=0.05] [local_steps=5]
 //                  [proximal_mu=0] [server_momentum=0]
 //                  [use_reputation=1] [energy=0] [seed=42]
 //                  [csv=/path/to/rounds.csv]
 //
 // Mechanisms: any key in the MechanismRegistry — run with mechanism=list
-// to print them all with descriptions.
+// to print them all with descriptions. mechanism=lto-vcg-sharded runs the
+// multi-threaded WDP: `shards` selects the span count (0 = one shard per
+// hardware thread, 1 = serial, k = exactly k shards) and produces the same
+// winners and payments as lto-vcg at any setting.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +42,7 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   config.seed = args.get_size("seed", 42);
   config.lto.v_weight = args.get_double("v", 10.0);
   config.lto.pacing_rate = args.get_double("pacing", 0.5);
+  config.lto.shards = args.get_size("shards", 0);
   config.fixed_price.price = args.get_double("price", 1.0);
   config.random_stipend.stipend = args.get_double("stipend", 1.0);
   return config;

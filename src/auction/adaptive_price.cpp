@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "auction/baselines.h"
 #include "auction/payments.h"
 #include "util/require.h"
 
@@ -23,30 +24,20 @@ AdaptivePostedPriceMechanism::AdaptivePostedPriceMechanism(
 
 MechanismResult AdaptivePostedPriceMechanism::run_round(
     const std::vector<Candidate>& candidates, const RoundContext& context) {
+  return run_round(CandidateBatch::from_aos(candidates), context);
+}
+
+MechanismResult AdaptivePostedPriceMechanism::run_round(
+    const CandidateBatch& batch, const RoundContext& context) {
   require(std::isfinite(context.per_round_budget) && context.per_round_budget > 0.0,
           "adaptive price needs a finite positive per-round budget");
   last_budget_ = context.per_round_budget;
 
-  // Accepting clients (bid <= price), highest value first, capped at m.
-  std::vector<std::size_t> accepting;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (candidates[i].bid <= price_) accepting.push_back(i);
-  }
-  std::sort(accepting.begin(), accepting.end(), [&](std::size_t a, std::size_t b) {
-    if (candidates[a].value != candidates[b].value) {
-      return candidates[a].value > candidates[b].value;
-    }
-    return a < b;
-  });
-  if (accepting.size() > context.max_winners) {
-    accepting.resize(context.max_winners);
-  }
-  std::sort(accepting.begin(), accepting.end());
-
   Allocation allocation;
-  allocation.selected = std::move(accepting);
+  allocation.selected = posted_price_winners(batch.values(), batch.bids(),
+                                             price_, context.max_winners);
   std::vector<double> payments(allocation.selected.size(), price_);
-  return make_result(candidates, allocation, std::move(payments));
+  return make_result(batch, allocation, std::move(payments));
 }
 
 void AdaptivePostedPriceMechanism::observe(const RoundObservation& observation) {

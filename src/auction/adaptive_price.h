@@ -26,6 +26,10 @@ class AdaptivePostedPriceMechanism final : public Mechanism {
   [[nodiscard]] std::string name() const override { return "adaptive-price"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
                                           const RoundContext& context) override;
+  /// Batch-native posted-price round (the real implementation; the AoS
+  /// overload gathers and delegates).
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
+                                          const RoundContext& context) override;
   void observe(const RoundObservation& observation) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
 

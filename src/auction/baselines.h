@@ -15,14 +15,29 @@
 //    regret reference.
 //  - ProportionalShareMechanism: Singer-style budget-feasible truthful
 //    mechanism; guarantees per-round payments <= budget at some welfare loss.
+//
+// Every baseline is batch-native: the CandidateBatch overload of run_round
+// is the real implementation (streaming over the SoA arrays), and the AoS
+// overload gathers into a batch and delegates — so the whole mechanism
+// roster runs the hot SoA path with no adapter round-trip, and both entry
+// points agree bit-for-bit by construction.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "auction/mechanism.h"
 #include "util/rng.h"
 
 namespace sfl::auction {
+
+/// Posted-price winners shared by the fixed and adaptive posted-price
+/// rules: accepting clients (bid <= price), highest value first (index asc
+/// on ties), capped at m, reported in index order.
+[[nodiscard]] std::vector<std::size_t> posted_price_winners(
+    std::span<const double> values, std::span<const double> bids, double price,
+    std::size_t max_winners);
 
 /// Per-round VCG: top-m by (value - bid), critical payments, no budget
 /// awareness.
@@ -32,6 +47,8 @@ class MyopicVcgMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "myopic-vcg"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
 };
@@ -44,6 +61,8 @@ class PayAsBidGreedyMechanism final : public Mechanism {
   [[nodiscard]] std::string name() const override { return "pay-as-bid"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
                                           const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
+                                          const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return false; }
 };
 
@@ -55,6 +74,8 @@ class FixedPriceMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "fixed-price"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
 
@@ -73,6 +94,8 @@ class RandomSelectionMechanism final : public Mechanism {
   [[nodiscard]] std::string name() const override { return "random-stipend"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
                                           const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
+                                          const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
 
  private:
@@ -88,6 +111,8 @@ class FirstBestOracleMechanism final : public Mechanism {
 
   [[nodiscard]] std::string name() const override { return "first-best-oracle"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return false; }
 };
@@ -105,6 +130,8 @@ class BudgetedOracleMechanism final : public Mechanism {
   [[nodiscard]] std::string name() const override { return "budgeted-oracle"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
                                           const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
+                                          const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return false; }
 
  private:
@@ -117,13 +144,16 @@ class BudgetedOracleMechanism final : public Mechanism {
 /// Myerson critical values (computed by bisection on the monotone
 /// allocation), so truthful bidding is dominant; each critical bid is
 /// bounded by the winner's proportional share, keeping the round
-/// budget-feasible.
+/// budget-feasible. The bisection probes re-run the allocation with one
+/// bid overridden in place — no slate copy per probe.
 class ProportionalShareMechanism final : public Mechanism {
  public:
   ProportionalShareMechanism() = default;
 
   [[nodiscard]] std::string name() const override { return "proportional-share"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
 };

@@ -1,6 +1,10 @@
 #include "auction/candidate_batch.h"
 
+#include "util/require.h"
+
 namespace sfl::auction {
+
+using sfl::util::require;
 
 CandidateBatch CandidateBatch::from_aos(std::span<const Candidate> candidates) {
   CandidateBatch batch;
@@ -31,6 +35,11 @@ void CandidateBatch::push_back(const Candidate& candidate) {
 
 void CandidateBatch::emplace(ClientId id, double value, double bid,
                              double energy_cost) {
+  // Validate-at-construction: one branch triple per element here buys
+  // scan-free solver calls every round the slate is reused.
+  require(value >= 0.0, "candidate value must be >= 0");
+  require(bid >= 0.0, "candidate bid must be >= 0");
+  require(energy_cost > 0.0, "candidate energy cost must be > 0");
   ids_.push_back(id);
   values_.push_back(value);
   bids_.push_back(bid);
@@ -44,6 +53,18 @@ std::vector<Candidate> CandidateBatch::to_aos() const {
     candidates.push_back(at(i));
   }
   return candidates;
+}
+
+void validate_batch(const CandidateBatch& batch) {
+  for (const double v : batch.values()) {
+    require(v >= 0.0, "candidate value must be >= 0");
+  }
+  for (const double b : batch.bids()) {
+    require(b >= 0.0, "candidate bid must be >= 0");
+  }
+  for (const double e : batch.energy_costs()) {
+    require(e > 0.0, "candidate energy cost must be > 0");
+  }
 }
 
 }  // namespace sfl::auction

@@ -20,7 +20,7 @@ class CandidateBatch {
  public:
   CandidateBatch() = default;
 
-  /// Gathers an AoS slate into parallel arrays.
+  /// Gathers an AoS slate into parallel arrays. Validates every candidate.
   [[nodiscard]] static CandidateBatch from_aos(
       std::span<const Candidate> candidates);
 
@@ -30,6 +30,11 @@ class CandidateBatch {
   void reserve(std::size_t capacity);
   void clear() noexcept;
 
+  /// Appends one candidate. Validation happens HERE, once per slate
+  /// construction (value >= 0, bid >= 0, energy cost > 0; throws
+  /// std::invalid_argument) — the per-round solvers then trust the batch
+  /// and skip the per-candidate scans on the hot path (re-enable them with
+  /// SFL_VALIDATE=1 or a debug build; see util::validate_mode_enabled).
   void push_back(const Candidate& candidate);
   void emplace(ClientId id, double value, double bid, double energy_cost);
 
@@ -60,5 +65,11 @@ class CandidateBatch {
   std::vector<double> bids_;
   std::vector<double> energy_costs_;
 };
+
+/// Full per-candidate scan of an already-constructed batch (the checks
+/// emplace applies element-wise). Construction normally makes this
+/// redundant; solvers call it only under util::validate_mode_enabled() to
+/// catch post-construction corruption while debugging.
+void validate_batch(const CandidateBatch& batch);
 
 }  // namespace sfl::auction

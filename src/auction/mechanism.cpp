@@ -8,6 +8,14 @@ MechanismResult Mechanism::run_round(const CandidateBatch& batch,
   return run_round(batch.to_aos(), context);
 }
 
+void Mechanism::run_round_into(const CandidateBatch& batch,
+                               const RoundContext& context,
+                               MechanismResult& out) {
+  // Default adapter: mechanisms without a scratch-reusing path still work;
+  // they just pay the allocating round's cost.
+  out = run_round(batch, context);
+}
+
 void Mechanism::settle(const RoundSettlement& settlement) {
   // Compatibility default: fold the settlement down to the legacy
   // observation so mechanisms that only override observe() keep working.

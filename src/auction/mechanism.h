@@ -88,6 +88,16 @@ class Mechanism {
   [[nodiscard]] virtual MechanismResult run_round(const CandidateBatch& batch,
                                                   const RoundContext& context);
 
+  /// Steady-state entry point of the zero-allocation round pipeline: the
+  /// caller owns `out` and reuses it across rounds, so a mechanism override
+  /// can fill out.winners/out.payments within their existing capacity and
+  /// allocate nothing after warm-up. Results must be identical to
+  /// run_round(batch, context); the default adapter simply assigns its
+  /// result into `out`.
+  virtual void run_round_into(const CandidateBatch& batch,
+                              const RoundContext& context,
+                              MechanismResult& out);
+
   /// Reports the round's realized outcome. Default: synthesizes a legacy
   /// RoundObservation (round, total payment, delivered winners) and forwards
   /// to observe(), so mechanisms that only implement the old hook keep

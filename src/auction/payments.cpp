@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "auction/sharded_wdp.h"
 #include "auction/winner_determination.h"
 #include "util/require.h"
 
@@ -12,13 +13,9 @@ using sfl::util::require;
 
 namespace {
 
-[[nodiscard]] double penalty_at(const Penalties& penalties, std::size_t index) {
-  return penalties.empty() ? 0.0 : penalties[index];
-}
-
 /// Accessor-based critical-payment core shared by the AoS and SoA overloads
-/// (reads candidates in place, no gather copies). The arithmetic per
-/// candidate mirrors score() exactly so both paths produce bit-identical
+/// (reads candidates in place, no gather copies). Loser scores go through
+/// the one shared score() expression so both paths produce bit-identical
 /// payments.
 template <typename ValueAt, typename BidAt>
 std::vector<double> critical_payments_core(std::size_t num_candidates,
@@ -39,9 +36,8 @@ std::vector<double> critical_payments_core(std::size_t num_candidates,
   double best_loser_score = 0.0;
   for (std::size_t i = 0; i < num_candidates; ++i) {
     if (allocation.contains(i)) continue;
-    const double loser_score = weights.value_weight * value_at(i) -
-                               weights.bid_weight * bid_at(i) -
-                               penalty_at(penalties, i);
+    const double loser_score =
+        score(value_at(i), bid_at(i), weights, penalty_at(penalties, i));
     best_loser_score = std::max(best_loser_score, loser_score);
   }
   const bool slate_full = allocation.selected.size() == max_winners;
@@ -89,6 +85,16 @@ std::vector<double> critical_payments(const CandidateBatch& batch,
       batch.size(), [&](std::size_t i) { return values[i]; },
       [&](std::size_t i) { return bids[i]; }, weights, max_winners, allocation,
       penalties);
+}
+
+const std::vector<double>& critical_payments(const CandidateBatch& batch,
+                                             const ScoreWeights& weights,
+                                             std::size_t max_winners,
+                                             const Penalties& penalties,
+                                             RoundScratch& scratch) {
+  static const ShardedWdp serial_engine{ShardedWdpConfig{.shards = 1}};
+  return serial_engine.critical_payments(batch, weights, max_winners,
+                                         penalties, scratch);
 }
 
 std::vector<double> vcg_payments(const std::vector<Candidate>& candidates,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "auction/candidate_batch.h"
+#include "auction/round_scratch.h"
 #include "auction/types.h"
 
 namespace sfl::auction {
@@ -40,6 +41,18 @@ namespace sfl::auction {
     const CandidateBatch& batch, const ScoreWeights& weights,
     std::size_t max_winners, const Allocation& allocation,
     const Penalties& penalties = {});
+
+/// Scratch-reusing variant: prices scratch.allocation (which must have been
+/// produced by the scratch-based select_top_m on the same batch, weights,
+/// and penalties) into scratch.payments without re-scanning the batch — the
+/// payment threshold is read off the merged selection order. Identical
+/// payments to the allocating overloads; zero heap allocations at steady
+/// state. Returns scratch.payments.
+const std::vector<double>& critical_payments(const CandidateBatch& batch,
+                                             const ScoreWeights& weights,
+                                             std::size_t max_winners,
+                                             const Penalties& penalties,
+                                             RoundScratch& scratch);
 
 /// A winner-determination solver (same signature as select_top_m).
 using WdpSolver = std::function<Allocation(

@@ -48,6 +48,17 @@ void register_builtins(MechanismRegistry& registry) {
             lto_config_from(config, /*paced=*/true));
       });
   registry.add(
+      "lto-vcg-sharded",
+      "LTO-VCG with the multi-threaded sharded WDP engine: identical "
+      "allocations and payments to lto-vcg, spans scored/selected in "
+      "parallel (lto.shards: 0 = auto, 1 = serial, k = k shards)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        core::LtoVcgConfig lto = lto_config_from(config, /*paced=*/true);
+        lto.shards = config.lto.shards;
+        lto.name = "lto-vcg-sharded";
+        return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
+      });
+  registry.add(
       "lto-vcg-unpaced",
       "LTO-VCG ablation with the sustainability queues Z_i disabled "
       "(budget queue only)",

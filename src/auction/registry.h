@@ -8,11 +8,11 @@
 // a one-line summary, so front-ends can enumerate rules without linking
 // against their headers.
 //
-// Built-in keys (see registry.cpp): lto-vcg, lto-vcg-unpaced, myopic-vcg,
-// pay-as-bid, fixed-price, adaptive-price, random-stipend,
-// proportional-share, first-best-oracle, budgeted-oracle. New mechanisms
-// register under a new key; downstream sharding/async work addresses rules
-// by key only.
+// Built-in keys (see registry.cpp): lto-vcg, lto-vcg-sharded,
+// lto-vcg-unpaced, myopic-vcg, pay-as-bid, fixed-price, adaptive-price,
+// random-stipend, proportional-share, first-best-oracle, budgeted-oracle.
+// New mechanisms register under a new key; downstream sharding/async work
+// addresses rules by key only.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +42,11 @@ struct LtoVcgOptions {
   /// and the winning-bid queue arrival proxy instead of realized payments.
   bool vcg_externality_payments = false;
   bool bid_proxy_queue_arrival = false;
+  /// WDP shard count, consumed by the "lto-vcg-sharded" key: 0 = auto
+  /// (hardware concurrency), 1 = serial (bit-identical to "lto-vcg"),
+  /// k > 1 = exactly k contiguous batch spans. Any shard count produces
+  /// identical allocations and payments; only wall time changes.
+  std::size_t shards = 0;
 };
 
 /// Options consumed by the "fixed-price" factory.

@@ -1,0 +1,59 @@
+// RoundScratch: every buffer one auction round needs, owned by the caller
+// and reused across rounds.
+//
+// The steady-state hot path (score N candidates, select top-m, price the
+// winners) is allocation-free once these vectors have grown to the market's
+// size: each round only clear()s and resize()s within existing capacity.
+// A mechanism owns one RoundScratch per concurrent round; the buffers are
+// NOT thread-safe to share, but the sharded WDP partitions them internally
+// (each shard writes a disjoint span), so one scratch serves a parallel
+// round.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+struct RoundScratch {
+  /// phi_i for every candidate, aligned with the batch (size n).
+  std::vector<double> scores;
+  /// Candidate indices, iota'd then partially selected per shard (size n).
+  std::vector<std::size_t> order;
+  /// Mechanism-owned bid-independent penalties (size n or empty).
+  Penalties penalties;
+  /// Merged per-shard survivors (<= shards * (m + 1) indices).
+  std::vector<std::size_t> survivors;
+  /// The round's allocation; `selected` capacity is reused.
+  Allocation allocation;
+  /// Per-winner payments aligned with allocation.selected.
+  std::vector<double> payments;
+
+  /// Grows every buffer to the given market size up front so the first
+  /// measured round is already allocation-free. Optional: the buffers also
+  /// grow on first use.
+  void reserve(std::size_t candidates, std::size_t shards,
+               std::size_t max_winners) {
+    scores.reserve(candidates);
+    order.reserve(candidates);
+    penalties.reserve(candidates);
+    survivors.reserve(std::min(candidates, shards * (max_winners + 1)));
+    allocation.selected.reserve(max_winners);
+    payments.reserve(max_winners);
+  }
+
+  void clear() noexcept {
+    scores.clear();
+    order.clear();
+    penalties.clear();
+    survivors.clear();
+    allocation.selected.clear();
+    allocation.total_score = 0.0;
+    payments.clear();
+  }
+};
+
+}  // namespace sfl::auction

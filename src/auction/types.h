@@ -73,12 +73,27 @@ struct ScoreWeights {
 /// empty means all-zero.
 using Penalties = std::vector<double>;
 
+/// phi_i from SoA components. Every scoring site — AoS, batch, sharded,
+/// payments — funnels through this ONE expression: the engine's bit-for-bit
+/// equivalence contract depends on a single IEEE evaluation shape, so never
+/// re-spell the arithmetic inline.
+[[nodiscard]] inline double score(double value, double bid,
+                                  const ScoreWeights& weights,
+                                  double penalty = 0.0) noexcept {
+  return weights.value_weight * value - weights.bid_weight * bid - penalty;
+}
+
 /// phi_i for a single candidate.
 [[nodiscard]] inline double score(const Candidate& candidate,
                                   const ScoreWeights& weights,
                                   double penalty = 0.0) noexcept {
-  return weights.value_weight * candidate.value - weights.bid_weight * candidate.bid -
-         penalty;
+  return score(candidate.value, candidate.bid, weights, penalty);
+}
+
+/// `penalties[index]`, with the empty vector meaning all-zero.
+[[nodiscard]] inline double penalty_at(const Penalties& penalties,
+                                       std::size_t index) noexcept {
+  return penalties.empty() ? 0.0 : penalties[index];
 }
 
 /// A selected subset (indices into the candidate vector) plus its total score.

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "auction/sharded_wdp.h"
 #include "auction/valuation.h"
+#include "util/config.h"
 #include "util/require.h"
 
 namespace sfl::auction {
@@ -36,19 +38,9 @@ void validate_inputs(const std::vector<Candidate>& candidates,
 void validate_inputs(const CandidateBatch& batch, const ScoreWeights& weights,
                      const Penalties& penalties) {
   validate_weights_and_penalties(weights, penalties, batch.size());
-  for (const double v : batch.values()) {
-    require(v >= 0.0, "candidate value must be >= 0");
-  }
-  for (const double b : batch.bids()) {
-    require(b >= 0.0, "candidate bid must be >= 0");
-  }
-  for (const double e : batch.energy_costs()) {
-    require(e > 0.0, "candidate energy cost must be > 0");
-  }
-}
-
-[[nodiscard]] double penalty_at(const Penalties& penalties, std::size_t index) {
-  return penalties.empty() ? 0.0 : penalties[index];
+  // Per-candidate data was validated when the batch was constructed; the
+  // O(n) re-scan only runs in debug builds or under SFL_VALIDATE=1.
+  if (sfl::util::validate_mode_enabled()) validate_batch(batch);
 }
 
 [[nodiscard]] std::vector<double> all_scores(const std::vector<Candidate>& candidates,
@@ -119,16 +111,29 @@ Allocation select_top_m(const std::vector<Candidate>& candidates,
 Allocation select_top_m(const CandidateBatch& batch, const ScoreWeights& weights,
                         std::size_t max_winners, const Penalties& penalties) {
   validate_inputs(batch, weights, penalties);
-  // SoA scoring: one streaming pass over contiguous arrays. The arithmetic
-  // mirrors score() exactly so AoS and batch paths agree bit-for-bit.
+  // SoA scoring: one streaming pass over contiguous arrays through the
+  // single shared score() expression, so AoS and batch paths agree
+  // bit-for-bit.
   const std::span<const double> values = batch.values();
   const std::span<const double> bids = batch.bids();
   std::vector<double> scores(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    scores[i] = weights.value_weight * values[i] - weights.bid_weight * bids[i] -
-                penalty_at(penalties, i);
+    scores[i] = score(values[i], bids[i], weights, penalty_at(penalties, i));
   }
   return top_m_from_scores(scores, batch.ids(), max_winners);
+}
+
+const Allocation& select_top_m(const CandidateBatch& batch,
+                               const ScoreWeights& weights,
+                               std::size_t max_winners,
+                               const Penalties& penalties,
+                               RoundScratch& scratch) {
+  // One serial shard of the sharded engine IS the scratch-based serial
+  // path; keeping a single implementation keeps the two provably
+  // bit-identical.
+  static const ShardedWdp serial_engine{ShardedWdpConfig{.shards = 1}};
+  return serial_engine.select_top_m(batch, weights, max_winners, penalties,
+                                    scratch);
 }
 
 Allocation select_exhaustive(const std::vector<Candidate>& candidates,
@@ -164,20 +169,22 @@ Allocation select_exhaustive(const std::vector<Candidate>& candidates,
   return allocation;
 }
 
-Allocation select_knapsack(const std::vector<Candidate>& candidates,
-                           const ScoreWeights& weights, double budget,
-                           std::size_t max_winners, double resolution,
-                           const Penalties& penalties) {
-  validate_inputs(candidates, weights, penalties);
+namespace {
+
+/// Shared knapsack DP over precomputed scores and a bid accessor (AoS and
+/// SoA overloads feed it the same values, so both produce identical
+/// selections).
+template <typename BidAt>
+Allocation knapsack_core(std::size_t n, const std::vector<double>& scores,
+                         BidAt bid_at, double budget, std::size_t max_winners,
+                         double resolution) {
   require(budget >= 0.0, "knapsack budget must be >= 0");
   require(resolution > 0.0, "knapsack resolution must be > 0");
-  const std::vector<double> scores = all_scores(candidates, weights, penalties);
 
   // Epsilon-robust discretization: a bid sitting exactly on the grid must
   // not round up a unit from floating-point division noise.
   const auto capacity =
       static_cast<std::size_t>(std::floor(budget / resolution + 1e-9));
-  const std::size_t n = candidates.size();
   const std::size_t k_cap = std::min(max_winners, n);
   if (capacity == 0 || k_cap == 0 || n == 0) return {};
 
@@ -196,7 +203,7 @@ Allocation select_knapsack(const std::vector<Candidate>& candidates,
   std::vector<std::size_t> item_weight(n, capacity + 1);
   for (std::size_t item = 0; item < n; ++item) {
     item_weight[item] = static_cast<std::size_t>(
-        std::ceil(candidates[item].bid / resolution - 1e-9));
+        std::ceil(bid_at(item) / resolution - 1e-9));
   }
 
   for (std::size_t item = 1; item <= n; ++item) {
@@ -226,6 +233,36 @@ Allocation select_knapsack(const std::vector<Candidate>& candidates,
   }
   std::sort(allocation.selected.begin(), allocation.selected.end());
   return allocation;
+}
+
+}  // namespace
+
+Allocation select_knapsack(const std::vector<Candidate>& candidates,
+                           const ScoreWeights& weights, double budget,
+                           std::size_t max_winners, double resolution,
+                           const Penalties& penalties) {
+  validate_inputs(candidates, weights, penalties);
+  const std::vector<double> scores = all_scores(candidates, weights, penalties);
+  return knapsack_core(
+      candidates.size(), scores,
+      [&](std::size_t i) { return candidates[i].bid; }, budget, max_winners,
+      resolution);
+}
+
+Allocation select_knapsack(const CandidateBatch& batch,
+                           const ScoreWeights& weights, double budget,
+                           std::size_t max_winners, double resolution,
+                           const Penalties& penalties) {
+  validate_inputs(batch, weights, penalties);
+  const std::span<const double> values = batch.values();
+  const std::span<const double> bids = batch.bids();
+  std::vector<double> scores(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    scores[i] = score(values[i], bids[i], weights, penalty_at(penalties, i));
+  }
+  return knapsack_core(
+      batch.size(), scores, [&](std::size_t i) { return bids[i]; }, budget,
+      max_winners, resolution);
 }
 
 Allocation select_greedy_concave(const std::vector<Candidate>& candidates,

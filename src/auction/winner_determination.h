@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "auction/candidate_batch.h"
+#include "auction/round_scratch.h"
 #include "auction/types.h"
 
 namespace sfl::auction {
@@ -34,11 +35,23 @@ namespace sfl::auction {
 
 /// Batched SoA variant of select_top_m: identical selection (bit-for-bit
 /// scores and tie-breaks), but scoring streams over the batch's contiguous
-/// arrays. This is the entry point the scalability path measures.
+/// arrays. Candidate data is validated at CandidateBatch construction, not
+/// here (SFL_VALIDATE=1 re-enables the full scan). This is the entry point
+/// the scalability path measures.
 [[nodiscard]] Allocation select_top_m(const CandidateBatch& batch,
                                       const ScoreWeights& weights,
                                       std::size_t max_winners,
                                       const Penalties& penalties = {});
+
+/// Scratch-reusing serial variant: identical results to the allocating batch
+/// overload, but scores, ordering buffers, and the allocation itself live in
+/// the caller-owned RoundScratch, so a warmed-up round allocates nothing.
+/// Returns scratch.allocation.
+const Allocation& select_top_m(const CandidateBatch& batch,
+                               const ScoreWeights& weights,
+                               std::size_t max_winners,
+                               const Penalties& penalties,
+                               RoundScratch& scratch);
 
 /// Shared selection core: given precomputed scores (aligned with `ids`),
 /// returns the top-max_winners positive-score subset with deterministic
@@ -58,6 +71,14 @@ namespace sfl::auction {
 /// and |S| <= max_winners. Bids are discretized to `resolution` (> 0) money
 /// units; smaller resolution = more exact and more memory.
 [[nodiscard]] Allocation select_knapsack(const std::vector<Candidate>& candidates,
+                                         const ScoreWeights& weights,
+                                         double budget, std::size_t max_winners,
+                                         double resolution = 0.01,
+                                         const Penalties& penalties = {});
+
+/// Batched SoA knapsack: identical DP (and results) to the AoS overload,
+/// scoring streamed over the batch arrays.
+[[nodiscard]] Allocation select_knapsack(const CandidateBatch& batch,
                                          const ScoreWeights& weights,
                                          double budget, std::size_t max_winners,
                                          double resolution = 0.01,

@@ -15,11 +15,14 @@ using sfl::auction::RoundContext;
 using sfl::auction::RoundObservation;
 using sfl::auction::RoundSettlement;
 using sfl::auction::ScoreWeights;
+using sfl::auction::ShardedWdpConfig;
 using sfl::auction::WinnerSettlement;
 using sfl::util::require;
 
 LongTermOnlineVcgMechanism::LongTermOnlineVcgMechanism(const LtoVcgConfig& config)
-    : config_(config), budget_queue_(config.per_round_budget) {
+    : config_(config),
+      budget_queue_(config.per_round_budget),
+      wdp_(ShardedWdpConfig{.shards = config.shards}) {
   require(config.v_weight > 0.0, "V weight must be > 0");
   require(config.per_round_budget > 0.0, "per-round budget must be > 0");
   if (!config.energy_rates.empty()) {
@@ -44,11 +47,12 @@ double LongTermOnlineVcgMechanism::sustainability_backlog(
   return sustainability_queues_->backlog(id);
 }
 
-Penalties LongTermOnlineVcgMechanism::penalties_for(
+void LongTermOnlineVcgMechanism::penalties_into(
     std::span<const sfl::auction::ClientId> ids,
-    std::span<const double> energy_costs) const {
-  Penalties penalties;
-  if (!sustainability_queues_.has_value()) return penalties;
+    std::span<const double> energy_costs) {
+  Penalties& penalties = scratch_.penalties;
+  penalties.clear();
+  if (!sustainability_queues_.has_value()) return;
   penalties.reserve(ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {
     require(ids[i] < sustainability_queues_->size(),
@@ -56,7 +60,6 @@ Penalties LongTermOnlineVcgMechanism::penalties_for(
     penalties.push_back(sustainability_queues_->backlog(ids[i]) *
                         energy_costs[i]);
   }
-  return penalties;
 }
 
 MechanismResult LongTermOnlineVcgMechanism::run_round(
@@ -68,49 +71,68 @@ MechanismResult LongTermOnlineVcgMechanism::run_round(
 
 MechanismResult LongTermOnlineVcgMechanism::run_round(
     const CandidateBatch& batch, const RoundContext& context) {
-  const ScoreWeights weights = current_weights();
-  const Penalties penalties =
-      penalties_for(batch.ids(), batch.energy_costs());
-
-  const Allocation allocation = sfl::auction::select_top_m(
-      batch, weights, context.max_winners, penalties);
-
-  std::vector<double> payments;
-  if (config_.payment_rule == PaymentRule::kCriticalValue) {
-    payments = sfl::auction::critical_payments(batch, weights,
-                                               context.max_winners, allocation,
-                                               penalties);
-  } else {
-    // The externality rule re-solves the WDP per winner; it is the E12
-    // ablation path, so the AoS materialization cost is acceptable.
-    payments = sfl::auction::vcg_payments(
-        batch.to_aos(), weights, context.max_winners, allocation,
-        [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
-           std::size_t m, const Penalties& p) {
-          return sfl::auction::select_top_m(reduced, w, m, p);
-        },
-        penalties);
-  }
-
-  return finish_round(batch, allocation, std::move(payments));
+  MechanismResult result;
+  run_round_into(batch, context, result);
+  return result;
 }
 
-MechanismResult LongTermOnlineVcgMechanism::finish_round(
-    const CandidateBatch& batch, const Allocation& allocation,
-    std::vector<double> payments) {
+void LongTermOnlineVcgMechanism::run_round_into(const CandidateBatch& batch,
+                                                const RoundContext& context,
+                                                MechanismResult& out) {
+  const ScoreWeights weights = current_weights();
+  penalties_into(batch.ids(), batch.energy_costs());
+
+  if (config_.payment_rule == PaymentRule::kCriticalValue) {
+    // The steady-state hot path: one engine round against the reusable
+    // scratch — slate validated once, selection and payments share the
+    // merged order, nothing allocates after warm-up.
+    wdp_.run_round(batch, weights, context.max_winners, scratch_.penalties,
+                   scratch_);
+    fill_result(batch, scratch_.allocation, scratch_.payments, out);
+    return;
+  }
+
+  // The externality rule re-solves the WDP per winner; it is the E12
+  // ablation path, so the AoS materialization cost is acceptable.
+  const Allocation& allocation = wdp_.select_top_m(
+      batch, weights, context.max_winners, scratch_.penalties, scratch_);
+  const std::vector<double> payments = sfl::auction::vcg_payments(
+      batch.to_aos(), weights, context.max_winners, allocation,
+      [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
+         std::size_t m, const Penalties& p) {
+        return sfl::auction::select_top_m(reduced, w, m, p);
+      },
+      scratch_.penalties);
+  fill_result(batch, allocation, payments, out);
+}
+
+void LongTermOnlineVcgMechanism::fill_result(const CandidateBatch& batch,
+                                             const Allocation& allocation,
+                                             std::span<const double> payments,
+                                             MechanismResult& out) {
+  require(payments.size() == allocation.selected.size(),
+          "one payment per winner required");
+  const std::span<const sfl::auction::ClientId> ids = batch.ids();
+  const std::span<const double> bids = batch.bids();
+  const std::span<const double> energy_costs = batch.energy_costs();
+
+  out.winners.clear();
+  out.payments.clear();
   // Cache this round's winners for the deprecated observe() shim; settle()
   // never reads it.
   last_round_winners_.clear();
-  last_round_winners_.reserve(allocation.selected.size());
-  for (const std::size_t index : allocation.selected) {
+  for (std::size_t k = 0; k < allocation.selected.size(); ++k) {
+    const std::size_t index = sfl::util::checked_index(
+        allocation.selected[k], batch.size(), "winner");
+    out.winners.push_back(ids[index]);
+    out.payments.push_back(payments[k]);
     last_round_winners_.push_back(
-        WinnerSettlement{.client = batch.ids()[index],
-                         .bid = batch.bids()[index],
+        WinnerSettlement{.client = ids[index],
+                         .bid = bids[index],
                          .payment = 0.0,
-                         .energy_cost = batch.energy_costs()[index],
+                         .energy_cost = energy_costs[index],
                          .dropped = false});
   }
-  return sfl::auction::make_result(batch, allocation, std::move(payments));
 }
 
 void LongTermOnlineVcgMechanism::settle(const RoundSettlement& settlement) {
@@ -131,13 +153,13 @@ void LongTermOnlineVcgMechanism::settle(const RoundSettlement& settlement) {
     // Every auction winner's Z queue is charged, dropped or not: the pacing
     // constraint bounds how often a client is *selected*, which is also the
     // only quantity the mechanism controls.
-    std::vector<double> arrivals(sustainability_queues_->size(), 0.0);
+    settle_arrivals_.assign(sustainability_queues_->size(), 0.0);
     for (const WinnerSettlement& w : settlement.winners) {
       require(w.client < sustainability_queues_->size(),
               "settled winner outside the configured energy-rate table");
-      arrivals[w.client] += w.energy_cost;
+      settle_arrivals_[w.client] += w.energy_cost;
     }
-    sustainability_queues_->update_all(arrivals);
+    sustainability_queues_->update_all(settle_arrivals_);
   }
 }
 

@@ -18,6 +18,13 @@
 //      winner (dropped or not): selection is what the drift bound and the
 //      pacing constraint are written on.
 //
+// Steps 1-3 run on the ShardedWdp engine against a mechanism-owned
+// RoundScratch: `shards` contiguous spans of the CandidateBatch are scored
+// and locally selected in parallel on the shared thread pool, then merged
+// exactly (shards = 1 is the serial path, bit-identical to the span
+// solvers). Steady-state rounds through run_round_into perform zero heap
+// allocations after warm-up.
+//
 // Lyapunov guarantees (verified empirically in E6): time-average welfare
 // within O(1/V) of the constrained optimum, queue backlog (and hence budget
 // violation transient) O(V).
@@ -25,9 +32,12 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "auction/mechanism.h"
+#include "auction/round_scratch.h"
+#include "auction/sharded_wdp.h"
 #include "lyapunov/virtual_queue.h"
 
 namespace sfl::core {
@@ -56,13 +66,20 @@ struct LtoVcgConfig {
   /// profile). The long-term constraint becomes the schedule's mean. Empty
   /// uses the constant per_round_budget.
   std::vector<double> budget_schedule{};
+  /// WDP shard count: 1 = serial (default), 0 = auto (hardware
+  /// concurrency), k > 1 = exactly k contiguous batch spans. Every shard
+  /// count produces bit-identical allocations and payments; sharding only
+  /// changes wall time.
+  std::size_t shards = 1;
+  /// Registry key this instance was built under (reported by name()).
+  std::string name = "lto-vcg";
 };
 
 class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
  public:
   explicit LongTermOnlineVcgMechanism(const LtoVcgConfig& config);
 
-  [[nodiscard]] std::string name() const override { return "lto-vcg"; }
+  [[nodiscard]] std::string name() const override { return config_.name; }
   [[nodiscard]] sfl::auction::MechanismResult run_round(
       const std::vector<sfl::auction::Candidate>& candidates,
       const sfl::auction::RoundContext& context) override;
@@ -71,6 +88,11 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   [[nodiscard]] sfl::auction::MechanismResult run_round(
       const sfl::auction::CandidateBatch& batch,
       const sfl::auction::RoundContext& context) override;
+  /// Zero-allocation steady-state path: reuses the mechanism's RoundScratch
+  /// and the caller's result buffers. Identical results to run_round.
+  void run_round_into(const sfl::auction::CandidateBatch& batch,
+                      const sfl::auction::RoundContext& context,
+                      sfl::auction::MechanismResult& out) override;
 
   /// Queue updates from the full settlement: Q sees the realized payments
   /// (or the bid proxy), each winner's Z sees its energy cost.
@@ -101,19 +123,29 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   [[nodiscard]] sfl::auction::ScoreWeights current_weights() const noexcept;
 
  private:
-  /// Shared tail of both run_round overloads: caches the allocation for the
-  /// observe() shim and packages the result.
-  [[nodiscard]] sfl::auction::MechanismResult finish_round(
-      const sfl::auction::CandidateBatch& batch,
-      const sfl::auction::Allocation& allocation, std::vector<double> payments);
+  /// Writes Z_i(t)*e_i penalties for the slate into scratch_.penalties
+  /// (cleared first; left empty when the sustainability queues are off).
+  void penalties_into(std::span<const sfl::auction::ClientId> ids,
+                      std::span<const double> energy_costs);
 
-  [[nodiscard]] sfl::auction::Penalties penalties_for(
-      std::span<const sfl::auction::ClientId> ids,
-      std::span<const double> energy_costs) const;
+  /// Shared tail of the round paths: publishes winners/payments into `out`
+  /// (reusing its capacity) and caches the winners for the observe() shim.
+  void fill_result(const sfl::auction::CandidateBatch& batch,
+                   const sfl::auction::Allocation& allocation,
+                   std::span<const double> payments,
+                   sfl::auction::MechanismResult& out);
 
   LtoVcgConfig config_;
   sfl::lyapunov::VirtualQueue budget_queue_;
   std::optional<sfl::lyapunov::QueueBank> sustainability_queues_;
+
+  /// The WDP + payment engine and its reusable per-round buffers. One
+  /// scratch per mechanism: run_round is not re-entrant (it never was —
+  /// queue state already serializes rounds).
+  sfl::auction::ShardedWdp wdp_;
+  sfl::auction::RoundScratch scratch_;
+  /// Reused Z-queue arrival accumulator (settle() stays allocation-free).
+  std::vector<double> settle_arrivals_;
 
   /// Last round's winners (client, bid, energy) — consumed ONLY by the
   /// deprecated observe() shim, which must rebuild the settlement a legacy

@@ -44,12 +44,18 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
 
   auto* lto = dynamic_cast<LongTermOnlineVcgMechanism*>(&mechanism);
 
+  // Round-pipeline buffers reused across rounds (zero-allocation steady
+  // state once capacities settle).
+  CandidateBatch batch;
+  batch.reserve(spec.num_clients);
+  MechanismResult outcome;
+  RoundSettlement settlement;
+
   for (std::size_t round = 0; round < spec.rounds; ++round) {
     const std::vector<double> costs = cost_model.draw_round(cost_rng);
 
     // SoA slate: every client bids, so batch row i is client i.
-    CandidateBatch batch;
-    batch.reserve(spec.num_clients);
+    batch.clear();
     for (std::size_t i = 0; i < spec.num_clients; ++i) {
       const econ::BiddingStrategy& strategy =
           (!strategies.empty() && strategies[i] != nullptr) ? *strategies[i]
@@ -62,11 +68,14 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
     context.max_winners = spec.max_winners;
     context.per_round_budget = spec.per_round_budget;
 
-    const MechanismResult outcome = mechanism.run_round(batch, context);
+    outcome.winners.clear();
+    outcome.payments.clear();
+    mechanism.run_round_into(batch, context, outcome);
 
     double round_welfare = 0.0;
-    RoundSettlement settlement;
     settlement.round = round;
+    settlement.total_payment = 0.0;
+    settlement.winners.clear();
     settlement.winners.reserve(outcome.winners.size());
     for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
       const std::size_t client = outcome.winners[w];

@@ -94,6 +94,18 @@ RunResult SustainableFlOrchestrator::run() {
   result.rounds.reserve(config_.rounds);
   double cumulative_welfare = 0.0;
 
+  // Round-pipeline buffers hoisted out of the loop: the slate, the winner
+  // lookup, and the mechanism result are cleared and refilled within their
+  // existing capacity each round, so the auction side of a steady-state
+  // round allocates nothing.
+  CandidateBatch batch;
+  batch.reserve(num_clients);
+  std::vector<std::size_t> slot_of_client;
+  MechanismResult outcome;
+  std::vector<bool> dropped_flag;
+  std::vector<std::size_t> participants;
+  RoundSettlement settlement;
+
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     if (energy.has_value()) {
       energy->harvest_round(energy_rng);
@@ -107,9 +119,8 @@ RunResult SustainableFlOrchestrator::run() {
 
     // Build the candidate slate (SoA batch) from available clients;
     // slot_of_client maps a winning id back to its batch row.
-    CandidateBatch batch;
-    batch.reserve(num_clients);
-    std::vector<std::size_t> slot_of_client(num_clients, num_clients);
+    batch.clear();
+    slot_of_client.assign(num_clients, num_clients);
     for (std::size_t i = 0; i < num_clients; ++i) {
       const double e_i = scenario_->energy_costs[i];
       if (energy.has_value() && !energy->available(i, e_i)) {
@@ -134,16 +145,17 @@ RunResult SustainableFlOrchestrator::run() {
     context.max_winners = config_.max_winners;
     context.per_round_budget = config_.per_round_budget;
 
-    MechanismResult outcome;
+    outcome.winners.clear();
+    outcome.payments.clear();
     if (!batch.empty()) {
-      outcome = mechanism_->run_round(batch, context);
+      mechanism_->run_round_into(batch, context, outcome);
     }
 
     // Failure injection: winners may drop before doing any work. Dropped
     // winners are unpaid and train nothing; the settlement below reports
     // them with a dropout flag instead of erasing them.
     std::size_t dropped = 0;
-    std::vector<bool> dropped_flag(outcome.winners.size(), false);
+    dropped_flag.assign(outcome.winners.size(), false);
     if (config_.dropout_probability > 0.0 && !outcome.winners.empty()) {
       for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
         if (dropout_rng.bernoulli(config_.dropout_probability)) {
@@ -156,10 +168,11 @@ RunResult SustainableFlOrchestrator::run() {
     // Settle: payments, energy, ledger, and the mechanism's settlement.
     double round_welfare = 0.0;
     double round_payment = 0.0;
-    std::vector<std::size_t> participants;
+    participants.clear();
     participants.reserve(outcome.winners.size());
-    RoundSettlement settlement;
     settlement.round = round;
+    settlement.total_payment = 0.0;
+    settlement.winners.clear();
     settlement.winners.reserve(outcome.winners.size());
     for (std::size_t w = 0; w < outcome.winners.size(); ++w) {
       const std::size_t client = outcome.winners[w];

@@ -104,11 +104,26 @@ std::vector<std::string> Config::keys() const {
   return out;
 }
 
-bool fast_mode_enabled() {
-  const char* raw = std::getenv("REPRO_FAST");
+namespace {
+
+[[nodiscard]] bool env_truthy(const char* name) {
+  const char* raw = std::getenv(name);
   if (raw == nullptr) return false;
   const std::string_view value = raw;
   return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+}  // namespace
+
+bool fast_mode_enabled() { return env_truthy("REPRO_FAST"); }
+
+bool validate_mode_enabled() {
+#ifndef NDEBUG
+  return true;
+#else
+  static const bool enabled = env_truthy("SFL_VALIDATE");
+  return enabled;
+#endif
 }
 
 }  // namespace sfl::util

@@ -50,4 +50,11 @@ class Config {
 /// ("1", "true", "yes", "on"); benches shrink their workloads accordingly.
 [[nodiscard]] bool fast_mode_enabled();
 
+/// True when the SFL_VALIDATE environment variable is set to a truthy value
+/// (same spellings as REPRO_FAST), or always in debug (!NDEBUG) builds. The
+/// auction hot path validates candidate data once at slate construction;
+/// this flag re-enables the full per-candidate scans inside every solver
+/// call for debugging. Cached after the first call.
+[[nodiscard]] bool validate_mode_enabled();
+
 }  // namespace sfl::util

@@ -50,18 +50,95 @@ void ThreadPool::parallel_for(std::size_t count,
   wait_idle();
 }
 
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_range(
+    std::size_t total, std::size_t chunks, std::size_t chunk) noexcept {
+  // total * chunk stays in 64 bits for any realistic (total, chunks): the
+  // sharded WDP caps chunks at the core count, and total is a client count.
+  const std::size_t begin = total * chunk / chunks;
+  const std::size_t end = total * (chunk + 1) / chunks;
+  return {begin, end};
+}
+
+void ThreadPool::run_bulk(std::size_t count,
+                          void (*invoke)(void*, std::size_t), void* context) {
+  require(invoke != nullptr, "parallel_for_chunks requires a callable");
+  if (count == 0) return;
+  // One bulk job at a time; a second caller blocks here, not on the workers.
+  const std::scoped_lock caller_lock(bulk_caller_mutex_);
+
+  BulkJob job;
+  job.invoke = invoke;
+  job.context = context;
+  job.count = count;
+  {
+    const std::scoped_lock lock(mutex_);
+    require(!stopping_, "cannot run a bulk loop on a stopping thread pool");
+    bulk_ = &job;
+    ++bulk_generation_;
+  }
+  task_available_.notify_all();
+
+  // The caller is a full participant: even a 1-thread pool makes progress
+  // without bouncing the job through a worker.
+  participate(job);
+
+  // The job lives on this stack frame: wait until every chunk ran AND every
+  // worker stepped out of participate() before letting it die.
+  {
+    std::unique_lock lock(mutex_);
+    bulk_done_.wait(lock, [&job] {
+      return job.done == job.count && job.workers_inside == 0;
+    });
+    bulk_ = nullptr;
+  }
+}
+
+void ThreadPool::participate(BulkJob& job) {
+  while (true) {
+    const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.count) return;
+    job.invoke(job.context, chunk);
+    {
+      const std::scoped_lock lock(mutex_);
+      ++job.done;
+      if (job.done == job.count) bulk_done_.notify_all();
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
+  std::uint64_t seen_bulk_generation = 0;
   while (true) {
     std::function<void()> task;
+    BulkJob* bulk = nullptr;
     {
       std::unique_lock lock(mutex_);
-      task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (stopping_) return;
+      task_available_.wait(lock, [&] {
+        return stopping_ || !tasks_.empty() ||
+               (bulk_ != nullptr && bulk_generation_ != seen_bulk_generation);
+      });
+      if (bulk_ != nullptr && bulk_generation_ != seen_bulk_generation) {
+        // Join the bulk job exactly once per generation; workers_inside is
+        // incremented under the same lock that published bulk_, so run_bulk
+        // cannot retire the job while we hold a pointer to it.
+        seen_bulk_generation = bulk_generation_;
+        bulk = bulk_;
+        ++bulk->workers_inside;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else if (stopping_) {
+        return;
+      } else {
         continue;
       }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    }
+    if (bulk != nullptr) {
+      participate(*bulk);
+      const std::scoped_lock lock(mutex_);
+      --bulk->workers_inside;
+      if (bulk->workers_inside == 0) bulk_done_.notify_all();
+      continue;
     }
     task();
     {
@@ -70,6 +147,11 @@ void ThreadPool::worker_loop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
 }
 
 }  // namespace sfl::util
