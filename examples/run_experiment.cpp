@@ -6,6 +6,7 @@
 //                  [partition=dirichlet|iid|quantity] [alpha=0.3]
 //                  [noisy_fraction=0.3] [flip_prob=0.8]
 //                  [budget=6] [winners=8] [v=10] [pacing=0.5] [shards=0]
+//                  [async_settle=0]
 //                  [model=logreg|mlp] [hidden=32] [lr=0.05] [local_steps=5]
 //                  [proximal_mu=0] [server_momentum=0]
 //                  [use_reputation=1] [energy=0] [seed=42]
@@ -16,6 +17,11 @@
 // multi-threaded WDP: `shards` selects the span count (0 = one shard per
 // hardware thread, 1 = serial, k = exactly k shards) and produces the same
 // winners and payments as lto-vcg at any setting.
+//
+// async_settle=1 (or mechanism=lto-vcg-async) streams settlements through
+// the async pipeline: mechanism queue updates run on the shared pool while
+// the round does local training, behind a flush barrier that keeps
+// fixed-seed trajectories bit-identical to synchronous settlement.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -43,6 +49,7 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   config.lto.v_weight = args.get_double("v", 10.0);
   config.lto.pacing_rate = args.get_double("pacing", 0.5);
   config.lto.shards = args.get_size("shards", 0);
+  config.lto.async_settle = args.get_bool("async_settle", false);
   config.fixed_price.price = args.get_double("price", 1.0);
   config.random_stipend.stipend = args.get_double("stipend", 1.0);
   return config;
@@ -98,6 +105,10 @@ int main(int argc, char** argv) {
   config.use_reputation = args.get_bool("use_reputation", true);
   config.eval_every = args.get_size("eval_every", 10);
   config.cost.base_sigma = args.get_double("cost_sigma", 0.5);
+  // Streams ANY mechanism: lto-vcg* keys are wrapped by the registry (via
+  // lto.async_settle below) and the orchestrator skips already-async
+  // mechanisms, so this never double-wraps.
+  config.async_settle = args.get_bool("async_settle", false);
   config.seed = sspec.seed;
   if (args.get_bool("energy", false)) {
     config.enable_energy = true;

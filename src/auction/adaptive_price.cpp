@@ -32,6 +32,7 @@ MechanismResult AdaptivePostedPriceMechanism::run_round(
   require(std::isfinite(context.per_round_budget) && context.per_round_budget > 0.0,
           "adaptive price needs a finite positive per-round budget");
   last_budget_ = context.per_round_budget;
+  round_open_ = true;  // re-arms the one-price-update-per-round guard
 
   Allocation allocation;
   allocation.selected = posted_price_winners(batch.values(), batch.bids(),
@@ -42,6 +43,19 @@ MechanismResult AdaptivePostedPriceMechanism::run_round(
 
 void AdaptivePostedPriceMechanism::observe(const RoundObservation& observation) {
   if (last_budget_ <= 0.0) return;  // run_round not called yet
+  // Idempotent per round: settle() forwards here, so a caller reporting
+  // through both settle() and observe() for one auction round must not
+  // step the price twice — whatever round stamps the two reports carry.
+  // With the round closed (a report already applied since the last
+  // run_round), only a genuine empty-round report (no winners, no spend —
+  // the orchestrator's empty-slate path, which never calls run_round) may
+  // still step the price; any substantive closed-round report is the
+  // duplicate half of a double report and is dropped.
+  if (!round_open_ &&
+      (!observation.winners.empty() || observation.total_payment != 0.0)) {
+    return;
+  }
+  round_open_ = false;
   if (observation.total_payment > last_budget_) {
     price_ *= 1.0 - config_.step;
   } else if (observation.total_payment < last_budget_) {

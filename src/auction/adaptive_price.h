@@ -39,6 +39,13 @@ class AdaptivePostedPriceMechanism final : public Mechanism {
   AdaptivePriceConfig config_;
   double price_;
   double last_budget_ = 0.0;  ///< B-bar seen in the last run_round
+  /// Per-round idempotency guard: settle() routes into observe(), so a
+  /// double report for one auction round must not apply the price update
+  /// twice. run_round opens the round; the first observation closes it; a
+  /// closed-round observation is dropped unless it reports an empty round
+  /// (no winners, zero payment — the no-auction path, which has no
+  /// run_round to re-open the guard).
+  bool round_open_ = true;
 };
 
 }  // namespace sfl::auction

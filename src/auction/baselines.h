@@ -51,6 +51,11 @@ class MyopicVcgMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 };
 
 /// Top-m by (value - bid), pay-as-bid. Strategically manipulable.
@@ -64,6 +69,11 @@ class PayAsBidGreedyMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 };
 
 /// Posted price: clients with bid <= price win (highest value first, capped
@@ -78,6 +88,11 @@ class FixedPriceMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 
   [[nodiscard]] double price() const noexcept { return price_; }
 
@@ -97,6 +112,11 @@ class RandomSelectionMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 
  private:
   double stipend_;
@@ -115,6 +135,11 @@ class FirstBestOracleMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 };
 
 /// Clairvoyant *budget-feasible* benchmark: sees true costs (as bids),
@@ -133,6 +158,11 @@ class BudgetedOracleMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 
  private:
   double resolution_;
@@ -156,6 +186,11 @@ class ProportionalShareMechanism final : public Mechanism {
   [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
                                           const RoundContext& context) override;
   [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
 };
 
 }  // namespace sfl::auction

@@ -5,6 +5,7 @@
 
 #include "auction/adaptive_price.h"
 #include "auction/baselines.h"
+#include "core/async_settler.h"
 #include "core/long_term_online_vcg.h"
 #include "util/require.h"
 
@@ -13,6 +14,15 @@ namespace sfl::auction {
 using sfl::util::require;
 
 namespace {
+
+/// Applies the lto.async_settle knob: wraps the rule in the streamed
+/// settlement pipeline (results stay bit-identical; settle() just moves to
+/// the shared pool behind a flush barrier).
+std::unique_ptr<Mechanism> maybe_async(std::unique_ptr<Mechanism> mechanism,
+                                       const MechanismConfig& config) {
+  if (!config.lto.async_settle) return mechanism;
+  return std::make_unique<core::AsyncSettlementMechanism>(std::move(mechanism));
+}
 
 core::LtoVcgConfig lto_config_from(const MechanismConfig& config, bool paced) {
   core::LtoVcgConfig lto;
@@ -44,8 +54,9 @@ void register_builtins(MechanismRegistry& registry) {
       "affine maximizer, truthful critical payments, budget queue Q and "
       "per-client pacing queues Z_i",
       [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
-        return std::make_unique<core::LongTermOnlineVcgMechanism>(
-            lto_config_from(config, /*paced=*/true));
+        return maybe_async(std::make_unique<core::LongTermOnlineVcgMechanism>(
+                               lto_config_from(config, /*paced=*/true)),
+                           config);
       });
   registry.add(
       "lto-vcg-sharded",
@@ -56,15 +67,30 @@ void register_builtins(MechanismRegistry& registry) {
         core::LtoVcgConfig lto = lto_config_from(config, /*paced=*/true);
         lto.shards = config.lto.shards;
         lto.name = "lto-vcg-sharded";
-        return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
+        return maybe_async(
+            std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
+      });
+  registry.add(
+      "lto-vcg-async",
+      "LTO-VCG behind the streamed settlement pipeline: settle() enqueues "
+      "onto the shared pool, run_round drains first (flush barrier), so "
+      "trajectories stay bit-identical to lto-vcg while queue updates "
+      "overlap the caller's training work (lto.shards still applies)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        core::LtoVcgConfig lto = lto_config_from(config, /*paced=*/true);
+        lto.shards = config.lto.shards;
+        lto.name = "lto-vcg-async";
+        return std::make_unique<core::AsyncSettlementMechanism>(
+            std::make_unique<core::LongTermOnlineVcgMechanism>(lto));
       });
   registry.add(
       "lto-vcg-unpaced",
       "LTO-VCG ablation with the sustainability queues Z_i disabled "
       "(budget queue only)",
       [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
-        return std::make_unique<core::LongTermOnlineVcgMechanism>(
-            lto_config_from(config, /*paced=*/false));
+        return maybe_async(std::make_unique<core::LongTermOnlineVcgMechanism>(
+                               lto_config_from(config, /*paced=*/false)),
+                           config);
       });
   registry.add(
       "myopic-vcg",

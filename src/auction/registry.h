@@ -8,7 +8,7 @@
 // a one-line summary, so front-ends can enumerate rules without linking
 // against their headers.
 //
-// Built-in keys (see registry.cpp): lto-vcg, lto-vcg-sharded,
+// Built-in keys (see registry.cpp): lto-vcg, lto-vcg-sharded, lto-vcg-async,
 // lto-vcg-unpaced, myopic-vcg, pay-as-bid, fixed-price, adaptive-price,
 // random-stipend, proportional-share, first-best-oracle, budgeted-oracle.
 // New mechanisms register under a new key; downstream sharding/async work
@@ -47,6 +47,14 @@ struct LtoVcgOptions {
   /// k > 1 = exactly k contiguous batch spans. Any shard count produces
   /// identical allocations and payments; only wall time changes.
   std::size_t shards = 0;
+  /// Streamed settlement: wrap the built mechanism in the async settlement
+  /// pipeline (core::AsyncSettlementMechanism), so settle() enqueues onto
+  /// the shared thread pool and every run_round entry point drains the
+  /// queue first. Results are bit-identical to synchronous settlement; only
+  /// when the caller's round loop overlaps work with the pending
+  /// settlement does wall time change. The "lto-vcg-async" key forces this
+  /// on; the knob extends it to any lto-vcg* key.
+  bool async_settle = false;
 };
 
 /// Options consumed by the "fixed-price" factory.

@@ -79,6 +79,9 @@ MechanismResult LongTermOnlineVcgMechanism::run_round(
 void LongTermOnlineVcgMechanism::run_round_into(const CandidateBatch& batch,
                                                 const RoundContext& context,
                                                 MechanismResult& out) {
+  // Opens the round for the idempotency guard: the next settlement (and
+  // only the next) may apply queue updates.
+  round_open_ = true;
   const ScoreWeights weights = current_weights();
   penalties_into(batch.ids(), batch.energy_costs());
 
@@ -136,6 +139,23 @@ void LongTermOnlineVcgMechanism::fill_result(const CandidateBatch& batch,
 }
 
 void LongTermOnlineVcgMechanism::settle(const RoundSettlement& settlement) {
+  // Idempotency guard: the settle()+observe() double-report pattern (or a
+  // retried settlement) must not push the same round into the queues
+  // twice. A duplicate is a settlement that arrives with no new auction
+  // round opened since the last one AND the same round stamp — so drivers
+  // that settle once per run_round (stamped or not) are untouched.
+  if (!round_open_ && settlement.round == last_settled_round_) return;
+
+  // Validate BEFORE mutating any queue: settle() is exception-atomic, so a
+  // rejected settlement can be corrected and retried without Q having
+  // already absorbed the payment arrival.
+  if (sustainability_queues_.has_value()) {
+    for (const WinnerSettlement& w : settlement.winners) {
+      require(w.client < sustainability_queues_->size(),
+              "settled winner outside the configured energy-rate table");
+    }
+  }
+
   // Q arrival: realized payments are what the long-term constraint is
   // written on; the bid proxy is the drift objective's internal surrogate.
   const double arrival =
@@ -155,15 +175,26 @@ void LongTermOnlineVcgMechanism::settle(const RoundSettlement& settlement) {
     // only quantity the mechanism controls.
     settle_arrivals_.assign(sustainability_queues_->size(), 0.0);
     for (const WinnerSettlement& w : settlement.winners) {
-      require(w.client < sustainability_queues_->size(),
-              "settled winner outside the configured energy-rate table");
       settle_arrivals_[w.client] += w.energy_cost;
     }
     sustainability_queues_->update_all(settle_arrivals_);
   }
+  // Stamped only after a fully-applied settlement, so a throwing settle
+  // (bad winner id) is not remembered as settled. The observe() cache is
+  // consumed: the shim can no longer rebuild (and double-apply) a round
+  // that settle() already handled, whatever round stamp it carries.
+  last_settled_round_ = settlement.round;
+  round_open_ = false;
+  last_round_winners_.clear();
 }
 
 void LongTermOnlineVcgMechanism::observe(const RoundObservation& observation) {
+  // Double-report guard, stamp-independent: a closed round whose winner
+  // cache is gone was already settled through settle(), so this
+  // observation is the legacy half of a double report — even when the two
+  // reports disagree on round stamps (unstamped settle + stamped observe).
+  if (!round_open_ && last_round_winners_.empty()) return;
+
   // Deprecated shim: legacy callers only report the round total, so the
   // per-winner breakdown (bids for the proxy queue, energy costs for the Z
   // queues) is rebuilt from this round's own allocation.

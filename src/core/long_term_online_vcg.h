@@ -96,7 +96,22 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
 
   /// Queue updates from the full settlement: Q sees the realized payments
   /// (or the bid proxy), each winner's Z sees its energy cost.
+  ///
+  /// Idempotent per round: with no new auction round opened since the
+  /// last applied settlement, a re-report with the same round stamp is
+  /// dropped here, and the observe() shim refuses any report once
+  /// settle() consumed the round's winner cache (stamp-independent) — so
+  /// a caller that reports through BOTH settle() and the deprecated
+  /// observe() shim in one round cannot double-apply the queue updates.
   void settle(const sfl::auction::RoundSettlement& settlement) override;
+
+  /// Queue updates depend on application order (max(0, .) clamps), so the
+  /// async executor must keep settlements in round order — the base-class
+  /// default, restated here as the explicit contract.
+  [[nodiscard]] sfl::auction::SettlementOrdering settlement_ordering()
+      const noexcept override {
+    return sfl::auction::SettlementOrdering::kRoundOrder;
+  }
 
   /// Deprecated shim: reconstructs a settlement for callers that only
   /// report the legacy (round, total payment) observation. Bids and energy
@@ -151,6 +166,15 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   /// deprecated observe() shim, which must rebuild the settlement a legacy
   /// caller cannot supply. settle() itself is stateless across rounds.
   std::vector<sfl::auction::WinnerSettlement> last_round_winners_;
+
+  /// Per-round idempotency guard behind settle(): run_round opens a round;
+  /// the first settlement applied closes it. A settlement arriving with
+  /// the round closed AND re-reporting the last settled round stamp is the
+  /// settle()+observe() double report and is dropped. Keying on the flag
+  /// (not the stamp alone) keeps legacy drivers working that settle many
+  /// rounds without ever stamping RoundSettlement::round.
+  bool round_open_ = true;
+  std::size_t last_settled_round_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace sfl::core

@@ -1,5 +1,8 @@
 #include "core/market_simulation.h"
 
+#include <optional>
+
+#include "core/async_settler.h"
 #include "core/long_term_online_vcg.h"
 #include "util/require.h"
 
@@ -42,7 +45,19 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
   result.payment_series.reserve(spec.rounds);
   result.cumulative_payment_series.reserve(spec.rounds);
 
-  auto* lto = dynamic_cast<LongTermOnlineVcgMechanism*>(&mechanism);
+  auto* lto =
+      dynamic_cast<LongTermOnlineVcgMechanism*>(mechanism.underlying());
+
+  // Streamed settlement: the settler applies settle() on the shared pool;
+  // the flush barrier at the top of each round keeps stateful rules
+  // scoring against fully-settled queues — bit-identical trajectories.
+  // A mechanism that is already an async decorator (underlying() reaches
+  // through it) streams on its own; stacking a second queue would double
+  // every copy and drain for zero extra overlap.
+  std::optional<AsyncSettler> settler;
+  if (spec.async_settle && mechanism.underlying() == &mechanism) {
+    settler.emplace(mechanism);
+  }
 
   // Round-pipeline buffers reused across rounds (zero-allocation steady
   // state once capacities settle).
@@ -52,6 +67,7 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
   RoundSettlement settlement;
 
   for (std::size_t round = 0; round < spec.rounds; ++round) {
+    if (settler.has_value()) settler->flush();
     const std::vector<double> costs = cost_model.draw_round(cost_rng);
 
     // SoA slate: every client bids, so batch row i is client i.
@@ -95,12 +111,22 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
     const double round_payment = outcome.total_payment();
     budget.record_round(round_payment);
     settlement.total_payment = round_payment;
-    mechanism.settle(settlement);
+    if (settler.has_value()) {
+      settler->enqueue(settlement);  // swap semantics: storage is recycled
+    } else {
+      mechanism.settle(settlement);
+    }
 
     result.welfare_series.push_back(round_welfare);
     result.payment_series.push_back(round_payment);
     result.cumulative_payment_series.push_back(budget.cumulative_payment());
   }
+
+  // Final barrier: the last round's settlement must land before queue
+  // diagnostics are read (covers both the local settler and mechanisms
+  // that are themselves async decorators).
+  if (settler.has_value()) settler->flush();
+  mechanism.flush();
 
   result.cumulative_welfare = ledger.social_welfare();
   result.time_average_welfare =

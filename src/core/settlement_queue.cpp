@@ -1,0 +1,91 @@
+#include "core/settlement_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/require.h"
+
+namespace sfl::core {
+
+using sfl::auction::RoundSettlement;
+
+SettlementQueue::SettlementQueue(std::size_t capacity) {
+  sfl::util::require(capacity >= 1, "settlement queue capacity must be >= 1");
+  ring_.resize(capacity);
+}
+
+void SettlementQueue::push_locked(RoundSettlement& settlement) {
+  const std::size_t tail = (head_ + count_) % ring_.size();
+  std::swap(ring_[tail], settlement);
+  ++count_;
+  if (count_ > max_depth_) max_depth_ = count_;
+}
+
+void SettlementQueue::pop_locked(RoundSettlement& out) {
+  std::swap(out, ring_[head_]);
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
+}
+
+void SettlementQueue::push(RoundSettlement& settlement) {
+  {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [this] { return closed_ || count_ < ring_.size(); });
+    if (closed_) throw std::logic_error("push on a closed settlement queue");
+    push_locked(settlement);
+  }
+  not_empty_.notify_one();
+}
+
+bool SettlementQueue::try_push(RoundSettlement& settlement) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (closed_) throw std::logic_error("push on a closed settlement queue");
+    if (count_ == ring_.size()) return false;
+    push_locked(settlement);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool SettlementQueue::pop(RoundSettlement& out) {
+  {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || count_ > 0; });
+    if (count_ == 0) return false;  // closed and drained
+    pop_locked(out);
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+bool SettlementQueue::try_pop(RoundSettlement& out) {
+  {
+    const std::scoped_lock lock(mutex_);
+    if (count_ == 0) return false;
+    pop_locked(out);
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+void SettlementQueue::close() {
+  {
+    const std::scoped_lock lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t SettlementQueue::size() const {
+  const std::scoped_lock lock(mutex_);
+  return count_;
+}
+
+std::size_t SettlementQueue::max_depth() const {
+  const std::scoped_lock lock(mutex_);
+  return max_depth_;
+}
+
+}  // namespace sfl::core

@@ -1,0 +1,77 @@
+// Bounded MPSC queue of RoundSettlement for the async settlement pipeline.
+//
+// The orchestrator's training loop produces one settlement per round; an
+// AsyncSettler worker consumes them and applies mechanism->settle() off the
+// critical path. The queue is a fixed-capacity ring with swap-based push and
+// pop: a producer that reuses one RoundSettlement (and a consumer that
+// reuses one drain slot) recycles the winners vectors through the ring, so
+// the steady-state pipeline moves settlements without heap allocations —
+// the same discipline as the zero-allocation round pipeline it feeds.
+//
+// Blocking push/pop pair with try_* variants so callers can choose
+// backpressure policy: AsyncSettler uses try_push and, when the ring is
+// full, drains inline on the producer thread — producer progress never
+// depends on pool scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "auction/mechanism.h"
+
+namespace sfl::core {
+
+class SettlementQueue {
+ public:
+  /// Ring capacity must be >= 1.
+  explicit SettlementQueue(std::size_t capacity);
+
+  SettlementQueue(const SettlementQueue&) = delete;
+  SettlementQueue& operator=(const SettlementQueue&) = delete;
+
+  /// Swaps `settlement` into the ring, leaving the displaced slot's
+  /// recycled storage behind in `settlement`. Blocks while the ring is
+  /// full. Throws std::logic_error if the queue is closed.
+  void push(sfl::auction::RoundSettlement& settlement);
+
+  /// Non-blocking push: returns false (and leaves `settlement` untouched)
+  /// when the ring is full. Throws std::logic_error if closed.
+  [[nodiscard]] bool try_push(sfl::auction::RoundSettlement& settlement);
+
+  /// Swaps the oldest settlement into `out`. Blocks while empty; returns
+  /// false only once the queue is closed AND drained.
+  [[nodiscard]] bool pop(sfl::auction::RoundSettlement& out);
+
+  /// Non-blocking pop: returns false when the ring is currently empty.
+  [[nodiscard]] bool try_pop(sfl::auction::RoundSettlement& out);
+
+  /// Wakes blocked producers/consumers; further push calls throw, pop
+  /// drains the remainder then returns false.
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// High-water mark of the ring occupancy (diagnostics/benches).
+  [[nodiscard]] std::size_t max_depth() const;
+
+ private:
+  /// Caller holds mutex_. Swap-in at the tail.
+  void push_locked(sfl::auction::RoundSettlement& settlement);
+  /// Caller holds mutex_. Swap-out from the head.
+  void pop_locked(sfl::auction::RoundSettlement& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<sfl::auction::RoundSettlement> ring_;
+  std::size_t head_ = 0;   ///< index of the oldest element
+  std::size_t count_ = 0;  ///< occupied slots
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace sfl::core

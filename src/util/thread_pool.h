@@ -1,5 +1,7 @@
-// Fixed-size thread pool used to parallelize local client training and the
-// sharded auction hot path.
+// Fixed-size thread pool used to parallelize local client training, the
+// sharded auction hot path, and the async settlement drain tasks
+// (core::AsyncSettler submits at most one short-lived drain task at a
+// time, so settlement never monopolizes a worker).
 //
 // Two execution modes:
 //  - submit()/wait_idle(): queued void tasks (the original API; local client

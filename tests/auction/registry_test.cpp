@@ -24,10 +24,10 @@ MechanismConfig small_config() {
 TEST(MechanismRegistryTest, ListsAllBuiltins) {
   const auto& registry = MechanismRegistry::global();
   const std::vector<std::string> expected{
-      "lto-vcg",        "lto-vcg-sharded",  "lto-vcg-unpaced",
-      "myopic-vcg",     "pay-as-bid",       "fixed-price",
-      "adaptive-price", "random-stipend",   "proportional-share",
-      "first-best-oracle", "budgeted-oracle"};
+      "lto-vcg",        "lto-vcg-sharded",  "lto-vcg-async",
+      "lto-vcg-unpaced", "myopic-vcg",      "pay-as-bid",
+      "fixed-price",    "adaptive-price",   "random-stipend",
+      "proportional-share", "first-best-oracle", "budgeted-oracle"};
   EXPECT_EQ(registry.names(), expected);
   EXPECT_EQ(registry.size(), expected.size());
   for (const std::string& name : expected) {

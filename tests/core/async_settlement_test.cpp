@@ -1,0 +1,188 @@
+// Deterministic replay of the async settlement pipeline: for EVERY
+// mechanism in the registry, a fixed-seed market run with streamed
+// settlement must be bit-identical — ledgers (client utilities,
+// participation), payment/welfare series, and final queue state — to the
+// synchronous path once flush() has run. Also covers the orchestrator's
+// full FL loop (training between enqueue and flush is exactly the window
+// the pipeline overlaps) and the lto-vcg-async registry key against plain
+// lto-vcg.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/registry.h"
+#include "core/async_settler.h"
+#include "core/long_term_online_vcg.h"
+#include "core/market_simulation.h"
+#include "core/orchestrator.h"
+#include "fl/logistic_regression.h"
+#include "sim/scenario.h"
+
+namespace sfl::core {
+namespace {
+
+using sfl::auction::MechanismConfig;
+using sfl::auction::MechanismRegistry;
+
+MechanismConfig market_mechanism_config(std::size_t num_clients) {
+  MechanismConfig config;
+  config.num_clients = num_clients;
+  config.per_round_budget = 5.0;
+  config.seed = 33;
+  config.lto.v_weight = 8.0;
+  config.lto.pacing_rate = 0.4;
+  return config;
+}
+
+MarketSpec market_spec(bool async_settle) {
+  MarketSpec spec;
+  spec.num_clients = 24;
+  spec.rounds = 200;
+  spec.max_winners = 6;
+  spec.per_round_budget = 5.0;
+  spec.seed = 4242;
+  spec.async_settle = async_settle;
+  return spec;
+}
+
+/// Every registry key, resolved at test-enumeration time — a newly
+/// registered mechanism joins this suite automatically.
+std::vector<std::string> all_registry_keys() {
+  return MechanismRegistry::global().names();
+}
+
+class AsyncDeterminismSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AsyncDeterminismSweep, Market200RoundsBitIdenticalLedgers) {
+  const std::string& key = GetParam();
+  const MechanismConfig config = market_mechanism_config(24);
+
+  const auto sync_mechanism = sfl::auction::build_mechanism(key, config);
+  const auto async_mechanism = sfl::auction::build_mechanism(key, config);
+
+  const MarketResult sync_result =
+      run_market(*sync_mechanism, market_spec(/*async_settle=*/false));
+  const MarketResult async_result =
+      run_market(*async_mechanism, market_spec(/*async_settle=*/true));
+
+  // Bit-identical trajectories: exact ==, no tolerance anywhere.
+  EXPECT_EQ(sync_result.welfare_series, async_result.welfare_series) << key;
+  EXPECT_EQ(sync_result.payment_series, async_result.payment_series) << key;
+  EXPECT_EQ(sync_result.cumulative_payment_series,
+            async_result.cumulative_payment_series)
+      << key;
+  EXPECT_EQ(sync_result.client_utilities, async_result.client_utilities)
+      << key;
+  EXPECT_EQ(sync_result.participation_counts,
+            async_result.participation_counts)
+      << key;
+  EXPECT_EQ(sync_result.ir_fraction, async_result.ir_fraction) << key;
+  // Queue state after the final flush: the async pipeline's settled queues
+  // must land exactly where synchronous settlement left them.
+  EXPECT_EQ(sync_result.final_budget_backlog,
+            async_result.final_budget_backlog)
+      << key;
+  EXPECT_EQ(sync_result.average_budget_backlog,
+            async_result.average_budget_backlog)
+      << key;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistryKeys, AsyncDeterminismSweep,
+                         ::testing::ValuesIn(all_registry_keys()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(AsyncSettlementPipelineTest, AsyncRegistryKeyMatchesPlainLtoVcg) {
+  // lto-vcg-async is lto-vcg behind the pipeline: same market, same seed,
+  // same trajectory — the decorator must be observationally invisible.
+  const MechanismConfig config = market_mechanism_config(24);
+  const auto plain = sfl::auction::build_mechanism("lto-vcg", config);
+  const auto async = sfl::auction::build_mechanism("lto-vcg-async", config);
+
+  const MarketResult a = run_market(*plain, market_spec(false));
+  const MarketResult b = run_market(*async, market_spec(false));
+  EXPECT_EQ(a.welfare_series, b.welfare_series);
+  EXPECT_EQ(a.payment_series, b.payment_series);
+  EXPECT_EQ(a.client_utilities, b.client_utilities);
+  EXPECT_EQ(a.final_budget_backlog, b.final_budget_backlog);
+  EXPECT_EQ(b.mechanism_name, "lto-vcg-async");
+}
+
+TEST(AsyncSettlementPipelineTest, LtoQueueStateVisibleThroughDecorator) {
+  // underlying() must expose the wrapped rule so queue diagnostics keep
+  // working on the async build.
+  const MechanismConfig config = market_mechanism_config(24);
+  auto mechanism = sfl::auction::build_mechanism("lto-vcg-async", config);
+  auto* lto =
+      dynamic_cast<LongTermOnlineVcgMechanism*>(mechanism->underlying());
+  ASSERT_NE(lto, nullptr);
+  const MarketResult result = run_market(*mechanism, market_spec(false));
+  EXPECT_EQ(result.final_budget_backlog, lto->budget_backlog());
+}
+
+TEST(AsyncSettlementPipelineTest, OrchestratorFlTrajectoryBitIdentical) {
+  // The full system loop: local SGD + aggregation runs between settle()
+  // and the flush barrier, which is exactly the window async settlement
+  // overlaps. Records (including per-round Q(t) backlogs read AFTER the
+  // barrier) must match the synchronous run bit for bit.
+  sim::ScenarioSpec sspec;
+  sspec.num_clients = 10;
+  sspec.train_examples = 300;
+  sspec.test_examples = 80;
+  sspec.num_classes = 3;
+  sspec.feature_dim = 6;
+  sspec.seed = 11;
+  const sim::Scenario scenario = sim::build_scenario(sspec);
+
+  const auto run_once = [&](bool async_settle) {
+    OrchestratorConfig config;
+    config.rounds = 30;
+    config.max_winners = 4;
+    config.per_round_budget = 4.0;
+    config.eval_every = 10;
+    config.dropout_probability = 0.2;  // exercise dropped-winner settlements
+    config.async_settle = async_settle;
+    config.seed = 5;
+
+    MechanismConfig mconfig = market_mechanism_config(sspec.num_clients);
+    fl::LocalTrainingSpec training;
+    training.local_steps = 2;
+    training.batch_size = 16;
+    SustainableFlOrchestrator orchestrator(
+        scenario,
+        std::make_unique<fl::LogisticRegression>(sspec.feature_dim,
+                                                 sspec.num_classes, 1e-4),
+        training, sfl::auction::build_mechanism("lto-vcg", mconfig),
+        config);
+    return orchestrator.run();
+  };
+
+  const RunResult sync_result = run_once(false);
+  const RunResult async_result = run_once(true);
+
+  ASSERT_EQ(sync_result.rounds.size(), async_result.rounds.size());
+  for (std::size_t r = 0; r < sync_result.rounds.size(); ++r) {
+    const RoundRecord& a = sync_result.rounds[r];
+    const RoundRecord& b = async_result.rounds[r];
+    EXPECT_EQ(a.payment, b.payment) << "round " << r;
+    EXPECT_EQ(a.budget_backlog, b.budget_backlog) << "round " << r;
+    EXPECT_EQ(a.welfare, b.welfare) << "round " << r;
+    EXPECT_EQ(a.participants, b.participants) << "round " << r;
+    EXPECT_EQ(a.dropped, b.dropped) << "round " << r;
+    EXPECT_EQ(a.test_accuracy, b.test_accuracy) << "round " << r;
+  }
+  EXPECT_EQ(sync_result.final_accuracy, async_result.final_accuracy);
+  EXPECT_EQ(sync_result.cumulative_payment, async_result.cumulative_payment);
+  EXPECT_EQ(sync_result.client_utilities, async_result.client_utilities);
+  EXPECT_EQ(sync_result.final_reputation, async_result.final_reputation);
+}
+
+}  // namespace
+}  // namespace sfl::core

@@ -113,6 +113,156 @@ TEST(SettlementTest, DroppedWinnersAreUnpaidButStillPaced) {
   EXPECT_DOUBLE_EQ(mech.sustainability_backlog(0), 0.0);
 }
 
+TEST(SettlementTest, SettleIsIdempotentPerRound) {
+  // The double-report hazard: a caller that reports a round through BOTH
+  // settle() and the deprecated observe() shim (or retries a settlement)
+  // must not push the same round into the queues twice. The twin mechanism
+  // settles exactly once per round and the two must stay bit-identical.
+  LtoVcgConfig config = paced_config();
+  LongTermOnlineVcgMechanism once(config);
+  LongTermOnlineVcgMechanism doubled(config);
+
+  sfl::util::Rng rng(2718);
+  for (std::size_t round = 0; round < 50; ++round) {
+    sfl::auction::RandomInstanceSpec spec;
+    spec.num_candidates = 10;
+    const auto instance = make_random_instance(spec, rng);
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.max_winners = 3;
+
+    const MechanismResult a = once.run_round(instance.candidates, ctx);
+    const MechanismResult b = doubled.run_round(instance.candidates, ctx);
+    ASSERT_EQ(a.winners, b.winners);
+
+    const RoundSettlement settlement =
+        settlement_for(instance.candidates, a, round);
+    once.settle(settlement);
+    // The double report: settle(), then the legacy observe() for the same
+    // round, then a retried settle(). Only the first may apply.
+    doubled.settle(settlement);
+    RoundObservation obs;
+    obs.round = round;
+    obs.total_payment = b.total_payment();
+    obs.winners = b.winners;
+    doubled.observe(obs);
+    doubled.settle(settlement);
+
+    ASSERT_EQ(once.budget_backlog(), doubled.budget_backlog())
+        << "round " << round;
+    for (std::size_t client = 0; client < 10; ++client) {
+      ASSERT_EQ(once.sustainability_backlog(client),
+                doubled.sustainability_backlog(client))
+          << "round " << round << " client " << client;
+    }
+  }
+}
+
+TEST(SettlementTest, UnstampedSettleOncePerRoundStillApplies) {
+  // Legacy drivers never stamp RoundSettlement::round (it stays 0 every
+  // round); one settlement per run_round must keep applying regardless —
+  // the unstamped mechanism must track a properly-stamped twin exactly.
+  LtoVcgConfig config = paced_config();
+  LongTermOnlineVcgMechanism stamped(config);
+  LongTermOnlineVcgMechanism unstamped(config);
+
+  sfl::util::Rng rng(99);
+  for (std::size_t round = 0; round < 60; ++round) {
+    sfl::auction::RandomInstanceSpec spec;
+    spec.num_candidates = 8;
+    const auto instance = make_random_instance(spec, rng);
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.max_winners = 3;
+    const MechanismResult a = stamped.run_round(instance.candidates, ctx);
+    const MechanismResult b = unstamped.run_round(instance.candidates, ctx);
+    ASSERT_EQ(a.winners, b.winners) << "round " << round;
+
+    stamped.settle(settlement_for(instance.candidates, a, round));
+    unstamped.settle(settlement_for(instance.candidates, b, 0));
+
+    ASSERT_EQ(stamped.budget_backlog(), unstamped.budget_backlog())
+        << "round " << round;
+    for (std::size_t client = 0; client < 10; ++client) {
+      ASSERT_EQ(stamped.sustainability_backlog(client),
+                unstamped.sustainability_backlog(client))
+          << "round " << round << " client " << client;
+    }
+  }
+}
+
+TEST(SettlementTest, MixedStampDoubleReportStillAppliesOnce) {
+  // The nastiest double report: an UNSTAMPED settle() (round left 0)
+  // followed by the legacy observe() carrying the real round number. The
+  // round stamps disagree, so the stamp comparison alone cannot catch it;
+  // the shim must refuse the report because settle() already consumed the
+  // round's winner cache.
+  LtoVcgConfig config = paced_config();
+  LongTermOnlineVcgMechanism once(config);
+  LongTermOnlineVcgMechanism doubled(config);
+
+  sfl::util::Rng rng(515);
+  for (std::size_t round = 0; round < 40; ++round) {
+    sfl::auction::RandomInstanceSpec spec;
+    spec.num_candidates = 8;
+    const auto instance = make_random_instance(spec, rng);
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.max_winners = 3;
+
+    const MechanismResult a = once.run_round(instance.candidates, ctx);
+    const MechanismResult b = doubled.run_round(instance.candidates, ctx);
+    ASSERT_EQ(a.winners, b.winners);
+
+    once.settle(settlement_for(instance.candidates, a, round));
+    doubled.settle(settlement_for(instance.candidates, b, 0));  // unstamped
+    RoundObservation obs;
+    obs.round = round;  // stamped duplicate of the same round
+    obs.total_payment = b.total_payment();
+    obs.winners = b.winners;
+    doubled.observe(obs);
+
+    ASSERT_EQ(once.budget_backlog(), doubled.budget_backlog())
+        << "round " << round;
+    for (std::size_t client = 0; client < 10; ++client) {
+      ASSERT_EQ(once.sustainability_backlog(client),
+                doubled.sustainability_backlog(client))
+          << "round " << round << " client " << client;
+    }
+  }
+}
+
+TEST(SettlementTest, AdaptivePriceDoubleReportStepsPriceOnce) {
+  // settle() forwards to observe() in the posted-price rule; reporting a
+  // round through both must move the price exactly once.
+  sfl::auction::AdaptivePriceConfig config;
+  sfl::auction::AdaptivePostedPriceMechanism once(config);
+  sfl::auction::AdaptivePostedPriceMechanism doubled(config);
+
+  std::vector<Candidate> candidates{
+      Candidate{.id = 0, .value = 3.0, .bid = 0.6, .energy_cost = 1.0}};
+  RoundContext ctx;
+  ctx.max_winners = 1;
+  ctx.per_round_budget = 1.0;
+
+  for (std::size_t round = 0; round < 30; ++round) {
+    ctx.round = round;
+    const MechanismResult a = once.run_round(candidates, ctx);
+    (void)doubled.run_round(candidates, ctx);
+
+    once.settle(settlement_for(candidates, a, round));
+    doubled.settle(settlement_for(candidates, a, 0));  // unstamped report
+    RoundObservation obs;
+    obs.round = round;  // mixed stamp: must still be caught as a duplicate
+    obs.total_payment = a.total_payment();
+    obs.winners = a.winners;
+    doubled.observe(obs);
+
+    ASSERT_EQ(once.current_price(), doubled.current_price())
+        << "round " << round;
+  }
+}
+
 TEST(SettlementTest, SettlementOutsideEnergyTableThrows) {
   LtoVcgConfig config = paced_config();  // clients 0..9
   LongTermOnlineVcgMechanism mech(config);

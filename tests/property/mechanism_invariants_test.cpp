@@ -1,0 +1,459 @@
+// Property-test harness for cross-mechanism auction invariants.
+//
+// A seeded generator produces adversarial instances — exact score/bid ties,
+// duplicate client ids, zero values/bids, winner caps at/above the slate
+// size, empty slates — and EVERY key in MechanismRegistry::describe() is
+// run through the same invariant suite, so a newly registered mechanism is
+// covered automatically with no hand-maintained list. Checked per instance:
+//
+//  - structural sanity: winners/payments aligned, capped at m, winners are
+//    candidates (multiset containment, so duplicate-id slates count),
+//    payments finite and non-negative;
+//  - entry-point agreement: the AoS, batched SoA, and scratch-reusing
+//    run_round_into paths return identical results (fresh twin mechanisms,
+//    so stateful and randomized rules compare from equal state);
+//  - individual rationality: winners are paid at least their bid (skipped
+//    for rules that document otherwise, e.g. the bid-blind random stipend);
+//  - per-round budget feasibility where the rule guarantees it
+//    (proportional-share exactly; budgeted-oracle up to its DP resolution);
+//  - settlement: settle() on the round's own outcome never throws;
+//  - trajectory equality: serial, sharded, and async LTO-VCG stay
+//    bit-identical over multi-round settled trajectories.
+//
+// Reproducing failures: every trial logs its seed; run
+//   <binary> --seed=N
+// to re-run exactly the failing instance (all keys, that one seed). On
+// failure the binary also appends the seeds to property_failure_seeds.txt
+// next to the test's working directory — CI uploads it as an artifact.
+// SFL_PROPERTY_TRIALS overrides the per-key trial count (default 1000).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "auction/candidate_batch.h"
+#include "auction/registry.h"
+#include "core/long_term_online_vcg.h"
+#include "util/rng.h"
+
+namespace sfl {
+namespace {
+
+using auction::Candidate;
+using auction::CandidateBatch;
+using auction::ClientId;
+using auction::build_mechanism;
+using auction::MechanismConfig;
+using auction::MechanismRegistry;
+using auction::MechanismResult;
+using auction::RoundContext;
+using auction::RoundSettlement;
+using auction::WinnerSettlement;
+
+/// Upper bound on client ids the generator emits; the LTO pacing table is
+/// sized to it so every generated id is a legal queue index.
+constexpr std::size_t kMaxClients = 40;
+
+std::optional<std::uint64_t> g_fixed_seed;     // --seed=N
+std::vector<std::uint64_t> g_failed_seeds;     // written to the artifact
+
+std::size_t trials_per_key() {
+  if (g_fixed_seed.has_value()) return 1;
+  if (const char* env = std::getenv("SFL_PROPERTY_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1000;
+}
+
+std::uint64_t trial_seed(std::size_t trial) {
+  return g_fixed_seed.value_or(static_cast<std::uint64_t>(trial));
+}
+
+void record_failure(std::uint64_t seed) {
+  for (const std::uint64_t s : g_failed_seeds) {
+    if (s == seed) return;
+  }
+  g_failed_seeds.push_back(seed);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial instance generator.
+// ---------------------------------------------------------------------------
+
+struct AdversarialInstance {
+  std::vector<Candidate> candidates;
+  RoundContext context;
+  bool has_duplicate_ids = false;
+};
+
+/// Six instance families, chosen by seed so --seed=N replays the family
+/// along with the draws: typical, tied scores, duplicate ids, zero-heavy,
+/// m >= n, and the empty slate.
+AdversarialInstance make_adversarial_instance(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0x5f15eedULL);
+  const std::uint64_t family = seed % 6;
+
+  AdversarialInstance instance;
+  std::size_t n = 0;
+  switch (family) {
+    case 5: n = 0; break;                                        // empty
+    case 4: n = 1 + rng.uniform_index(6); break;                 // tiny, m >= n
+    default: n = 1 + rng.uniform_index(32); break;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Candidate c;
+    c.id = static_cast<ClientId>(i);
+    if (family == 2 && n >= 2 && rng.bernoulli(0.5)) {
+      // Duplicate ids: the same client appears in several slate rows.
+      c.id = static_cast<ClientId>(rng.uniform_index(n));
+    }
+    if (family == 1) {
+      // Exact ties: values and bids from a coarse lattice, so score ties
+      // (and tie-breaking rules) are hit constantly.
+      c.value = 0.5 * static_cast<double>(rng.uniform_index(5));
+      c.bid = 0.25 * static_cast<double>(rng.uniform_index(4));
+    } else if (family == 3) {
+      // Zero-heavy: worthless candidates, free candidates, both.
+      c.value = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, 4.0);
+      c.bid = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, 2.0);
+    } else {
+      c.value = rng.uniform(0.1, 5.0);
+      c.bid = rng.uniform(0.05, 3.0);
+    }
+    c.energy_cost = rng.uniform(0.2, 2.0);
+    instance.candidates.push_back(c);
+  }
+  for (std::size_t i = 0; i + 1 < instance.candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < instance.candidates.size(); ++j) {
+      if (instance.candidates[i].id == instance.candidates[j].id) {
+        instance.has_duplicate_ids = true;
+      }
+    }
+  }
+
+  instance.context.round = rng.uniform_index(1000);
+  if (family == 4) {
+    instance.context.max_winners = n + rng.uniform_index(5);  // m >= n
+  } else if (family == 1 && rng.bernoulli(0.15)) {
+    instance.context.max_winners = 0;  // degenerate cap
+  } else {
+    instance.context.max_winners = 1 + rng.uniform_index(8);
+  }
+  // Finite positive budget: adaptive-price requires one, and the
+  // budget-feasible rules are only testable against a real budget.
+  instance.context.per_round_budget = rng.uniform(0.5, 10.0);
+  instance.context.remaining_budget = instance.context.per_round_budget;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Per-key invariant profiles.
+// ---------------------------------------------------------------------------
+
+/// What a mechanism guarantees. Defaults are the safe cross-mechanism core
+/// (structural sanity + entry-point agreement + IR); keys with documented
+/// exceptions or extra guarantees override below. An unknown (future) key
+/// gets the defaults, so registering a rule that pays below bid forces its
+/// author to classify it here — deliberate friction.
+struct InvariantProfile {
+  /// Winners are paid at least their bid.
+  bool individually_rational = true;
+  /// Per-round budget feasibility: total payment <= budget + slack, with
+  /// slack = budget_slack + budget_slack_per_winner * |winners|. Negative
+  /// base slack disables the check (long-term-only rules).
+  double budget_slack = -1.0;
+  double budget_slack_per_winner = 0.0;
+};
+
+InvariantProfile profile_for(const std::string& key,
+                             const MechanismConfig& config) {
+  InvariantProfile profile;
+  if (key == "random-stipend") {
+    // Bid-independent stipend: trivially truthful, deliberately not IR.
+    profile.individually_rational = false;
+  } else if (key == "proportional-share") {
+    profile.budget_slack = 1e-9;
+  } else if (key == "budgeted-oracle") {
+    // Ceil-discretized knapsack weights under-count each bid by less than
+    // one DP resolution step.
+    profile.budget_slack = 1e-9;
+    profile.budget_slack_per_winner = config.budgeted_oracle.resolution;
+  }
+  return profile;
+}
+
+MechanismConfig property_mechanism_config() {
+  MechanismConfig config;
+  config.num_clients = kMaxClients;
+  config.per_round_budget = 5.0;
+  config.seed = 777;
+  config.lto.v_weight = 8.0;
+  config.lto.pacing_rate = 0.4;  // Z queues on: exercises penalty paths
+  return config;
+}
+
+/// Smallest bid among candidates with this id (the IR reference when
+/// duplicate ids make the per-row bid ambiguous).
+double min_bid_for(const std::vector<Candidate>& candidates, ClientId id) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Candidate& c : candidates) {
+    if (c.id == id && c.bid < best) best = c.bid;
+  }
+  return best;
+}
+
+std::size_t id_multiplicity(const std::vector<Candidate>& candidates,
+                            ClientId id) {
+  std::size_t count = 0;
+  for (const Candidate& c : candidates) {
+    if (c.id == id) ++count;
+  }
+  return count;
+}
+
+void check_invariants(const std::string& key,
+                      const AdversarialInstance& instance,
+                      std::uint64_t seed) {
+  const MechanismConfig config = property_mechanism_config();
+  const InvariantProfile profile = profile_for(key, config);
+
+  // Three fresh twins (identical construction, identical state, identical
+  // RNG streams for randomized rules): one per entry point.
+  const auto aos_twin = build_mechanism(key, config);
+  const auto batch_twin = build_mechanism(key, config);
+  const auto into_twin = build_mechanism(key, config);
+
+  const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+  const MechanismResult via_aos =
+      aos_twin->run_round(instance.candidates, instance.context);
+  const MechanismResult via_batch =
+      batch_twin->run_round(batch, instance.context);
+  MechanismResult via_into;
+  into_twin->run_round_into(batch, instance.context, via_into);
+
+  // Entry-point agreement, exact to the bit.
+  EXPECT_EQ(via_aos.winners, via_batch.winners) << "AoS vs batch";
+  EXPECT_EQ(via_aos.payments, via_batch.payments) << "AoS vs batch";
+  EXPECT_EQ(via_aos.winners, via_into.winners) << "AoS vs run_round_into";
+  EXPECT_EQ(via_aos.payments, via_into.payments) << "AoS vs run_round_into";
+
+  // Structural sanity.
+  const MechanismResult& result = via_aos;
+  ASSERT_EQ(result.winners.size(), result.payments.size());
+  EXPECT_LE(result.winners.size(), instance.context.max_winners);
+  EXPECT_LE(result.winners.size(), instance.candidates.size());
+  for (std::size_t w = 0; w < result.winners.size(); ++w) {
+    const ClientId id = result.winners[w];
+    const std::size_t available = id_multiplicity(instance.candidates, id);
+    ASSERT_GT(available, 0u) << "winner " << id << " is not a candidate";
+    std::size_t awarded = 0;
+    for (const ClientId other : result.winners) {
+      if (other == id) ++awarded;
+    }
+    EXPECT_LE(awarded, available)
+        << "client " << id << " won more slots than it has slate rows";
+
+    const double payment = result.payments[w];
+    EXPECT_TRUE(std::isfinite(payment)) << "payment " << payment;
+    EXPECT_GE(payment, -1e-12) << "negative payment";
+    if (profile.individually_rational) {
+      EXPECT_GE(payment, min_bid_for(instance.candidates, id) - 1e-9)
+          << "winner " << id << " paid below bid";
+    }
+  }
+
+  // Budget feasibility where the rule guarantees it.
+  if (profile.budget_slack >= 0.0) {
+    const double cap =
+        instance.context.per_round_budget + profile.budget_slack +
+        profile.budget_slack_per_winner *
+            static_cast<double>(result.winners.size());
+    EXPECT_LE(result.total_payment(), cap) << "budget infeasible round";
+  }
+
+  // Settlement: the round's own outcome must settle cleanly (stateful
+  // rules update queues; stateless ones no-op) — including duplicate-id
+  // slates and empty winner sets.
+  RoundSettlement settlement;
+  settlement.round = instance.context.round;
+  settlement.total_payment = result.total_payment();
+  for (std::size_t w = 0; w < result.winners.size(); ++w) {
+    settlement.winners.push_back(
+        WinnerSettlement{.client = result.winners[w],
+                         .bid = min_bid_for(instance.candidates,
+                                            result.winners[w]),
+                         .payment = result.payments[w],
+                         .energy_cost = 1.0,
+                         .dropped = false});
+  }
+  // flush() inside the assertion: async decorators only enqueue in
+  // settle(), surfacing any inner settle() error at the barrier — without
+  // the flush this check would be vacuous for async keys.
+  EXPECT_NO_THROW({
+    aos_twin->settle(settlement);
+    aos_twin->flush();
+  }) << "settle threw";
+}
+
+// ---------------------------------------------------------------------------
+// The registry-driven invariant sweep.
+// ---------------------------------------------------------------------------
+
+class MechanismInvariantSweep : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(MechanismInvariantSweep, AdversarialInstancesKeepInvariants) {
+  const std::string& key = GetParam();
+  const std::size_t trials = trials_per_key();
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = trial_seed(trial);
+    SCOPED_TRACE("repro: property_mechanism_invariants_test --seed=" +
+                 std::to_string(seed) + " (key " + key + ")");
+    const bool failed_before = ::testing::Test::HasFailure();
+    check_invariants(key, make_adversarial_instance(seed), seed);
+    if (!failed_before && ::testing::Test::HasFailure()) {
+      record_failure(seed);
+      // One counterexample per key is enough; later seeds would bury it.
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistryKeys, MechanismInvariantSweep,
+    ::testing::ValuesIn(MechanismRegistry::global().names()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Serial / sharded / async trajectory equality (multi-round, settled).
+// ---------------------------------------------------------------------------
+
+TEST(LtoExecutionModesProperty, SerialShardedAsyncTrajectoriesBitIdentical) {
+  // The three LTO execution modes — serial, sharded WDP (explicit and auto
+  // shard counts), async settlement — must produce identical winners,
+  // payments, and queue backlogs over settled multi-round trajectories.
+  const std::size_t trajectories = std::min<std::size_t>(
+      60, std::max<std::size_t>(4, trials_per_key() / 16));
+  constexpr std::size_t kRounds = 16;
+
+  for (std::size_t trajectory = 0; trajectory < trajectories; ++trajectory) {
+    const std::uint64_t seed = trial_seed(trajectory);
+    SCOPED_TRACE("repro: property_mechanism_invariants_test --seed=" +
+                 std::to_string(seed) + " (trajectory)");
+    const bool failed_before = ::testing::Test::HasFailure();
+
+    MechanismConfig config = property_mechanism_config();
+    const auto serial = build_mechanism("lto-vcg", config);
+    config.lto.shards = 3;
+    const auto sharded = build_mechanism("lto-vcg-sharded", config);
+    config.lto.shards = 0;  // auto
+    const auto sharded_auto = build_mechanism("lto-vcg-sharded", config);
+    const auto async = build_mechanism("lto-vcg-async", config);
+    std::vector<sfl::auction::Mechanism*> variants{
+        sharded.get(), sharded_auto.get(), async.get()};
+
+    util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      AdversarialInstance instance =
+          make_adversarial_instance(rng());
+      instance.context.round = round;
+
+      const MechanismResult reference =
+          serial->run_round(instance.candidates, instance.context);
+      for (sfl::auction::Mechanism* variant : variants) {
+        const MechanismResult result =
+            variant->run_round(instance.candidates, instance.context);
+        ASSERT_EQ(reference.winners, result.winners)
+            << variant->name() << " round " << round;
+        ASSERT_EQ(reference.payments, result.payments)
+            << variant->name() << " round " << round;
+      }
+
+      RoundSettlement settlement;
+      settlement.round = round;
+      settlement.total_payment = reference.total_payment();
+      for (std::size_t w = 0; w < reference.winners.size(); ++w) {
+        settlement.winners.push_back(WinnerSettlement{
+            .client = reference.winners[w],
+            .bid = min_bid_for(instance.candidates, reference.winners[w]),
+            .payment = reference.payments[w],
+            .energy_cost = 1.0,
+            .dropped = false});
+      }
+      serial->settle(settlement);
+      for (sfl::auction::Mechanism* variant : variants) {
+        variant->settle(settlement);
+      }
+    }
+
+    // Post-trajectory queue state (after the async flush barrier).
+    auto* serial_lto =
+        dynamic_cast<core::LongTermOnlineVcgMechanism*>(serial->underlying());
+    ASSERT_NE(serial_lto, nullptr);
+    for (sfl::auction::Mechanism* variant : variants) {
+      variant->flush();
+      auto* lto = dynamic_cast<core::LongTermOnlineVcgMechanism*>(
+          variant->underlying());
+      ASSERT_NE(lto, nullptr);
+      ASSERT_EQ(serial_lto->budget_backlog(), lto->budget_backlog())
+          << variant->name();
+      for (std::size_t client = 0; client < kMaxClients; ++client) {
+        ASSERT_EQ(serial_lto->sustainability_backlog(client),
+                  lto->sustainability_backlog(client))
+            << variant->name() << " client " << client;
+      }
+    }
+
+    if (!failed_before && ::testing::Test::HasFailure()) {
+      record_failure(seed);
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfl
+
+// Custom main: --seed=N pins the generator to one instance seed for exact
+// reproduction; failing seeds are persisted for the CI artifact and echoed
+// with a copy-pasteable repro command.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kSeedFlag = "--seed=";
+    if (arg.rfind(kSeedFlag, 0) == 0) {
+      sfl::g_fixed_seed =
+          std::strtoull(arg.c_str() + std::string(kSeedFlag).size(), nullptr,
+                        10);
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  const int result = RUN_ALL_TESTS();
+  if (!sfl::g_failed_seeds.empty()) {
+    std::ofstream out("property_failure_seeds.txt", std::ios::app);
+    std::cerr << "\nproperty-test failures; reproduce each with:\n";
+    for (const std::uint64_t seed : sfl::g_failed_seeds) {
+      out << seed << "\n";
+      std::cerr << "  property_mechanism_invariants_test --seed=" << seed
+                << "\n";
+    }
+    std::cerr << "(seeds appended to property_failure_seeds.txt)\n";
+  }
+  return result;
+}
