@@ -88,9 +88,39 @@ inline fl::LocalTrainingSpec canonical_training_spec() {
 /// device energy budgets and rotates coverage across non-IID shards.
 inline constexpr double kCanonicalPacingRate = 0.5;
 
+/// Round-scratch pool for multi-mechanism comparison runs. The benches
+/// build one mechanism per rule and run them sequentially (or in settled
+/// lockstep, never two rounds at once), so every LTO-family mechanism can
+/// lease the SAME RoundScratch: the first run grows the buffers, every
+/// later mechanism starts warm and skips the per-mechanism growth
+/// allocations entirely (regression-tested by
+/// tests/auction/round_scratch_alloc_test.cpp). lease(i) hands out one
+/// scratch per concurrency lane — benches use lane 0; a future bench that
+/// runs two mechanisms' rounds concurrently leases distinct lanes.
+class ScratchPool {
+ public:
+  [[nodiscard]] auction::RoundScratch& lease(std::size_t lane = 0) {
+    while (lane >= scratches_.size()) {
+      scratches_.push_back(std::make_unique<auction::RoundScratch>());
+    }
+    return *scratches_[lane];
+  }
+
+  [[nodiscard]] static ScratchPool& global() {
+    static ScratchPool pool;
+    return pool;
+  }
+
+ private:
+  // Stable addresses: mechanisms hold RoundScratch* across leases.
+  std::vector<std::unique_ptr<auction::RoundScratch>> scratches_;
+};
+
 /// Registry config for the canonical FL experiments: the LTO mechanism
 /// inherits the orchestrator's budget and paces every client at
 /// kCanonicalPacingRate (the "lto-vcg-unpaced" key ignores the pacing).
+/// Every mechanism built from this config shares the bench scratch pool's
+/// lane 0 (comparison runs are sequential).
 inline auction::MechanismConfig canonical_mechanism_config(
     const core::OrchestratorConfig& config, std::size_t num_clients,
     double v_weight = 10.0) {
@@ -100,11 +130,13 @@ inline auction::MechanismConfig canonical_mechanism_config(
   mc.seed = config.seed;
   mc.lto.v_weight = v_weight;
   mc.lto.pacing_rate = kCanonicalPacingRate;
+  mc.lto.shared_scratch = &ScratchPool::global().lease();
   return mc;
 }
 
 /// Registry config for the auction-only market benches (E2-E6, E10, E12,
-/// E13): unpaced LTO (no Z queues) matching the market's flat energy model.
+/// E13): unpaced LTO (no Z queues) matching the market's flat energy
+/// model, sharing the same pooled scratch as the FL configs.
 inline auction::MechanismConfig market_mechanism_config(
     const core::MarketSpec& spec, double v_weight = 10.0) {
   auction::MechanismConfig mc;
@@ -112,6 +144,7 @@ inline auction::MechanismConfig market_mechanism_config(
   mc.per_round_budget = spec.per_round_budget;
   mc.seed = spec.seed;
   mc.lto.v_weight = v_weight;
+  mc.lto.shared_scratch = &ScratchPool::global().lease();
   return mc;
 }
 

@@ -32,6 +32,7 @@
 #include "bench_common.h"
 #include "core/async_settler.h"
 #include "core/long_term_online_vcg.h"
+#include "dist/distributed_wdp.h"
 #include "util/config.h"
 #include "util/rng.h"
 
@@ -155,6 +156,32 @@ void BM_FullRoundShardedAuto(benchmark::State& state) {
 BENCHMARK(BM_FullRoundShardedAuto)
     ->RangeMultiplier(10)
     ->Range(100, scal_max_n())
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullRoundDistributedLoopback(benchmark::State& state) {
+  // The distributed coordinator over the in-process loopback transport:
+  // arg0 = N, arg1 = workers (= shards). Pays the full wire-codec
+  // round-trip per shard (encode span, decode request, encode/decode
+  // survivors), so the gap to BM_FullRoundScratchSerial is the
+  // serialization + coordination overhead a real deployment amortizes
+  // against network-parallel scoring.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const RandomInstance instance = make_instance(n);
+  const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const sfl::dist::DistributedWdp engine{
+      sfl::dist::DistributedWdpConfig{.workers = workers}};
+  RoundScratch scratch;
+  for (auto _ : state) {
+    engine.run_round(batch, weights, m, {}, scratch);
+    benchmark::DoNotOptimize(scratch.payments.data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FullRoundDistributedLoopback)
+    ->ArgsProduct({benchmark::CreateRange(10'000, scal_max_n(), 10), {2, 4}})
     ->Unit(benchmark::kMicrosecond);
 
 /// Fixed CPU-bound stand-in for the FL work a production round does
@@ -333,8 +360,24 @@ bool verify_sharded_equivalence() {
         return false;
       }
     }
+    // The distributed coordinator (loopback workers, full codec round
+    // trip) is held to the same bit-identical bar — the ISSUE-4
+    // acceptance worker counts.
+    for (const std::size_t workers : {1, 2, 4, 7}) {
+      const sfl::dist::DistributedWdp engine{
+          sfl::dist::DistributedWdpConfig{.workers = workers}};
+      RoundScratch scratch;
+      engine.run_round(batch, weights, m, {}, scratch);
+      if (scratch.allocation.selected != serial.selected ||
+          scratch.allocation.total_score != serial.total_score ||
+          scratch.payments != serial_payments) {
+        std::cerr << "E7 FATAL: distributed WDP diverges from serial at n="
+                  << n << " workers=" << workers << "\n";
+        return false;
+      }
+    }
   }
-  std::cout << "E7: serial-vs-sharded equivalence sweep OK\n";
+  std::cout << "E7: serial-vs-sharded-vs-distributed equivalence sweep OK\n";
   return true;
 }
 

@@ -6,7 +6,7 @@
 //                  [partition=dirichlet|iid|quantity] [alpha=0.3]
 //                  [noisy_fraction=0.3] [flip_prob=0.8]
 //                  [budget=6] [winners=8] [v=10] [pacing=0.5] [shards=0]
-//                  [async_settle=0]
+//                  [async_settle=0] [dist_workers=0]
 //                  [model=logreg|mlp] [hidden=32] [lr=0.05] [local_steps=5]
 //                  [proximal_mu=0] [server_momentum=0]
 //                  [use_reputation=1] [energy=0] [seed=42]
@@ -22,6 +22,12 @@
 // the async pipeline: mechanism queue updates run on the shared pool while
 // the round does local training, behind a flush barrier that keeps
 // fixed-seed trajectories bit-identical to synchronous settlement.
+//
+// mechanism=lto-vcg-dist runs winner determination on the distributed WDP
+// coordinator: `dist_workers` in-process loopback shard workers receive
+// batch spans and return top-(m+1) survivor sets through the wire codec
+// (dist_workers=0 uses the key's default of 2). Winners and payments are
+// bit-identical to lto-vcg for any worker count.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -49,6 +55,7 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   config.lto.v_weight = args.get_double("v", 10.0);
   config.lto.pacing_rate = args.get_double("pacing", 0.5);
   config.lto.shards = args.get_size("shards", 0);
+  config.lto.dist_workers = args.get_size("dist_workers", 0);
   config.lto.async_settle = args.get_bool("async_settle", false);
   config.fixed_price.price = args.get_double("price", 1.0);
   config.random_stipend.stipend = args.get_double("stipend", 1.0);

@@ -29,6 +29,7 @@ core::LtoVcgConfig lto_config_from(const MechanismConfig& config, bool paced) {
   lto.v_weight = config.lto.v_weight;
   lto.per_round_budget = config.per_round_budget;
   lto.budget_schedule = config.lto.budget_schedule;
+  lto.shared_scratch = config.lto.shared_scratch;
   if (config.lto.vcg_externality_payments) {
     lto.payment_rule = core::PaymentRule::kVcgExternality;
   }
@@ -58,8 +59,8 @@ void register_builtins(MechanismRegistry& registry) {
                                lto_config_from(config, /*paced=*/true)),
                            config);
       });
-  registry.add(
-      "lto-vcg-sharded",
+  registry.add_variant(
+      "lto-vcg-sharded", "lto-vcg",
       "LTO-VCG with the multi-threaded sharded WDP engine: identical "
       "allocations and payments to lto-vcg, spans scored/selected in "
       "parallel (lto.shards: 0 = auto, 1 = serial, k = k shards)",
@@ -70,8 +71,26 @@ void register_builtins(MechanismRegistry& registry) {
         return maybe_async(
             std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
       });
-  registry.add(
-      "lto-vcg-async",
+  registry.add_variant(
+      "lto-vcg-dist", "lto-vcg",
+      "LTO-VCG over the distributed WDP coordinator: batch spans ship to "
+      "shard workers through the wire codec and their top-(m+1) survivor "
+      "sets merge exactly, so allocations and payments stay bit-identical "
+      "to lto-vcg for any worker count, reply order, or recovered fault "
+      "(lto.dist_workers: 0 = default 2, k = k loopback workers)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        core::LtoVcgConfig lto = lto_config_from(config, /*paced=*/true);
+        // shards = 0 lets the coordinator derive one span per worker —
+        // reproducible from the configuration alone, unlike hardware auto.
+        lto.shards = config.lto.shards;
+        lto.dist_workers =
+            config.lto.dist_workers == 0 ? 2 : config.lto.dist_workers;
+        lto.name = "lto-vcg-dist";
+        return maybe_async(
+            std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
+      });
+  registry.add_variant(
+      "lto-vcg-async", "lto-vcg",
       "LTO-VCG behind the streamed settlement pipeline: settle() enqueues "
       "onto the shared pool, run_round drains first (flush barrier), so "
       "trajectories stay bit-identical to lto-vcg while queue updates "
@@ -168,13 +187,21 @@ MechanismRegistry& MechanismRegistry::global() {
 
 void MechanismRegistry::add(std::string name, std::string description,
                             Factory factory) {
+  add_variant(std::move(name), /*variant_of=*/"", std::move(description),
+              std::move(factory));
+}
+
+void MechanismRegistry::add_variant(std::string name, std::string variant_of,
+                                    std::string description, Factory factory) {
   require(!name.empty(), "mechanism key must be non-empty");
   require(static_cast<bool>(factory), "mechanism factory must be callable");
   require(find(name) == nullptr,
           "mechanism key already registered: " + name);
+  require(name != variant_of, "a mechanism cannot be its own variant");
   entries_.push_back(Entry{
       .info = MechanismInfo{.name = std::move(name),
-                            .description = std::move(description)},
+                            .description = std::move(description),
+                            .variant_of = std::move(variant_of)},
       .factory = std::move(factory)});
 }
 

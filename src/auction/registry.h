@@ -9,10 +9,12 @@
 // against their headers.
 //
 // Built-in keys (see registry.cpp): lto-vcg, lto-vcg-sharded, lto-vcg-async,
-// lto-vcg-unpaced, myopic-vcg, pay-as-bid, fixed-price, adaptive-price,
-// random-stipend, proportional-share, first-best-oracle, budgeted-oracle.
-// New mechanisms register under a new key; downstream sharding/async work
-// addresses rules by key only.
+// lto-vcg-dist, lto-vcg-unpaced, myopic-vcg, pay-as-bid, fixed-price,
+// adaptive-price, random-stipend, proportional-share, first-best-oracle,
+// budgeted-oracle. New mechanisms register under a new key; downstream
+// sharding/async/distribution work addresses rules by key only. Execution
+// variants (same rule, bit-identical results, different topology) register
+// through add_variant so the property harness covers them automatically.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "auction/mechanism.h"
+#include "auction/round_scratch.h"
 
 namespace sfl::auction {
 
@@ -47,6 +50,18 @@ struct LtoVcgOptions {
   /// k > 1 = exactly k contiguous batch spans. Any shard count produces
   /// identical allocations and payments; only wall time changes.
   std::size_t shards = 0;
+  /// Shard-worker count, consumed by the "lto-vcg-dist" key: the round's
+  /// winner determination runs on the DistributedWdp coordinator over an
+  /// in-process loopback transport with this many workers (0 picks the
+  /// key's default of 2). Bit-identical allocations and payments for any
+  /// worker count; only execution topology changes.
+  std::size_t dist_workers = 0;
+  /// Externally-owned RoundScratch shared across mechanisms (nullptr =
+  /// each mechanism owns a private one). Multi-mechanism comparison runs
+  /// hand every LTO-family mechanism the same warmed scratch so only the
+  /// first one pays the buffer-growth allocations; safe whenever no two
+  /// mechanisms run a round concurrently.
+  sfl::auction::RoundScratch* shared_scratch = nullptr;
   /// Streamed settlement: wrap the built mechanism in the async settlement
   /// pipeline (core::AsyncSettlementMechanism), so settle() enqueues onto
   /// the shared thread pool and every run_round entry point drains the
@@ -104,6 +119,13 @@ struct MechanismConfig {
 struct MechanismInfo {
   std::string name;
   std::string description;
+  /// Non-empty when this key is an execution variant of another key: same
+  /// auction rule, same bit-identical results on every input, different
+  /// execution topology (threads, async settlement, distributed workers).
+  /// The property harness sweeps trajectory equality over every key whose
+  /// variant_of names the same canonical rule — registering a new variant
+  /// here is ALL it takes to be covered (no hand-maintained test list).
+  std::string variant_of;
 };
 
 class MechanismRegistry {
@@ -117,6 +139,12 @@ class MechanismRegistry {
   /// Registers a factory under `name`. Throws std::invalid_argument on a
   /// duplicate key or an empty factory.
   void add(std::string name, std::string description, Factory factory);
+
+  /// Registers an execution variant of `variant_of` (same rule, same
+  /// results, different topology); the property harness's trajectory sweep
+  /// picks it up automatically.
+  void add_variant(std::string name, std::string variant_of,
+                   std::string description, Factory factory);
 
   [[nodiscard]] bool contains(const std::string& name) const noexcept;
 

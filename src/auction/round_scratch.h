@@ -4,10 +4,13 @@
 // The steady-state hot path (score N candidates, select top-m, price the
 // winners) is allocation-free once these vectors have grown to the market's
 // size: each round only clear()s and resize()s within existing capacity.
-// A mechanism owns one RoundScratch per concurrent round; the buffers are
-// NOT thread-safe to share, but the sharded WDP partitions them internally
-// (each shard writes a disjoint span), so one scratch serves a parallel
-// round.
+// One RoundScratch per CONCURRENT round; the buffers are NOT thread-safe
+// to share, but the sharded WDP partitions them internally (each shard
+// writes a disjoint span), so one scratch serves a parallel round. The
+// scratch carries no state BETWEEN rounds, so several mechanisms whose
+// rounds never overlap may share one warmed scratch
+// (LtoVcgConfig.shared_scratch; bench::ScratchPool leases per-lane
+// scratches to multi-mechanism comparison runs).
 #pragma once
 
 #include <algorithm>

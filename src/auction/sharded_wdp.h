@@ -34,6 +34,7 @@
 #include "auction/candidate_batch.h"
 #include "auction/round_scratch.h"
 #include "auction/types.h"
+#include "auction/wdp_engine.h"
 #include "util/thread_pool.h"
 
 namespace sfl::auction {
@@ -47,7 +48,7 @@ struct ShardedWdpConfig {
   std::size_t shards = 0;
 };
 
-class ShardedWdp {
+class ShardedWdp final : public WdpEngine {
  public:
   /// `pool` may be null: rounds that actually run more than one shard then
   /// execute on util::shared_pool() (resolved at the call site, so a
@@ -70,24 +71,23 @@ class ShardedWdp {
                                  const ScoreWeights& weights,
                                  std::size_t max_winners,
                                  const Penalties& penalties,
-                                 RoundScratch& scratch) const;
+                                 RoundScratch& scratch) const override;
 
   /// Critical-value payments for scratch.allocation, written into
   /// scratch.payments (also returned). Requires select_top_m to have run on
   /// the same scratch/batch/weights/penalties — the merged survivor order
   /// and scores are reused, so no O(n) re-scan happens.
-  const std::vector<double>& critical_payments(const CandidateBatch& batch,
-                                               const ScoreWeights& weights,
-                                               std::size_t max_winners,
-                                               const Penalties& penalties,
-                                               RoundScratch& scratch) const;
+  const std::vector<double>& critical_payments(
+      const CandidateBatch& batch, const ScoreWeights& weights,
+      std::size_t max_winners, const Penalties& penalties,
+      RoundScratch& scratch) const override;
 
   /// One full round: select + price. Equivalent to calling the two methods
   /// above in sequence; allocation lands in scratch.allocation, payments in
   /// scratch.payments. Zero heap allocations at steady state.
   void run_round(const CandidateBatch& batch, const ScoreWeights& weights,
                  std::size_t max_winners, const Penalties& penalties,
-                 RoundScratch& scratch) const;
+                 RoundScratch& scratch) const override;
 
  private:
   ShardedWdpConfig config_;

@@ -1,0 +1,61 @@
+// WdpEngine: the winner-determination + payment engine contract.
+//
+// One auction round is "score the slate, select the exact top-m, price the
+// winners at their critical values" against a caller-owned RoundScratch.
+// The serial/multi-threaded ShardedWdp and the multi-process DistributedWdp
+// (src/dist) both implement this interface, and LongTermOnlineVcgMechanism
+// addresses whichever engine its config selects through it — so execution
+// topology (inline, thread-sharded, networked shard workers) is invisible
+// to the mechanism layer.
+//
+// Exactness contract shared by every implementation: for the same
+// (batch, weights, max_winners, penalties) inputs, allocation and payments
+// are bit-identical to the serial select_top_m + critical_payments pair.
+// Implementations may differ only in wall time and failure modes.
+//
+// Methods are const: an engine is logically immutable configuration; all
+// per-round state lives in the caller's RoundScratch (implementations with
+// internal transport sequencing use mutable members and document their
+// re-entrancy limits).
+#pragma once
+
+#include <vector>
+
+#include "auction/candidate_batch.h"
+#include "auction/round_scratch.h"
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+class WdpEngine {
+ public:
+  virtual ~WdpEngine() = default;
+
+  /// Scores the batch into scratch.scores and writes the exact top-m
+  /// allocation into scratch.allocation (also returned).
+  virtual const Allocation& select_top_m(const CandidateBatch& batch,
+                                         const ScoreWeights& weights,
+                                         std::size_t max_winners,
+                                         const Penalties& penalties,
+                                         RoundScratch& scratch) const = 0;
+
+  /// Critical-value payments for scratch.allocation, written into
+  /// scratch.payments (also returned). Requires select_top_m to have run on
+  /// the same scratch/batch/weights/penalties.
+  virtual const std::vector<double>& critical_payments(
+      const CandidateBatch& batch, const ScoreWeights& weights,
+      std::size_t max_winners, const Penalties& penalties,
+      RoundScratch& scratch) const = 0;
+
+  /// One full round: select + price. Default delegates to the two-phase
+  /// methods above.
+  virtual void run_round(const CandidateBatch& batch,
+                         const ScoreWeights& weights, std::size_t max_winners,
+                         const Penalties& penalties,
+                         RoundScratch& scratch) const {
+    select_top_m(batch, weights, max_winners, penalties, scratch);
+    critical_payments(batch, weights, max_winners, penalties, scratch);
+  }
+};
+
+}  // namespace sfl::auction

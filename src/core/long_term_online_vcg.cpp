@@ -1,7 +1,9 @@
 #include "core/long_term_online_vcg.h"
 
 #include "auction/payments.h"
+#include "auction/sharded_wdp.h"
 #include "auction/winner_determination.h"
+#include "dist/distributed_wdp.h"
 #include "util/require.h"
 
 namespace sfl::core {
@@ -15,14 +17,22 @@ using sfl::auction::RoundContext;
 using sfl::auction::RoundObservation;
 using sfl::auction::RoundSettlement;
 using sfl::auction::ScoreWeights;
+using sfl::auction::RoundScratch;
+using sfl::auction::ShardedWdp;
 using sfl::auction::ShardedWdpConfig;
 using sfl::auction::WinnerSettlement;
 using sfl::util::require;
 
 LongTermOnlineVcgMechanism::LongTermOnlineVcgMechanism(const LtoVcgConfig& config)
-    : config_(config),
-      budget_queue_(config.per_round_budget),
-      wdp_(ShardedWdpConfig{.shards = config.shards}) {
+    : config_(config), budget_queue_(config.per_round_budget) {
+  if (config.dist_workers > 0) {
+    wdp_ = std::make_unique<sfl::dist::DistributedWdp>(
+        sfl::dist::DistributedWdpConfig{.shards = config.shards,
+                                        .workers = config.dist_workers});
+  } else {
+    wdp_ = std::make_unique<ShardedWdp>(
+        ShardedWdpConfig{.shards = config.shards});
+  }
   require(config.v_weight > 0.0, "V weight must be > 0");
   require(config.per_round_budget > 0.0, "per-round budget must be > 0");
   if (!config.energy_rates.empty()) {
@@ -50,7 +60,7 @@ double LongTermOnlineVcgMechanism::sustainability_backlog(
 void LongTermOnlineVcgMechanism::penalties_into(
     std::span<const sfl::auction::ClientId> ids,
     std::span<const double> energy_costs) {
-  Penalties& penalties = scratch_.penalties;
+  Penalties& penalties = scratch().penalties;
   penalties.clear();
   if (!sustainability_queues_.has_value()) return;
   penalties.reserve(ids.size());
@@ -89,23 +99,26 @@ void LongTermOnlineVcgMechanism::run_round_into(const CandidateBatch& batch,
     // The steady-state hot path: one engine round against the reusable
     // scratch — slate validated once, selection and payments share the
     // merged order, nothing allocates after warm-up.
-    wdp_.run_round(batch, weights, context.max_winners, scratch_.penalties,
-                   scratch_);
-    fill_result(batch, scratch_.allocation, scratch_.payments, out);
+    RoundScratch& round_scratch = scratch();
+    wdp_->run_round(batch, weights, context.max_winners,
+                    round_scratch.penalties, round_scratch);
+    fill_result(batch, round_scratch.allocation, round_scratch.payments, out);
     return;
   }
 
   // The externality rule re-solves the WDP per winner; it is the E12
   // ablation path, so the AoS materialization cost is acceptable.
-  const Allocation& allocation = wdp_.select_top_m(
-      batch, weights, context.max_winners, scratch_.penalties, scratch_);
+  RoundScratch& round_scratch = scratch();
+  const Allocation& allocation =
+      wdp_->select_top_m(batch, weights, context.max_winners,
+                         round_scratch.penalties, round_scratch);
   const std::vector<double> payments = sfl::auction::vcg_payments(
       batch.to_aos(), weights, context.max_winners, allocation,
       [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
          std::size_t m, const Penalties& p) {
         return sfl::auction::select_top_m(reduced, w, m, p);
       },
-      scratch_.penalties);
+      round_scratch.penalties);
   fill_result(batch, allocation, payments, out);
 }
 

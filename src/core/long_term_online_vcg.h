@@ -18,12 +18,15 @@
 //      winner (dropped or not): selection is what the drift bound and the
 //      pacing constraint are written on.
 //
-// Steps 1-3 run on the ShardedWdp engine against a mechanism-owned
-// RoundScratch: `shards` contiguous spans of the CandidateBatch are scored
-// and locally selected in parallel on the shared thread pool, then merged
+// Steps 1-3 run on a WdpEngine against a (mechanism-owned or shared)
+// RoundScratch: the in-process ShardedWdp scores `shards` contiguous spans
+// of the CandidateBatch in parallel on the shared thread pool and merges
 // exactly (shards = 1 is the serial path, bit-identical to the span
-// solvers). Steady-state rounds through run_round_into perform zero heap
-// allocations after warm-up.
+// solvers); with `dist_workers` > 0 the DistributedWdp coordinator ships
+// the same spans to shard workers over a ShardTransport instead — every
+// engine produces bit-identical allocations and payments. Steady-state
+// rounds through run_round_into perform zero heap allocations after
+// warm-up on the in-process engines.
 //
 // Lyapunov guarantees (verified empirically in E6): time-average welfare
 // within O(1/V) of the constrained optimum, queue backlog (and hence budget
@@ -37,7 +40,7 @@
 
 #include "auction/mechanism.h"
 #include "auction/round_scratch.h"
-#include "auction/sharded_wdp.h"
+#include "auction/wdp_engine.h"
 #include "lyapunov/virtual_queue.h"
 
 namespace sfl::core {
@@ -67,10 +70,23 @@ struct LtoVcgConfig {
   /// uses the constant per_round_budget.
   std::vector<double> budget_schedule{};
   /// WDP shard count: 1 = serial (default), 0 = auto (hardware
-  /// concurrency), k > 1 = exactly k contiguous batch spans. Every shard
-  /// count produces bit-identical allocations and payments; sharding only
-  /// changes wall time.
+  /// concurrency for the in-process engine, the worker count for the
+  /// distributed one), k > 1 = exactly k contiguous batch spans. Every
+  /// shard count produces bit-identical allocations and payments; sharding
+  /// only changes wall time.
   std::size_t shards = 1;
+  /// Distributed WDP: > 0 routes winner determination through the
+  /// DistributedWdp coordinator (src/dist) over an in-process loopback
+  /// transport with this many shard workers — requests and survivor sets
+  /// cross the real wire codec, results stay bit-identical to the
+  /// in-process engines. 0 keeps the ShardedWdp engine.
+  std::size_t dist_workers = 0;
+  /// Externally-owned round scratch shared across mechanisms (nullptr =
+  /// the mechanism owns a private one). Sharing is safe for mechanisms
+  /// whose rounds never run concurrently — the scratch carries no state
+  /// between rounds; multi-mechanism comparison runs use one warmed
+  /// scratch for the whole roster to skip per-mechanism growth.
+  sfl::auction::RoundScratch* shared_scratch = nullptr;
   /// Registry key this instance was built under (reported by name()).
   std::string name = "lto-vcg";
 };
@@ -154,10 +170,17 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   sfl::lyapunov::VirtualQueue budget_queue_;
   std::optional<sfl::lyapunov::QueueBank> sustainability_queues_;
 
-  /// The WDP + payment engine and its reusable per-round buffers. One
-  /// scratch per mechanism: run_round is not re-entrant (it never was —
-  /// queue state already serializes rounds).
-  sfl::auction::ShardedWdp wdp_;
+  /// The per-round buffers: the configured shared scratch, or the private
+  /// one. One scratch per mechanism round: run_round is not re-entrant (it
+  /// never was — queue state already serializes rounds).
+  [[nodiscard]] sfl::auction::RoundScratch& scratch() noexcept {
+    return config_.shared_scratch != nullptr ? *config_.shared_scratch
+                                             : scratch_;
+  }
+
+  /// The WDP + payment engine: ShardedWdp in-process, DistributedWdp when
+  /// config.dist_workers > 0 (selected once at construction).
+  std::unique_ptr<sfl::auction::WdpEngine> wdp_;
   sfl::auction::RoundScratch scratch_;
   /// Reused Z-queue arrival accumulator (settle() stays allocation-free).
   std::vector<double> settle_arrivals_;

@@ -1,0 +1,260 @@
+#include "dist/distributed_wdp.h"
+
+#include <algorithm>
+#include <string>
+
+#include "auction/sharded_wdp.h"
+#include "dist/loopback_transport.h"
+#include "dist/shard_worker.h"
+#include "util/config.h"
+#include "util/require.h"
+#include "util/thread_pool.h"
+
+namespace sfl::dist {
+
+using sfl::auction::Allocation;
+using sfl::auction::CandidateBatch;
+using sfl::auction::Penalties;
+using sfl::auction::RoundScratch;
+using sfl::auction::ScoreWeights;
+using sfl::util::require;
+
+DistributedWdp::DistributedWdp(DistributedWdpConfig config,
+                               std::unique_ptr<ShardTransport> transport)
+    : config_(config),
+      transport_(transport != nullptr
+                     ? std::move(transport)
+                     : std::make_unique<LoopbackTransport>(
+                           std::max<std::size_t>(config.workers, 1))),
+      pricer_(std::make_unique<sfl::auction::ShardedWdp>(
+          sfl::auction::ShardedWdpConfig{.shards = 1})) {
+  require(config_.max_attempts_per_shard >= 1,
+          "need at least one dispatch attempt per shard");
+  worker_dead_.assign(transport_->worker_count(), false);
+}
+
+DistributedWdp::~DistributedWdp() = default;
+
+std::size_t DistributedWdp::effective_shards(std::size_t n) const {
+  if (n <= 1) return 1;
+  // Default = the transport's worker count: a function of the deployment
+  // configuration, never of the coordinator's core count.
+  const std::size_t shards =
+      config_.shards != 0 ? config_.shards : transport_->worker_count();
+  return std::min(std::max<std::size_t>(shards, 1), n);
+}
+
+void DistributedWdp::fill_request(const CandidateBatch& batch,
+                                  const ScoreWeights& weights,
+                                  std::size_t max_winners,
+                                  const Penalties& penalties, std::size_t n,
+                                  std::size_t shards,
+                                  std::size_t shard) const {
+  const auto [begin, end] =
+      sfl::util::ThreadPool::chunk_range(n, shards, shard);
+  request_.round = round_seq_;
+  request_.shard = static_cast<std::uint32_t>(shard);
+  request_.shard_count = static_cast<std::uint32_t>(shards);
+  request_.begin = begin;
+  request_.max_winners = max_winners;
+  request_.weights = weights;
+  const std::span<const sfl::auction::ClientId> ids = batch.ids();
+  const std::span<const double> values = batch.values();
+  const std::span<const double> bids = batch.bids();
+  request_.ids.assign(ids.begin() + begin, ids.begin() + end);
+  request_.values.assign(values.begin() + begin, values.begin() + end);
+  request_.bids.assign(bids.begin() + begin, bids.begin() + end);
+  if (penalties.empty()) {
+    request_.penalties.clear();
+  } else {
+    request_.penalties.assign(penalties.begin() + begin,
+                              penalties.begin() + end);
+  }
+}
+
+bool DistributedWdp::dispatch(std::size_t shard) const {
+  const std::size_t workers = transport_->worker_count();
+  encode(request_, frame_);
+  // First attempt starts at the shard's home worker; every retry starts
+  // one worker further, so a live-but-unresponsive worker (send succeeds,
+  // replies lost) cannot absorb all of a shard's attempts — re-dispatch
+  // really does reach the NEXT live worker. Known-dead workers are
+  // skipped; a send() that throws marks its worker dead and moves on.
+  const std::size_t start = shard + (attempts_[shard] - 1);
+  for (std::size_t offset = 0; offset < workers; ++offset) {
+    const std::size_t worker = (start + offset) % workers;
+    if (worker_dead_[worker]) continue;
+    try {
+      transport_->send(worker, frame_);
+      ++stats_.dispatches;
+      return true;
+    } catch (const TransportError&) {
+      worker_dead_[worker] = true;
+      ++stats_.dead_workers;
+    }
+  }
+  return false;
+}
+
+void DistributedWdp::recompute_locally(const CandidateBatch& batch,
+                                       const ScoreWeights& weights,
+                                       std::size_t max_winners,
+                                       const Penalties& penalties,
+                                       std::size_t n, std::size_t shards,
+                                       std::size_t shard,
+                                       RoundScratch& scratch) const {
+  // Exact worker math on the exact request content — a recovered span is
+  // indistinguishable from a delivered one.
+  fill_request(batch, weights, max_winners, penalties, n, shards, shard);
+  compute_survivors(request_, reply_);
+  for (const SurvivorEntry& entry : reply_.survivors) {
+    scratch.scores[entry.index] = entry.score;
+    scratch.survivors.push_back(static_cast<std::size_t>(entry.index));
+  }
+  shard_done_[shard] = true;
+  --remaining_;
+  ++stats_.local_recomputes;
+}
+
+void DistributedWdp::accept_reply(std::size_t n, std::size_t shards,
+                                  std::size_t max_winners,
+                                  RoundScratch& scratch) const {
+  try {
+    decode(frame_, reply_);
+  } catch (const WireError&) {
+    ++stats_.rejected_replies;  // corrupt frame: never accepted
+    return;
+  }
+  // Stale rounds and already-satisfied shards (duplicates, replies racing a
+  // re-dispatch or a local recompute) are dropped, not errors.
+  if (reply_.round != round_seq_ || reply_.shard >= shards ||
+      shard_done_[reply_.shard]) {
+    ++stats_.ignored_replies;
+    return;
+  }
+  // The reply must describe exactly the span the coordinator dispatched,
+  // with exactly the survivor count the worker math produces — anything
+  // else is a corrupt-but-checksummed or byzantine frame and is rejected
+  // (the recovery path re-covers the shard).
+  const auto [begin, end] =
+      sfl::util::ThreadPool::chunk_range(n, shards, reply_.shard);
+  const std::size_t span = end - begin;
+  const std::size_t local_cap = std::min(max_winners + 1, n);
+  const std::size_t expected = std::min(local_cap, span);
+  if (reply_.shard_count != shards || reply_.begin != begin ||
+      reply_.count != span || reply_.survivors.size() != expected) {
+    ++stats_.rejected_replies;
+    return;
+  }
+  for (const SurvivorEntry& entry : reply_.survivors) {
+    scratch.scores[entry.index] = entry.score;
+    scratch.survivors.push_back(static_cast<std::size_t>(entry.index));
+  }
+  shard_done_[reply_.shard] = true;
+  --remaining_;
+}
+
+const Allocation& DistributedWdp::select_top_m(
+    const CandidateBatch& batch, const ScoreWeights& weights,
+    std::size_t max_winners, const Penalties& penalties,
+    RoundScratch& scratch) const {
+  // Same preconditions as the in-process engines.
+  require(weights.bid_weight > 0.0,
+          "bid weight must be > 0 (otherwise bids do not matter)");
+  require(weights.value_weight >= 0.0, "value weight must be >= 0");
+  require(penalties.empty() || penalties.size() == batch.size(),
+          "penalties must be empty or one per candidate");
+  if (sfl::util::validate_mode_enabled()) validate_batch(batch);
+
+  Allocation& allocation = scratch.allocation;
+  allocation.selected.clear();
+  allocation.total_score = 0.0;
+  scratch.survivors.clear();
+  scratch.order.clear();
+  const std::size_t n = batch.size();
+  if (n == 0) {
+    scratch.scores.clear();
+    return allocation;
+  }
+
+  scratch.scores.resize(n);
+  const std::size_t shards = effective_shards(n);
+  ++round_seq_;
+  stats_ = RoundStats{};
+  shard_done_.assign(shards, false);
+  attempts_.assign(shards, 0);
+  remaining_ = shards;
+
+  const auto recover = [&](std::size_t shard) {
+    if (!config_.allow_local_fallback) {
+      throw DistributedWdpError(
+          "distributed WDP: shard " + std::to_string(shard) + " lost after " +
+          std::to_string(attempts_[shard]) +
+          " dispatch attempts and local fallback is disabled");
+    }
+    recompute_locally(batch, weights, max_winners, penalties, n, shards,
+                      shard, scratch);
+  };
+
+  // Dispatch phase: one request per shard.
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    attempts_[shard] = 1;
+    fill_request(batch, weights, max_winners, penalties, n, shards, shard);
+    if (!dispatch(shard)) recover(shard);
+  }
+
+  // Collect + recovery loop. Terminates: every timeout pass either resolves
+  // a shard locally or increments its bounded attempt count.
+  while (remaining_ > 0) {
+    if (transport_->receive(frame_, config_.receive_timeout)) {
+      accept_reply(n, shards, max_winners, scratch);
+      continue;
+    }
+    for (std::size_t shard = 0; shard < shards && remaining_ > 0; ++shard) {
+      if (shard_done_[shard]) continue;
+      if (attempts_[shard] >= config_.max_attempts_per_shard) {
+        recover(shard);
+        continue;
+      }
+      ++attempts_[shard];
+      ++stats_.redispatches;
+      fill_request(batch, weights, max_winners, penalties, n, shards, shard);
+      if (!dispatch(shard)) recover(shard);
+    }
+  }
+
+  // Merge: identical to ShardedWdp — the survivor multiset is the same for
+  // any routing/fault history, and the strict total order makes the sorted
+  // sequence (hence allocation and threshold) a pure function of the batch.
+  double* const scores = scratch.scores.data();
+  const std::span<const sfl::auction::ClientId> ids = batch.ids();
+  const auto better = [scores, ids](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (ids[a] != ids[b]) return ids[a] < ids[b];
+    return a < b;
+  };
+  std::sort(scratch.survivors.begin(), scratch.survivors.end(), better);
+
+  const std::size_t prefix = std::min(max_winners, scratch.survivors.size());
+  for (std::size_t k = 0; k < prefix; ++k) {
+    const std::size_t index = scratch.survivors[k];
+    if (scores[index] <= 0.0) break;  // merged order; the rest are <= 0 too
+    allocation.selected.push_back(index);
+    allocation.total_score += scores[index];
+  }
+  std::sort(allocation.selected.begin(), allocation.selected.end());
+  return allocation;
+}
+
+const std::vector<double>& DistributedWdp::critical_payments(
+    const CandidateBatch& batch, const ScoreWeights& weights,
+    std::size_t max_winners, const Penalties& penalties,
+    RoundScratch& scratch) const {
+  // The merged survivor order in the scratch answers the threshold scan the
+  // same way it does for the thread-sharded engine; the pricing arithmetic
+  // lives in exactly one place.
+  return pricer_->critical_payments(batch, weights, max_winners, penalties,
+                                    scratch);
+}
+
+}  // namespace sfl::dist

@@ -1,0 +1,173 @@
+// DistributedWdp: the winner-determination engine distributed over a
+// ShardTransport.
+//
+// The PR-2 select-then-merge decomposition made the merge step consume only
+// per-shard top-(m+1) survivor sets — a natural network boundary. This
+// engine moves that boundary across the transport: the coordinator splits
+// the CandidateBatch into `shards` contiguous spans with the same stable
+// chunk layout as ShardedWdp, ships each span to a shard worker as a
+// ShardRequest, collects ShardReply survivor sets, and merges them under
+// the exact serial total order. Workers compute with the same score()
+// expression and nth_element selection as the in-process engine, and
+// doubles cross the wire as IEEE bit patterns, so allocations and critical
+// payments are BIT-IDENTICAL to the serial path for any shard count, any
+// worker count, and any reply arrival order.
+//
+// Coordinator state machine per round:
+//   dispatch   — every shard is encoded and sent to a worker (round-robin
+//                by shard index, skipping known-dead workers);
+//   collect    — replies are decoded, validated (codec checksum + span and
+//                survivor-count checks against the dispatch), deduplicated
+//                by shard id, and stale-round frames dropped;
+//   recover    — a receive timeout re-dispatches every missing shard to the
+//                next live worker; after max_attempts_per_shard dispatches
+//                (or with no live worker left) the span is recomputed
+//                locally with the same worker math — or, when local
+//                fallback is disabled, the round fails with the typed
+//                DistributedWdpError;
+//   merge      — identical to ShardedWdp: survivors sorted under (score
+//                desc, ClientId asc, index asc), top-m positive prefix,
+//                threshold payment off the merged order.
+//
+// Determinism: the RESULT is a pure function of the batch and the shard
+// count — faults, reply order, and worker routing only affect wall time
+// and the stats counters. effective_shards defaults to the transport's
+// worker count (never hardware concurrency), so a distributed deployment's
+// allocation is reproducible on any coordinator host.
+//
+// Unlike ShardedWdp, one engine instance must NOT run concurrent rounds:
+// the transport and the reusable codec buffers are single-coordinator
+// state (mutable members behind the const WdpEngine interface).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "auction/wdp_engine.h"
+#include "dist/shard_transport.h"
+
+namespace sfl::auction {
+class ShardedWdp;
+}  // namespace sfl::auction
+
+namespace sfl::dist {
+
+/// A round could not be completed: shards were lost and local recomputation
+/// was disabled. The engine is reusable after catching this (the next
+/// round's sequence number invalidates every stale frame).
+class DistributedWdpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct DistributedWdpConfig {
+  /// Contiguous batch spans (= work units). 0 = one per transport worker —
+  /// a pure function of the configuration, never of the coordinator's
+  /// hardware, so distributed results are reproducible anywhere. Any value
+  /// produces bit-identical allocations and payments.
+  std::size_t shards = 0;
+  /// Loopback worker count when the engine builds its own transport
+  /// (constructor called without one).
+  std::size_t workers = 2;
+  /// How long one collect wait may block before the recovery step runs.
+  /// LoopbackTransport simulates timeouts (returns immediately when no
+  /// reply is deliverable), so tests never sleep.
+  std::chrono::milliseconds receive_timeout{200};
+  /// Dispatch attempts per shard before the span falls back to local
+  /// recomputation (or the round fails when fallback is disabled).
+  std::size_t max_attempts_per_shard = 3;
+  /// Recompute lost spans on the coordinator with the same worker math.
+  /// Disabling turns unrecoverable shard loss into DistributedWdpError.
+  bool allow_local_fallback = true;
+};
+
+class DistributedWdp final : public sfl::auction::WdpEngine {
+ public:
+  /// Counters for tests and diagnostics; reset at every select_top_m.
+  struct RoundStats {
+    std::size_t dispatches = 0;        ///< requests handed to the transport
+    std::size_t redispatches = 0;      ///< of which were retries
+    std::size_t local_recomputes = 0;  ///< spans recovered on the coordinator
+    std::size_t ignored_replies = 0;   ///< stale round / duplicate shard
+    std::size_t rejected_replies = 0;  ///< corrupt or inconsistent frames
+    std::size_t dead_workers = 0;      ///< workers marked dead this round
+  };
+
+  /// Builds the engine over `transport`; a null transport gets an
+  /// in-process LoopbackTransport with config.workers real codec workers.
+  explicit DistributedWdp(DistributedWdpConfig config = {},
+                          std::unique_ptr<ShardTransport> transport = nullptr);
+  ~DistributedWdp() override;
+
+  /// Shard count a round over n candidates uses (>= 1; n = 0 reports 1).
+  [[nodiscard]] std::size_t effective_shards(std::size_t n) const;
+
+  [[nodiscard]] const DistributedWdpConfig& config() const noexcept {
+    return config_;
+  }
+  /// The transport (for fault-injection scripting in tests).
+  [[nodiscard]] ShardTransport& transport() noexcept { return *transport_; }
+  [[nodiscard]] const RoundStats& last_round_stats() const noexcept {
+    return stats_;
+  }
+
+  const sfl::auction::Allocation& select_top_m(
+      const sfl::auction::CandidateBatch& batch,
+      const sfl::auction::ScoreWeights& weights, std::size_t max_winners,
+      const sfl::auction::Penalties& penalties,
+      sfl::auction::RoundScratch& scratch) const override;
+
+  const std::vector<double>& critical_payments(
+      const sfl::auction::CandidateBatch& batch,
+      const sfl::auction::ScoreWeights& weights, std::size_t max_winners,
+      const sfl::auction::Penalties& penalties,
+      sfl::auction::RoundScratch& scratch) const override;
+
+ private:
+  /// Fills request_ with shard `shard`'s span of the batch.
+  void fill_request(const sfl::auction::CandidateBatch& batch,
+                    const sfl::auction::ScoreWeights& weights,
+                    std::size_t max_winners,
+                    const sfl::auction::Penalties& penalties, std::size_t n,
+                    std::size_t shards, std::size_t shard) const;
+  /// Encodes request_ and sends it to a live worker (round-robin from the
+  /// shard's preferred worker). Returns false when no live worker accepted.
+  bool dispatch(std::size_t shard) const;
+  /// Recomputes shard `shard` on the coordinator with the worker math and
+  /// accepts the resulting survivors.
+  void recompute_locally(const sfl::auction::CandidateBatch& batch,
+                         const sfl::auction::ScoreWeights& weights,
+                         std::size_t max_winners,
+                         const sfl::auction::Penalties& penalties,
+                         std::size_t n, std::size_t shards, std::size_t shard,
+                         sfl::auction::RoundScratch& scratch) const;
+  /// Validates reply_ against the dispatch parameters and, if it is the
+  /// first valid reply for its shard, accepts its survivors into scratch.
+  void accept_reply(std::size_t n, std::size_t shards,
+                    std::size_t max_winners,
+                    sfl::auction::RoundScratch& scratch) const;
+
+  DistributedWdpConfig config_;
+  std::unique_ptr<ShardTransport> transport_;
+  /// Serial engine reused for the payment step (the merged order already
+  /// answers the threshold scan) — keeps the pricing arithmetic in exactly
+  /// one place.
+  std::unique_ptr<sfl::auction::ShardedWdp> pricer_;
+
+  // Single-coordinator round state behind the const engine interface (see
+  // file comment: one instance, one round at a time).
+  mutable std::uint64_t round_seq_ = 0;
+  mutable ShardRequest request_;
+  mutable ShardReply reply_;
+  mutable Frame frame_;
+  mutable std::vector<bool> shard_done_;
+  mutable std::vector<std::size_t> attempts_;
+  mutable std::vector<bool> worker_dead_;
+  mutable std::size_t remaining_ = 0;
+  mutable RoundStats stats_;
+};
+
+}  // namespace sfl::dist

@@ -1,0 +1,121 @@
+#include "dist/loopback_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dist/shard_worker.h"
+#include "util/require.h"
+
+namespace sfl::dist {
+
+LoopbackTransport::LoopbackTransport(std::size_t workers, Handler handler)
+    : workers_(workers),
+      handler_(handler ? std::move(handler)
+                       : [](const Frame& f) { return serve_frame(f); }),
+      alive_(workers, true),
+      die_on_next_request_(workers, false),
+      muted_(workers, false) {
+  sfl::util::require(workers > 0, "loopback transport needs >= 1 worker");
+}
+
+void LoopbackTransport::send(std::size_t worker, const Frame& frame) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  if (!alive_[worker]) {
+    throw TransportError(worker, "loopback worker is dead");
+  }
+  if (die_on_next_request_[worker]) {
+    // Died mid-round: the request is accepted (the coordinator sees a
+    // successful send) but the handler never runs, no reply will ever
+    // come, and the worker is unreachable from now on.
+    die_on_next_request_[worker] = false;
+    alive_[worker] = false;
+    return;
+  }
+
+  if (muted_[worker]) return;  // request accepted, reply path severed
+
+  Frame reply = handler_(frame);
+  ++served_requests_;
+
+  if (drop_next_ > 0) {
+    --drop_next_;
+    return;
+  }
+  if (corrupt_armed_ && !reply.empty()) {
+    corrupt_armed_ = false;
+    const std::size_t index = corrupt_byte_ % reply.size();
+    reply[index] ^= static_cast<std::byte>(corrupt_mask_);
+  }
+
+  Pending pending{.frame = std::move(reply),
+                  .from_worker = worker,
+                  .ready_after = delay_next_};
+  delay_next_ = 0;
+  if (duplicate_next_) {
+    duplicate_next_ = false;
+    queue_.push_back(pending);  // copy: the duplicate
+  }
+  queue_.push_back(std::move(pending));
+}
+
+bool LoopbackTransport::receive(Frame& frame, std::chrono::milliseconds) {
+  // One receive call = one unit of simulated time: age delayed entries.
+  for (Pending& pending : queue_) {
+    if (pending.ready_after > 0) --pending.ready_after;
+  }
+  const auto deliverable = [](const Pending& p) { return p.ready_after == 0; };
+  if (lifo_) {
+    const auto it = std::find_if(queue_.rbegin(), queue_.rend(), deliverable);
+    if (it == queue_.rend()) return false;
+    frame = std::move(it->frame);
+    queue_.erase(std::next(it).base());
+    return true;
+  }
+  const auto it = std::find_if(queue_.begin(), queue_.end(), deliverable);
+  if (it == queue_.end()) return false;
+  frame = std::move(it->frame);
+  queue_.erase(it);
+  return true;
+}
+
+void LoopbackTransport::kill_worker(std::size_t worker) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  alive_[worker] = false;
+  // In-flight replies from the dead worker die with its link.
+  std::erase_if(queue_,
+                [worker](const Pending& p) { return p.from_worker == worker; });
+}
+
+void LoopbackTransport::kill_worker_after_request(std::size_t worker) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  die_on_next_request_[worker] = true;
+}
+
+void LoopbackTransport::mute_worker(std::size_t worker) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  muted_[worker] = true;
+}
+
+void LoopbackTransport::corrupt_next_reply(std::size_t byte_index,
+                                           unsigned char xor_mask) {
+  corrupt_armed_ = true;
+  corrupt_byte_ = byte_index;
+  corrupt_mask_ = xor_mask == 0 ? 0xFF : xor_mask;
+}
+
+void LoopbackTransport::clear_faults() {
+  drop_next_ = 0;
+  duplicate_next_ = false;
+  delay_next_ = 0;
+  corrupt_armed_ = false;
+  lifo_ = false;
+  std::fill(die_on_next_request_.begin(), die_on_next_request_.end(), false);
+  std::fill(muted_.begin(), muted_.end(), false);
+}
+
+bool LoopbackTransport::worker_alive(std::size_t worker) const {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  return alive_[worker];
+}
+
+}  // namespace sfl::dist

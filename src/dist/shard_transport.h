@@ -1,0 +1,64 @@
+// ShardTransport: the process/host boundary of the distributed WDP.
+//
+// A transport moves framed protocol messages (see wire_codec.h) between one
+// coordinator and `worker_count()` shard workers. The coordinator is the
+// only caller; workers live behind the transport (in-process handlers for
+// LoopbackTransport, socket peers for TcpTransport).
+//
+// Contract the DistributedWdp coordinator is written against:
+//  - send() delivers one frame toward a worker, or throws TransportError if
+//    the worker is known-dead/unreachable. Delivery is NOT guaranteed: a
+//    sent request may produce no reply (lost frame, worker died mid-round).
+//  - receive() yields the next available reply frame from ANY worker, or
+//    returns false after `timeout` with nothing delivered. Replies may
+//    arrive out of order, duplicated, from stale rounds, or corrupted —
+//    the coordinator validates and deduplicates; the transport only moves
+//    bytes.
+//  - Neither call is required to be thread-safe; one coordinator drives a
+//    transport from one thread at a time.
+//
+// Because the coordinator tolerates loss, duplication, reordering, and
+// corruption, any implementation that moves most frames most of the time is
+// a correct transport — the determinism of the auction result comes from
+// the merge invariant plus validation, never from transport guarantees.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "dist/wire_codec.h"
+
+namespace sfl::dist {
+
+/// A worker is unreachable (dead handler, closed socket, refused
+/// connection). The coordinator marks the worker dead and re-routes.
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(std::size_t worker, const std::string& message)
+      : std::runtime_error("worker " + std::to_string(worker) + ": " + message),
+        worker_(worker) {}
+
+  [[nodiscard]] std::size_t worker() const noexcept { return worker_; }
+
+ private:
+  std::size_t worker_;
+};
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  [[nodiscard]] virtual std::size_t worker_count() const noexcept = 0;
+
+  /// Hands one frame toward `worker`. Throws TransportError when the worker
+  /// is unreachable; successful return does NOT guarantee a reply.
+  virtual void send(std::size_t worker, const Frame& frame) = 0;
+
+  /// Moves the next available reply (any worker) into `frame` and returns
+  /// true, or returns false once `timeout` elapses with nothing to deliver.
+  virtual bool receive(Frame& frame, std::chrono::milliseconds timeout) = 0;
+};
+
+}  // namespace sfl::dist

@@ -1,0 +1,67 @@
+#include "dist/shard_worker.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::dist {
+
+void compute_survivors(const ShardRequest& request, ShardReply& reply) {
+  const std::size_t span = request.span();
+  reply.round = request.round;
+  reply.shard = request.shard;
+  reply.shard_count = request.shard_count;
+  reply.begin = request.begin;
+  reply.count = span;
+  reply.survivors.clear();
+  if (span == 0) return;
+
+  // Same scoring expression and selection math as the shard step inside
+  // ShardedWdp::select_top_m — the coordinator's merge is only exact if
+  // these doubles are bit-identical to what the serial engine computes.
+  std::vector<double> scores(span);
+  for (std::size_t i = 0; i < span; ++i) {
+    const double penalty =
+        request.penalties.empty() ? 0.0 : request.penalties[i];
+    scores[i] = sfl::auction::score(request.values[i], request.bids[i],
+                                    request.weights, penalty);
+  }
+
+  std::vector<std::size_t> order(span);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Serial total order on local indices: global index = begin + local, so
+  // the local index tie-break IS the global index tie-break.
+  const auto better = [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (request.ids[a] != request.ids[b]) return request.ids[a] < request.ids[b];
+    return a < b;
+  };
+
+  // min(m+1, span) mirrors ShardedWdp's keep = min(min(m+1, n), span)
+  // because span <= n; the +1 slot carries the payment threshold.
+  const std::size_t keep = std::min(
+      static_cast<std::size_t>(request.max_winners) + 1, span);
+  if (keep < span) {
+    std::nth_element(order.begin(), order.begin() + keep, order.end(), better);
+  }
+  reply.survivors.reserve(keep);
+  for (std::size_t k = 0; k < keep; ++k) {
+    const std::size_t local = order[k];
+    reply.survivors.push_back(SurvivorEntry{
+        .index = request.begin + local, .score = scores[local]});
+  }
+}
+
+Frame serve_frame(const Frame& request_frame) {
+  ShardRequest request;
+  decode(request_frame, request);
+  ShardReply reply;
+  compute_survivors(request, reply);
+  Frame out;
+  encode(reply, out);
+  return out;
+}
+
+}  // namespace sfl::dist

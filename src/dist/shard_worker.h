@@ -1,0 +1,27 @@
+// The worker side of the distributed WDP protocol.
+//
+// A shard worker is stateless across rounds: every request carries the full
+// span data, so a worker can crash and be replaced (or the span re-routed)
+// without any state transfer. compute_survivors is the ONE implementation
+// of the per-shard math — the in-process loopback workers, the TCP worker
+// server, and the coordinator's local fallback all call it, so every
+// execution path produces bit-identical survivor sets (same score()
+// expression, same nth_element selection, same total order as ShardedWdp).
+#pragma once
+
+#include "dist/wire_codec.h"
+
+namespace sfl::dist {
+
+/// Scores the request's span and selects its local top-(max_winners+1)
+/// survivors under the serial total order (score desc, ClientId asc, global
+/// index asc) — exactly the per-shard step of ShardedWdp::select_top_m.
+/// The reply echoes round/shard/span for coordinator validation.
+void compute_survivors(const ShardRequest& request, ShardReply& reply);
+
+/// Full worker step: decode a request frame, compute, encode the reply.
+/// Throws WireError on a corrupt request (the caller decides whether to
+/// drop the frame or tear down the connection).
+[[nodiscard]] Frame serve_frame(const Frame& request_frame);
+
+}  // namespace sfl::dist

@@ -1,0 +1,292 @@
+#include "dist/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "dist/shard_worker.h"
+
+namespace sfl::dist {
+
+namespace {
+
+/// Writes the whole buffer, retrying short writes. False on any error.
+bool write_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t rc = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+/// Reads exactly `size` bytes, retrying short reads. False on EOF/error —
+/// including SO_RCVTIMEO expiry (EAGAIN), so a peer stalling mid-frame
+/// turns into a dead link instead of an unbounded block.
+bool read_exact(int fd, std::byte* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t rc = ::recv(fd, data + got, size - got, 0);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+/// Bounds every blocking read/write on the socket: once a frame transfer
+/// has started, a peer that stalls longer than this is a dead link (the
+/// coordinator's recovery machinery and the server's stop() both depend
+/// on reads never blocking indefinitely).
+void set_io_timeouts(int fd) {
+  timeval tv{.tv_sec = 1, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Parses the payload length out of a codec header (little-endian u64 at
+/// offset 8); the full header validation happens in decode().
+std::uint64_t header_payload_len(const std::byte* header) {
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<std::uint64_t>(header[8 + i]) << (8 * i);
+  }
+  return len;
+}
+
+/// Cheap pre-validation of the header bytes already in hand: wrong magic,
+/// version, or type means the stream is garbage — reject before trusting
+/// the length field at all (full validation still happens in decode()).
+bool header_plausible(const std::byte* header) {
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (magic != kWireMagic) return false;
+  if (static_cast<std::uint8_t>(header[4]) != kWireVersion) return false;
+  const auto type = static_cast<std::uint8_t>(header[5]);
+  return type == static_cast<std::uint8_t>(FrameType::kRequest) ||
+         type == static_cast<std::uint8_t>(FrameType::kReply);
+}
+
+/// Reads one self-delimiting codec frame. False on EOF, error, stall, or
+/// an implausible header (the connection is then unrecoverable — a stream
+/// with a corrupt length can never be re-synchronized). The payload is
+/// read in bounded chunks, so memory grows with bytes actually received,
+/// never with a hostile length claim.
+bool read_one_frame(int fd, Frame& frame) {
+  frame.resize(kHeaderSize);
+  if (!read_exact(fd, frame.data(), kHeaderSize)) return false;
+  if (!header_plausible(frame.data())) return false;
+  const std::uint64_t payload_len = header_payload_len(frame.data());
+  if (payload_len > kMaxPayloadBytes) return false;
+  constexpr std::uint64_t kChunk = 1 << 16;
+  std::uint64_t got = 0;
+  while (got < payload_len) {
+    const std::uint64_t step = std::min(kChunk, payload_len - got);
+    frame.resize(kHeaderSize + got + step);
+    if (!read_exact(fd, frame.data() + kHeaderSize + got, step)) return false;
+    got += step;
+  }
+  return true;
+}
+
+int make_localhost_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  return fd;
+}
+
+sockaddr_in localhost_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+// --- TcpShardServer ---------------------------------------------------------
+
+TcpShardServer::TcpShardServer(std::uint16_t port) {
+  listen_fd_ = make_localhost_socket();
+  sockaddr_in addr = localhost_addr(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(127.0.0.1:" + std::to_string(port) +
+                             "): " + why);
+  }
+  if (::listen(listen_fd_, 8) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen(): " + why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+}
+
+TcpShardServer::~TcpShardServer() { stop(); }
+
+void TcpShardServer::start() {
+  if (thread_.joinable()) return;
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(
+        "TcpShardServer: cannot restart after stop() (socket closed)");
+  }
+  stopping_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void TcpShardServer::stop() {
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpShardServer::run() {
+  while (!stopping_.load()) {
+    pollfd pfd{.fd = listen_fd_, .events = POLLIN, .revents = 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_io_timeouts(fd);
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TcpShardServer::serve_connection(int fd) {
+  Frame request;
+  Frame reply;
+  while (!stopping_.load()) {
+    pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) return;
+    if (ready == 0) continue;
+    if (!read_one_frame(fd, request)) return;
+    try {
+      reply = serve_frame(request);
+    } catch (const WireError&) {
+      return;  // corrupt request: drop the connection, coordinator recovers
+    }
+    if (!write_all(fd, reply.data(), reply.size())) return;
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// --- TcpTransport -----------------------------------------------------------
+
+TcpTransport::TcpTransport(std::vector<Endpoint> endpoints)
+    : endpoints_(std::move(endpoints)), fds_(endpoints_.size(), -1) {
+  for (std::size_t worker = 0; worker < endpoints_.size(); ++worker) {
+    const Endpoint& endpoint = endpoints_[worker];
+    int fd = -1;
+    try {
+      fd = make_localhost_socket();
+    } catch (const std::runtime_error&) {
+      continue;  // dead worker; surfaced on first send
+    }
+    sockaddr_in addr = localhost_addr(endpoint.port);
+    if (!endpoint.host.empty() && endpoint.host != "127.0.0.1" &&
+        endpoint.host != "localhost") {
+      if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        continue;
+      }
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    set_io_timeouts(fd);
+    fds_[worker] = fd;
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  for (std::size_t worker = 0; worker < fds_.size(); ++worker) {
+    disconnect(worker);
+  }
+}
+
+void TcpTransport::disconnect(std::size_t worker) {
+  if (fds_[worker] >= 0) {
+    ::close(fds_[worker]);
+    fds_[worker] = -1;
+  }
+}
+
+bool TcpTransport::worker_connected(std::size_t worker) const {
+  return worker < fds_.size() && fds_[worker] >= 0;
+}
+
+void TcpTransport::send(std::size_t worker, const Frame& frame) {
+  if (worker >= fds_.size()) {
+    throw TransportError(worker, "no such endpoint");
+  }
+  if (fds_[worker] < 0) {
+    throw TransportError(worker, "not connected");
+  }
+  if (!write_all(fds_[worker], frame.data(), frame.size())) {
+    disconnect(worker);
+    throw TransportError(worker, "send failed: " +
+                                     std::string(std::strerror(errno)));
+  }
+}
+
+bool TcpTransport::receive(Frame& frame, std::chrono::milliseconds timeout) {
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> workers;
+  pfds.reserve(fds_.size());
+  for (std::size_t worker = 0; worker < fds_.size(); ++worker) {
+    if (fds_[worker] < 0) continue;
+    pfds.push_back(pollfd{.fd = fds_[worker], .events = POLLIN, .revents = 0});
+    workers.push_back(worker);
+  }
+  if (pfds.empty()) return false;
+  const int ready =
+      ::poll(pfds.data(), pfds.size(), static_cast<int>(timeout.count()));
+  if (ready <= 0) return false;
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    if (read_one_frame(pfds[i].fd, frame)) return true;
+    // EOF or stream corruption: the link is gone.
+    disconnect(workers[i]);
+    return false;
+  }
+  return false;
+}
+
+}  // namespace sfl::dist

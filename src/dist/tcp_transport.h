@@ -1,0 +1,97 @@
+// Socket-based shard transport: the same protocol frames over localhost or
+// real network links.
+//
+// TcpShardServer is one shard worker behind a listening TCP socket: it
+// accepts connections and serves request frames with the real codec worker
+// (dist::serve_frame) on a background thread. A corrupt request tears the
+// connection down (the coordinator's recovery path re-dispatches).
+//
+// TcpTransport is the coordinator side: one connection per worker endpoint,
+// frames written whole, replies collected by polling every live socket.
+// A worker whose socket dies (refused connect, reset, EOF) is reported via
+// TransportError on the next send to it; receive() simply stops seeing it.
+// Framing on the stream reuses the codec's self-describing header: read
+// kHeaderSize bytes, validate the length field, read the payload.
+//
+// This transport exists to prove the ShardTransport contract across a real
+// process/host boundary; deployment niceties (reconnect, TLS, discovery)
+// are out of scope. The DistributedWdp coordinator tolerates everything
+// this transport can do wrong — loss, duplication, reordering, death —
+// so correctness never depends on socket behavior.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/shard_transport.h"
+
+namespace sfl::dist {
+
+/// One shard worker listening on 127.0.0.1:<port>. port = 0 binds an
+/// ephemeral port (read it back with port()).
+class TcpShardServer {
+ public:
+  /// Binds and listens; throws std::runtime_error when the socket cannot
+  /// be created/bound (e.g. sandboxed environments).
+  explicit TcpShardServer(std::uint16_t port = 0);
+  ~TcpShardServer();
+
+  TcpShardServer(const TcpShardServer&) = delete;
+  TcpShardServer& operator=(const TcpShardServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Starts the accept/serve thread. Idempotent while running; throws
+  /// std::runtime_error after stop() (the listening socket is gone — a
+  /// stopped server is terminal, construct a new one).
+  void start();
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void stop();
+
+  /// Requests served since start().
+  [[nodiscard]] std::size_t served_requests() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void serve_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> served_{0};
+};
+
+class TcpTransport final : public ShardTransport {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+  };
+
+  /// Connects to every endpoint eagerly; endpoints that refuse are simply
+  /// dead workers (TransportError on send), not construction failures.
+  explicit TcpTransport(std::vector<Endpoint> endpoints);
+  ~TcpTransport() override;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept override {
+    return endpoints_.size();
+  }
+  void send(std::size_t worker, const Frame& frame) override;
+  bool receive(Frame& frame, std::chrono::milliseconds timeout) override;
+
+  [[nodiscard]] bool worker_connected(std::size_t worker) const;
+
+ private:
+  void disconnect(std::size_t worker);
+
+  std::vector<Endpoint> endpoints_;
+  std::vector<int> fds_;  ///< -1 = dead
+};
+
+}  // namespace sfl::dist

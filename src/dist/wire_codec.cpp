@@ -1,0 +1,328 @@
+#include "dist/wire_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace sfl::dist {
+
+namespace {
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u32(Frame& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(Frame& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::byte>((v >> shift) & 0xFF));
+  }
+}
+
+void put_f64(Frame& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over a payload. Every read that would
+/// pass the end throws WireError — the decoder can never run off a
+/// truncated or length-corrupted buffer.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - offset_;
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[offset_++]);
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v |= static_cast<std::uint16_t>(
+          static_cast<std::uint16_t>(bytes_[offset_ + i]) << (8 * i));
+    }
+    offset_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 8;
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  void u64_array(std::vector<std::uint64_t>& out, std::size_t count) {
+    need_elems(count, 8);
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = u64();
+  }
+
+  void f64_array(std::vector<double>& out, std::size_t count) {
+    need_elems(count, 8);
+    out.resize(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = f64();
+  }
+
+  void expect_exhausted() const {
+    if (offset_ != bytes_.size()) {
+      throw WireError("wire: trailing bytes after payload fields");
+    }
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (bytes > remaining()) throw WireError("wire: payload truncated");
+  }
+  /// Guards the resize(count) against a corrupt count that passed the
+  /// checksum only because the whole frame is attacker-shaped: the array
+  /// must actually fit in the remaining payload BEFORE allocating.
+  void need_elems(std::size_t count, std::size_t elem_size) const {
+    if (count > remaining() / elem_size) {
+      throw WireError("wire: array length exceeds payload");
+    }
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+};
+
+void store_u32(Frame& out, std::size_t offset, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[offset + i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void store_u64(Frame& out, std::size_t offset, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[offset + i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Encoders reserve the header slot up front (begin_frame) and patch it
+/// once the payload is in place (finish_frame) — no prepend, no payload
+/// memmove, and the frame's capacity really is reused across rounds.
+void begin_frame(Frame& out) {
+  out.clear();
+  out.resize(kHeaderSize);
+}
+
+void finish_frame(Frame& out, FrameType type) {
+  const std::span<const std::byte> payload{out.data() + kHeaderSize,
+                                           out.size() - kHeaderSize};
+  store_u32(out, 0, kWireMagic);
+  out[4] = static_cast<std::byte>(kWireVersion);
+  out[5] = static_cast<std::byte>(type);
+  out[6] = std::byte{0};  // reserved
+  out[7] = std::byte{0};
+  store_u64(out, 8, payload.size());
+  store_u64(out, 16, fnv1a64(payload));
+}
+
+/// Validates the header and returns the (already checksum-verified)
+/// payload view plus the frame type.
+std::pair<FrameType, std::span<const std::byte>> checked_payload(
+    std::span<const std::byte> frame) {
+  if (frame.size() < kHeaderSize) throw WireError("wire: frame too short");
+  Cursor header(frame.first(kHeaderSize));
+  if (header.u32() != kWireMagic) throw WireError("wire: bad magic");
+  if (header.u8() != kWireVersion) throw WireError("wire: unknown version");
+  const std::uint8_t raw_type = header.u8();
+  if (raw_type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<std::uint8_t>(FrameType::kReply)) {
+    throw WireError("wire: unknown frame type");
+  }
+  if (header.u16() != 0) throw WireError("wire: reserved bits set");
+  const std::uint64_t payload_len = header.u64();
+  const std::uint64_t checksum = header.u64();
+  if (payload_len > kMaxPayloadBytes) {
+    throw WireError("wire: payload length exceeds limit");
+  }
+  if (payload_len != frame.size() - kHeaderSize) {
+    throw WireError("wire: payload length does not match frame size");
+  }
+  const std::span<const std::byte> payload = frame.subspan(kHeaderSize);
+  if (fnv1a64(payload) != checksum) throw WireError("wire: checksum mismatch");
+  return {static_cast<FrameType>(raw_type), payload};
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void encode(const ShardRequest& request, Frame& out) {
+  begin_frame(out);
+  put_u64(out, request.round);
+  put_u32(out, request.shard);
+  put_u32(out, request.shard_count);
+  put_u64(out, request.begin);
+  put_u64(out, request.max_winners);
+  put_f64(out, request.weights.value_weight);
+  put_f64(out, request.weights.bid_weight);
+  put_u64(out, request.ids.size());
+  put_u64(out, request.penalties.empty() ? 0 : 1);
+  for (const std::uint64_t id : request.ids) put_u64(out, id);
+  for (const double v : request.values) put_f64(out, v);
+  for (const double b : request.bids) put_f64(out, b);
+  for (const double p : request.penalties) put_f64(out, p);
+  finish_frame(out, FrameType::kRequest);
+}
+
+void encode(const ShardReply& reply, Frame& out) {
+  begin_frame(out);
+  put_u64(out, reply.round);
+  put_u32(out, reply.shard);
+  put_u32(out, reply.shard_count);
+  put_u64(out, reply.begin);
+  put_u64(out, reply.count);
+  put_u64(out, reply.survivors.size());
+  for (const SurvivorEntry& entry : reply.survivors) {
+    put_u64(out, entry.index);
+    put_f64(out, entry.score);
+  }
+  finish_frame(out, FrameType::kReply);
+}
+
+FrameType checked_frame_type(std::span<const std::byte> frame) {
+  return checked_payload(frame).first;
+}
+
+void decode(std::span<const std::byte> frame, ShardRequest& out) {
+  const auto [type, payload] = checked_payload(frame);
+  if (type != FrameType::kRequest) {
+    throw WireError("wire: expected a request frame");
+  }
+  Cursor cursor(payload);
+  out.round = cursor.u64();
+  out.shard = cursor.u32();
+  out.shard_count = cursor.u32();
+  out.begin = cursor.u64();
+  out.max_winners = cursor.u64();
+  out.weights.value_weight = cursor.f64();
+  out.weights.bid_weight = cursor.f64();
+  const std::uint64_t span = cursor.u64();
+  const std::uint64_t has_penalties = cursor.u64();
+  if (has_penalties > 1) throw WireError("wire: bad penalties flag");
+  cursor.u64_array(out.ids, span);
+  cursor.f64_array(out.values, span);
+  cursor.f64_array(out.bids, span);
+  if (has_penalties == 1) {
+    cursor.f64_array(out.penalties, span);
+  } else {
+    out.penalties.clear();
+  }
+  cursor.expect_exhausted();
+
+  // Semantic validation: a frame that parses but describes an impossible
+  // shard is still corrupt — reject it rather than hand the engine a span
+  // it cannot have dispatched.
+  if (out.shard_count == 0 || out.shard >= out.shard_count) {
+    throw WireError("wire: shard index outside shard count");
+  }
+  if (out.begin > kMaxPayloadBytes || span > kMaxPayloadBytes) {
+    throw WireError("wire: span bounds out of range");
+  }
+  if (!std::isfinite(out.weights.value_weight) ||
+      !std::isfinite(out.weights.bid_weight)) {
+    throw WireError("wire: non-finite score weights");
+  }
+}
+
+void decode(std::span<const std::byte> frame, ShardReply& out) {
+  const auto [type, payload] = checked_payload(frame);
+  if (type != FrameType::kReply) {
+    throw WireError("wire: expected a reply frame");
+  }
+  Cursor cursor(payload);
+  out.round = cursor.u64();
+  out.shard = cursor.u32();
+  out.shard_count = cursor.u32();
+  out.begin = cursor.u64();
+  out.count = cursor.u64();
+  const std::uint64_t survivor_count = cursor.u64();
+  if (survivor_count > cursor.remaining() / 16) {
+    throw WireError("wire: survivor count exceeds payload");
+  }
+  out.survivors.resize(survivor_count);
+  for (SurvivorEntry& entry : out.survivors) {
+    entry.index = cursor.u64();
+    entry.score = cursor.f64();
+  }
+  cursor.expect_exhausted();
+
+  if (out.shard_count == 0 || out.shard >= out.shard_count) {
+    throw WireError("wire: shard index outside shard count");
+  }
+  if (out.count > kMaxPayloadBytes || out.begin > kMaxPayloadBytes) {
+    throw WireError("wire: span bounds out of range");
+  }
+  if (survivor_count > out.count) {
+    throw WireError("wire: more survivors than span rows");
+  }
+  for (const SurvivorEntry& entry : out.survivors) {
+    if (entry.index < out.begin || entry.index >= out.begin + out.count) {
+      throw WireError("wire: survivor index outside the declared span");
+    }
+    if (!std::isfinite(entry.score)) {
+      throw WireError("wire: non-finite survivor score");
+    }
+  }
+  // Duplicate detection in O(k log k): a checksummed hostile frame can
+  // carry millions of entries, so a quadratic scan here would be a
+  // denial-of-service on the coordinator.
+  std::vector<std::uint64_t> indices;
+  indices.reserve(out.survivors.size());
+  for (const SurvivorEntry& entry : out.survivors) {
+    indices.push_back(entry.index);
+  }
+  std::sort(indices.begin(), indices.end());
+  if (std::adjacent_find(indices.begin(), indices.end()) != indices.end()) {
+    throw WireError("wire: duplicate survivor index");
+  }
+}
+
+ShardRequest decode_request(std::span<const std::byte> frame) {
+  ShardRequest request;
+  decode(frame, request);
+  return request;
+}
+
+ShardReply decode_reply(std::span<const std::byte> frame) {
+  ShardReply reply;
+  decode(frame, reply);
+  return reply;
+}
+
+}  // namespace sfl::dist

@@ -1,0 +1,118 @@
+// Compact binary wire codec for the distributed WDP protocol.
+//
+// Two message kinds cross the coordinator <-> shard-worker boundary:
+//   ShardRequest  — one contiguous CandidateBatch span (ids, values, bids,
+//                   optional penalties) plus the round's scoring parameters;
+//   ShardReply    — the shard's local top-(m+1) survivor set as
+//                   (global index, score) pairs.
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bit
+// patterns, so a frame round-trips bit-exactly across hosts):
+//
+//   [u32 magic "SFLD"] [u8 version] [u8 type] [u16 reserved=0]
+//   [u64 payload_len]  [u64 checksum = fnv1a64(payload)]
+//   [payload_len payload bytes]
+//
+// Decoding is defensive end to end: the header is bounds/magic/version
+// checked, the checksum must match BEFORE any payload field is read, and
+// every payload read goes through a cursor that rejects overruns — a
+// corrupt or truncated frame throws WireError (a typed error), never
+// crashes, and is never accepted. The codec fuzz suite
+// (tests/dist/codec_fuzz_test.cpp) hammers exactly this contract with
+// seeded random byte mutations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "auction/types.h"
+
+namespace sfl::dist {
+
+/// One framed protocol message as raw bytes.
+using Frame = std::vector<std::byte>;
+
+/// Typed decode/validation failure: corrupt, truncated, or semantically
+/// invalid frames are REJECTED with this error — never accepted, never UB.
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kWireMagic = 0x444C4653u;  // "SFLD" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+/// Upper bound a receiver enforces on payload_len before allocating —
+/// rejects absurd lengths from corrupt headers (1 GiB is far above any
+/// legitimate shard span).
+inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
+
+enum class FrameType : std::uint8_t { kRequest = 1, kReply = 2 };
+
+/// FNV-1a 64-bit over the payload; the frame's integrity check.
+[[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept;
+
+/// One contiguous batch span dispatched to a shard worker, plus everything
+/// the worker needs to score and locally select it.
+struct ShardRequest {
+  std::uint64_t round = 0;        ///< coordinator round sequence number
+  std::uint32_t shard = 0;        ///< shard index in [0, shard_count)
+  std::uint32_t shard_count = 1;  ///< total shards this round
+  std::uint64_t begin = 0;        ///< global index of the span's first row
+  std::uint64_t max_winners = 0;  ///< m: the worker keeps min(m+1, span)
+  sfl::auction::ScoreWeights weights{};
+  /// Parallel arrays, one entry per span row (ids for the tie-break,
+  /// penalties empty = all-zero).
+  std::vector<std::uint64_t> ids;
+  std::vector<double> values;
+  std::vector<double> bids;
+  std::vector<double> penalties;
+
+  [[nodiscard]] std::size_t span() const noexcept { return ids.size(); }
+};
+
+/// One survivor: its global batch index and its score (the exact IEEE
+/// double the worker computed — shipped as bits, so the coordinator's merge
+/// is bit-identical to the single-process engine).
+struct SurvivorEntry {
+  std::uint64_t index = 0;
+  double score = 0.0;
+
+  friend bool operator==(const SurvivorEntry&, const SurvivorEntry&) = default;
+};
+
+/// A shard worker's local top-(m+1) survivor set.
+struct ShardReply {
+  std::uint64_t round = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t shard_count = 1;
+  std::uint64_t begin = 0;  ///< span covered (echoed for validation)
+  std::uint64_t count = 0;  ///< span length covered
+  std::vector<SurvivorEntry> survivors;
+};
+
+/// Encodes into `out` (cleared first; capacity reused across rounds).
+void encode(const ShardRequest& request, Frame& out);
+void encode(const ShardReply& reply, Frame& out);
+
+/// Validates the header (size, magic, version, payload length, checksum)
+/// and returns the frame type. Throws WireError on any violation.
+[[nodiscard]] FrameType checked_frame_type(std::span<const std::byte> frame);
+
+/// Full decode with structural validation (shard < shard_count, array
+/// lengths consistent with payload_len, survivor indices inside the
+/// declared span and strictly increasing-free of duplicates, finite
+/// scores). Throws WireError; `out` may be left partially written on
+/// failure and must not be read.
+void decode(std::span<const std::byte> frame, ShardRequest& out);
+void decode(std::span<const std::byte> frame, ShardReply& out);
+
+/// Allocating conveniences.
+[[nodiscard]] ShardRequest decode_request(std::span<const std::byte> frame);
+[[nodiscard]] ShardReply decode_reply(std::span<const std::byte> frame);
+
+}  // namespace sfl::dist

@@ -24,10 +24,11 @@ MechanismConfig small_config() {
 TEST(MechanismRegistryTest, ListsAllBuiltins) {
   const auto& registry = MechanismRegistry::global();
   const std::vector<std::string> expected{
-      "lto-vcg",        "lto-vcg-sharded",  "lto-vcg-async",
-      "lto-vcg-unpaced", "myopic-vcg",      "pay-as-bid",
-      "fixed-price",    "adaptive-price",   "random-stipend",
-      "proportional-share", "first-best-oracle", "budgeted-oracle"};
+      "lto-vcg",        "lto-vcg-sharded",  "lto-vcg-dist",
+      "lto-vcg-async",  "lto-vcg-unpaced",  "myopic-vcg",
+      "pay-as-bid",     "fixed-price",      "adaptive-price",
+      "random-stipend", "proportional-share", "first-best-oracle",
+      "budgeted-oracle"};
   EXPECT_EQ(registry.names(), expected);
   EXPECT_EQ(registry.size(), expected.size());
   for (const std::string& name : expected) {
@@ -35,7 +36,22 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
   }
   for (const MechanismInfo& info : registry.describe()) {
     EXPECT_FALSE(info.description.empty()) << info.name;
+    // A variant must reference a registered canonical key (and never
+    // itself) — the property harness trusts this to enumerate coverage.
+    if (!info.variant_of.empty()) {
+      EXPECT_TRUE(registry.contains(info.variant_of)) << info.name;
+      EXPECT_NE(info.variant_of, info.name);
+    }
   }
+  // The execution variants of the paper mechanism are tagged, so the
+  // trajectory-equality sweep picks them up with no hand-maintained list.
+  std::vector<std::string> lto_variants;
+  for (const MechanismInfo& info : registry.describe()) {
+    if (info.variant_of == "lto-vcg") lto_variants.push_back(info.name);
+  }
+  EXPECT_EQ(lto_variants,
+            (std::vector<std::string>{"lto-vcg-sharded", "lto-vcg-dist",
+                                      "lto-vcg-async"}));
 }
 
 TEST(MechanismRegistryTest, RoundTripOverEveryRegisteredName) {

@@ -91,6 +91,78 @@ TEST(RoundScratchAllocTest, EngineRoundIsAllocationFreeAfterWarmup) {
   }
 }
 
+TEST(RoundScratchAllocTest, SharedScratchMakesFreshMechanismsStartWarm) {
+  // Multi-mechanism comparison runs lease ONE RoundScratch for the whole
+  // roster (bench_common.h's ScratchPool): after any mechanism has warmed
+  // it, a freshly constructed mechanism's first round must not pay the
+  // buffer-growth allocations again. A private-scratch mechanism on the
+  // same workload DOES allocate — that contrast keeps this test
+  // non-vacuous.
+  constexpr std::size_t kClients = 2000;
+  sfl::util::Rng rng(79);
+  CandidateBatch batch;
+  batch.reserve(kClients);
+  RoundContext context;
+  context.max_winners = 8;
+
+  RoundScratch shared;
+  sfl::core::LtoVcgConfig config;
+  config.v_weight = 10.0;
+  config.per_round_budget = 5.0;
+  config.shards = 1;
+  config.shared_scratch = &shared;
+
+  // Warm the pooled scratch through a first mechanism (several rounds so
+  // every buffer reaches steady capacity).
+  {
+    sfl::core::LongTermOnlineVcgMechanism warmup(config);
+    MechanismResult outcome;
+    for (std::size_t round = 0; round < 3; ++round) {
+      context.round = round;
+      refill_batch(batch, kClients, rng);
+      warmup.run_round_into(batch, context, outcome);
+    }
+  }
+
+  // A brand-new mechanism sharing the warmed scratch: its FIRST round may
+  // only pay the O(max_winners) mechanism-local winner-cache growth (a
+  // handful of allocations), never the O(n) scratch growth, and every
+  // round after that must allocate nothing.
+  sfl::core::LongTermOnlineVcgMechanism fresh(config);
+  MechanismResult outcome;
+  outcome.winners.reserve(context.max_winners);
+  outcome.payments.reserve(context.max_winners);
+  refill_batch(batch, kClients, rng);
+  const std::size_t first_before = g_allocations.load();
+  context.round = 0;
+  fresh.run_round_into(batch, context, outcome);
+  const std::size_t fresh_first_round = g_allocations.load() - first_before;
+
+  const std::size_t steady_before = g_allocations.load();
+  for (std::size_t round = 1; round < 6; ++round) {
+    context.round = round;
+    fresh.run_round_into(batch, context, outcome);
+  }
+  EXPECT_EQ(g_allocations.load() - steady_before, 0u)
+      << "a fresh mechanism on a warmed shared scratch allocated";
+
+  // Contrast: the same construction with a private scratch regrows every
+  // O(n) buffer on its first round — the pooled variant must be far below
+  // it (and without this check the steady-state assertion could pass
+  // vacuously).
+  config.shared_scratch = nullptr;
+  sfl::core::LongTermOnlineVcgMechanism isolated(config);
+  const std::size_t isolated_before = g_allocations.load();
+  isolated.run_round_into(batch, context, outcome);
+  const std::size_t isolated_first_round =
+      g_allocations.load() - isolated_before;
+  EXPECT_GT(isolated_first_round, 0u)
+      << "private-scratch warm-up no longer allocates; test is vacuous";
+  EXPECT_LT(fresh_first_round * 2, isolated_first_round)
+      << "shared scratch no longer removes the warm-up growth (pooled "
+      << fresh_first_round << " vs private " << isolated_first_round << ")";
+}
+
 TEST(RoundScratchAllocTest, LtoMechanismRoundAndSettleAreAllocationFree) {
   constexpr std::size_t kClients = 2000;
   sfl::core::LtoVcgConfig config;

@@ -341,13 +341,17 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
-// Serial / sharded / async trajectory equality (multi-round, settled).
+// Execution-variant trajectory equality (multi-round, settled).
 // ---------------------------------------------------------------------------
 
-TEST(LtoExecutionModesProperty, SerialShardedAsyncTrajectoriesBitIdentical) {
-  // The three LTO execution modes — serial, sharded WDP (explicit and auto
-  // shard counts), async settlement — must produce identical winners,
-  // payments, and queue backlogs over settled multi-round trajectories.
+TEST(LtoExecutionModesProperty, AllRegisteredVariantTrajectoriesBitIdentical) {
+  // EVERY execution variant of the paper mechanism — enumerated from the
+  // registry's variant_of tags, so a newly registered topology (sharded,
+  // async, distributed, whatever comes next) is covered with no
+  // hand-maintained list — must produce identical winners, payments, and
+  // queue backlogs over settled multi-round trajectories. Each variant key
+  // is built twice: with its defaults (auto shard/worker counts) and with
+  // explicit odd counts that force non-trivial merges on any machine.
   const std::size_t trajectories = std::min<std::size_t>(
       60, std::max<std::size_t>(4, trials_per_key() / 16));
   constexpr std::size_t kRounds = 16;
@@ -360,13 +364,18 @@ TEST(LtoExecutionModesProperty, SerialShardedAsyncTrajectoriesBitIdentical) {
 
     MechanismConfig config = property_mechanism_config();
     const auto serial = build_mechanism("lto-vcg", config);
-    config.lto.shards = 3;
-    const auto sharded = build_mechanism("lto-vcg-sharded", config);
-    config.lto.shards = 0;  // auto
-    const auto sharded_auto = build_mechanism("lto-vcg-sharded", config);
-    const auto async = build_mechanism("lto-vcg-async", config);
-    std::vector<sfl::auction::Mechanism*> variants{
-        sharded.get(), sharded_auto.get(), async.get()};
+    std::vector<std::unique_ptr<sfl::auction::Mechanism>> owned;
+    for (const auto& info : MechanismRegistry::global().describe()) {
+      if (info.variant_of != "lto-vcg") continue;
+      MechanismConfig variant_config = config;  // defaults: auto counts
+      owned.push_back(build_mechanism(info.name, variant_config));
+      variant_config.lto.shards = 3;
+      variant_config.lto.dist_workers = 3;
+      owned.push_back(build_mechanism(info.name, variant_config));
+    }
+    ASSERT_GE(owned.size(), 6u) << "variant tags disappeared from the registry";
+    std::vector<sfl::auction::Mechanism*> variants;
+    for (const auto& mechanism : owned) variants.push_back(mechanism.get());
 
     util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
     for (std::size_t round = 0; round < kRounds; ++round) {
