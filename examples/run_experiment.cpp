@@ -6,7 +6,7 @@
 //                  [partition=dirichlet|iid|quantity] [alpha=0.3]
 //                  [noisy_fraction=0.3] [flip_prob=0.8]
 //                  [budget=6] [winners=8] [v=10] [pacing=0.5] [shards=0]
-//                  [async_settle=0] [dist_workers=0]
+//                  [async_settle=0] [dist_workers=0] [dist_pipeline_depth=0]
 //                  [model=logreg|mlp] [hidden=32] [lr=0.05] [local_steps=5]
 //                  [proximal_mu=0] [server_momentum=0]
 //                  [use_reputation=1] [energy=0] [seed=42]
@@ -28,6 +28,15 @@
 // batch spans and return top-(m+1) survivor sets through the wire codec
 // (dist_workers=0 uses the key's default of 2). Winners and payments are
 // bit-identical to lto-vcg for any worker count.
+//
+// mechanism=lto-vcg-dist-pipe builds the pipeline-capable coordinator:
+// `dist_pipeline_depth` per-round scratch lanes (0 uses the key's default
+// of 2), bit-identical to lto-vcg at any depth. NOTE: this FL runner
+// drives the orchestrator, which clears rounds synchronously — actual
+// round overlap engages in drivers that feed rounds ahead through the
+// pipelined round API (core::run_market, or submit_round /
+// retire_round_into directly); see ROADMAP "pipelined distributed
+// rounds".
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -56,6 +65,7 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   config.lto.pacing_rate = args.get_double("pacing", 0.5);
   config.lto.shards = args.get_size("shards", 0);
   config.lto.dist_workers = args.get_size("dist_workers", 0);
+  config.lto.dist_pipeline_depth = args.get_size("dist_pipeline_depth", 0);
   config.lto.async_settle = args.get_bool("async_settle", false);
   config.fixed_price.price = args.get_double("price", 1.0);
   config.random_stipend.stipend = args.get_double("stipend", 1.0);

@@ -1,0 +1,77 @@
+// sfl_shard_worker: a standalone distributed-WDP shard worker process.
+//
+// A thin main() over dist::TcpShardServer — the same accept/serve loop and
+// codec worker math (dist::serve_frame / compute_survivors) every other
+// execution path uses, now runnable as its own OS process:
+//
+//   sfl_shard_worker [--port=P]
+//
+// binds 127.0.0.1:P (P = 0, the default, picks an ephemeral port), prints
+//
+//   sfl_shard_worker listening on 127.0.0.1:<port>
+//
+// on stdout (flushed, so a spawning coordinator can parse the port), and
+// serves until SIGTERM/SIGINT. Workers are stateless across rounds — every
+// request carries its full span — so any number of these processes can be
+// started, killed, and replaced under a running coordinator; the
+// DistributedWdp recovery path re-routes or recomputes whatever a dead
+// worker absorbed. Exit codes: 0 on clean shutdown, 2 on bad usage, 3 when
+// the socket cannot be bound (sandboxed environments).
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "dist/tcp_transport.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kPortFlag = "--port=";
+    if (arg.rfind(kPortFlag, 0) == 0) {
+      char* end = nullptr;
+      port = std::strtol(arg.c_str() + std::string(kPortFlag).size(), &end, 10);
+      if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+        std::cerr << "sfl_shard_worker: invalid --port value: " << arg << "\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: sfl_shard_worker [--port=P]   (P = 0 for an "
+                   "ephemeral port)\n";
+      return 2;
+    }
+  }
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  try {
+    sfl::dist::TcpShardServer server(static_cast<std::uint16_t>(port));
+    server.start();
+    // The parse-friendly startup line a spawning coordinator waits for.
+    std::cout << "sfl_shard_worker listening on 127.0.0.1:" << server.port()
+              << std::endl;
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    std::cout << "sfl_shard_worker: served " << server.served_requests()
+              << " requests, shutting down\n";
+  } catch (const std::exception& error) {
+    std::cerr << "sfl_shard_worker: cannot serve: " << error.what() << "\n";
+    return 3;
+  }
+  return 0;
+}

@@ -90,6 +90,34 @@ void register_builtins(MechanismRegistry& registry) {
             std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
       });
   registry.add_variant(
+      "lto-vcg-dist-pipe", "lto-vcg",
+      "LTO-VCG on the pipelined distributed WDP coordinator: up to "
+      "lto.dist_pipeline_depth rounds in flight over the shard transport "
+      "at once on per-round scratch lanes, retiring in strict round order "
+      "— settled trajectories bit-identical to lto-vcg at any depth, "
+      "worker count, or fault schedule (lto.dist_pipeline_depth: 0 = "
+      "default 2; lto.dist_workers: 0 = default 2; lto.async_settle is "
+      "ignored — pipelined retirement settles synchronously, each settle "
+      "validating the next round's speculative dispatch)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        core::LtoVcgConfig lto = lto_config_from(config, /*paced=*/true);
+        lto.shards = config.lto.shards;
+        lto.dist_workers =
+            config.lto.dist_workers == 0 ? 2 : config.lto.dist_workers;
+        lto.dist_pipeline_depth = config.lto.dist_pipeline_depth == 0
+                                      ? 2
+                                      : config.lto.dist_pipeline_depth;
+        lto.name = "lto-vcg-dist-pipe";
+        // Deliberately NOT maybe_async: an async decorator would hide the
+        // pipelined round API from drivers (silently disabling the
+        // feature), and the pipelined contract requires synchronous
+        // settlement anyway — the settle IS the speculation-validation
+        // event. Callers that stream settlements for the whole roster
+        // (OrchestratorConfig.async_settle) still work: this mechanism
+        // then just runs through the synchronous engine path.
+        return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
+      });
+  registry.add_variant(
       "lto-vcg-async", "lto-vcg",
       "LTO-VCG behind the streamed settlement pipeline: settle() enqueues "
       "onto the shared pool, run_round drains first (flush barrier), so "

@@ -9,9 +9,10 @@
 // against their headers.
 //
 // Built-in keys (see registry.cpp): lto-vcg, lto-vcg-sharded, lto-vcg-async,
-// lto-vcg-dist, lto-vcg-unpaced, myopic-vcg, pay-as-bid, fixed-price,
-// adaptive-price, random-stipend, proportional-share, first-best-oracle,
-// budgeted-oracle. New mechanisms register under a new key; downstream
+// lto-vcg-dist, lto-vcg-dist-pipe, lto-vcg-unpaced, myopic-vcg, pay-as-bid,
+// fixed-price, adaptive-price, random-stipend, proportional-share,
+// first-best-oracle, budgeted-oracle. New mechanisms register under a new
+// key; downstream
 // sharding/async/distribution work addresses rules by key only. Execution
 // variants (same rule, bit-identical results, different topology) register
 // through add_variant so the property harness covers them automatically.
@@ -50,12 +51,19 @@ struct LtoVcgOptions {
   /// k > 1 = exactly k contiguous batch spans. Any shard count produces
   /// identical allocations and payments; only wall time changes.
   std::size_t shards = 0;
-  /// Shard-worker count, consumed by the "lto-vcg-dist" key: the round's
-  /// winner determination runs on the DistributedWdp coordinator over an
-  /// in-process loopback transport with this many workers (0 picks the
-  /// key's default of 2). Bit-identical allocations and payments for any
-  /// worker count; only execution topology changes.
+  /// Shard-worker count, consumed by the "lto-vcg-dist" and
+  /// "lto-vcg-dist-pipe" keys: the round's winner determination runs on
+  /// the DistributedWdp coordinator over an in-process loopback transport
+  /// with this many workers (0 picks the key's default of 2).
+  /// Bit-identical allocations and payments for any worker count; only
+  /// execution topology changes.
   std::size_t dist_workers = 0;
+  /// Round-pipeline depth, consumed by the "lto-vcg-dist-pipe" key: up to
+  /// this many auction rounds stay in flight over the shard transport at
+  /// once, each on its own scratch lane (0 picks the key's default of 2;
+  /// 1 degenerates to lto-vcg-dist). Any depth produces bit-identical
+  /// trajectories; depth only overlaps straggler waits.
+  std::size_t dist_pipeline_depth = 0;
   /// Externally-owned RoundScratch shared across mechanisms (nullptr =
   /// each mechanism owns a private one). Multi-mechanism comparison runs
   /// hand every LTO-family mechanism the same warmed scratch so only the
@@ -68,7 +76,10 @@ struct LtoVcgOptions {
   /// queue first. Results are bit-identical to synchronous settlement; only
   /// when the caller's round loop overlaps work with the pending
   /// settlement does wall time change. The "lto-vcg-async" key forces this
-  /// on; the knob extends it to any lto-vcg* key.
+  /// on; the knob extends it to any lto-vcg* key except
+  /// "lto-vcg-dist-pipe", which ignores it (pipelined retirement settles
+  /// synchronously — each settle validates the next round's speculative
+  /// dispatch).
   bool async_settle = false;
 };
 

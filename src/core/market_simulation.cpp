@@ -47,30 +47,35 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
 
   auto* lto =
       dynamic_cast<LongTermOnlineVcgMechanism*>(mechanism.underlying());
+  // Pipelined distributed rounds engage below for a bare (undecorated) LTO
+  // mechanism with dist_pipeline_depth > 1.
+  const bool pipelined = lto != nullptr && lto->pipeline_depth() > 1 &&
+                         mechanism.underlying() == &mechanism;
 
   // Streamed settlement: the settler applies settle() on the shared pool;
   // the flush barrier at the top of each round keeps stateful rules
   // scoring against fully-settled queues — bit-identical trajectories.
   // A mechanism that is already an async decorator (underlying() reaches
   // through it) streams on its own; stacking a second queue would double
-  // every copy and drain for zero extra overlap.
+  // every copy and drain for zero extra overlap. The pipelined loop
+  // settles synchronously instead (see below).
   std::optional<AsyncSettler> settler;
-  if (spec.async_settle && mechanism.underlying() == &mechanism) {
+  if (spec.async_settle && !pipelined && mechanism.underlying() == &mechanism) {
     settler.emplace(mechanism);
   }
 
   // Round-pipeline buffers reused across rounds (zero-allocation steady
   // state once capacities settle).
-  CandidateBatch batch;
-  batch.reserve(spec.num_clients);
   MechanismResult outcome;
   RoundSettlement settlement;
 
-  for (std::size_t round = 0; round < spec.rounds; ++round) {
-    if (settler.has_value()) settler->flush();
-    const std::vector<double> costs = cost_model.draw_round(cost_rng);
-
-    // SoA slate: every client bids, so batch row i is client i.
+  // SoA slate for one round: every client bids, so batch row i is client i.
+  // Cost and bid draws happen in strict round order on their dedicated RNG
+  // streams, so the slate sequence is identical whether rounds execute one
+  // at a time or feed the pipelined mechanism ahead of retirement.
+  const auto build_batch = [&](CandidateBatch& batch,
+                               const std::vector<double>& costs,
+                               std::size_t round) {
     batch.clear();
     for (std::size_t i = 0; i < spec.num_clients; ++i) {
       const econ::BiddingStrategy& strategy =
@@ -78,16 +83,12 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
                                                             : truthful;
       batch.emplace(i, values[i], strategy.bid(costs[i], round, bid_rng), 1.0);
     }
+  };
 
-    RoundContext context;
-    context.round = round;
-    context.max_winners = spec.max_winners;
-    context.per_round_budget = spec.per_round_budget;
-
-    outcome.winners.clear();
-    outcome.payments.clear();
-    mechanism.run_round_into(batch, context, outcome);
-
+  // Records one completed round (called in strict round order) and leaves
+  // its settlement in `settlement` for the caller to report.
+  const auto record_round = [&](std::size_t round, const CandidateBatch& batch,
+                                const std::vector<double>& costs) {
     double round_welfare = 0.0;
     settlement.round = round;
     settlement.total_payment = 0.0;
@@ -111,15 +112,76 @@ MarketResult run_market(sfl::auction::Mechanism& mechanism, const MarketSpec& sp
     const double round_payment = outcome.total_payment();
     budget.record_round(round_payment);
     settlement.total_payment = round_payment;
-    if (settler.has_value()) {
-      settler->enqueue(settlement);  // swap semantics: storage is recycled
-    } else {
-      mechanism.settle(settlement);
-    }
-
     result.welfare_series.push_back(round_welfare);
     result.payment_series.push_back(round_payment);
     result.cumulative_payment_series.push_back(budget.cumulative_payment());
+  };
+
+  // Pipelined distributed rounds: the mechanism is fed up to `depth` rounds
+  // ahead on per-round batch lanes, and completed rounds retire + settle in
+  // strict round order — span dispatch for round t+1 overlaps round t's
+  // straggler waits while the settled trajectory stays bit-identical to the
+  // synchronous loop (the pipelined soak suite enforces exact equality).
+  // Settlement is synchronous here by design: the settle is the event that
+  // validates the next round's speculative dispatch, so it cannot trail on
+  // the async settler (spec.async_settle is ignored on this path).
+  if (pipelined) {
+    struct RoundLane {
+      CandidateBatch batch;
+      std::vector<double> costs;
+      std::size_t round = 0;
+    };
+    const std::size_t depth = std::min(lto->pipeline_depth(), spec.rounds);
+    std::vector<RoundLane> lanes(depth);
+    for (RoundLane& lane : lanes) lane.batch.reserve(spec.num_clients);
+
+    std::size_t next_round = 0;
+    const auto submit_next = [&] {
+      RoundLane& lane = lanes[next_round % depth];
+      lane.round = next_round;
+      lane.costs = cost_model.draw_round(cost_rng);
+      build_batch(lane.batch, lane.costs, next_round);
+      RoundContext context;
+      context.round = next_round;
+      context.max_winners = spec.max_winners;
+      context.per_round_budget = spec.per_round_budget;
+      lto->submit_round(lane.batch, context);
+      ++next_round;
+    };
+
+    while (next_round < depth) submit_next();
+    for (std::size_t round = 0; round < spec.rounds; ++round) {
+      const RoundLane& lane = lanes[round % depth];
+      outcome.winners.clear();
+      outcome.payments.clear();
+      lto->retire_round_into(outcome);
+      record_round(lane.round, lane.batch, lane.costs);
+      mechanism.settle(settlement);
+      if (next_round < spec.rounds) submit_next();
+    }
+  } else {
+    CandidateBatch batch;
+    batch.reserve(spec.num_clients);
+    for (std::size_t round = 0; round < spec.rounds; ++round) {
+      if (settler.has_value()) settler->flush();
+      const std::vector<double> costs = cost_model.draw_round(cost_rng);
+      build_batch(batch, costs, round);
+
+      RoundContext context;
+      context.round = round;
+      context.max_winners = spec.max_winners;
+      context.per_round_budget = spec.per_round_budget;
+
+      outcome.winners.clear();
+      outcome.payments.clear();
+      mechanism.run_round_into(batch, context, outcome);
+      record_round(round, batch, costs);
+      if (settler.has_value()) {
+        settler->enqueue(settlement);  // swap semantics: storage is recycled
+      } else {
+        mechanism.settle(settlement);
+      }
+    }
   }
 
   // Final barrier: the last round's settlement must land before queue

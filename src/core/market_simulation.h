@@ -33,7 +33,10 @@ struct MarketSpec {
   /// core::AsyncSettler on the shared pool, with a flush barrier before
   /// each run_round and before final queue reads — results are
   /// bit-identical to the synchronous path (the async determinism suite
-  /// enforces this for every registry mechanism).
+  /// enforces this for every registry mechanism). Ignored when the
+  /// mechanism pipelines distributed rounds (dist_pipeline_depth > 1):
+  /// that loop settles synchronously, because each settle validates the
+  /// next round's speculative dispatch.
   bool async_settle = false;
   std::uint64_t seed = 7;
 };

@@ -19,6 +19,19 @@ using sfl::auction::RoundScratch;
 using sfl::auction::ScoreWeights;
 using sfl::util::require;
 
+namespace {
+
+/// Empty penalties passed as a temporary ({} at the call site) would leave
+/// a dangling lane pointer once submit() returns; alias them to one static
+/// instance instead. Non-empty penalties are caller-owned until retirement,
+/// like the batch and the scratch.
+const Penalties& stable_penalties(const Penalties& penalties) {
+  static const Penalties kEmpty{};
+  return penalties.empty() ? kEmpty : penalties;
+}
+
+}  // namespace
+
 DistributedWdp::DistributedWdp(DistributedWdpConfig config,
                                std::unique_ptr<ShardTransport> transport)
     : config_(config),
@@ -30,6 +43,9 @@ DistributedWdp::DistributedWdp(DistributedWdpConfig config,
           sfl::auction::ShardedWdpConfig{.shards = 1})) {
   require(config_.max_attempts_per_shard >= 1,
           "need at least one dispatch attempt per shard");
+  require(config_.pipeline_depth >= 1,
+          "pipeline depth must be >= 1 (1 = strictly serial rounds)");
+  lanes_.resize(config_.pipeline_depth);
   worker_dead_.assign(transport_->worker_count(), false);
 }
 
@@ -44,35 +60,38 @@ std::size_t DistributedWdp::effective_shards(std::size_t n) const {
   return std::min(std::max<std::size_t>(shards, 1), n);
 }
 
-void DistributedWdp::fill_request(const CandidateBatch& batch,
-                                  const ScoreWeights& weights,
-                                  std::size_t max_winners,
-                                  const Penalties& penalties, std::size_t n,
-                                  std::size_t shards,
-                                  std::size_t shard) const {
+DistributedWdp::Lane* DistributedWdp::lane_for_seq(std::uint64_t seq) const {
+  for (std::size_t offset = 0; offset < count_; ++offset) {
+    Lane& lane = lane_at(offset);
+    if (lane.seq == seq) return &lane;
+  }
+  return nullptr;
+}
+
+void DistributedWdp::fill_request(const Lane& lane, std::size_t shard) const {
   const auto [begin, end] =
-      sfl::util::ThreadPool::chunk_range(n, shards, shard);
-  request_.round = round_seq_;
+      sfl::util::ThreadPool::chunk_range(lane.n, lane.shards, shard);
+  request_.round = lane.seq;
   request_.shard = static_cast<std::uint32_t>(shard);
-  request_.shard_count = static_cast<std::uint32_t>(shards);
+  request_.shard_count = static_cast<std::uint32_t>(lane.shards);
   request_.begin = begin;
-  request_.max_winners = max_winners;
-  request_.weights = weights;
-  const std::span<const sfl::auction::ClientId> ids = batch.ids();
-  const std::span<const double> values = batch.values();
-  const std::span<const double> bids = batch.bids();
+  request_.max_winners = lane.max_winners;
+  request_.weights = lane.weights;
+  const std::span<const sfl::auction::ClientId> ids = lane.batch->ids();
+  const std::span<const double> values = lane.batch->values();
+  const std::span<const double> bids = lane.batch->bids();
   request_.ids.assign(ids.begin() + begin, ids.begin() + end);
   request_.values.assign(values.begin() + begin, values.begin() + end);
   request_.bids.assign(bids.begin() + begin, bids.begin() + end);
-  if (penalties.empty()) {
+  if (lane.penalties->empty()) {
     request_.penalties.clear();
   } else {
-    request_.penalties.assign(penalties.begin() + begin,
-                              penalties.begin() + end);
+    request_.penalties.assign(lane.penalties->begin() + begin,
+                              lane.penalties->begin() + end);
   }
 }
 
-bool DistributedWdp::dispatch(std::size_t shard) const {
+bool DistributedWdp::dispatch(const Lane& lane, std::size_t shard) const {
   const std::size_t workers = transport_->worker_count();
   encode(request_, frame_);
   // First attempt starts at the shard's home worker; every retry starts
@@ -80,7 +99,7 @@ bool DistributedWdp::dispatch(std::size_t shard) const {
   // replies lost) cannot absorb all of a shard's attempts — re-dispatch
   // really does reach the NEXT live worker. Known-dead workers are
   // skipped; a send() that throws marks its worker dead and moves on.
-  const std::size_t start = shard + (attempts_[shard] - 1);
+  const std::size_t start = shard + (lane.attempts[shard] - 1);
   for (std::size_t offset = 0; offset < workers; ++offset) {
     const std::size_t worker = (start + offset) % workers;
     if (worker_dead_[worker]) continue;
@@ -96,138 +115,116 @@ bool DistributedWdp::dispatch(std::size_t shard) const {
   return false;
 }
 
-void DistributedWdp::recompute_locally(const CandidateBatch& batch,
-                                       const ScoreWeights& weights,
-                                       std::size_t max_winners,
-                                       const Penalties& penalties,
-                                       std::size_t n, std::size_t shards,
-                                       std::size_t shard,
-                                       RoundScratch& scratch) const {
+void DistributedWdp::recompute_locally(Lane& lane, std::size_t shard) const {
   // Exact worker math on the exact request content — a recovered span is
   // indistinguishable from a delivered one.
-  fill_request(batch, weights, max_winners, penalties, n, shards, shard);
+  fill_request(lane, shard);
   compute_survivors(request_, reply_);
   for (const SurvivorEntry& entry : reply_.survivors) {
-    scratch.scores[entry.index] = entry.score;
-    scratch.survivors.push_back(static_cast<std::size_t>(entry.index));
+    lane.scratch->scores[entry.index] = entry.score;
+    lane.scratch->survivors.push_back(static_cast<std::size_t>(entry.index));
   }
-  shard_done_[shard] = true;
-  --remaining_;
+  lane.shard_done[shard] = true;
+  --lane.remaining;
   ++stats_.local_recomputes;
 }
 
-void DistributedWdp::accept_reply(std::size_t n, std::size_t shards,
-                                  std::size_t max_winners,
-                                  RoundScratch& scratch) const {
+void DistributedWdp::recover(Lane& lane, std::size_t shard) const {
+  if (!config_.allow_local_fallback) {
+    throw DistributedWdpError(
+        "distributed WDP: shard " + std::to_string(shard) + " lost after " +
+        std::to_string(lane.attempts[shard]) +
+        " dispatch attempts and local fallback is disabled");
+  }
+  recompute_locally(lane, shard);
+}
+
+void DistributedWdp::dispatch_all(Lane& lane) const {
+  for (std::size_t shard = 0; shard < lane.shards; ++shard) {
+    lane.attempts[shard] = 1;
+    fill_request(lane, shard);
+    if (!dispatch(lane, shard)) recover(lane, shard);
+  }
+}
+
+void DistributedWdp::accept_reply() const {
   try {
     decode(frame_, reply_);
   } catch (const WireError&) {
     ++stats_.rejected_replies;  // corrupt frame: never accepted
     return;
   }
-  // Stale rounds and already-satisfied shards (duplicates, replies racing a
-  // re-dispatch or a local recompute) are dropped, not errors.
-  if (reply_.round != round_seq_ || reply_.shard >= shards ||
-      shard_done_[reply_.shard]) {
+  // Route by dispatch generation: the sequence number names exactly one
+  // active lane. Retired rounds and abandoned (re-dispatched, resubmitted)
+  // generations match nothing and are dropped — a stale frame can never be
+  // merged into a different round, whatever the pipeline depth.
+  Lane* const lane = lane_for_seq(reply_.round);
+  if (lane == nullptr || reply_.shard >= lane->shards ||
+      lane->shard_done[reply_.shard]) {
     ++stats_.ignored_replies;
     return;
   }
-  // The reply must describe exactly the span the coordinator dispatched,
+  // The reply must describe exactly the span THIS round's dispatch named,
   // with exactly the survivor count the worker math produces — anything
   // else is a corrupt-but-checksummed or byzantine frame and is rejected
   // (the recovery path re-covers the shard).
   const auto [begin, end] =
-      sfl::util::ThreadPool::chunk_range(n, shards, reply_.shard);
+      sfl::util::ThreadPool::chunk_range(lane->n, lane->shards, reply_.shard);
   const std::size_t span = end - begin;
-  const std::size_t local_cap = std::min(max_winners + 1, n);
+  const std::size_t local_cap = std::min(lane->max_winners + 1, lane->n);
   const std::size_t expected = std::min(local_cap, span);
-  if (reply_.shard_count != shards || reply_.begin != begin ||
+  if (reply_.shard_count != lane->shards || reply_.begin != begin ||
       reply_.count != span || reply_.survivors.size() != expected) {
     ++stats_.rejected_replies;
     return;
   }
   for (const SurvivorEntry& entry : reply_.survivors) {
-    scratch.scores[entry.index] = entry.score;
-    scratch.survivors.push_back(static_cast<std::size_t>(entry.index));
+    lane->scratch->scores[entry.index] = entry.score;
+    lane->scratch->survivors.push_back(static_cast<std::size_t>(entry.index));
   }
-  shard_done_[reply_.shard] = true;
-  --remaining_;
+  lane->shard_done[reply_.shard] = true;
+  --lane->remaining;
 }
 
-const Allocation& DistributedWdp::select_top_m(
-    const CandidateBatch& batch, const ScoreWeights& weights,
-    std::size_t max_winners, const Penalties& penalties,
-    RoundScratch& scratch) const {
-  // Same preconditions as the in-process engines.
-  require(weights.bid_weight > 0.0,
-          "bid weight must be > 0 (otherwise bids do not matter)");
-  require(weights.value_weight >= 0.0, "value weight must be >= 0");
-  require(penalties.empty() || penalties.size() == batch.size(),
-          "penalties must be empty or one per candidate");
-  if (sfl::util::validate_mode_enabled()) validate_batch(batch);
-
-  Allocation& allocation = scratch.allocation;
-  allocation.selected.clear();
-  allocation.total_score = 0.0;
-  scratch.survivors.clear();
-  scratch.order.clear();
-  const std::size_t n = batch.size();
-  if (n == 0) {
-    scratch.scores.clear();
-    return allocation;
-  }
-
-  scratch.scores.resize(n);
-  const std::size_t shards = effective_shards(n);
-  ++round_seq_;
-  stats_ = RoundStats{};
-  shard_done_.assign(shards, false);
-  attempts_.assign(shards, 0);
-  remaining_ = shards;
-
-  const auto recover = [&](std::size_t shard) {
-    if (!config_.allow_local_fallback) {
-      throw DistributedWdpError(
-          "distributed WDP: shard " + std::to_string(shard) + " lost after " +
-          std::to_string(attempts_[shard]) +
-          " dispatch attempts and local fallback is disabled");
-    }
-    recompute_locally(batch, weights, max_winners, penalties, n, shards,
-                      shard, scratch);
-  };
-
-  // Dispatch phase: one request per shard.
-  for (std::size_t shard = 0; shard < shards; ++shard) {
-    attempts_[shard] = 1;
-    fill_request(batch, weights, max_winners, penalties, n, shards, shard);
-    if (!dispatch(shard)) recover(shard);
-  }
-
-  // Collect + recovery loop. Terminates: every timeout pass either resolves
-  // a shard locally or increments its bounded attempt count.
-  while (remaining_ > 0) {
+void DistributedWdp::collect(Lane& lane) const {
+  // Collect + recovery loop for the round being retired. Replies for
+  // younger in-flight rounds pumped up along the way are banked into their
+  // own lanes; timeout recovery touches only THIS round (younger rounds get
+  // their recovery passes when they become the oldest). Terminates: every
+  // timeout pass either resolves one of this round's shards locally or
+  // increments its bounded attempt count.
+  while (lane.remaining > 0) {
     if (transport_->receive(frame_, config_.receive_timeout)) {
-      accept_reply(n, shards, max_winners, scratch);
+      accept_reply();
       continue;
     }
-    for (std::size_t shard = 0; shard < shards && remaining_ > 0; ++shard) {
-      if (shard_done_[shard]) continue;
-      if (attempts_[shard] >= config_.max_attempts_per_shard) {
-        recover(shard);
+    for (std::size_t shard = 0; shard < lane.shards && lane.remaining > 0;
+         ++shard) {
+      if (lane.shard_done[shard]) continue;
+      if (lane.attempts[shard] >= config_.max_attempts_per_shard) {
+        recover(lane, shard);
         continue;
       }
-      ++attempts_[shard];
+      ++lane.attempts[shard];
       ++stats_.redispatches;
-      fill_request(batch, weights, max_winners, penalties, n, shards, shard);
-      if (!dispatch(shard)) recover(shard);
+      fill_request(lane, shard);
+      if (!dispatch(lane, shard)) recover(lane, shard);
     }
   }
+}
 
+void DistributedWdp::merge(Lane& lane) const {
   // Merge: identical to ShardedWdp — the survivor multiset is the same for
   // any routing/fault history, and the strict total order makes the sorted
   // sequence (hence allocation and threshold) a pure function of the batch.
+  RoundScratch& scratch = *lane.scratch;
+  Allocation& allocation = scratch.allocation;
+  allocation.selected.clear();
+  allocation.total_score = 0.0;
+  if (lane.n == 0) return;
+
   double* const scores = scratch.scores.data();
-  const std::span<const sfl::auction::ClientId> ids = batch.ids();
+  const std::span<const sfl::auction::ClientId> ids = lane.batch->ids();
   const auto better = [scores, ids](std::size_t a, std::size_t b) {
     if (scores[a] != scores[b]) return scores[a] > scores[b];
     if (ids[a] != ids[b]) return ids[a] < ids[b];
@@ -235,7 +232,8 @@ const Allocation& DistributedWdp::select_top_m(
   };
   std::sort(scratch.survivors.begin(), scratch.survivors.end(), better);
 
-  const std::size_t prefix = std::min(max_winners, scratch.survivors.size());
+  const std::size_t prefix =
+      std::min(lane.max_winners, scratch.survivors.size());
   for (std::size_t k = 0; k < prefix; ++k) {
     const std::size_t index = scratch.survivors[k];
     if (scores[index] <= 0.0) break;  // merged order; the rest are <= 0 too
@@ -243,7 +241,153 @@ const Allocation& DistributedWdp::select_top_m(
     allocation.total_score += scores[index];
   }
   std::sort(allocation.selected.begin(), allocation.selected.end());
-  return allocation;
+}
+
+void DistributedWdp::release_lane(Lane& lane) {
+  lane.batch = nullptr;
+  lane.penalties = nullptr;
+  lane.scratch = nullptr;
+  lane.seq = 0;
+}
+
+void DistributedWdp::pop_oldest_lane() const {
+  release_lane(lanes_[head_]);
+  head_ = (head_ + 1) % lanes_.size();
+  --count_;
+}
+
+DistributedWdp::RoundHandle DistributedWdp::submit(
+    const CandidateBatch& batch, const ScoreWeights& weights,
+    std::size_t max_winners, const Penalties& penalties,
+    RoundScratch& scratch) const {
+  // Same preconditions as the in-process engines, checked at dispatch time.
+  require(weights.bid_weight > 0.0,
+          "bid weight must be > 0 (otherwise bids do not matter)");
+  require(weights.value_weight >= 0.0, "value weight must be >= 0");
+  require(penalties.empty() || penalties.size() == batch.size(),
+          "penalties must be empty or one per candidate");
+  require(count_ < lanes_.size(),
+          "distributed WDP pipeline is full: retire a round before "
+          "submitting another");
+  if (sfl::util::validate_mode_enabled()) validate_batch(batch);
+
+  // Synchronous callers (empty pipeline) keep per-round stats; a pipelined
+  // burst accumulates until it drains.
+  if (count_ == 0) stats_ = RoundStats{};
+
+  Lane& lane = lanes_[(head_ + count_) % lanes_.size()];
+  ++count_;
+  lane.handle = ++handle_counter_;
+  lane.seq = ++seq_counter_;
+  lane.batch = &batch;
+  lane.penalties = &stable_penalties(penalties);
+  lane.scratch = &scratch;
+  lane.weights = weights;
+  lane.max_winners = max_winners;
+  lane.n = batch.size();
+
+  scratch.order.clear();
+  scratch.survivors.clear();
+  scratch.allocation.selected.clear();
+  scratch.allocation.total_score = 0.0;
+  if (lane.n == 0) {
+    scratch.scores.clear();
+    lane.shards = 0;
+    lane.remaining = 0;
+    return lane.handle;
+  }
+  scratch.scores.resize(lane.n);
+  lane.shards = effective_shards(lane.n);
+  lane.shard_done.assign(lane.shards, false);
+  lane.attempts.assign(lane.shards, 0);
+  lane.remaining = lane.shards;
+  try {
+    dispatch_all(lane);
+  } catch (...) {
+    // Fallback disabled and a span unreachable: the round was never
+    // submitted. The newest lane is at the tail, so dropping it leaves
+    // every older in-flight round untouched (its seq goes stale).
+    --count_;
+    release_lane(lane);
+    throw;
+  }
+  return lane.handle;
+}
+
+void DistributedWdp::resubmit(RoundHandle handle, const ScoreWeights& weights,
+                              const Penalties& penalties) const {
+  require(weights.bid_weight > 0.0,
+          "bid weight must be > 0 (otherwise bids do not matter)");
+  require(weights.value_weight >= 0.0, "value weight must be >= 0");
+  Lane* target = nullptr;
+  for (std::size_t offset = 0; offset < count_; ++offset) {
+    Lane& lane = lane_at(offset);
+    if (lane.handle == handle) {
+      target = &lane;
+      break;
+    }
+  }
+  require(target != nullptr, "resubmit: no such in-flight round");
+  require(penalties.empty() || penalties.size() == target->n,
+          "penalties must be empty or one per candidate");
+  Lane& lane = *target;
+  lane.weights = weights;
+  lane.penalties = &stable_penalties(penalties);
+  ++stats_.resubmits;
+  if (lane.n == 0) return;
+  // Abandon the old generation: a fresh sequence number means every reply
+  // the previous dispatch may still produce matches no lane and is
+  // ignored; survivors already banked under the old inputs are discarded.
+  lane.seq = ++seq_counter_;
+  lane.scratch->survivors.clear();
+  lane.shard_done.assign(lane.shards, false);
+  lane.attempts.assign(lane.shards, 0);
+  lane.remaining = lane.shards;
+  dispatch_all(lane);
+}
+
+DistributedWdp::RoundHandle DistributedWdp::retire_oldest() const {
+  require(count_ > 0, "retire_oldest: no rounds in flight");
+  Lane& lane = lanes_[head_];
+  const RoundHandle handle = lane.handle;
+  try {
+    collect(lane);
+    merge(lane);
+    if (lane.n > 0) {
+      pricer_->critical_payments(*lane.batch, lane.weights, lane.max_winners,
+                                 *lane.penalties, *lane.scratch);
+    } else {
+      lane.scratch->payments.clear();
+    }
+  } catch (...) {
+    // An unrecoverable round is abandoned; younger in-flight rounds stay
+    // valid and retirable (their sequences still route).
+    pop_oldest_lane();
+    throw;
+  }
+  pop_oldest_lane();
+  return handle;
+}
+
+const Allocation& DistributedWdp::select_top_m(const CandidateBatch& batch,
+                                               const ScoreWeights& weights,
+                                               std::size_t max_winners,
+                                               const Penalties& penalties,
+                                               RoundScratch& scratch) const {
+  require(count_ == 0,
+          "synchronous select_top_m requires an empty pipeline (use the "
+          "submit/retire_oldest API for in-flight rounds)");
+  submit(batch, weights, max_winners, penalties, scratch);
+  Lane& lane = lanes_[head_];
+  try {
+    collect(lane);
+    merge(lane);
+  } catch (...) {
+    pop_oldest_lane();
+    throw;
+  }
+  pop_oldest_lane();
+  return scratch.allocation;
 }
 
 const std::vector<double>& DistributedWdp::critical_payments(

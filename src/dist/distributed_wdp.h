@@ -1,5 +1,5 @@
 // DistributedWdp: the winner-determination engine distributed over a
-// ShardTransport.
+// ShardTransport, with optional multi-round pipelining.
 //
 // The PR-2 select-then-merge decomposition made the merge step consume only
 // per-shard top-(m+1) survivor sets — a natural network boundary. This
@@ -13,31 +13,55 @@
 // payments are BIT-IDENTICAL to the serial path for any shard count, any
 // worker count, and any reply arrival order.
 //
+// Round lanes (PR 5): the coordinator state machine is a ring of up to
+// `pipeline_depth` in-flight round contexts, each owning its caller-provided
+// RoundScratch plus per-round merge state (shard completion, attempt counts,
+// stats) keyed by a monotonically increasing round sequence number. The
+// async API —
+//
+//   submit(batch, weights, m, penalties, scratch)  -> RoundHandle
+//   resubmit(handle, weights, penalties)           // replace inputs, new seq
+//   retire_oldest()                                // complete + merge + price
+//
+// — lets round t+1's span dispatch proceed while round t still awaits
+// straggler replies: every received frame is validated against the lane its
+// sequence number names (span bounds, shard count, survivor count), frames
+// whose sequence matches no active lane (retired rounds, abandoned
+// re-dispatch generations) are ignored, and rounds RETIRE IN STRICT
+// SUBMISSION ORDER, so a reply can never be merged into the wrong round no
+// matter how the transport delays, duplicates, or reorders it. The classic
+// synchronous WdpEngine entry points still work (they submit and retire one
+// round inline) and require an empty pipeline.
+//
 // Coordinator state machine per round:
 //   dispatch   — every shard is encoded and sent to a worker (round-robin
 //                by shard index, skipping known-dead workers);
-//   collect    — replies are decoded, validated (codec checksum + span and
-//                survivor-count checks against the dispatch), deduplicated
-//                by shard id, and stale-round frames dropped;
-//   recover    — a receive timeout re-dispatches every missing shard to the
+//   collect    — replies are decoded, validated (codec checksum + sequence
+//                lookup + span and survivor-count checks against that
+//                round's dispatch), deduplicated by shard id, and frames
+//                from retired or abandoned sequences dropped;
+//   recover    — while a round is being retired, a receive timeout
+//                re-dispatches every missing shard of THAT round to the
 //                next live worker; after max_attempts_per_shard dispatches
 //                (or with no live worker left) the span is recomputed
 //                locally with the same worker math — or, when local
 //                fallback is disabled, the round fails with the typed
-//                DistributedWdpError;
+//                DistributedWdpError (younger in-flight rounds stay valid);
 //   merge      — identical to ShardedWdp: survivors sorted under (score
 //                desc, ClientId asc, index asc), top-m positive prefix,
 //                threshold payment off the merged order.
 //
-// Determinism: the RESULT is a pure function of the batch and the shard
-// count — faults, reply order, and worker routing only affect wall time
-// and the stats counters. effective_shards defaults to the transport's
-// worker count (never hardware concurrency), so a distributed deployment's
-// allocation is reproducible on any coordinator host.
+// Determinism: each round's RESULT is a pure function of its (batch,
+// weights, penalties, m, shard count) — faults, reply order, pipeline depth,
+// and worker routing only affect wall time and the stats counters.
+// effective_shards defaults to the transport's worker count (never hardware
+// concurrency), so a distributed deployment's allocation is reproducible on
+// any coordinator host.
 //
-// Unlike ShardedWdp, one engine instance must NOT run concurrent rounds:
-// the transport and the reusable codec buffers are single-coordinator
-// state (mutable members behind the const WdpEngine interface).
+// One engine instance is ONE single-threaded coordinator: all calls must
+// come from one thread at a time (the transport and the reusable codec
+// buffers are coordinator state, mutable behind the const WdpEngine
+// interface).
 #pragma once
 
 #include <chrono>
@@ -56,8 +80,9 @@ class ShardedWdp;
 namespace sfl::dist {
 
 /// A round could not be completed: shards were lost and local recomputation
-/// was disabled. The engine is reusable after catching this (the next
-/// round's sequence number invalidates every stale frame).
+/// was disabled. The engine is reusable after catching this (the failed
+/// round is abandoned; its sequence numbers invalidate every stale frame,
+/// and younger in-flight rounds remain retirable).
 class DistributedWdpError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -72,6 +97,12 @@ struct DistributedWdpConfig {
   /// Loopback worker count when the engine builds its own transport
   /// (constructor called without one).
   std::size_t workers = 2;
+  /// Maximum rounds in flight at once (>= 1). 1 reproduces the strictly
+  /// serial coordinator; K lets submit() dispatch round t+K-1's spans while
+  /// round t still awaits stragglers. Depth NEVER changes results, only
+  /// wall time: every round is validated against its own lane and retires
+  /// in submission order.
+  std::size_t pipeline_depth = 1;
   /// How long one collect wait may block before the recovery step runs.
   /// LoopbackTransport simulates timeouts (returns immediately when no
   /// reply is deliverable), so tests never sleep.
@@ -86,14 +117,22 @@ struct DistributedWdpConfig {
 
 class DistributedWdp final : public sfl::auction::WdpEngine {
  public:
-  /// Counters for tests and diagnostics; reset at every select_top_m.
+  /// Identifies one submitted round until it retires (monotonic per engine;
+  /// rounds retire in handle order).
+  using RoundHandle = std::uint64_t;
+
+  /// Counters for tests and diagnostics. Reset whenever a round is
+  /// submitted into an EMPTY pipeline (so the synchronous entry points keep
+  /// their per-round semantics); across a pipelined burst they accumulate
+  /// until the pipeline drains.
   struct RoundStats {
     std::size_t dispatches = 0;        ///< requests handed to the transport
     std::size_t redispatches = 0;      ///< of which were retries
+    std::size_t resubmits = 0;         ///< abandoned dispatch generations
     std::size_t local_recomputes = 0;  ///< spans recovered on the coordinator
-    std::size_t ignored_replies = 0;   ///< stale round / duplicate shard
+    std::size_t ignored_replies = 0;   ///< stale/abandoned seq, duplicate shard
     std::size_t rejected_replies = 0;  ///< corrupt or inconsistent frames
-    std::size_t dead_workers = 0;      ///< workers marked dead this round
+    std::size_t dead_workers = 0;      ///< workers marked dead
   };
 
   /// Builds the engine over `transport`; a null transport gets an
@@ -114,6 +153,48 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
     return stats_;
   }
 
+  // --- pipelined round API --------------------------------------------------
+  //
+  // The caller owns `batch`, `penalties`, and `scratch` and must keep all
+  // three alive and unmodified until the round retires (one RoundScratch
+  // per in-flight round — the per-round scratch lane; an EMPTY penalties
+  // argument may be a temporary, it is aliased to a static instance).
+  // Rounds retire in submission order; the synchronous entry points below
+  // require an empty pipeline.
+
+  [[nodiscard]] std::size_t pipeline_depth() const noexcept {
+    return config_.pipeline_depth;
+  }
+  [[nodiscard]] std::size_t rounds_in_flight() const noexcept { return count_; }
+
+  /// Dispatches every span of a new round and returns its handle. Requires
+  /// rounds_in_flight() < pipeline_depth(). Shards that cannot reach any
+  /// live worker are recovered immediately (local recompute, or
+  /// DistributedWdpError with fallback disabled — the round is then not
+  /// submitted and older in-flight rounds are unaffected).
+  RoundHandle submit(const sfl::auction::CandidateBatch& batch,
+                     const sfl::auction::ScoreWeights& weights,
+                     std::size_t max_winners,
+                     const sfl::auction::Penalties& penalties,
+                     sfl::auction::RoundScratch& scratch) const;
+
+  /// Replaces an in-flight round's scoring inputs (a speculatively
+  /// dispatched round whose upstream state changed): the previous dispatch
+  /// generation is abandoned — its sequence number will match no lane, so
+  /// replies already in flight are ignored — and every span is re-sent
+  /// under a fresh sequence number. `penalties` must be the same caller
+  /// storage handed to submit (its CONTENT may have changed).
+  void resubmit(RoundHandle handle, const sfl::auction::ScoreWeights& weights,
+                const sfl::auction::Penalties& penalties) const;
+
+  /// Completes the OLDEST in-flight round: pumps the transport (replies for
+  /// younger rounds are banked into their own lanes as they appear), runs
+  /// timeout recovery for this round only, merges, prices, and returns its
+  /// handle. Allocation and payments land in the round's own scratch.
+  RoundHandle retire_oldest() const;
+
+  // --- synchronous WdpEngine interface (requires an empty pipeline) ---------
+
   const sfl::auction::Allocation& select_top_m(
       const sfl::auction::CandidateBatch& batch,
       const sfl::auction::ScoreWeights& weights, std::size_t max_winners,
@@ -127,28 +208,57 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
       sfl::auction::RoundScratch& scratch) const override;
 
  private:
-  /// Fills request_ with shard `shard`'s span of the batch.
-  void fill_request(const sfl::auction::CandidateBatch& batch,
-                    const sfl::auction::ScoreWeights& weights,
-                    std::size_t max_winners,
-                    const sfl::auction::Penalties& penalties, std::size_t n,
-                    std::size_t shards, std::size_t shard) const;
+  /// One in-flight round's context: the per-round scratch lane plus the
+  /// merge bookkeeping the coordinator needs to validate replies against
+  /// exactly this round.
+  struct Lane {
+    RoundHandle handle = 0;
+    std::uint64_t seq = 0;  ///< current dispatch generation
+    const sfl::auction::CandidateBatch* batch = nullptr;
+    const sfl::auction::Penalties* penalties = nullptr;
+    sfl::auction::RoundScratch* scratch = nullptr;
+    sfl::auction::ScoreWeights weights{};
+    std::size_t max_winners = 0;
+    std::size_t n = 0;
+    std::size_t shards = 0;
+    std::vector<bool> shard_done;
+    std::vector<std::size_t> attempts;
+    std::size_t remaining = 0;
+  };
+
+  [[nodiscard]] Lane& lane_at(std::size_t offset) const {
+    return lanes_[(head_ + offset) % lanes_.size()];
+  }
+  /// The active lane owning this dispatch generation, or nullptr when the
+  /// sequence belongs to a retired round or an abandoned generation.
+  [[nodiscard]] Lane* lane_for_seq(std::uint64_t seq) const;
+
+  /// Fills request_ with shard `shard`'s span of the lane's batch.
+  void fill_request(const Lane& lane, std::size_t shard) const;
   /// Encodes request_ and sends it to a live worker (round-robin from the
   /// shard's preferred worker). Returns false when no live worker accepted.
-  bool dispatch(std::size_t shard) const;
+  bool dispatch(const Lane& lane, std::size_t shard) const;
+  /// Dispatches (or recovers) every span of the lane's current generation.
+  void dispatch_all(Lane& lane) const;
   /// Recomputes shard `shard` on the coordinator with the worker math and
-  /// accepts the resulting survivors.
-  void recompute_locally(const sfl::auction::CandidateBatch& batch,
-                         const sfl::auction::ScoreWeights& weights,
-                         std::size_t max_winners,
-                         const sfl::auction::Penalties& penalties,
-                         std::size_t n, std::size_t shards, std::size_t shard,
-                         sfl::auction::RoundScratch& scratch) const;
-  /// Validates reply_ against the dispatch parameters and, if it is the
-  /// first valid reply for its shard, accepts its survivors into scratch.
-  void accept_reply(std::size_t n, std::size_t shards,
-                    std::size_t max_winners,
-                    sfl::auction::RoundScratch& scratch) const;
+  /// accepts the resulting survivors into the lane.
+  void recompute_locally(Lane& lane, std::size_t shard) const;
+  /// Local recompute, or the typed failure when fallback is disabled.
+  void recover(Lane& lane, std::size_t shard) const;
+  /// Decodes frame_, routes it to the lane its sequence names, validates it
+  /// against that round's dispatch, and accepts first-valid-per-shard
+  /// survivors into the lane's scratch.
+  void accept_reply() const;
+  /// Pumps the transport and runs timeout recovery until the lane's every
+  /// shard is resolved (the lane must be the oldest in flight).
+  void collect(Lane& lane) const;
+  /// ShardedWdp's exact merge over the lane's survivor multiset.
+  void merge(Lane& lane) const;
+  /// Shared lane teardown: caller pointers dropped, seq zeroed so stale
+  /// lookups cannot match a released lane (seq 0 is never issued).
+  static void release_lane(Lane& lane);
+  /// Drops the oldest lane from the ring (its sequence goes stale).
+  void pop_oldest_lane() const;
 
   DistributedWdpConfig config_;
   std::unique_ptr<ShardTransport> transport_;
@@ -157,16 +267,17 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
   /// one place.
   std::unique_ptr<sfl::auction::ShardedWdp> pricer_;
 
-  // Single-coordinator round state behind the const engine interface (see
-  // file comment: one instance, one round at a time).
-  mutable std::uint64_t round_seq_ = 0;
+  // Single-coordinator state behind the const engine interface (see file
+  // comment: one instance, one coordinator thread).
+  mutable std::uint64_t seq_counter_ = 0;
+  mutable RoundHandle handle_counter_ = 0;
   mutable ShardRequest request_;
   mutable ShardReply reply_;
   mutable Frame frame_;
-  mutable std::vector<bool> shard_done_;
-  mutable std::vector<std::size_t> attempts_;
+  mutable std::vector<Lane> lanes_;  ///< ring of pipeline_depth round lanes
+  mutable std::size_t head_ = 0;     ///< ring index of the oldest lane
+  mutable std::size_t count_ = 0;    ///< lanes currently in flight
   mutable std::vector<bool> worker_dead_;
-  mutable std::size_t remaining_ = 0;
   mutable RoundStats stats_;
 };
 

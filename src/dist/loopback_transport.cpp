@@ -1,6 +1,7 @@
 #include "dist/loopback_transport.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "dist/shard_worker.h"
@@ -14,7 +15,8 @@ LoopbackTransport::LoopbackTransport(std::size_t workers, Handler handler)
                        : [](const Frame& f) { return serve_frame(f); }),
       alive_(workers, true),
       die_on_next_request_(workers, false),
-      muted_(workers, false) {
+      muted_(workers, false),
+      latency_(workers, std::chrono::microseconds{0}) {
   sfl::util::require(workers > 0, "loopback transport needs >= 1 worker");
 }
 
@@ -50,6 +52,9 @@ void LoopbackTransport::send(std::size_t worker, const Frame& frame) {
   Pending pending{.frame = std::move(reply),
                   .from_worker = worker,
                   .ready_after = delay_next_};
+  if (latency_[worker].count() > 0) {
+    pending.ready_at = std::chrono::steady_clock::now() + latency_[worker];
+  }
   delay_next_ = 0;
   if (duplicate_next_) {
     duplicate_next_ = false;
@@ -58,24 +63,47 @@ void LoopbackTransport::send(std::size_t worker, const Frame& frame) {
   queue_.push_back(std::move(pending));
 }
 
-bool LoopbackTransport::receive(Frame& frame, std::chrono::milliseconds) {
+bool LoopbackTransport::receive(Frame& frame, std::chrono::milliseconds timeout) {
   // One receive call = one unit of simulated time: age delayed entries.
   for (Pending& pending : queue_) {
     if (pending.ready_after > 0) --pending.ready_after;
   }
-  const auto deliverable = [](const Pending& p) { return p.ready_after == 0; };
-  if (lifo_) {
-    const auto it = std::find_if(queue_.rbegin(), queue_.rend(), deliverable);
-    if (it == queue_.rend()) return false;
+  const auto pop_deliverable = [this, &frame] {
+    const auto now = std::chrono::steady_clock::now();
+    const auto deliverable = [now](const Pending& p) {
+      return p.ready_after == 0 && p.ready_at <= now;
+    };
+    if (lifo_) {
+      const auto it = std::find_if(queue_.rbegin(), queue_.rend(), deliverable);
+      if (it == queue_.rend()) return false;
+      frame = std::move(it->frame);
+      queue_.erase(std::next(it).base());
+      return true;
+    }
+    const auto it = std::find_if(queue_.begin(), queue_.end(), deliverable);
+    if (it == queue_.end()) return false;
     frame = std::move(it->frame);
-    queue_.erase(std::next(it).base());
+    queue_.erase(it);
     return true;
+  };
+  if (pop_deliverable()) return true;
+
+  // Latency mode only: a reply is in flight on the simulated wire — sleep
+  // toward its deadline (bounded by the caller's timeout) and retry once.
+  // Without wall-clock latencies this path is never armed and receive()
+  // stays a simulated, sleep-free timeout.
+  auto earliest = std::chrono::steady_clock::time_point::max();
+  for (const Pending& pending : queue_) {
+    if (pending.ready_after == 0 &&
+        pending.ready_at != std::chrono::steady_clock::time_point::min() &&
+        pending.ready_at < earliest) {
+      earliest = pending.ready_at;
+    }
   }
-  const auto it = std::find_if(queue_.begin(), queue_.end(), deliverable);
-  if (it == queue_.end()) return false;
-  frame = std::move(it->frame);
-  queue_.erase(it);
-  return true;
+  if (earliest == std::chrono::steady_clock::time_point::max()) return false;
+  std::this_thread::sleep_until(
+      std::min(earliest, std::chrono::steady_clock::now() + timeout));
+  return pop_deliverable();
 }
 
 void LoopbackTransport::kill_worker(std::size_t worker) {
@@ -96,6 +124,12 @@ void LoopbackTransport::mute_worker(std::size_t worker) {
   muted_[worker] = true;
 }
 
+void LoopbackTransport::set_worker_latency(std::size_t worker,
+                                           std::chrono::microseconds latency) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  latency_[worker] = latency;
+}
+
 void LoopbackTransport::corrupt_next_reply(std::size_t byte_index,
                                            unsigned char xor_mask) {
   corrupt_armed_ = true;
@@ -111,6 +145,7 @@ void LoopbackTransport::clear_faults() {
   lifo_ = false;
   std::fill(die_on_next_request_.begin(), die_on_next_request_.end(), false);
   std::fill(muted_.begin(), muted_.end(), false);
+  std::fill(latency_.begin(), latency_.end(), std::chrono::microseconds{0});
 }
 
 bool LoopbackTransport::worker_alive(std::size_t worker) const {

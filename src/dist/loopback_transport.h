@@ -30,8 +30,16 @@
 // Timeouts are simulated: receive() returns false immediately when nothing
 // is deliverable (after aging delayed entries by one receive call), so
 // fault tests never sleep.
+//
+// A second, opt-in clock exists for benchmarks: set_worker_latency(w, d)
+// stamps every reply from w as deliverable only d of wall time after the
+// send, and receive() then really sleeps until the earliest pending reply
+// (or the timeout) — a scripted straggler whose cost the pipelined
+// coordinator can overlap. Latency zero (the default) keeps the
+// simulated-time behavior exactly, so fault suites never sleep.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -71,6 +79,12 @@ class LoopbackTransport final : public ShardTransport {
   }
   void corrupt_next_reply(std::size_t byte_index, unsigned char xor_mask);
   void deliver_lifo(bool enabled) { lifo_ = enabled; }
+  /// Wall-clock reply latency for one worker (0 = instant, the default):
+  /// every subsequent reply from `worker` becomes deliverable only after
+  /// this much real time, and receive() sleeps toward the earliest pending
+  /// deadline instead of returning immediately. Benchmarks script a
+  /// straggler with it; deterministic fault tests should keep it at zero.
+  void set_worker_latency(std::size_t worker, std::chrono::microseconds latency);
   /// Disarms every pending fault (dead workers stay dead; queued replies
   /// stay queued) — ends a scripted scenario cleanly.
   void clear_faults();
@@ -86,6 +100,9 @@ class LoopbackTransport final : public ShardTransport {
     Frame frame;
     std::size_t from_worker = 0;
     std::size_t ready_after = 0;  ///< receive() calls until deliverable
+    /// Wall-clock deadline (latency mode only); time_point::min() = now.
+    std::chrono::steady_clock::time_point ready_at =
+        std::chrono::steady_clock::time_point::min();
   };
 
   std::size_t workers_;
@@ -93,6 +110,7 @@ class LoopbackTransport final : public ShardTransport {
   std::vector<bool> alive_;
   std::vector<bool> die_on_next_request_;
   std::vector<bool> muted_;
+  std::vector<std::chrono::microseconds> latency_;
   std::deque<Pending> queue_;
 
   std::size_t drop_next_ = 0;

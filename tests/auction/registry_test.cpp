@@ -25,10 +25,10 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
   const auto& registry = MechanismRegistry::global();
   const std::vector<std::string> expected{
       "lto-vcg",        "lto-vcg-sharded",  "lto-vcg-dist",
-      "lto-vcg-async",  "lto-vcg-unpaced",  "myopic-vcg",
-      "pay-as-bid",     "fixed-price",      "adaptive-price",
-      "random-stipend", "proportional-share", "first-best-oracle",
-      "budgeted-oracle"};
+      "lto-vcg-dist-pipe", "lto-vcg-async", "lto-vcg-unpaced",
+      "myopic-vcg",     "pay-as-bid",       "fixed-price",
+      "adaptive-price", "random-stipend",   "proportional-share",
+      "first-best-oracle", "budgeted-oracle"};
   EXPECT_EQ(registry.names(), expected);
   EXPECT_EQ(registry.size(), expected.size());
   for (const std::string& name : expected) {
@@ -51,7 +51,7 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
   }
   EXPECT_EQ(lto_variants,
             (std::vector<std::string>{"lto-vcg-sharded", "lto-vcg-dist",
-                                      "lto-vcg-async"}));
+                                      "lto-vcg-dist-pipe", "lto-vcg-async"}));
 }
 
 TEST(MechanismRegistryTest, RoundTripOverEveryRegisteredName) {

@@ -17,8 +17,10 @@
 //  - per-round budget feasibility where the rule guarantees it
 //    (proportional-share exactly; budgeted-oracle up to its DP resolution);
 //  - settlement: settle() on the round's own outcome never throws;
-//  - trajectory equality: serial, sharded, and async LTO-VCG stay
-//    bit-identical over multi-round settled trajectories.
+//  - trajectory equality: every registered execution variant of LTO-VCG
+//    (sharded, async, distributed, pipelined-distributed — enumerated from
+//    the registry's variant_of tags) stays bit-identical to the serial
+//    mechanism over multi-round settled trajectories.
 //
 // Reproducing failures: every trial logs its seed; run
 //   <binary> --seed=N
@@ -371,9 +373,10 @@ TEST(LtoExecutionModesProperty, AllRegisteredVariantTrajectoriesBitIdentical) {
       owned.push_back(build_mechanism(info.name, variant_config));
       variant_config.lto.shards = 3;
       variant_config.lto.dist_workers = 3;
+      variant_config.lto.dist_pipeline_depth = 3;  // pipelined keys only
       owned.push_back(build_mechanism(info.name, variant_config));
     }
-    ASSERT_GE(owned.size(), 6u) << "variant tags disappeared from the registry";
+    ASSERT_GE(owned.size(), 8u) << "variant tags disappeared from the registry";
     std::vector<sfl::auction::Mechanism*> variants;
     for (const auto& mechanism : owned) variants.push_back(mechanism.get());
 
