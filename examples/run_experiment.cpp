@@ -78,10 +78,11 @@ int main(int argc, char** argv) {
   const Config args = Config::from_args(argc, argv);
 
   if (args.get_string("mechanism", "lto-vcg") == "list") {
-    sfl::util::TablePrinter listing({"mechanism", "description"});
+    sfl::util::TablePrinter listing({"mechanism", "variant_of", "description"});
     for (const auto& info :
          sfl::auction::MechanismRegistry::global().describe()) {
-      listing.row(info.name, info.description);
+      listing.row(info.name, info.variant_of.empty() ? "-" : info.variant_of,
+                  info.description);
     }
     listing.print(std::cout);
     return 0;

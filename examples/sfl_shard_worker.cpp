@@ -40,6 +40,20 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     constexpr const char* kPortFlag = "--port=";
+    if (arg == "--help" || arg == "-h") {
+      std::cout
+          << "usage: sfl_shard_worker [--port=P]\n"
+             "\n"
+             "Standalone distributed-WDP shard worker process.\n"
+             "\n"
+             "  --port=P   bind 127.0.0.1:P (default 0 = ephemeral port)\n"
+             "  --help     show this message and exit\n"
+             "\n"
+             "Prints 'sfl_shard_worker listening on 127.0.0.1:<port>' once\n"
+             "serving; runs until SIGTERM/SIGINT. Exit codes: 0 clean, 2 bad\n"
+             "usage, 3 socket cannot be bound.\n";
+      return 0;
+    }
     if (arg.rfind(kPortFlag, 0) == 0) {
       char* end = nullptr;
       port = std::strtol(arg.c_str() + std::string(kPortFlag).size(), &end, 10);

@@ -6,11 +6,13 @@
 #include <cstring>
 #include <vector>
 
+#include "dist/wire_format.h"
+
 namespace sfl::dist {
 
-namespace {
+// --- shared frame-format primitives (dist/wire_format.h) --------------------
 
-// --- little-endian primitives ----------------------------------------------
+namespace wire {
 
 void put_u32(Frame& out, std::uint32_t v) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -28,89 +30,73 @@ void put_f64(Frame& out, double v) {
   put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 
-/// Bounds-checked sequential reader over a payload. Every read that would
-/// pass the end throws WireError — the decoder can never run off a
-/// truncated or length-corrupted buffer.
-class Cursor {
- public:
-  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
+void Cursor::need(std::size_t bytes) const {
+  if (bytes > remaining()) throw WireError("wire: payload truncated");
+}
 
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return bytes_.size() - offset_;
+void Cursor::require_elems(std::size_t count, std::size_t elem_size) const {
+  if (count > remaining() / elem_size) {
+    throw WireError("wire: array length exceeds payload");
   }
+}
 
-  std::uint8_t u8() {
-    need(1);
-    return static_cast<std::uint8_t>(bytes_[offset_++]);
+std::uint8_t Cursor::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[offset_++]);
+}
+
+std::uint16_t Cursor::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(bytes_[offset_ + i]) << (8 * i));
   }
+  offset_ += 2;
+  return v;
+}
 
-  std::uint16_t u16() {
-    need(2);
-    std::uint16_t v = 0;
-    for (int i = 0; i < 2; ++i) {
-      v |= static_cast<std::uint16_t>(
-          static_cast<std::uint16_t>(bytes_[offset_ + i]) << (8 * i));
-    }
-    offset_ += 2;
-    return v;
+std::uint32_t Cursor::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
   }
+  offset_ += 4;
+  return v;
+}
 
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
-    }
-    offset_ += 4;
-    return v;
+std::uint64_t Cursor::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
   }
+  offset_ += 8;
+  return v;
+}
 
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
-    }
-    offset_ += 8;
-    return v;
+double Cursor::f64() { return std::bit_cast<double>(u64()); }
+
+void Cursor::u64_array(std::vector<std::uint64_t>& out, std::size_t count) {
+  require_elems(count, 8);
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = u64();
+}
+
+void Cursor::f64_array(std::vector<double>& out, std::size_t count) {
+  require_elems(count, 8);
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = f64();
+}
+
+void Cursor::expect_exhausted() const {
+  if (offset_ != bytes_.size()) {
+    throw WireError("wire: trailing bytes after payload fields");
   }
+}
 
-  double f64() { return std::bit_cast<double>(u64()); }
-
-  void u64_array(std::vector<std::uint64_t>& out, std::size_t count) {
-    need_elems(count, 8);
-    out.resize(count);
-    for (std::size_t i = 0; i < count; ++i) out[i] = u64();
-  }
-
-  void f64_array(std::vector<double>& out, std::size_t count) {
-    need_elems(count, 8);
-    out.resize(count);
-    for (std::size_t i = 0; i < count; ++i) out[i] = f64();
-  }
-
-  void expect_exhausted() const {
-    if (offset_ != bytes_.size()) {
-      throw WireError("wire: trailing bytes after payload fields");
-    }
-  }
-
- private:
-  void need(std::size_t bytes) const {
-    if (bytes > remaining()) throw WireError("wire: payload truncated");
-  }
-  /// Guards the resize(count) against a corrupt count that passed the
-  /// checksum only because the whole frame is attacker-shaped: the array
-  /// must actually fit in the remaining payload BEFORE allocating.
-  void need_elems(std::size_t count, std::size_t elem_size) const {
-    if (count > remaining() / elem_size) {
-      throw WireError("wire: array length exceeds payload");
-    }
-  }
-
-  std::span<const std::byte> bytes_;
-  std::size_t offset_ = 0;
-};
+namespace {
 
 void store_u32(Frame& out, std::size_t offset, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -124,9 +110,8 @@ void store_u64(Frame& out, std::size_t offset, std::uint64_t v) {
   }
 }
 
-/// Encoders reserve the header slot up front (begin_frame) and patch it
-/// once the payload is in place (finish_frame) — no prepend, no payload
-/// memmove, and the frame's capacity really is reused across rounds.
+}  // namespace
+
 void begin_frame(Frame& out) {
   out.clear();
   out.resize(kHeaderSize);
@@ -144,8 +129,6 @@ void finish_frame(Frame& out, FrameType type) {
   store_u64(out, 16, fnv1a64(payload));
 }
 
-/// Validates the header and returns the (already checksum-verified)
-/// payload view plus the frame type.
 std::pair<FrameType, std::span<const std::byte>> checked_payload(
     std::span<const std::byte> frame) {
   if (frame.size() < kHeaderSize) throw WireError("wire: frame too short");
@@ -153,8 +136,7 @@ std::pair<FrameType, std::span<const std::byte>> checked_payload(
   if (header.u32() != kWireMagic) throw WireError("wire: bad magic");
   if (header.u8() != kWireVersion) throw WireError("wire: unknown version");
   const std::uint8_t raw_type = header.u8();
-  if (raw_type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-      raw_type != static_cast<std::uint8_t>(FrameType::kReply)) {
+  if (!frame_type_known(raw_type)) {
     throw WireError("wire: unknown frame type");
   }
   if (header.u16() != 0) throw WireError("wire: reserved bits set");
@@ -171,7 +153,17 @@ std::pair<FrameType, std::span<const std::byte>> checked_payload(
   return {static_cast<FrameType>(raw_type), payload};
 }
 
-}  // namespace
+}  // namespace wire
+
+// --- shard protocol codec ---------------------------------------------------
+
+using wire::begin_frame;
+using wire::checked_payload;
+using wire::Cursor;
+using wire::finish_frame;
+using wire::put_f64;
+using wire::put_u32;
+using wire::put_u64;
 
 std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept {
   std::uint64_t hash = 0xcbf29ce484222325ull;
@@ -272,9 +264,7 @@ void decode(std::span<const std::byte> frame, ShardReply& out) {
   out.begin = cursor.u64();
   out.count = cursor.u64();
   const std::uint64_t survivor_count = cursor.u64();
-  if (survivor_count > cursor.remaining() / 16) {
-    throw WireError("wire: survivor count exceeds payload");
-  }
+  cursor.require_elems(survivor_count, 16);
   out.survivors.resize(survivor_count);
   for (SurvivorEntry& entry : out.survivors) {
     entry.index = cursor.u64();

@@ -6,6 +6,11 @@
 //   ShardReply    — the shard's local top-(m+1) survivor set as
 //                   (global index, score) pairs.
 //
+// The same envelope also carries the auction-service RPC messages
+// (SubmitBids / RoundResult / SettlementAck — see src/service/rpc_messages);
+// their FrameType values live here so one type byte names every protocol
+// message, and the shared envelope helpers live in dist/wire_format.h.
+//
 // Frame layout (all integers little-endian, doubles as IEEE-754 bit
 // patterns, so a frame round-trips bit-exactly across hosts):
 //
@@ -51,7 +56,22 @@ inline constexpr std::size_t kHeaderSize = 24;
 /// legitimate shard span).
 inline constexpr std::uint64_t kMaxPayloadBytes = 1ull << 30;
 
-enum class FrameType : std::uint8_t { kRequest = 1, kReply = 2 };
+enum class FrameType : std::uint8_t {
+  // Distributed-WDP shard protocol (this file).
+  kRequest = 1,
+  kReply = 2,
+  // Auction-service RPC layer (src/service/rpc_messages).
+  kSubmitBids = 3,
+  kRoundResult = 4,
+  kSettlementAck = 5,
+};
+
+/// True for a type byte naming any known protocol message (shard protocol
+/// or service RPC); the envelope validator rejects everything else.
+[[nodiscard]] constexpr bool frame_type_known(std::uint8_t raw) noexcept {
+  return raw >= static_cast<std::uint8_t>(FrameType::kRequest) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kSettlementAck);
+}
 
 /// FNV-1a 64-bit over the payload; the frame's integrity check.
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const std::byte> bytes) noexcept;

@@ -1,0 +1,348 @@
+#include "service/auction_service.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sfl::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+AuctionService::AuctionService(AuctionServiceConfig config)
+    : config_(std::move(config)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(127.0.0.1:" +
+                             std::to_string(config_.port) + "): " + why);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen(): " + why);
+  }
+  set_nonblocking(listen_fd_);
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  // Fail unknown mechanism keys at construction, not at the first bid.
+  (void)build_market_mechanism(config_.engine);
+}
+
+AuctionService::~AuctionService() { stop(); }
+
+void AuctionService::start() {
+  if (thread_.joinable()) return;
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(
+        "AuctionService: cannot restart after stop() (socket closed)");
+  }
+  stopping_.store(false);
+  thread_ = std::thread([this] { run(); });
+}
+
+void AuctionService::stop() {
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  for (auto& [fd, conn] : connections_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AuctionService::run() {
+  while (!stopping_.load()) {
+    poll_once(config_.poll_timeout_ms);
+  }
+}
+
+ServiceStats AuctionService::stats() const noexcept {
+  ServiceStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_dropped = connections_dropped_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.frames_received = frames_received_.load();
+  s.bids_received = bids_received_.load();
+  s.rounds_cleared = rounds_cleared_.load();
+  return s;
+}
+
+void AuctionService::poll_once(int timeout_ms) {
+  std::vector<pollfd> pfds;
+  std::vector<int> fds;
+  pfds.reserve(connections_.size() + 1);
+  pfds.push_back(pollfd{.fd = listen_fd_, .events = POLLIN, .revents = 0});
+  fds.push_back(listen_fd_);
+  for (auto& [fd, conn] : connections_) {
+    short events = POLLIN;
+    if (conn.out_offset < conn.out.size()) events |= POLLOUT;
+    pfds.push_back(pollfd{.fd = fd, .events = events, .revents = 0});
+    fds.push_back(fd);
+  }
+
+  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (ready <= 0) return;
+
+  if ((pfds[0].revents & POLLIN) != 0) accept_ready();
+  for (std::size_t i = 1; i < pfds.size(); ++i) {
+    const auto it = connections_.find(fds[i]);
+    if (it == connections_.end() || it->second.dead) continue;
+    Connection& conn = it->second;
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      read_ready(conn);
+    }
+    if (!conn.dead && (pfds[i].revents & POLLOUT) != 0) {
+      flush_writes(conn);
+    }
+  }
+  reap_dead_connections();
+}
+
+void AuctionService::accept_ready() {
+  // Drain the accept queue; the listen socket is non-blocking.
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conn.assembler = FrameAssembler(config_.max_frame_bytes);
+    connections_.emplace(fd, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AuctionService::read_ready(Connection& conn) {
+  std::byte buffer[4096];
+  // Bounded per-tick read budget so one firehose client cannot starve the
+  // rest of the poll cycle.
+  for (int chunk = 0; chunk < 16 && !conn.dead; ++chunk) {
+    const ssize_t got = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (got == 0) {
+      // EOF — also the mid-frame-disconnect case: whatever partial frame
+      // the assembler holds is simply discarded with the connection.
+      drop_connection(conn, /*protocol_error=*/false);
+      return;
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop_connection(conn, /*protocol_error=*/false);
+      return;
+    }
+    if (!conn.assembler.feed(
+            std::span<const std::byte>(buffer, static_cast<std::size_t>(got)))) {
+      drop_connection(conn, /*protocol_error=*/true);
+      return;
+    }
+    while (!conn.dead && conn.assembler.next_frame(frame_scratch_)) {
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      if (!handle_frame(conn, frame_scratch_)) {
+        drop_connection(conn, /*protocol_error=*/true);
+        return;
+      }
+    }
+    if (conn.assembler.condemned()) {
+      drop_connection(conn, /*protocol_error=*/true);
+      return;
+    }
+  }
+}
+
+bool AuctionService::handle_frame(Connection& conn, const Frame& frame) {
+  // Clients may only ever send bid slates; any other (even well-formed)
+  // frame type on a client connection is a protocol violation.
+  try {
+    decode(frame, submit_scratch_);
+  } catch (const WireError&) {
+    return false;
+  }
+  for (std::size_t i = 0; i < submit_scratch_.row_count(); ++i) {
+    BidRow row;
+    row.client = submit_scratch_.client;
+    row.value = submit_scratch_.values[i];
+    row.bid = submit_scratch_.bids[i];
+    row.energy_cost = submit_scratch_.energy_costs[i];
+    if (!route_bid(conn, submit_scratch_.markets[i], submit_scratch_.rounds[i],
+                   row)) {
+      return false;
+    }
+    bids_received_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool AuctionService::route_bid(Connection& conn, std::uint64_t market_id,
+                               std::uint64_t round, const BidRow& row) {
+  auto market_it = markets_.find(market_id);
+  if (market_it == markets_.end()) {
+    if (markets_.size() >= config_.max_markets) return false;
+    MarketState market;
+    market.mechanism = build_market_mechanism(config_.engine);
+    market_it = markets_.emplace(market_id, std::move(market)).first;
+  }
+  MarketState& market = market_it->second;
+
+  // Stale (already-cleared) rounds and rounds beyond the pending window are
+  // rejected: they can never clear correctly, and the window bound is what
+  // keeps a hostile round pattern from growing server state without limit.
+  if (round < market.next_round) return false;
+  if (round >= market.next_round + config_.max_pending_rounds) return false;
+
+  Bucket& bucket = market.pending[round];
+  if (bucket.rows.size() >= config_.engine.bids_per_round) return false;
+  for (const BidRow& existing : bucket.rows) {
+    if (existing.client == row.client) return false;  // one bid per client
+  }
+  bucket.rows.push_back(row);
+  bool known_contributor = false;
+  for (const int fd : bucket.contributor_fds) {
+    if (fd == conn.fd) {
+      known_contributor = true;
+      break;
+    }
+  }
+  if (!known_contributor) bucket.contributor_fds.push_back(conn.fd);
+
+  clear_ready_rounds(market_id, market);
+  return true;
+}
+
+void AuctionService::clear_ready_rounds(std::uint64_t market_id,
+                                        MarketState& market) {
+  // Strict round order: only next_round may clear, then cascade into any
+  // already-full successors.
+  while (true) {
+    const auto bucket_it = market.pending.find(market.next_round);
+    if (bucket_it == market.pending.end() ||
+        bucket_it->second.rows.size() < config_.engine.bids_per_round) {
+      return;
+    }
+    const std::uint64_t round = market.next_round;
+    Bucket bucket = std::move(bucket_it->second);
+    market.pending.erase(bucket_it);
+
+    rows_scratch_ = std::move(bucket.rows);
+    clear_market_round(*market.mechanism, config_.engine, round, rows_scratch_,
+                       market.batch, market.result);
+    market.next_round = round + 1;
+    rounds_cleared_.fetch_add(1, std::memory_order_relaxed);
+
+    result_scratch_.market = market_id;
+    result_scratch_.round = round;
+    result_scratch_.winners = market.result.winners;
+    result_scratch_.payments = market.result.payments;
+
+    SettlementAck ack;
+    ack.market = market_id;
+    ack.round = round;
+    ack.total_payment = market.result.total_payment();
+    ack.winner_count = market.result.winners.size();
+
+    for (const int fd : bucket.contributor_fds) {
+      const auto conn_it = connections_.find(fd);
+      if (conn_it == connections_.end() || conn_it->second.dead) continue;
+      encode(result_scratch_, encode_scratch_);
+      queue_frame(conn_it->second, encode_scratch_);
+      encode(ack, encode_scratch_);
+      queue_frame(conn_it->second, encode_scratch_);
+    }
+  }
+}
+
+void AuctionService::queue_frame(Connection& conn, const Frame& frame) {
+  if (conn.dead) return;
+  const std::size_t queued = conn.out.size() - conn.out_offset;
+  if (queued + frame.size() > config_.max_out_bytes) {
+    // The peer stopped reading; shedding it beats unbounded buffering.
+    drop_connection(conn, /*protocol_error=*/true);
+    return;
+  }
+  if (conn.out_offset > 0 && conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  }
+  conn.out.insert(conn.out.end(), frame.begin(), frame.end());
+  flush_writes(conn);
+}
+
+void AuctionService::flush_writes(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t rc =
+        ::send(conn.fd, conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // POLLOUT later
+      drop_connection(conn, /*protocol_error=*/false);
+      return;
+    }
+    conn.out_offset += static_cast<std::size_t>(rc);
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  }
+}
+
+void AuctionService::drop_connection(Connection& conn, bool protocol_error) {
+  if (conn.dead) return;
+  conn.dead = true;
+  connections_dropped_.fetch_add(1, std::memory_order_relaxed);
+  if (protocol_error) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conn.fd >= 0) {
+    ::close(conn.fd);
+  }
+}
+
+void AuctionService::reap_dead_connections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second.dead) {
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sfl::service

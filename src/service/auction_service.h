@@ -1,0 +1,163 @@
+// AuctionService: the persistent auction front-end.
+//
+// A poll-based, single-threaded multi-client TCP server that turns the
+// in-process auction library into a long-lived coordinator: clients connect
+// to 127.0.0.1:<port>, stream SubmitBids frames, and receive RoundResult /
+// SettlementAck frames as market rounds clear. One poll loop owns every
+// connection and every market — no locks on the serving path; start() runs
+// the loop on a background thread, or drive poll_once() directly.
+//
+// Round composition is deterministic by construction: each bid names its
+// (market, round); a market's round r clears when exactly
+// engine.bids_per_round bids for it have arrived AND every earlier round of
+// that market has cleared (strict round order — the mechanism's queue state
+// makes order part of the result). The cleared slate is sorted canonically
+// (market_engine.h), so the allocation and critical payments are a pure
+// function of the bid set, bit-identical to driving the same slates through
+// the in-process engine — never a function of TCP arrival interleaving.
+//
+// Hostile-client containment (the PR-4 bounded-read discipline, applied
+// per connection):
+//   - reads are non-blocking and buffered through a bounded FrameAssembler:
+//     a slow-loris client trickling one byte per tick holds only its own
+//     tiny buffer and never stalls other clients or the round loop;
+//   - a corrupt or implausible frame, an oversized length claim, a protocol
+//     violation (stale/far-future round, duplicate bid, bogus message type)
+//     or a mid-frame disconnect kills THAT connection only;
+//   - per-connection write queues are capped; a client that stops reading
+//     is dropped rather than ballooning server memory;
+//   - market and pending-round counts are bounded, so no bid pattern can
+//     make server state grow without limit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "service/frame_assembler.h"
+#include "service/market_engine.h"
+#include "service/rpc_messages.h"
+
+namespace sfl::service {
+
+struct AuctionServiceConfig {
+  /// 0 binds an ephemeral port (read it back with port()).
+  std::uint16_t port = 0;
+  /// Auction rule + round geometry, shared with the reference engine.
+  MarketEngineConfig engine{};
+  /// Per-frame size cap enforced before trusting any length claim.
+  std::size_t max_frame_bytes = 1u << 20;
+  /// Per-connection outbound queue cap; a client that stops reading is
+  /// dropped when its queue would exceed this.
+  std::size_t max_out_bytes = 8u << 20;
+  /// Bounds on server-side state growth from hostile bid patterns.
+  std::size_t max_markets = 4096;
+  std::size_t max_pending_rounds = 64;  ///< per market, beyond next_round
+  /// poll() timeout of the background run loop.
+  int poll_timeout_ms = 20;
+};
+
+/// Monotonic serving counters (readable from any thread).
+struct ServiceStats {
+  std::size_t connections_accepted = 0;
+  std::size_t connections_dropped = 0;  ///< closed for ANY reason
+  std::size_t protocol_errors = 0;      ///< dropped for misbehavior
+  std::size_t frames_received = 0;
+  std::size_t bids_received = 0;
+  std::size_t rounds_cleared = 0;
+};
+
+class AuctionService {
+ public:
+  /// Binds and listens; throws std::runtime_error when the socket cannot
+  /// be created/bound (e.g. sandboxed environments).
+  explicit AuctionService(AuctionServiceConfig config);
+  ~AuctionService();
+
+  AuctionService(const AuctionService&) = delete;
+  AuctionService& operator=(const AuctionService&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Starts the background poll loop. Idempotent while running; throws
+  /// after stop() (the listening socket is gone — construct a new one).
+  void start();
+  /// Stops the loop, closes every socket, joins the thread. Idempotent.
+  void stop();
+
+  /// One poll cycle (accept, read, clear rounds, write). Only for
+  /// single-threaded drivers and tests — never concurrently with start().
+  void poll_once(int timeout_ms);
+
+  [[nodiscard]] ServiceStats stats() const noexcept;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameAssembler assembler;
+    /// Outbound bytes not yet accepted by the kernel ([offset, size)).
+    std::vector<std::byte> out;
+    std::size_t out_offset = 0;
+    bool dead = false;
+  };
+
+  /// Bids collected for one not-yet-cleared (market, round).
+  struct Bucket {
+    std::vector<BidRow> rows;
+    std::vector<int> contributor_fds;
+  };
+
+  struct MarketState {
+    std::unique_ptr<sfl::auction::Mechanism> mechanism;
+    sfl::auction::CandidateBatch batch;       ///< reused round arena
+    sfl::auction::MechanismResult result;     ///< reused result buffers
+    std::uint64_t next_round = 0;             ///< rounds cleared so far
+    std::map<std::uint64_t, Bucket> pending;  ///< round -> bids collected
+  };
+
+  void run();
+  void accept_ready();
+  void read_ready(Connection& conn);
+  /// Decodes and applies one SubmitBids frame; false = protocol violation
+  /// (the caller drops the connection).
+  bool handle_frame(Connection& conn, const Frame& frame);
+  bool route_bid(Connection& conn, std::uint64_t market_id,
+                 std::uint64_t round, const BidRow& row);
+  /// Clears every consecutive full next_round bucket of the market.
+  void clear_ready_rounds(std::uint64_t market_id, MarketState& market);
+  void queue_frame(Connection& conn, const Frame& frame);
+  void flush_writes(Connection& conn);
+  void drop_connection(Connection& conn, bool protocol_error);
+  void reap_dead_connections();
+
+  AuctionServiceConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::map<int, Connection> connections_;  ///< keyed by fd
+  std::map<std::uint64_t, MarketState> markets_;
+
+  /// Reused decode/encode buffers (steady-state serving reuses capacity).
+  SubmitBids submit_scratch_;
+  RoundResult result_scratch_;
+  Frame frame_scratch_;
+  Frame encode_scratch_;
+  std::vector<BidRow> rows_scratch_;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::atomic<std::size_t> connections_dropped_{0};
+  std::atomic<std::size_t> protocol_errors_{0};
+  std::atomic<std::size_t> frames_received_{0};
+  std::atomic<std::size_t> bids_received_{0};
+  std::atomic<std::size_t> rounds_cleared_{0};
+};
+
+}  // namespace sfl::service

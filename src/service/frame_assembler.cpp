@@ -1,0 +1,101 @@
+#include "service/frame_assembler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sfl::service {
+
+namespace {
+
+using sfl::dist::Frame;
+using sfl::dist::frame_type_known;
+using sfl::dist::kHeaderSize;
+using sfl::dist::kWireMagic;
+using sfl::dist::kWireVersion;
+
+/// Cheap pre-validation of a buffered header: wrong magic, version, or type
+/// means the stream is garbage — reject before trusting the length field
+/// (full checksum validation happens at decode).
+bool header_plausible(const std::byte* header) {
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (magic != kWireMagic) return false;
+  if (static_cast<std::uint8_t>(header[4]) != kWireVersion) return false;
+  return frame_type_known(static_cast<std::uint8_t>(header[5]));
+}
+
+std::uint64_t header_payload_len(const std::byte* header) {
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<std::uint64_t>(header[8 + i]) << (8 * i);
+  }
+  return len;
+}
+
+}  // namespace
+
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
+    : max_frame_bytes_(std::max(max_frame_bytes, kHeaderSize)) {}
+
+void FrameAssembler::condemn(std::string reason) {
+  condemned_ = true;
+  reason_ = std::move(reason);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+void FrameAssembler::compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+bool FrameAssembler::feed(std::span<const std::byte> bytes) {
+  if (condemned_) return false;
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Validate the header as soon as it is complete — BEFORE accepting the
+  // payload bytes a corrupt length field would ask for.
+  if (buffer_.size() >= kHeaderSize) {
+    if (!header_plausible(buffer_.data())) {
+      condemn("implausible frame header (magic/version/type)");
+      return false;
+    }
+    const std::uint64_t payload_len = header_payload_len(buffer_.data());
+    if (payload_len > max_frame_bytes_ - kHeaderSize) {
+      condemn("declared payload exceeds the frame size limit");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FrameAssembler::next_frame(Frame& out) {
+  if (condemned_) return false;
+  compact();
+  if (buffer_.size() < kHeaderSize) return false;
+  if (!header_plausible(buffer_.data())) {
+    // Reachable when a previous next_frame left the NEXT frame's bytes
+    // buffered and that header is garbage.
+    condemn("implausible frame header (magic/version/type)");
+    return false;
+  }
+  const std::uint64_t payload_len = header_payload_len(buffer_.data());
+  if (payload_len > max_frame_bytes_ - kHeaderSize) {
+    condemn("declared payload exceeds the frame size limit");
+    return false;
+  }
+  const std::size_t frame_size =
+      kHeaderSize + static_cast<std::size_t>(payload_len);
+  if (buffer_.size() < frame_size) return false;
+  out.assign(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(
+                                                    frame_size));
+  consumed_ = frame_size;
+  compact();
+  return true;
+}
+
+}  // namespace sfl::service

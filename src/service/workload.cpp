@@ -1,0 +1,75 @@
+#include "service/workload.h"
+
+#include <memory>
+
+#include "auction/mechanism.h"
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace sfl::service {
+
+namespace {
+
+/// Stateless mix of the spec seed with a row bucket's coordinates (one
+/// splitmix64 stream per (market, round)), so any bucket's rows can be
+/// regenerated independently and in any order.
+std::uint64_t bucket_seed(const WorkloadSpec& spec, std::uint64_t market_id,
+                          std::uint64_t round) {
+  std::uint64_t state = spec.seed ^ (market_id * 0x9e3779b97f4a7c15ULL) ^
+                        (round * 0xbf58476d1ce4e5b9ULL);
+  return sfl::util::splitmix64(state);
+}
+
+}  // namespace
+
+void workload_rows(const WorkloadSpec& spec, std::size_t market_index,
+                   std::size_t round, std::vector<BidRow>& out) {
+  sfl::util::require(spec.bids_per_round > 0,
+                     "workload: bids_per_round must be > 0");
+  sfl::util::require(spec.bids_per_round <= spec.clients,
+                     "workload: bids_per_round must be <= clients (round "
+                     "cohorts need unique client ids)");
+  const std::uint64_t market_id = spec.market_id(market_index);
+  sfl::util::Rng rng(bucket_seed(spec, market_id, round));
+  // The round's cohort: a contiguous client window sliding per (market,
+  // round), so every logical client bids regularly and each round's ids
+  // are unique.
+  const std::size_t start =
+      (market_index * 7919 + round * spec.bids_per_round) % spec.clients;
+  out.clear();
+  out.reserve(spec.bids_per_round);
+  for (std::size_t slot = 0; slot < spec.bids_per_round; ++slot) {
+    BidRow row;
+    row.client = (start + slot) % spec.clients;
+    row.value = rng.uniform(0.5, 3.0);
+    row.bid = rng.uniform(0.05, 2.0);
+    row.energy_cost = rng.uniform(0.5, 2.0);
+    out.push_back(row);
+  }
+}
+
+std::vector<std::vector<RoundResult>> reference_results(
+    const WorkloadSpec& spec, const MarketEngineConfig& engine) {
+  std::vector<std::vector<RoundResult>> results(spec.markets);
+  std::vector<BidRow> rows;
+  sfl::auction::CandidateBatch batch;
+  sfl::auction::MechanismResult round_result;
+  for (std::size_t m = 0; m < spec.markets; ++m) {
+    const std::unique_ptr<sfl::auction::Mechanism> mechanism =
+        build_market_mechanism(engine);
+    results[m].reserve(spec.rounds_per_market);
+    for (std::size_t r = 0; r < spec.rounds_per_market; ++r) {
+      workload_rows(spec, m, r, rows);
+      clear_market_round(*mechanism, engine, r, rows, batch, round_result);
+      RoundResult result;
+      result.market = spec.market_id(m);
+      result.round = r;
+      result.winners = round_result.winners;
+      result.payments = round_result.payments;
+      results[m].push_back(std::move(result));
+    }
+  }
+  return results;
+}
+
+}  // namespace sfl::service

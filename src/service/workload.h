@@ -1,0 +1,64 @@
+// Deterministic service workload: the one slate generator shared by the
+// open-loop load generator, its bit-exact reference check, and the service
+// tests.
+//
+// A WorkloadSpec pins every bid the load run will submit: which logical
+// clients bid into round r of market m, and with what economics — a pure
+// function of (seed, market, round, slot), independent of arrival timing.
+// The load generator submits these rows over TCP with Poisson arrival
+// gaps; reference_results() drives the SAME rows through an in-process
+// mechanism per market. Because the server composes batches canonically
+// (fill_canonical_batch) and clears each market's rounds in order, the two
+// paths must agree bit for bit — that equivalence is the service's
+// correctness contract, enforced by sfl_load_gen --verify=1 and the
+// service tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "service/market_engine.h"
+#include "service/rpc_messages.h"
+
+namespace sfl::service {
+
+struct WorkloadSpec {
+  std::uint64_t seed = 42;
+  /// Market ids used are [first_market, first_market + markets); tiers of a
+  /// multi-tier load run use disjoint ranges so each tier clears on fresh
+  /// mechanism state.
+  std::uint64_t first_market = 0;
+  std::size_t markets = 4;
+  std::size_t rounds_per_market = 20;
+  /// Logical client population; the round-r cohort is a contiguous window
+  /// of bids_per_round clients (mod clients), so it must satisfy
+  /// bids_per_round <= clients for ids to stay unique within a round.
+  std::size_t clients = 1000;
+  std::size_t bids_per_round = 32;
+
+  [[nodiscard]] std::uint64_t market_id(std::size_t market_index) const {
+    return first_market + market_index;
+  }
+  [[nodiscard]] std::size_t total_rounds() const noexcept {
+    return markets * rounds_per_market;
+  }
+  [[nodiscard]] std::size_t total_bids() const noexcept {
+    return total_rounds() * bids_per_round;
+  }
+};
+
+/// The deterministic bid rows of (market_index, round), in cohort order
+/// (NOT canonical batch order). Throws via util::require on an infeasible
+/// spec (bids_per_round > clients or == 0).
+void workload_rows(const WorkloadSpec& spec, std::size_t market_index,
+                   std::size_t round, std::vector<BidRow>& out);
+
+/// Drives every market's rounds in order through a fresh in-process
+/// mechanism built from `engine` (same registry key, same knobs the server
+/// uses) and returns result[market_index][round] — the allocations and
+/// critical payments a correct server MUST reproduce bit for bit.
+[[nodiscard]] std::vector<std::vector<RoundResult>> reference_results(
+    const WorkloadSpec& spec, const MarketEngineConfig& engine);
+
+}  // namespace sfl::service

@@ -1,0 +1,94 @@
+#include "stats/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.h"
+
+namespace sfl::stats {
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogramConfig& config)
+    : config_(config) {
+  sfl::util::require(config.min_value > 0.0,
+                     "LatencyHistogram: min_value must be > 0 (log scale)");
+  sfl::util::require(config.max_value > config.min_value,
+                     "LatencyHistogram: max_value must exceed min_value");
+  sfl::util::require(config.buckets_per_decade > 0,
+                     "LatencyHistogram: buckets_per_decade must be > 0");
+  log_min_ = std::log(config.min_value);
+  inv_log_step_ =
+      static_cast<double>(config.buckets_per_decade) / std::log(10.0);
+  const double decades =
+      std::log10(config.max_value) - std::log10(config.min_value);
+  const std::size_t buckets = static_cast<std::size_t>(std::ceil(
+      decades * static_cast<double>(config.buckets_per_decade)));
+  counts_.assign(buckets > 0 ? buckets : 1, 0);
+}
+
+std::size_t LatencyHistogram::bucket_index(double value) const noexcept {
+  if (!(value > config_.min_value)) return 0;  // also catches NaN
+  if (value >= config_.max_value) return counts_.size() - 1;
+  const double offset = (std::log(value) - log_min_) * inv_log_step_;
+  auto index = static_cast<std::size_t>(offset);
+  return std::min(index, counts_.size() - 1);
+}
+
+void LatencyHistogram::record(double value) noexcept {
+  if (std::isnan(value)) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++counts_[bucket_index(value)];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  sfl::util::require(config_ == other.config_,
+                     "LatencyHistogram::merge: geometry mismatch");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::bucket_upper_edge(std::size_t i) const noexcept {
+  if (i + 1 >= counts_.size()) return config_.max_value;
+  const double exponent =
+      static_cast<double>(i + 1) / inv_log_step_ + log_min_;
+  return std::exp(exponent);
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      // Clamp the bucket edge to the observed range so a lone sample
+      // never reports a quantile past the true max.
+      return std::min(bucket_upper_edge(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace sfl::stats

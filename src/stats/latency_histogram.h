@@ -1,0 +1,74 @@
+// Fixed-bucket log-scale latency recorder.
+//
+// Buckets are spaced geometrically (buckets_per_decade per power of ten
+// between min_value and max_value), so relative quantile error is bounded
+// by the bucket ratio (~12% at 20 buckets/decade) across the whole range —
+// the usual trade for O(1) record and O(buckets) memory. count/sum/min/max
+// are tracked exactly; quantiles are read from the bucket edges. Two
+// recorders with the same geometry merge by bucket-wise addition, so
+// per-connection or per-tier histograms can be combined losslessly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sfl::stats {
+
+struct LatencyHistogramConfig {
+  double min_value = 1.0;  ///< values below clamp into the first bucket
+  double max_value = 1e9;  ///< values above clamp into the last bucket
+  std::size_t buckets_per_decade = 20;
+
+  [[nodiscard]] bool operator==(const LatencyHistogramConfig&) const = default;
+};
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : LatencyHistogram(LatencyHistogramConfig{}) {}
+  explicit LatencyHistogram(const LatencyHistogramConfig& config);
+
+  void record(double value) noexcept;
+
+  /// Bucket-wise addition; requires identical geometry (checked).
+  void merge(const LatencyHistogram& other);
+
+  /// Smallest value v such that at least ceil(q * count) recorded samples
+  /// are <= its bucket's upper edge. quantile(0) returns the exact min,
+  /// quantile(1) the exact max; q outside [0, 1] is clamped. 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+  [[nodiscard]] const LatencyHistogramConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket_samples(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+  /// Upper edge of bucket i (inclusive; the last edge is max_value).
+  [[nodiscard]] double bucket_upper_edge(std::size_t i) const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(double value) const noexcept;
+
+  LatencyHistogramConfig config_;
+  double log_min_ = 0.0;
+  double inv_log_step_ = 0.0;  ///< buckets_per_decade / ln(10)
+  std::vector<std::uint64_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sfl::stats

@@ -1,12 +1,15 @@
 // Wire-codec round-trip + fuzz suite.
 //
-// Round-trip: randomly generated requests/replies must encode/decode to
-// bit-identical structures (doubles compared as bit patterns).
+// Round-trip: randomly generated frames of every wire type — the shard
+// protocol's requests/replies AND the service RPC types (SubmitBids,
+// RoundResult, SettlementAck) — must encode/decode to bit-identical
+// structures (doubles compared as bit patterns).
 //
 // Fuzz: seeded random byte mutations of valid frames, truncations at every
 // boundary class, type-confused decodes, and pure-garbage buffers must
 // NEVER crash and NEVER be accepted — every corrupt input throws the typed
-// WireError (length/magic/checksum/structural validation).
+// WireError (length/magic/checksum/structural validation). The sweeps draw
+// uniformly from all five frame kinds.
 //
 // Reproducing failures: every trial logs its seed; run
 //   <binary> --seed=N
@@ -26,6 +29,7 @@
 
 #include "dist/shard_worker.h"
 #include "dist/wire_codec.h"
+#include "service/rpc_messages.h"
 #include "util/rng.h"
 
 namespace sfl::dist {
@@ -86,6 +90,44 @@ ShardReply make_reply(sfl::util::Rng& rng) {
   ShardReply reply;
   compute_survivors(request, reply);
   return reply;
+}
+
+sfl::service::SubmitBids make_submit_bids(sfl::util::Rng& rng) {
+  sfl::service::SubmitBids msg;
+  msg.client = rng.uniform_index(100'000);
+  const std::size_t rows = rng.uniform_index(33);  // 0..32 rows
+  for (std::size_t i = 0; i < rows; ++i) {
+    // (market, round) unique by construction: a 4-wide market grid walked
+    // in row order.
+    msg.markets.push_back(i % 4);
+    msg.rounds.push_back(i / 4);
+    msg.values.push_back(rng.uniform(0.0, 5.0));
+    msg.bids.push_back(rng.uniform(0.0, 3.0));
+    msg.energy_costs.push_back(rng.uniform(0.1, 4.0));
+  }
+  return msg;
+}
+
+sfl::service::RoundResult make_round_result(sfl::util::Rng& rng) {
+  sfl::service::RoundResult msg;
+  msg.market = rng.uniform_index(64);
+  msg.round = rng.uniform_index(1'000);
+  const std::size_t winners = rng.uniform_index(17);  // 0..16 winners
+  const std::uint64_t base = rng.uniform_index(10'000);
+  for (std::size_t i = 0; i < winners; ++i) {
+    msg.winners.push_back(base + i);  // unique clients by construction
+    msg.payments.push_back(rng.uniform(0.0, 4.0));
+  }
+  return msg;
+}
+
+sfl::service::SettlementAck make_settlement_ack(sfl::util::Rng& rng) {
+  sfl::service::SettlementAck msg;
+  msg.market = rng.uniform_index(64);
+  msg.round = rng.uniform_index(1'000);
+  msg.total_payment = rng.uniform(0.0, 40.0);
+  msg.winner_count = rng.uniform_index(17);
+  return msg;
 }
 
 bool bits_equal(double a, double b) {
@@ -154,6 +196,57 @@ void run_reply_roundtrip_trial(std::uint64_t seed) {
   }
 }
 
+void run_submit_bids_roundtrip_trial(std::uint64_t seed) {
+  sfl::util::Rng rng(seed ^ 0xb1d5ULL);
+  const sfl::service::SubmitBids message = make_submit_bids(rng);
+  Frame frame;
+  encode(message, frame);
+  ASSERT_EQ(checked_frame_type(frame), FrameType::kSubmitBids);
+  sfl::service::SubmitBids decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(message.client, decoded.client);
+  EXPECT_EQ(message.markets, decoded.markets);
+  EXPECT_EQ(message.rounds, decoded.rounds);
+  ASSERT_EQ(message.row_count(), decoded.row_count());
+  for (std::size_t i = 0; i < message.row_count(); ++i) {
+    EXPECT_TRUE(bits_equal(message.values[i], decoded.values[i])) << i;
+    EXPECT_TRUE(bits_equal(message.bids[i], decoded.bids[i])) << i;
+    EXPECT_TRUE(bits_equal(message.energy_costs[i], decoded.energy_costs[i]))
+        << i;
+  }
+}
+
+void run_round_result_roundtrip_trial(std::uint64_t seed) {
+  sfl::util::Rng rng(seed ^ 0x5e55ULL);
+  const sfl::service::RoundResult message = make_round_result(rng);
+  Frame frame;
+  encode(message, frame);
+  ASSERT_EQ(checked_frame_type(frame), FrameType::kRoundResult);
+  sfl::service::RoundResult decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(message.market, decoded.market);
+  EXPECT_EQ(message.round, decoded.round);
+  EXPECT_EQ(message.winners, decoded.winners);
+  ASSERT_EQ(message.payments.size(), decoded.payments.size());
+  for (std::size_t i = 0; i < message.payments.size(); ++i) {
+    EXPECT_TRUE(bits_equal(message.payments[i], decoded.payments[i])) << i;
+  }
+}
+
+void run_settlement_ack_roundtrip_trial(std::uint64_t seed) {
+  sfl::util::Rng rng(seed ^ 0xac4eULL);
+  const sfl::service::SettlementAck message = make_settlement_ack(rng);
+  Frame frame;
+  encode(message, frame);
+  ASSERT_EQ(checked_frame_type(frame), FrameType::kSettlementAck);
+  sfl::service::SettlementAck decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(message.market, decoded.market);
+  EXPECT_EQ(message.round, decoded.round);
+  EXPECT_TRUE(bits_equal(message.total_payment, decoded.total_payment));
+  EXPECT_EQ(message.winner_count, decoded.winner_count);
+}
+
 void run_roundtrip_loop(void (*trial)(std::uint64_t)) {
   for (std::size_t t = 0; t < fuzz_trials(); ++t) {
     const std::uint64_t seed = trial_seed(t);
@@ -180,6 +273,18 @@ TEST(CodecRoundTripTest, RepliesSurviveEncodeDecodeBitExactly) {
   run_roundtrip_loop(&run_reply_roundtrip_trial);
 }
 
+TEST(CodecRoundTripTest, SubmitBidsSurviveEncodeDecodeBitExactly) {
+  run_roundtrip_loop(&run_submit_bids_roundtrip_trial);
+}
+
+TEST(CodecRoundTripTest, RoundResultsSurviveEncodeDecodeBitExactly) {
+  run_roundtrip_loop(&run_round_result_roundtrip_trial);
+}
+
+TEST(CodecRoundTripTest, SettlementAcksSurviveEncodeDecodeBitExactly) {
+  run_roundtrip_loop(&run_settlement_ack_roundtrip_trial);
+}
+
 TEST(CodecRoundTripTest, TypeConfusionIsRejected) {
   sfl::util::Rng rng(4242);
   const ShardRequest request = make_request(rng);
@@ -190,24 +295,97 @@ TEST(CodecRoundTripTest, TypeConfusionIsRejected) {
   encode(reply, reply_frame);
   EXPECT_THROW((void)decode_reply(request_frame), WireError);
   EXPECT_THROW((void)decode_request(reply_frame), WireError);
+
+  // Shard <-> service confusion: a valid service frame is never a shard
+  // frame and vice versa.
+  Frame submit_frame;
+  encode(make_submit_bids(rng), submit_frame);
+  EXPECT_THROW((void)decode_request(submit_frame), WireError);
+  EXPECT_THROW((void)decode_reply(submit_frame), WireError);
+  sfl::service::RoundResult result_out;
+  EXPECT_THROW(decode(request_frame, result_out), WireError);
+  sfl::service::SubmitBids submit_out;
+  EXPECT_THROW(decode(reply_frame, submit_out), WireError);
 }
 
 // ---------------------------------------------------------------------------
 // Fuzz: mutated, truncated, and garbage frames.
 // ---------------------------------------------------------------------------
 
+/// Every wire type the fuzz sweeps cover: the shard protocol pair plus the
+/// three service RPC types.
+enum class FrameKind : std::size_t {
+  kShardRequest = 0,
+  kShardReply,
+  kSubmitBids,
+  kRoundResult,
+  kSettlementAck,
+  kCount,
+};
+
+FrameKind pick_kind(sfl::util::Rng& rng) {
+  return static_cast<FrameKind>(
+      rng.uniform_index(static_cast<std::uint64_t>(FrameKind::kCount)));
+}
+
+/// Encodes a freshly generated valid frame of the given kind.
+void make_frame(FrameKind kind, sfl::util::Rng& rng, Frame& out) {
+  switch (kind) {
+    case FrameKind::kShardRequest:
+      encode(make_request(rng), out);
+      return;
+    case FrameKind::kShardReply:
+      encode(make_reply(rng), out);
+      return;
+    case FrameKind::kSubmitBids:
+      encode(make_submit_bids(rng), out);
+      return;
+    case FrameKind::kRoundResult:
+      encode(make_round_result(rng), out);
+      return;
+    case FrameKind::kSettlementAck:
+      encode(make_settlement_ack(rng), out);
+      return;
+    case FrameKind::kCount:
+      break;
+  }
+  ADD_FAILURE() << "unreachable frame kind";
+}
+
 /// Decodes with the decoder matching the frame's ORIGINAL kind; any
 /// outcome other than WireError (acceptance, crash, foreign exception)
 /// fails the trial.
-void expect_rejected(const Frame& frame, bool is_request,
+void expect_rejected(const Frame& frame, FrameKind kind,
                      const std::string& what) {
   try {
-    if (is_request) {
-      ShardRequest out;
-      decode(frame, out);
-    } else {
-      ShardReply out;
-      decode(frame, out);
+    switch (kind) {
+      case FrameKind::kShardRequest: {
+        ShardRequest out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kShardReply: {
+        ShardReply out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kSubmitBids: {
+        sfl::service::SubmitBids out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kRoundResult: {
+        sfl::service::RoundResult out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kSettlementAck: {
+        sfl::service::SettlementAck out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kCount:
+        break;
     }
     ADD_FAILURE() << what << ": corrupt frame was ACCEPTED";
   } catch (const WireError&) {
@@ -225,15 +403,9 @@ TEST(CodecFuzzTest, MutatedFramesAreNeverAccepted) {
     const bool failed_before = ::testing::Test::HasFailure();
     sfl::util::Rng rng(seed ^ 0xabadULL);
 
-    const bool is_request = rng.bernoulli(0.5);
+    const FrameKind kind = pick_kind(rng);
     Frame original;
-    if (is_request) {
-      const ShardRequest request = make_request(rng);
-      encode(request, original);
-    } else {
-      const ShardReply reply = make_reply(rng);
-      encode(reply, original);
-    }
+    make_frame(kind, rng, original);
 
     // 1-8 byte mutations, each XORing a nonzero mask so the frame really
     // differs from the original.
@@ -246,7 +418,7 @@ TEST(CodecFuzzTest, MutatedFramesAreNeverAccepted) {
       mutated[index] ^= static_cast<std::byte>(mask);
     }
     if (mutated != original) {
-      expect_rejected(mutated, is_request,
+      expect_rejected(mutated, kind,
                       "mutation x" + std::to_string(mutations));
     }
 
@@ -265,20 +437,14 @@ TEST(CodecFuzzTest, TruncatedFramesAreNeverAccepted) {
                  std::to_string(seed));
     const bool failed_before = ::testing::Test::HasFailure();
     sfl::util::Rng rng(seed ^ 0x7acaULL);
-    const bool is_request = rng.bernoulli(0.5);
+    const FrameKind kind = pick_kind(rng);
     Frame original;
-    if (is_request) {
-      const ShardRequest request = make_request(rng);
-      encode(request, original);
-    } else {
-      const ShardReply reply = make_reply(rng);
-      encode(reply, original);
-    }
+    make_frame(kind, rng, original);
     // Every prefix shorter than the full frame is corrupt by definition.
     for (std::size_t cut = 0; cut < original.size();
          cut += 1 + rng.uniform_index(7)) {
       Frame truncated(original.begin(), original.begin() + cut);
-      expect_rejected(truncated, is_request,
+      expect_rejected(truncated, kind,
                       "truncation at " + std::to_string(cut));
     }
     if (!failed_before && ::testing::Test::HasFailure()) {
@@ -299,7 +465,7 @@ TEST(CodecFuzzTest, GarbageBuffersAreNeverAccepted) {
     for (std::byte& b : garbage) {
       b = static_cast<std::byte>(rng.uniform_index(256));
     }
-    expect_rejected(garbage, rng.bernoulli(0.5), "garbage buffer");
+    expect_rejected(garbage, pick_kind(rng), "garbage buffer");
     if (!failed_before && ::testing::Test::HasFailure()) {
       record_failure(seed);
       break;
@@ -317,7 +483,7 @@ TEST(CodecFuzzTest, LengthFieldAttacksAreBounded) {
   // payload_len lives at header offset 8 (little-endian u64): claim 2^62.
   for (std::size_t i = 0; i < 8; ++i) frame[8 + i] = std::byte{0};
   frame[8 + 7] = std::byte{0x40};
-  expect_rejected(frame, /*is_request=*/true, "length bomb");
+  expect_rejected(frame, FrameKind::kShardRequest, "length bomb");
 }
 
 }  // namespace

@@ -1,0 +1,414 @@
+// Integration tests for AuctionService over real loopback sockets:
+// multi-client end-to-end bit-exactness against the in-process reference,
+// and hostile-client containment (garbage frames, slow-loris, mid-frame
+// disconnect) — each kills only its own connection. Environments that
+// forbid binding localhost sockets skip instead of failing.
+#include "service/auction_service.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/wire_format.h"
+#include "service/frame_assembler.h"
+#include "service/rpc_messages.h"
+#include "service/workload.h"
+
+namespace sfl::service {
+namespace {
+
+using sfl::dist::FrameType;
+
+MarketEngineConfig small_engine() {
+  MarketEngineConfig engine;
+  engine.bids_per_round = 8;
+  engine.max_winners = 3;
+  return engine;
+}
+
+/// Builds the service or returns nullptr when the sandbox forbids binding.
+std::unique_ptr<AuctionService> try_build_service(std::string& why,
+                                                  AuctionServiceConfig config) {
+  try {
+    return std::make_unique<AuctionService>(std::move(config));
+  } catch (const std::runtime_error& error) {
+    why = error.what();
+    return nullptr;
+  }
+}
+
+/// A blocking test client with its own response reassembly.
+struct TestClient {
+  int fd = -1;
+  FrameAssembler assembler;
+
+  ~TestClient() { close(); }
+
+  void close() {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+
+  bool connect(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    timeval timeout{.tv_sec = 10, .tv_usec = 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    return true;
+  }
+
+  bool send_bytes(std::span<const std::byte> bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t rc = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                                MSG_NOSIGNAL);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(rc);
+    }
+    return true;
+  }
+
+  bool send_bid(std::uint64_t market, std::uint64_t round, const BidRow& row) {
+    SubmitBids msg;
+    msg.client = row.client;
+    msg.markets = {market};
+    msg.rounds = {round};
+    msg.values = {row.value};
+    msg.bids = {row.bid};
+    msg.energy_costs = {row.energy_cost};
+    Frame frame;
+    encode(msg, frame);
+    return send_bytes(frame);
+  }
+
+  /// Blocks (bounded by SO_RCVTIMEO) until one complete frame arrives.
+  std::optional<Frame> read_frame() {
+    Frame out;
+    if (assembler.next_frame(out)) return out;
+    std::byte buffer[4096];
+    while (true) {
+      const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (got <= 0) return std::nullopt;  // EOF, timeout, or error
+      if (!assembler.feed(std::span<const std::byte>(
+              buffer, static_cast<std::size_t>(got)))) {
+        return std::nullopt;
+      }
+      if (assembler.next_frame(out)) return out;
+    }
+  }
+
+  /// Reads until a RoundResult arrives (SettlementAcks pass through).
+  std::optional<RoundResult> read_round_result() {
+    while (true) {
+      const std::optional<Frame> frame = read_frame();
+      if (!frame.has_value()) return std::nullopt;
+      const auto [type, payload] = sfl::dist::wire::checked_payload(*frame);
+      (void)payload;
+      if (type == FrameType::kSettlementAck) continue;
+      if (type != FrameType::kRoundResult) return std::nullopt;
+      RoundResult result;
+      decode(*frame, result);
+      return result;
+    }
+  }
+
+  /// True when the server has closed this connection (EOF within the
+  /// receive timeout); drains any still-buffered frames first.
+  bool server_closed() {
+    std::byte buffer[256];
+    while (true) {
+      const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (got == 0) return true;
+      if (got < 0) return false;  // timeout or error: still open
+    }
+  }
+};
+
+/// Drives one full round through `client` and returns the RoundResult.
+std::optional<RoundResult> drive_round(TestClient& client,
+                                       const WorkloadSpec& spec,
+                                       std::size_t market_index,
+                                       std::size_t round) {
+  std::vector<BidRow> rows;
+  workload_rows(spec, market_index, round, rows);
+  for (const BidRow& row : rows) {
+    if (!client.send_bid(spec.market_id(market_index), round, row)) {
+      return std::nullopt;
+    }
+  }
+  return client.read_round_result();
+}
+
+void expect_same_result(const RoundResult& got, const RoundResult& want) {
+  EXPECT_EQ(got.market, want.market);
+  EXPECT_EQ(got.round, want.round);
+  EXPECT_EQ(got.winners, want.winners);
+  ASSERT_EQ(got.payments.size(), want.payments.size());
+  for (std::size_t i = 0; i < got.payments.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.payments[i]),
+              std::bit_cast<std::uint64_t>(want.payments[i]))
+        << "payment " << i;
+  }
+}
+
+TEST(AuctionServiceTest, MultiClientRoundsMatchInProcessEngineBitExactly) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  WorkloadSpec spec;
+  spec.markets = 2;
+  spec.rounds_per_market = 6;
+  spec.clients = 24;
+  spec.bids_per_round = config.engine.bids_per_round;
+  const auto reference = reference_results(spec, config.engine);
+
+  // Three clients split every round's cohort; whoever contributed hears
+  // the result, so all three must see identical bit patterns.
+  std::vector<TestClient> clients(3);
+  for (TestClient& client : clients) {
+    ASSERT_TRUE(client.connect(service->port()));
+  }
+  std::vector<BidRow> rows;
+  for (std::size_t r = 0; r < spec.rounds_per_market; ++r) {
+    for (std::size_t m = 0; m < spec.markets; ++m) {
+      workload_rows(spec, m, r, rows);
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        ASSERT_TRUE(clients[i % clients.size()].send_bid(spec.market_id(m), r,
+                                                         rows[i]));
+      }
+      for (TestClient& client : clients) {
+        const std::optional<RoundResult> result = client.read_round_result();
+        ASSERT_TRUE(result.has_value()) << "market " << m << " round " << r;
+        expect_same_result(*result, reference[m][r]);
+      }
+    }
+  }
+  service->stop();
+  EXPECT_EQ(service->stats().rounds_cleared,
+            spec.markets * spec.rounds_per_market);
+  EXPECT_EQ(service->stats().protocol_errors, 0u);
+}
+
+TEST(AuctionServiceTest, GarbageFrameKillsOnlyThatConnection) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  TestClient hostile;
+  TestClient honest;
+  ASSERT_TRUE(hostile.connect(service->port()));
+  ASSERT_TRUE(honest.connect(service->port()));
+
+  // 32 garbage bytes: enough to complete (and fail) header validation.
+  std::vector<std::byte> garbage(32, std::byte{0x5A});
+  ASSERT_TRUE(hostile.send_bytes(garbage));
+  EXPECT_TRUE(hostile.server_closed());
+
+  // The honest client's rounds still clear, bit-exactly.
+  WorkloadSpec spec;
+  spec.markets = 1;
+  spec.rounds_per_market = 2;
+  spec.clients = 16;
+  spec.bids_per_round = config.engine.bids_per_round;
+  const auto reference = reference_results(spec, config.engine);
+  for (std::size_t r = 0; r < spec.rounds_per_market; ++r) {
+    const std::optional<RoundResult> result = drive_round(honest, spec, 0, r);
+    ASSERT_TRUE(result.has_value()) << "round " << r;
+    expect_same_result(*result, reference[0][r]);
+  }
+  service->stop();
+  EXPECT_GE(service->stats().protocol_errors, 1u);
+}
+
+TEST(AuctionServiceTest, WellFormedNonSubmitFrameIsAProtocolViolation) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  // A checksummed, decodable RoundResult — but clients must only ever send
+  // SubmitBids, so the connection dies anyway.
+  TestClient confused;
+  ASSERT_TRUE(confused.connect(service->port()));
+  RoundResult bogus;
+  bogus.market = 0;
+  bogus.round = 0;
+  Frame frame;
+  encode(bogus, frame);
+  ASSERT_TRUE(confused.send_bytes(frame));
+  EXPECT_TRUE(confused.server_closed());
+  service->stop();
+  EXPECT_GE(service->stats().protocol_errors, 1u);
+}
+
+TEST(AuctionServiceTest, SlowLorisConnectionDoesNotStallOthers) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  TestClient loris;
+  TestClient honest;
+  ASSERT_TRUE(loris.connect(service->port()));
+  ASSERT_TRUE(honest.connect(service->port()));
+
+  // The slow loris: a valid frame prefix trickled a byte at a time, never
+  // completed. Interleave honest rounds between trickles.
+  SubmitBids msg;
+  msg.client = 999;
+  msg.markets = {5};
+  msg.rounds = {0};
+  msg.values = {1.0};
+  msg.bids = {0.5};
+  msg.energy_costs = {1.0};
+  Frame trickle;
+  encode(msg, trickle);
+
+  WorkloadSpec spec;
+  spec.markets = 1;
+  spec.rounds_per_market = 3;
+  spec.clients = 16;
+  spec.bids_per_round = config.engine.bids_per_round;
+  const auto reference = reference_results(spec, config.engine);
+  for (std::size_t r = 0; r < spec.rounds_per_market; ++r) {
+    ASSERT_TRUE(loris.send_bytes(
+        std::span<const std::byte>(trickle.data() + r, 1)));
+    const std::optional<RoundResult> result = drive_round(honest, spec, 0, r);
+    ASSERT_TRUE(result.has_value()) << "round " << r;
+    expect_same_result(*result, reference[0][r]);
+  }
+  // The loris was never dropped — slowness alone is not a violation.
+  service->stop();
+  EXPECT_EQ(service->stats().protocol_errors, 0u);
+}
+
+TEST(AuctionServiceTest, MidFrameDisconnectIsContained) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  TestClient goner;
+  TestClient honest;
+  ASSERT_TRUE(goner.connect(service->port()));
+  ASSERT_TRUE(honest.connect(service->port()));
+
+  // Half a valid frame, then a hard close.
+  Frame frame;
+  SubmitBids msg;
+  msg.client = 1;
+  msg.markets = {0};
+  msg.rounds = {0};
+  msg.values = {1.0};
+  msg.bids = {0.5};
+  msg.energy_costs = {1.0};
+  encode(msg, frame);
+  ASSERT_TRUE(goner.send_bytes(
+      std::span<const std::byte>(frame.data(), frame.size() / 2)));
+  goner.close();
+
+  // Wait for the server to notice the EOF, then confirm honest traffic
+  // still clears rounds.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service->stats().connections_dropped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service->stats().connections_dropped, 1u);
+
+  WorkloadSpec spec;
+  spec.markets = 1;
+  spec.rounds_per_market = 1;
+  spec.clients = 16;
+  spec.bids_per_round = config.engine.bids_per_round;
+  const auto reference = reference_results(spec, config.engine);
+  const std::optional<RoundResult> result = drive_round(honest, spec, 0, 0);
+  ASSERT_TRUE(result.has_value());
+  expect_same_result(*result, reference[0][0]);
+  service->stop();
+  // A disconnect is not a protocol violation, just a dropped connection.
+  EXPECT_EQ(service->stats().protocol_errors, 0u);
+}
+
+TEST(AuctionServiceTest, StaleAndFarFutureRoundsAreViolations) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  config.max_pending_rounds = 4;
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  WorkloadSpec spec;
+  spec.markets = 1;
+  spec.rounds_per_market = 1;
+  spec.clients = 16;
+  spec.bids_per_round = config.engine.bids_per_round;
+
+  {
+    // Clear round 0, then re-bid into it: stale, connection dies.
+    TestClient client;
+    ASSERT_TRUE(client.connect(service->port()));
+    const std::optional<RoundResult> result = drive_round(client, spec, 0, 0);
+    ASSERT_TRUE(result.has_value());
+    BidRow row{.client = 3, .value = 1.0, .bid = 0.5, .energy_cost = 1.0};
+    ASSERT_TRUE(client.send_bid(spec.market_id(0), 0, row));
+    EXPECT_TRUE(client.server_closed());
+  }
+  {
+    // A round far beyond the pending window dies immediately.
+    TestClient client;
+    ASSERT_TRUE(client.connect(service->port()));
+    BidRow row{.client = 3, .value = 1.0, .bid = 0.5, .energy_cost = 1.0};
+    ASSERT_TRUE(client.send_bid(spec.market_id(0), 1000, row));
+    EXPECT_TRUE(client.server_closed());
+  }
+  service->stop();
+  EXPECT_GE(service->stats().protocol_errors, 2u);
+}
+
+}  // namespace
+}  // namespace sfl::service

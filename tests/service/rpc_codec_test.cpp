@@ -1,0 +1,243 @@
+// Unit tests for the service RPC codec: bit-exact roundtrips, envelope
+// integrity, semantic rejection, and cross-type confusion.
+#include "service/rpc_messages.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dist/wire_codec.h"
+
+namespace sfl::service {
+namespace {
+
+SubmitBids sample_submit() {
+  SubmitBids msg;
+  msg.client = 77;
+  msg.markets = {0, 0, 3, 9};
+  msg.rounds = {4, 5, 4, 0};
+  msg.values = {1.25, 0.0, 2.75, 0.031415926};
+  msg.bids = {0.5, 0.125, 1.0, 0.9999999999};
+  msg.energy_costs = {1.0, 0.25, 2.0, 0.0001};
+  return msg;
+}
+
+RoundResult sample_result() {
+  RoundResult msg;
+  msg.market = 3;
+  msg.round = 12;
+  msg.winners = {9, 2, 41, 7};
+  msg.payments = {0.75, 1.0 / 3.0, 0.0, 2.25};
+  return msg;
+}
+
+SettlementAck sample_ack() {
+  SettlementAck msg;
+  msg.market = 3;
+  msg.round = 12;
+  msg.total_payment = 3.0 + 1.0 / 3.0;
+  msg.winner_count = 4;
+  return msg;
+}
+
+template <typename Message>
+void expect_rejected(const Message& message,
+                     void (*mutate)(Frame&) = nullptr) {
+  Frame frame;
+  encode(message, frame);
+  if (mutate != nullptr) mutate(frame);
+  Message out;
+  EXPECT_THROW(decode(frame, out), WireError);
+}
+
+TEST(RpcCodecTest, SubmitBidsRoundtripsBitExactly) {
+  const SubmitBids original = sample_submit();
+  Frame frame;
+  encode(original, frame);
+  SubmitBids decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(decoded.client, original.client);
+  EXPECT_EQ(decoded.markets, original.markets);
+  EXPECT_EQ(decoded.rounds, original.rounds);
+  ASSERT_EQ(decoded.values.size(), original.values.size());
+  for (std::size_t i = 0; i < original.values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.values[i]),
+              std::bit_cast<std::uint64_t>(original.values[i]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.bids[i]),
+              std::bit_cast<std::uint64_t>(original.bids[i]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.energy_costs[i]),
+              std::bit_cast<std::uint64_t>(original.energy_costs[i]));
+  }
+}
+
+TEST(RpcCodecTest, RoundResultRoundtripsBitExactly) {
+  const RoundResult original = sample_result();
+  Frame frame;
+  encode(original, frame);
+  RoundResult decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(decoded.market, original.market);
+  EXPECT_EQ(decoded.round, original.round);
+  EXPECT_EQ(decoded.winners, original.winners);
+  ASSERT_EQ(decoded.payments.size(), original.payments.size());
+  for (std::size_t i = 0; i < original.payments.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.payments[i]),
+              std::bit_cast<std::uint64_t>(original.payments[i]));
+  }
+}
+
+TEST(RpcCodecTest, SettlementAckRoundtripsBitExactly) {
+  const SettlementAck original = sample_ack();
+  Frame frame;
+  encode(original, frame);
+  SettlementAck decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(decoded.market, original.market);
+  EXPECT_EQ(decoded.round, original.round);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded.total_payment),
+            std::bit_cast<std::uint64_t>(original.total_payment));
+  EXPECT_EQ(decoded.winner_count, original.winner_count);
+}
+
+TEST(RpcCodecTest, EmptySlateAndEmptyResultRoundtrip) {
+  SubmitBids submit;
+  submit.client = 1;
+  Frame frame;
+  encode(submit, frame);
+  SubmitBids submit_out;
+  decode(frame, submit_out);
+  EXPECT_EQ(submit_out.row_count(), 0u);
+
+  RoundResult result;
+  result.market = 5;
+  result.round = 2;
+  encode(result, frame);
+  RoundResult result_out;
+  decode(frame, result_out);
+  EXPECT_TRUE(result_out.winners.empty());
+  EXPECT_TRUE(result_out.payments.empty());
+}
+
+TEST(RpcCodecTest, ChecksumFlipIsRejectedForEveryType) {
+  expect_rejected(sample_submit(), +[](Frame& f) { f.back() ^= std::byte{1}; });
+  expect_rejected(sample_result(), +[](Frame& f) { f.back() ^= std::byte{1}; });
+  expect_rejected(sample_ack(), +[](Frame& f) { f.back() ^= std::byte{1}; });
+}
+
+TEST(RpcCodecTest, TruncationIsRejectedForEveryType) {
+  Frame frame;
+  encode(sample_submit(), frame);
+  SubmitBids submit_out;
+  EXPECT_THROW(
+      decode(std::span<const std::byte>(frame.data(), frame.size() - 9),
+             submit_out),
+      WireError);
+
+  encode(sample_result(), frame);
+  RoundResult result_out;
+  EXPECT_THROW(
+      decode(std::span<const std::byte>(frame.data(), frame.size() - 1),
+             result_out),
+      WireError);
+
+  encode(sample_ack(), frame);
+  SettlementAck ack_out;
+  EXPECT_THROW(decode(std::span<const std::byte>(frame.data(), 10), ack_out),
+               WireError);
+}
+
+TEST(RpcCodecTest, CrossTypeDecodeIsRejected) {
+  Frame submit_frame;
+  encode(sample_submit(), submit_frame);
+  Frame result_frame;
+  encode(sample_result(), result_frame);
+  Frame ack_frame;
+  encode(sample_ack(), ack_frame);
+
+  RoundResult result_out;
+  EXPECT_THROW(decode(submit_frame, result_out), WireError);
+  SettlementAck ack_out;
+  EXPECT_THROW(decode(result_frame, ack_out), WireError);
+  SubmitBids submit_out;
+  EXPECT_THROW(decode(ack_frame, submit_out), WireError);
+}
+
+TEST(RpcCodecTest, NonFiniteAndNegativeEconomicsAreRejected) {
+  {
+    SubmitBids bad = sample_submit();
+    bad.values[1] = std::numeric_limits<double>::quiet_NaN();
+    expect_rejected(bad);
+  }
+  {
+    SubmitBids bad = sample_submit();
+    bad.bids[0] = -0.25;
+    expect_rejected(bad);
+  }
+  {
+    SubmitBids bad = sample_submit();
+    bad.energy_costs[2] = 0.0;  // energy must be strictly positive
+    expect_rejected(bad);
+  }
+  {
+    SubmitBids bad = sample_submit();
+    bad.energy_costs[2] = std::numeric_limits<double>::infinity();
+    expect_rejected(bad);
+  }
+  {
+    RoundResult bad = sample_result();
+    bad.payments[1] = -1.0;
+    expect_rejected(bad);
+  }
+  {
+    SettlementAck bad = sample_ack();
+    bad.total_payment = std::numeric_limits<double>::infinity();
+    expect_rejected(bad);
+  }
+}
+
+TEST(RpcCodecTest, DuplicateRowsAndWinnersAreRejected) {
+  {
+    SubmitBids bad = sample_submit();
+    bad.markets[1] = bad.markets[0];
+    bad.rounds[1] = bad.rounds[0];  // same (market, round) twice
+    expect_rejected(bad);
+  }
+  {
+    RoundResult bad = sample_result();
+    bad.winners[3] = bad.winners[0];  // same client paid twice
+    expect_rejected(bad);
+  }
+}
+
+TEST(RpcCodecTest, SameMarketDifferentRoundIsAccepted) {
+  SubmitBids msg = sample_submit();  // markets[0] == markets[1], rounds differ
+  Frame frame;
+  encode(msg, frame);
+  SubmitBids out;
+  EXPECT_NO_THROW(decode(frame, out));
+}
+
+TEST(RpcCodecTest, RowCountBeyondLimitIsRejected) {
+  // Craft the oversize slate directly; encode() trusts its caller, decode()
+  // must not.
+  SubmitBids big;
+  big.client = 1;
+  const std::size_t rows = kMaxBidsPerSubmit + 1;
+  big.markets.resize(rows);
+  big.rounds.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    big.markets[i] = i;  // unique (market, round) keys
+    big.rounds[i] = 0;
+  }
+  big.values.assign(rows, 1.0);
+  big.bids.assign(rows, 0.5);
+  big.energy_costs.assign(rows, 1.0);
+  expect_rejected(big);
+}
+
+}  // namespace
+}  // namespace sfl::service

@@ -1,0 +1,163 @@
+#include "stats/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sfl::stats {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  const LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.min(), 0.0);
+  EXPECT_EQ(histogram.max(), 0.0);
+  EXPECT_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, CountSumMinMaxAreExact) {
+  LatencyHistogram histogram;
+  const std::vector<double> values = {3.7, 120.0, 0.4, 88000.5, 12.0};
+  double sum = 0.0;
+  for (const double v : values) {
+    histogram.record(v);
+    sum += v;
+  }
+  EXPECT_EQ(histogram.count(), values.size());
+  EXPECT_DOUBLE_EQ(histogram.sum(), sum);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.4);  // below min_value, still exact
+  EXPECT_DOUBLE_EQ(histogram.max(), 88000.5);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 0.4);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 88000.5);
+}
+
+TEST(LatencyHistogramTest, QuantilesHaveBoundedRelativeError) {
+  // At 20 buckets per decade, a bucket's upper edge overshoots any value in
+  // the bucket by at most 10^(1/20) - 1 (about 12.2%).
+  LatencyHistogram histogram;
+  sfl::util::Rng rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    values.push_back(rng.uniform(10.0, 1e6));
+  }
+  for (const double v : values) histogram.record(v);
+
+  std::sort(values.begin(), values.end());
+  const double bucket_ratio = std::pow(10.0, 1.0 / 20.0);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const double approx = histogram.quantile(q);
+    EXPECT_GE(approx * bucket_ratio, exact) << "q=" << q;
+    EXPECT_LE(approx, exact * bucket_ratio * bucket_ratio) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotoneInQ) {
+  LatencyHistogram histogram;
+  sfl::util::Rng rng(11);
+  for (int i = 0; i < 5'000; ++i) {
+    histogram.record(rng.uniform(1.0, 1e7));
+  }
+  double previous = histogram.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double current = histogram.quantile(q);
+    EXPECT_GE(current, previous) << "q=" << q;
+    previous = current;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesRecordingEverythingInOne) {
+  LatencyHistogram combined;
+  LatencyHistogram left;
+  LatencyHistogram right;
+  sfl::util::Rng rng(23);
+  for (int i = 0; i < 4'000; ++i) {
+    const double v = rng.uniform(0.5, 1e8);
+    combined.record(v);
+    (i % 2 == 0 ? left : right).record(v);
+  }
+  left.merge(right);
+
+  EXPECT_EQ(left.count(), combined.count());
+  // Summation order differs between the split and combined paths, so the
+  // sums agree only to rounding.
+  EXPECT_NEAR(left.sum(), combined.sum(), combined.sum() * 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+  ASSERT_EQ(left.bucket_count(), combined.bucket_count());
+  for (std::size_t b = 0; b < left.bucket_count(); ++b) {
+    EXPECT_EQ(left.bucket_samples(b), combined.bucket_samples(b)) << b;
+  }
+  for (const double q : {0.1, 0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(left.quantile(q), combined.quantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeIntoEmptyAndFromEmpty) {
+  LatencyHistogram empty;
+  LatencyHistogram filled;
+  filled.record(42.0);
+  filled.record(999.0);
+
+  LatencyHistogram target;
+  target.merge(filled);  // into empty
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 42.0);
+  EXPECT_DOUBLE_EQ(target.max(), 999.0);
+
+  target.merge(empty);  // from empty: no-op
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 42.0);
+}
+
+TEST(LatencyHistogramTest, MergeRejectsMismatchedGeometry) {
+  LatencyHistogram a{LatencyHistogramConfig{
+      .min_value = 1.0, .max_value = 1e6, .buckets_per_decade = 10}};
+  LatencyHistogram b{LatencyHistogramConfig{
+      .min_value = 1.0, .max_value = 1e6, .buckets_per_decade = 20}};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LatencyHistogramTest, OutOfRangeValuesClampIntoEdgeBuckets) {
+  LatencyHistogram histogram{LatencyHistogramConfig{
+      .min_value = 1.0, .max_value = 1e3, .buckets_per_decade = 10}};
+  histogram.record(1e-6);  // below range
+  histogram.record(1e9);   // above range
+  EXPECT_EQ(histogram.bucket_samples(0), 1u);
+  EXPECT_EQ(histogram.bucket_samples(histogram.bucket_count() - 1), 1u);
+  EXPECT_EQ(histogram.count(), 2u);
+  // Exact extremes survive clamping.
+  EXPECT_DOUBLE_EQ(histogram.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1e9);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 1e9);
+}
+
+TEST(LatencyHistogramTest, SingleSampleQuantileNeverExceedsMax) {
+  LatencyHistogram histogram;
+  histogram.record(123.0);
+  for (const double q : {0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_LE(histogram.quantile(q), 123.0) << q;
+    EXPECT_GE(histogram.quantile(q), 123.0 * 0.8) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, RejectsDegenerateGeometry) {
+  EXPECT_THROW(LatencyHistogram(LatencyHistogramConfig{.min_value = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(LatencyHistogram(LatencyHistogramConfig{.min_value = 10.0,
+                                                       .max_value = 5.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      LatencyHistogram(LatencyHistogramConfig{.buckets_per_decade = 0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::stats
