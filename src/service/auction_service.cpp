@@ -23,10 +23,18 @@ void set_nonblocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
+/// poll_once ticks the listen fd sits out after EMFILE/ENFILE (~1 s at the
+/// default 20 ms poll timeout) — long enough for fds to be released,
+/// short enough that recovery is prompt.
+constexpr int kAcceptCooldownTicks = 50;
+
 }  // namespace
 
 AuctionService::AuctionService(AuctionServiceConfig config)
     : config_(std::move(config)) {
+  // Fail unknown mechanism keys at construction, not at the first bid —
+  // and before any fd exists, so the throw cannot leak a socket.
+  (void)build_market_mechanism(config_.engine);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
@@ -57,8 +65,6 @@ AuctionService::AuctionService(AuctionServiceConfig config)
       0) {
     port_ = ntohs(addr.sin_port);
   }
-  // Fail unknown mechanism keys at construction, not at the first bid.
-  (void)build_market_mechanism(config_.engine);
 }
 
 AuctionService::~AuctionService() { stop(); }
@@ -76,7 +82,7 @@ void AuctionService::start() {
 void AuctionService::stop() {
   stopping_.store(true);
   if (thread_.joinable()) thread_.join();
-  for (auto& [fd, conn] : connections_) {
+  for (auto& [id, conn] : connections_) {
     if (conn.fd >= 0) ::close(conn.fd);
   }
   connections_.clear();
@@ -105,15 +111,25 @@ ServiceStats AuctionService::stats() const noexcept {
 
 void AuctionService::poll_once(int timeout_ms) {
   std::vector<pollfd> pfds;
-  std::vector<int> fds;
+  std::vector<std::uint64_t> ids;
   pfds.reserve(connections_.size() + 1);
-  pfds.push_back(pollfd{.fd = listen_fd_, .events = POLLIN, .revents = 0});
-  fds.push_back(listen_fd_);
-  for (auto& [fd, conn] : connections_) {
+  ids.reserve(connections_.size() + 1);
+  // While cooling down after fd exhaustion the listen fd stays in the set
+  // but asks for no events: accept() would only fail again, and a
+  // perpetually POLLIN-ready queue would turn the loop into a busy spin.
+  short listen_events = POLLIN;
+  if (accept_cooldown_ticks_ > 0) {
+    --accept_cooldown_ticks_;
+    listen_events = 0;
+  }
+  pfds.push_back(
+      pollfd{.fd = listen_fd_, .events = listen_events, .revents = 0});
+  ids.push_back(0);  // never a connection id
+  for (auto& [id, conn] : connections_) {
     short events = POLLIN;
     if (conn.out_offset < conn.out.size()) events |= POLLOUT;
-    pfds.push_back(pollfd{.fd = fd, .events = events, .revents = 0});
-    fds.push_back(fd);
+    pfds.push_back(pollfd{.fd = conn.fd, .events = events, .revents = 0});
+    ids.push_back(id);
   }
 
   const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
@@ -121,7 +137,7 @@ void AuctionService::poll_once(int timeout_ms) {
 
   if ((pfds[0].revents & POLLIN) != 0) accept_ready();
   for (std::size_t i = 1; i < pfds.size(); ++i) {
-    const auto it = connections_.find(fds[i]);
+    const auto it = connections_.find(ids[i]);
     if (it == connections_.end() || it->second.dead) continue;
     Connection& conn = it->second;
     if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
@@ -138,14 +154,25 @@ void AuctionService::accept_ready() {
   // Drain the accept queue; the listen socket is non-blocking.
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds/buffers: nothing we can accept until something closes,
+        // so stop watching the listen fd for a while instead of spinning.
+        accept_cooldown_ticks_ = kAcceptCooldownTicks;
+      }
+      return;
+    }
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Connection conn;
+    conn.id = next_connection_id_++;
     conn.fd = fd;
     conn.assembler = FrameAssembler(config_.max_frame_bytes);
-    connections_.emplace(fd, std::move(conn));
+    const std::uint64_t id = conn.id;
+    connections_.emplace(id, std::move(conn));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -195,55 +222,133 @@ bool AuctionService::handle_frame(Connection& conn, const Frame& frame) {
   } catch (const WireError&) {
     return false;
   }
+  // Transactional slate application: every row is validated against the
+  // pre-frame state first, so a rejected frame (false return, connection
+  // dropped) leaves no partial rows behind in any bucket, and clearing
+  // only runs once the whole slate is in.
+  frame_slots_.clear();
+  frame_new_markets_.clear();
+  frame_touched_markets_.clear();
+  frame_row_accepted_.assign(submit_scratch_.row_count(), 0);
   for (std::size_t i = 0; i < submit_scratch_.row_count(); ++i) {
+    const std::uint64_t market_id = submit_scratch_.markets[i];
+    const std::uint64_t round = submit_scratch_.rounds[i];
+    switch (validate_bid(market_id, round, submit_scratch_.client)) {
+      case BidDisposition::kViolation:
+        return false;
+      case BidDisposition::kIgnore:
+        // Benign race lost (full bucket / market cap): an honest client
+        // cannot foresee these, so the row is skipped, never punished.
+        break;
+      case BidDisposition::kAccept:
+        frame_row_accepted_[i] = 1;
+        frame_slots_.emplace_back(market_id, round);
+        if (markets_.find(market_id) == markets_.end()) {
+          bool known = false;
+          for (const std::uint64_t m : frame_new_markets_) {
+            if (m == market_id) known = true;
+          }
+          if (!known) frame_new_markets_.push_back(market_id);
+        }
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < submit_scratch_.row_count(); ++i) {
+    if (frame_row_accepted_[i] == 0) continue;
     BidRow row;
     row.client = submit_scratch_.client;
     row.value = submit_scratch_.values[i];
     row.bid = submit_scratch_.bids[i];
     row.energy_cost = submit_scratch_.energy_costs[i];
-    if (!route_bid(conn, submit_scratch_.markets[i], submit_scratch_.rounds[i],
-                   row)) {
-      return false;
-    }
+    apply_bid(conn, submit_scratch_.markets[i], submit_scratch_.rounds[i],
+              row);
     bids_received_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (const std::uint64_t market_id : frame_touched_markets_) {
+    const auto market_it = markets_.find(market_id);
+    if (market_it != markets_.end()) {
+      clear_ready_rounds(market_id, market_it->second);
+    }
   }
   return true;
 }
 
-bool AuctionService::route_bid(Connection& conn, std::uint64_t market_id,
+AuctionService::BidDisposition AuctionService::validate_bid(
+    std::uint64_t market_id, std::uint64_t round, std::uint64_t client) const {
+  // The whole slate carries one client id, so a second row naming the same
+  // (market, round) would double-bid that client into one bucket. The
+  // sender controls its own slate — this is a violation, not a race.
+  for (const auto& [m, r] : frame_slots_) {
+    if (m == market_id && r == round) return BidDisposition::kViolation;
+  }
+  const auto market_it = markets_.find(market_id);
+  if (market_it == markets_.end()) {
+    bool created_by_frame = false;
+    for (const std::uint64_t m : frame_new_markets_) {
+      if (m == market_id) created_by_frame = true;
+    }
+    if (!created_by_frame &&
+        markets_.size() + frame_new_markets_.size() >= config_.max_markets) {
+      // Market cap: a race against other clients, not misbehavior.
+      return BidDisposition::kIgnore;
+    }
+    // A market that does not exist yet starts at round 0.
+    if (round >= config_.max_pending_rounds) return BidDisposition::kViolation;
+    return BidDisposition::kAccept;
+  }
+  const MarketState& market = market_it->second;
+
+  // Stale (already-cleared) rounds and rounds beyond the pending window are
+  // violations: they can never clear correctly, and the window bound is
+  // what keeps a hostile round pattern from growing server state without
+  // limit.
+  if (round < market.next_round) return BidDisposition::kViolation;
+  if (round >= market.next_round + config_.max_pending_rounds) {
+    return BidDisposition::kViolation;
+  }
+
+  const auto bucket_it = market.pending.find(round);
+  if (bucket_it != market.pending.end()) {
+    const Bucket& bucket = bucket_it->second;
+    if (bucket.rows.size() >= config_.engine.bids_per_round) {
+      // Full but not yet clearable (an earlier round is still open): the
+      // bid lost a race it could not observe.
+      return BidDisposition::kIgnore;
+    }
+    for (const BidRow& existing : bucket.rows) {
+      if (existing.client == client) {
+        return BidDisposition::kViolation;  // one bid per client per round
+      }
+    }
+  }
+  return BidDisposition::kAccept;
+}
+
+void AuctionService::apply_bid(const Connection& conn, std::uint64_t market_id,
                                std::uint64_t round, const BidRow& row) {
   auto market_it = markets_.find(market_id);
   if (market_it == markets_.end()) {
-    if (markets_.size() >= config_.max_markets) return false;
     MarketState market;
     market.mechanism = build_market_mechanism(config_.engine);
     market_it = markets_.emplace(market_id, std::move(market)).first;
   }
-  MarketState& market = market_it->second;
-
-  // Stale (already-cleared) rounds and rounds beyond the pending window are
-  // rejected: they can never clear correctly, and the window bound is what
-  // keeps a hostile round pattern from growing server state without limit.
-  if (round < market.next_round) return false;
-  if (round >= market.next_round + config_.max_pending_rounds) return false;
-
-  Bucket& bucket = market.pending[round];
-  if (bucket.rows.size() >= config_.engine.bids_per_round) return false;
-  for (const BidRow& existing : bucket.rows) {
-    if (existing.client == row.client) return false;  // one bid per client
-  }
+  Bucket& bucket = market_it->second.pending[round];
   bucket.rows.push_back(row);
+  bucket.row_owners.push_back(conn.id);
   bool known_contributor = false;
-  for (const int fd : bucket.contributor_fds) {
-    if (fd == conn.fd) {
+  for (const std::uint64_t id : bucket.contributor_ids) {
+    if (id == conn.id) {
       known_contributor = true;
       break;
     }
   }
-  if (!known_contributor) bucket.contributor_fds.push_back(conn.fd);
+  if (!known_contributor) bucket.contributor_ids.push_back(conn.id);
 
-  clear_ready_rounds(market_id, market);
-  return true;
+  bool touched = false;
+  for (const std::uint64_t id : frame_touched_markets_) {
+    if (id == market_id) touched = true;
+  }
+  if (!touched) frame_touched_markets_.push_back(market_id);
 }
 
 void AuctionService::clear_ready_rounds(std::uint64_t market_id,
@@ -277,8 +382,12 @@ void AuctionService::clear_ready_rounds(std::uint64_t market_id,
     ack.total_payment = market.result.total_payment();
     ack.winner_count = market.result.winners.size();
 
-    for (const int fd : bucket.contributor_fds) {
-      const auto conn_it = connections_.find(fd);
+    // Contributors are looked up by connection id, never fd: ids are never
+    // reused, so a contributor that disconnected (its fd possibly already
+    // handed to a new, unrelated client) simply fails the lookup instead of
+    // receiving someone else's results.
+    for (const std::uint64_t conn_id : bucket.contributor_ids) {
+      const auto conn_it = connections_.find(conn_id);
       if (conn_it == connections_.end() || conn_it->second.dead) continue;
       encode(result_scratch_, encode_scratch_);
       queue_frame(conn_it->second, encode_scratch_);
@@ -332,6 +441,30 @@ void AuctionService::drop_connection(Connection& conn, bool protocol_error) {
   }
   if (conn.fd >= 0) {
     ::close(conn.fd);
+  }
+  // A gone connection can never hear a result, so its not-yet-cleared bids
+  // must not decide future rounds.
+  purge_connection_bids(conn.id);
+}
+
+void AuctionService::purge_connection_bids(std::uint64_t conn_id) {
+  for (auto& [market_id, market] : markets_) {
+    for (auto it = market.pending.begin(); it != market.pending.end();) {
+      Bucket& bucket = it->second;
+      for (std::size_t i = bucket.rows.size(); i-- > 0;) {
+        if (bucket.row_owners[i] != conn_id) continue;
+        bucket.rows.erase(bucket.rows.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        bucket.row_owners.erase(bucket.row_owners.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      }
+      std::erase(bucket.contributor_ids, conn_id);
+      if (bucket.rows.empty()) {
+        it = market.pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 }
 

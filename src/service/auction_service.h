@@ -24,10 +24,20 @@
 //   - a corrupt or implausible frame, an oversized length claim, a protocol
 //     violation (stale/far-future round, duplicate bid, bogus message type)
 //     or a mid-frame disconnect kills THAT connection only;
+//   - a SubmitBids slate is applied transactionally: a frame containing any
+//     violating row is rejected whole (no partial rows enter buckets), and
+//     a dropped connection's not-yet-cleared bids are purged, so no round
+//     ever clears with bids from a connection that is gone;
+//   - full buckets and the market cap are races an honest client cannot
+//     detect, so bids losing those races are ignored, never punished;
 //   - per-connection write queues are capped; a client that stops reading
 //     is dropped rather than ballooning server memory;
 //   - market and pending-round counts are bounded, so no bid pattern can
 //     make server state grow without limit.
+//
+// Results are routed by monotonic connection id, never by fd: the kernel
+// reuses fds immediately, and a number that can be reassigned must never
+// name a result recipient.
 #pragma once
 
 #include <atomic>
@@ -36,6 +46,7 @@
 #include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "auction/mechanism.h"
@@ -98,6 +109,8 @@ class AuctionService {
 
  private:
   struct Connection {
+    /// Monotonic, never reused — the identity results are routed by.
+    std::uint64_t id = 0;
     int fd = -1;
     FrameAssembler assembler;
     /// Outbound bytes not yet accepted by the kernel ([offset, size)).
@@ -109,7 +122,10 @@ class AuctionService {
   /// Bids collected for one not-yet-cleared (market, round).
   struct Bucket {
     std::vector<BidRow> rows;
-    std::vector<int> contributor_fds;
+    /// Connection id that submitted rows[i] (parallel to rows) — what lets
+    /// a dropped connection's bids be purged before the round clears.
+    std::vector<std::uint64_t> row_owners;
+    std::vector<std::uint64_t> contributor_ids;
   };
 
   struct MarketState {
@@ -120,16 +136,32 @@ class AuctionService {
     std::map<std::uint64_t, Bucket> pending;  ///< round -> bids collected
   };
 
+  /// How one row of a SubmitBids slate is disposed of during validation.
+  enum class BidDisposition {
+    kAccept,     ///< enters its bucket when the whole slate is accepted
+    kIgnore,     ///< benign race lost (full bucket / market cap): skipped
+    kViolation,  ///< rejects the whole slate; the connection is dropped
+  };
+
   void run();
   void accept_ready();
   void read_ready(Connection& conn);
-  /// Decodes and applies one SubmitBids frame; false = protocol violation
-  /// (the caller drops the connection).
+  /// Decodes and applies one SubmitBids frame transactionally: every row is
+  /// validated against pre-frame state before any row is applied, so false
+  /// (= protocol violation; the caller drops the connection) means the
+  /// frame mutated nothing.
   bool handle_frame(Connection& conn, const Frame& frame);
-  bool route_bid(Connection& conn, std::uint64_t market_id,
+  /// Validates one row against current state + the slate rows accepted so
+  /// far (frame_slots_ / frame_new_markets_). Mutates nothing.
+  [[nodiscard]] BidDisposition validate_bid(std::uint64_t market_id,
+                                            std::uint64_t round,
+                                            std::uint64_t client) const;
+  void apply_bid(const Connection& conn, std::uint64_t market_id,
                  std::uint64_t round, const BidRow& row);
   /// Clears every consecutive full next_round bucket of the market.
   void clear_ready_rounds(std::uint64_t market_id, MarketState& market);
+  /// Removes a gone connection's bids from every pending bucket.
+  void purge_connection_bids(std::uint64_t conn_id);
   void queue_frame(Connection& conn, const Frame& frame);
   void flush_writes(Connection& conn);
   void drop_connection(Connection& conn, bool protocol_error);
@@ -138,8 +170,12 @@ class AuctionService {
   AuctionServiceConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
+  /// poll_once ticks left to ignore the listen fd after fd exhaustion
+  /// (EMFILE stays POLLIN-ready forever; re-polling it would spin).
+  int accept_cooldown_ticks_ = 0;
+  std::uint64_t next_connection_id_ = 1;
 
-  std::map<int, Connection> connections_;  ///< keyed by fd
+  std::map<std::uint64_t, Connection> connections_;  ///< keyed by id
   std::map<std::uint64_t, MarketState> markets_;
 
   /// Reused decode/encode buffers (steady-state serving reuses capacity).
@@ -148,6 +184,12 @@ class AuctionService {
   Frame frame_scratch_;
   Frame encode_scratch_;
   std::vector<BidRow> rows_scratch_;
+  /// Per-frame validation scratch: (market, round) slots accepted so far,
+  /// markets the slate would create, markets to run clearing on.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> frame_slots_;
+  std::vector<std::uint64_t> frame_new_markets_;
+  std::vector<std::uint64_t> frame_touched_markets_;
+  std::vector<std::uint8_t> frame_row_accepted_;
 
   std::thread thread_;
   std::atomic<bool> stopping_{false};

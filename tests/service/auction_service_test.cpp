@@ -10,6 +10,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +20,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -139,6 +141,15 @@ struct TestClient {
       decode(*frame, result);
       return result;
     }
+  }
+
+  /// True when the server sent this client nothing: no complete frame is
+  /// buffered and no byte becomes readable within `timeout_ms`.
+  bool silent_for(int timeout_ms) {
+    Frame out;
+    if (assembler.next_frame(out)) return false;
+    pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
+    return ::poll(&pfd, 1, timeout_ms) == 0;
   }
 
   /// True when the server has closed this connection (EOF within the
@@ -408,6 +419,173 @@ TEST(AuctionServiceTest, StaleAndFarFutureRoundsAreViolations) {
   }
   service->stop();
   EXPECT_GE(service->stats().protocol_errors, 2u);
+}
+
+TEST(AuctionServiceTest, DisconnectedContributorIsPurgedAndNeverMisrouted) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  WorkloadSpec spec;
+  spec.markets = 1;
+  spec.rounds_per_market = 2;
+  spec.clients = 16;
+  spec.bids_per_round = config.engine.bids_per_round;
+  const auto reference = reference_results(spec, config.engine);
+
+  // `goner` seeds round 0 with one bid that is NOT part of the workload,
+  // then disconnects. Its bid must be purged with it: otherwise round 0
+  // clears early on a slate containing a ghost bidder.
+  {
+    TestClient goner;
+    ASSERT_TRUE(goner.connect(service->port()));
+    BidRow ghost{.client = 500, .value = 9.0, .bid = 4.0, .energy_cost = 1.0};
+    ASSERT_TRUE(goner.send_bid(spec.market_id(0), 0, ghost));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (service->stats().bids_received == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(service->stats().bids_received, 1u);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service->stats().connections_dropped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(service->stats().connections_dropped, 1u);
+
+  // `bystander` connects next, making it the prime candidate to inherit
+  // the goner's just-released fd from the kernel.
+  TestClient bystander;
+  TestClient honest;
+  ASSERT_TRUE(bystander.connect(service->port()));
+  ASSERT_TRUE(honest.connect(service->port()));
+
+  // The honest client's full workload slate clears round 0 bit-exactly —
+  // impossible if the ghost bid still occupied a bucket slot.
+  const std::optional<RoundResult> result = drive_round(honest, spec, 0, 0);
+  ASSERT_TRUE(result.has_value());
+  expect_same_result(*result, reference[0][0]);
+
+  // The goner contributed to round 0, but its result must not be delivered
+  // to whoever now holds its old fd.
+  EXPECT_TRUE(bystander.silent_for(200));
+  // And the bystander's connection is fully usable afterwards.
+  const std::optional<RoundResult> next = drive_round(bystander, spec, 0, 1);
+  ASSERT_TRUE(next.has_value());
+  expect_same_result(*next, reference[0][1]);
+
+  service->stop();
+  EXPECT_EQ(service->stats().protocol_errors, 0u);
+}
+
+TEST(AuctionServiceTest, RejectedSlateIsAppliedTransactionally) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  // One frame, two rows: a valid round-0 bid followed by a far-future
+  // round. The violation must reject the WHOLE slate — the valid first row
+  // never enters any bucket.
+  TestClient hostile;
+  ASSERT_TRUE(hostile.connect(service->port()));
+  SubmitBids slate;
+  slate.client = 7;
+  slate.markets = {0, 0};
+  slate.rounds = {0, 1000000};
+  slate.values = {1.0, 1.0};
+  slate.bids = {0.5, 0.5};
+  slate.energy_costs = {1.0, 1.0};
+  Frame frame;
+  encode(slate, frame);
+  ASSERT_TRUE(hostile.send_bytes(frame));
+  EXPECT_TRUE(hostile.server_closed());
+  EXPECT_EQ(service->stats().bids_received, 0u);
+
+  // Round 0 still clears bit-exactly from an honest full slate.
+  WorkloadSpec spec;
+  spec.markets = 1;
+  spec.rounds_per_market = 1;
+  spec.clients = 16;
+  spec.bids_per_round = config.engine.bids_per_round;
+  const auto reference = reference_results(spec, config.engine);
+  TestClient honest;
+  ASSERT_TRUE(honest.connect(service->port()));
+  const std::optional<RoundResult> result = drive_round(honest, spec, 0, 0);
+  ASSERT_TRUE(result.has_value());
+  expect_same_result(*result, reference[0][0]);
+  service->stop();
+  EXPECT_GE(service->stats().protocol_errors, 1u);
+}
+
+TEST(AuctionServiceTest, FullBucketAndMarketCapAreBenignNotViolations) {
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  config.engine.bids_per_round = 2;
+  config.max_markets = 1;
+  config.max_pending_rounds = 4;
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  // `filler` fills round 1 while round 0 is still open: full but not yet
+  // clearable (strict round order).
+  TestClient filler;
+  ASSERT_TRUE(filler.connect(service->port()));
+  ASSERT_TRUE(filler.send_bid(
+      0, 1, BidRow{.client = 101, .value = 1.0, .bid = 0.5, .energy_cost = 1.0}));
+  ASSERT_TRUE(filler.send_bid(
+      0, 1, BidRow{.client = 102, .value = 2.0, .bid = 0.7, .energy_cost = 1.0}));
+
+  // `racer` loses two races an honest client cannot observe: the full
+  // round-1 bucket, and the max_markets cap. Both bids are ignored; the
+  // connection must survive.
+  TestClient racer;
+  ASSERT_TRUE(racer.connect(service->port()));
+  ASSERT_TRUE(racer.send_bid(
+      0, 1, BidRow{.client = 103, .value = 3.0, .bid = 0.9, .energy_cost = 1.0}));
+  ASSERT_TRUE(racer.send_bid(
+      7, 0, BidRow{.client = 103, .value = 3.0, .bid = 0.9, .energy_cost = 1.0}));
+
+  // The racer's connection still works: it fills round 0, which clears and
+  // cascades into the already-full round 1.
+  ASSERT_TRUE(racer.send_bid(
+      0, 0, BidRow{.client = 104, .value = 1.5, .bid = 0.6, .energy_cost = 1.0}));
+  ASSERT_TRUE(racer.send_bid(
+      0, 0, BidRow{.client = 105, .value = 2.5, .bid = 0.8, .energy_cost = 1.0}));
+
+  const std::optional<RoundResult> round0 = racer.read_round_result();
+  ASSERT_TRUE(round0.has_value());
+  EXPECT_EQ(round0->round, 0u);
+  for (const std::uint64_t winner : round0->winners) {
+    EXPECT_NE(winner, 103u) << "ignored bid must not win";
+  }
+  const std::optional<RoundResult> round1 = filler.read_round_result();
+  ASSERT_TRUE(round1.has_value());
+  EXPECT_EQ(round1->round, 1u);
+
+  service->stop();
+  EXPECT_EQ(service->stats().rounds_cleared, 2u);
+  EXPECT_EQ(service->stats().protocol_errors, 0u);
+}
+
+TEST(AuctionServiceTest, UnknownMechanismKeyThrowsBeforeAnySocketExists) {
+  // The mechanism key is validated before socket()/bind(), so the throw
+  // cannot leak a listening fd — and it fires even where binding is
+  // forbidden, as std::invalid_argument straight from the registry.
+  AuctionServiceConfig config;
+  config.engine.mechanism = "no-such-mechanism";
+  EXPECT_THROW(AuctionService{std::move(config)}, std::invalid_argument);
 }
 
 }  // namespace
