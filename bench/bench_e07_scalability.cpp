@@ -233,6 +233,76 @@ BENCHMARK(BM_PipelinedDistributedStraggler)
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 
+/// One synchronous distributed round per iteration over 4 loopback workers
+/// with wall-clock reply latencies, in three configurations (the PR-7
+/// acceptance family): no straggler (baseline), a permanent 800us straggler
+/// with hedging on, and the same straggler with hedging off. With hedging
+/// the coordinator learns the straggler's envelope and races its shards
+/// against a hedge mate, so the hedged rounds/sec should land within ~1.5x
+/// of the no-straggler baseline, while the unhedged variant eats the full
+/// straggler latency every round. The engine (and its latency stats) lives
+/// across iterations; a short untimed warm-up covers the kHedgeMinSamples
+/// cold start so the timed region measures the steady state.
+void bench_hedged_straggler(benchmark::State& state, bool straggler,
+                            bool hedge) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kWorkers = 4;
+  const RandomInstance instance = make_instance(n);
+  const CandidateBatch batch = CandidateBatch::from_aos(instance.candidates);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+
+  auto transport = std::make_unique<sfl::dist::LoopbackTransport>(kWorkers);
+  auto* raw = transport.get();
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    raw->set_worker_latency(w, std::chrono::microseconds(100));
+  }
+  const sfl::dist::DistributedWdp engine{
+      sfl::dist::DistributedWdpConfig{
+          .receive_timeout = std::chrono::milliseconds(50), .hedge = hedge},
+      std::move(transport)};
+  if (straggler) {
+    // Slow down a worker that actually owns shards (rendezvous routing may
+    // leave an arbitrary worker without a home assignment at 4 shards).
+    raw->set_worker_latency(engine.home_worker(0),
+                            std::chrono::microseconds(800));
+  }
+
+  RoundScratch scratch;
+  for (std::size_t warm = 0; warm < 24; ++warm) {
+    engine.run_round(batch, weights, m, {}, scratch);
+  }
+  for (auto _ : state) {
+    engine.run_round(batch, weights, m, {}, scratch);
+    benchmark::DoNotOptimize(scratch.payments.data());
+  }
+  state.SetItemsProcessed(state.iterations());  // items/sec == rounds/sec
+}
+
+void BM_HedgedStragglerBaseline(benchmark::State& state) {
+  bench_hedged_straggler(state, /*straggler=*/false, /*hedge=*/true);
+}
+BENCHMARK(BM_HedgedStragglerBaseline)
+    ->Arg(4'096)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void BM_HedgedStragglerRecovery(benchmark::State& state) {
+  bench_hedged_straggler(state, /*straggler=*/true, /*hedge=*/true);
+}
+BENCHMARK(BM_HedgedStragglerRecovery)
+    ->Arg(4'096)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+void BM_UnhedgedStraggler(benchmark::State& state) {
+  bench_hedged_straggler(state, /*straggler=*/true, /*hedge=*/false);
+}
+BENCHMARK(BM_UnhedgedStraggler)
+    ->Arg(4'096)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 /// Fixed CPU-bound stand-in for the FL work a production round does
 /// between reporting a settlement and needing the next auction — the
 /// window async settlement overlaps with the mechanism's queue updates.

@@ -31,7 +31,10 @@
 //
 // mechanism=lto-vcg-dist-pipe builds the pipeline-capable coordinator:
 // `dist_pipeline_depth` per-round scratch lanes (0 uses the key's default
-// of 2), bit-identical to lto-vcg at any depth. NOTE: this FL runner
+// of 2), bit-identical to lto-vcg at any depth. The distributed keys hedge
+// laggard shards by default (adaptive per-worker deadlines; hedge=0
+// disables), and mechanism=lto-vcg-dist-hedge forces hedging on over a
+// 4-worker default fleet. NOTE: this FL runner
 // drives the orchestrator, which clears rounds synchronously — actual
 // round overlap engages in drivers that feed rounds ahead through the
 // pipelined round API (core::run_market, or submit_round /
@@ -66,6 +69,7 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   config.lto.shards = args.get_size("shards", 0);
   config.lto.dist_workers = args.get_size("dist_workers", 0);
   config.lto.dist_pipeline_depth = args.get_size("dist_pipeline_depth", 0);
+  config.lto.hedge = args.get_bool("hedge", true);
   config.lto.async_settle = args.get_bool("async_settle", false);
   config.fixed_price.price = args.get_double("price", 1.0);
   config.random_stipend.stipend = args.get_double("stipend", 1.0);

@@ -175,6 +175,23 @@ int connect_to(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+/// connect_to with bounded exponential backoff: a freshly spawned server
+/// may still be binding its socket when the generator starts (the smoke
+/// test and real deployments launch both at once), so the first
+/// ECONNREFUSED is retried for ~1.6 s (25 ms doubling to a 400 ms cap)
+/// before it counts as a dead server.
+int connect_with_backoff(const std::string& host, std::uint16_t port) {
+  std::chrono::milliseconds delay{25};
+  constexpr std::chrono::milliseconds kMaxDelay{400};
+  for (int attempt = 0; attempt < 7; ++attempt) {
+    const int fd = connect_to(host, port);
+    if (fd >= 0) return fd;
+    std::this_thread::sleep_for(delay);
+    delay = std::min(delay * 2, kMaxDelay);
+  }
+  return connect_to(host, port);
+}
+
 /// Blocking send of a whole frame (sockets stay blocking on the send side;
 /// the kernel applies natural backpressure when the server falls behind).
 bool send_all(int fd, const Frame& frame) {
@@ -332,7 +349,7 @@ bool run_tier(const Options& options, std::size_t tier_index,
 
   std::vector<GenConnection> conns(options.connections);
   for (std::size_t c = 0; c < conns.size(); ++c) {
-    conns[c].fd = connect_to(options.host, options.port);
+    conns[c].fd = connect_with_backoff(options.host, options.port);
     if (conns[c].fd < 0) {
       std::cerr << "sfl_load_gen: cannot connect to " << options.host << ":"
                 << options.port << "\n";
@@ -579,9 +596,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Fail fast (exit 3) when the server is unreachable at all.
+  // Exit 3 when the server is unreachable even after the connect backoff
+  // (which absorbs the server-startup race instead of failing on the first
+  // ECONNREFUSED).
   {
-    const int probe = connect_to(options.host, options.port);
+    const int probe = connect_with_backoff(options.host, options.port);
     if (probe < 0) {
       std::cerr << "sfl_load_gen: cannot connect to " << options.host << ":"
                 << options.port << "\n";

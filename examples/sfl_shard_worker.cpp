@@ -15,8 +15,11 @@
 // request carries its full span — so any number of these processes can be
 // started, killed, and replaced under a running coordinator; the
 // DistributedWdp recovery path re-routes or recomputes whatever a dead
-// worker absorbed. Exit codes: 0 on clean shutdown, 2 on bad usage, 3 when
-// the socket cannot be bound (sandboxed environments).
+// worker absorbed. On SIGTERM/SIGINT the worker DRAINS: it finishes the
+// in-flight request, sends kWorkerGoodbye on the live connection (so the
+// coordinator deregisters it without timeout recovery), then exits. Exit
+// codes: 0 on clean shutdown, 2 on bad usage, 3 when the socket cannot be
+// bound (sandboxed environments).
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -80,9 +83,18 @@ int main(int argc, char** argv) {
     while (g_stop == 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+    // Planned drain: finish whatever request is in flight, send one
+    // kWorkerGoodbye on the live connection so the coordinator deregisters
+    // this worker WITHOUT timeout recovery, then shut down. Bounded wait —
+    // the goodbye is a courtesy, not a requirement (a coordinator treats a
+    // vanished worker as a fault and recovers anyway).
+    server.begin_drain();
+    for (int spins = 0; spins < 20 && !server.drained(); ++spins) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
     server.stop();
     std::cout << "sfl_shard_worker: served " << server.served_requests()
-              << " requests, shutting down\n";
+              << " requests, drained and shutting down\n";
   } catch (const std::exception& error) {
     std::cerr << "sfl_shard_worker: cannot serve: " << error.what() << "\n";
     return 3;

@@ -85,6 +85,7 @@ void register_builtins(MechanismRegistry& registry) {
         lto.shards = config.lto.shards;
         lto.dist_workers =
             config.lto.dist_workers == 0 ? 2 : config.lto.dist_workers;
+        lto.dist_hedge = config.lto.hedge;
         lto.name = "lto-vcg-dist";
         return maybe_async(
             std::make_unique<core::LongTermOnlineVcgMechanism>(lto), config);
@@ -107,6 +108,7 @@ void register_builtins(MechanismRegistry& registry) {
         lto.dist_pipeline_depth = config.lto.dist_pipeline_depth == 0
                                       ? 2
                                       : config.lto.dist_pipeline_depth;
+        lto.dist_hedge = config.lto.hedge;
         lto.name = "lto-vcg-dist-pipe";
         // Deliberately NOT maybe_async: an async decorator would hide the
         // pipelined round API from drivers (silently disabling the
@@ -115,6 +117,30 @@ void register_builtins(MechanismRegistry& registry) {
         // event. Callers that stream settlements for the whole roster
         // (OrchestratorConfig.async_settle) still work: this mechanism
         // then just runs through the synchronous engine path.
+        return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
+      });
+  registry.add_variant(
+      "lto-vcg-dist-hedge", "lto-vcg",
+      "LTO-VCG on the hedged distributed WDP coordinator: adaptive "
+      "per-worker deadlines (observed latency mean + k*stddev) re-dispatch "
+      "laggard shards to the next live worker in rendezvous order without "
+      "abandoning the original attempt, first valid reply wins, and "
+      "workers join/leave between rounds via kWorkerHello/kWorkerGoodbye — "
+      "settled trajectories bit-identical to lto-vcg under any straggler "
+      "or membership schedule (lto.dist_workers: 0 = default 4; "
+      "lto.dist_pipeline_depth: 0 = default 2; hedging forced on)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        core::LtoVcgConfig lto = lto_config_from(config, /*paced=*/true);
+        lto.shards = config.lto.shards;
+        lto.dist_workers =
+            config.lto.dist_workers == 0 ? 4 : config.lto.dist_workers;
+        lto.dist_pipeline_depth = config.lto.dist_pipeline_depth == 0
+                                      ? 2
+                                      : config.lto.dist_pipeline_depth;
+        lto.dist_hedge = true;
+        lto.name = "lto-vcg-dist-hedge";
+        // Pipelined like lto-vcg-dist-pipe, so no async decorator (see
+        // the note there).
         return std::make_unique<core::LongTermOnlineVcgMechanism>(lto);
       });
   registry.add_variant(

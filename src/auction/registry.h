@@ -9,7 +9,8 @@
 // against their headers.
 //
 // Built-in keys (see registry.cpp): lto-vcg, lto-vcg-sharded, lto-vcg-async,
-// lto-vcg-dist, lto-vcg-dist-pipe, lto-vcg-unpaced, myopic-vcg, pay-as-bid,
+// lto-vcg-dist, lto-vcg-dist-pipe, lto-vcg-dist-hedge, lto-vcg-unpaced,
+// myopic-vcg, pay-as-bid,
 // fixed-price, adaptive-price, random-stipend, proportional-share,
 // first-best-oracle, budgeted-oracle. New mechanisms register under a new
 // key; downstream
@@ -64,6 +65,14 @@ struct LtoVcgOptions {
   /// 1 degenerates to lto-vcg-dist). Any depth produces bit-identical
   /// trajectories; depth only overlaps straggler waits.
   std::size_t dist_pipeline_depth = 0;
+  /// Hedged dispatch on the distributed keys ("lto-vcg-dist",
+  /// "lto-vcg-dist-pipe"): adaptive per-worker deadlines re-dispatch
+  /// laggard shards to the next live worker in rendezvous order before the
+  /// full receive timeout, first valid reply wins. Trajectories are
+  /// bit-identical either way; hedging only changes tail latency under
+  /// stragglers and membership churn. The "lto-vcg-dist-hedge" key forces
+  /// this on.
+  bool hedge = true;
   /// Externally-owned RoundScratch shared across mechanisms (nullptr =
   /// each mechanism owns a private one). Multi-mechanism comparison runs
   /// hand every LTO-family mechanism the same warmed scratch so only the

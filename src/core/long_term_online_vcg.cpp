@@ -31,7 +31,8 @@ LongTermOnlineVcgMechanism::LongTermOnlineVcgMechanism(const LtoVcgConfig& confi
         sfl::dist::DistributedWdpConfig{
             .shards = config.shards,
             .workers = config.dist_workers,
-            .pipeline_depth = config.dist_pipeline_depth});
+            .pipeline_depth = config.dist_pipeline_depth,
+            .hedge = config.dist_hedge});
     dist_ = dist.get();
     wdp_ = std::move(dist);
   } else {

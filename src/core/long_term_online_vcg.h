@@ -109,6 +109,13 @@ struct LtoVcgConfig {
   /// are validated at settle time and re-issued on mismatch). 1 = plain
   /// synchronous rounds.
   std::size_t dist_pipeline_depth = 1;
+  /// Hedged dispatch with adaptive per-worker deadlines on the distributed
+  /// engine (see DistributedWdpConfig::hedge): laggard shards are
+  /// re-dispatched to the next live worker in rendezvous order before the
+  /// full receive timeout, first valid reply wins. Never changes results —
+  /// only tail latency under stragglers and churn. Ignored when
+  /// dist_workers == 0.
+  bool dist_hedge = true;
   /// Externally-owned round scratch shared across mechanisms (nullptr =
   /// the mechanism owns a private one). Sharing is safe for mechanisms
   /// whose rounds never run concurrently — the scratch carries no state

@@ -30,6 +30,31 @@ const Penalties& stable_penalties(const Penalties& penalties) {
   return penalties.empty() ? kEmpty : penalties;
 }
 
+// Adaptive-deadline tuning (see DistributedWdpConfig::hedge). Floors and
+// warm-up are deliberately not knobs: they guard the estimator, not policy.
+/// Samples before a worker's own statistics drive its deadline.
+constexpr std::size_t kHedgeMinSamples = 8;
+/// Deadline floor — below this, scheduler noise dominates real latency.
+constexpr std::chrono::microseconds kHedgeFloor{200};
+/// A worker whose own latency envelope exceeds this multiple of the
+/// fastest live worker's is a chronic straggler: its deadline is capped
+/// near the cluster normal and its home shards are hedged eagerly.
+constexpr double kHedgeStragglerFactor = 2.0;
+
+/// splitmix64 finalizer over (shard, worker): the rendezvous weight. Any
+/// good mixer works — it only has to be FIXED, so every coordinator ranks
+/// the same fleet the same way forever.
+std::uint64_t rendezvous_weight(std::uint64_t shard,
+                                std::uint64_t worker) noexcept {
+  std::uint64_t x = shard * 0x9E3779B97F4A7C15ull + worker + 1;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
 }  // namespace
 
 DistributedWdp::DistributedWdp(DistributedWdpConfig config,
@@ -47,6 +72,8 @@ DistributedWdp::DistributedWdp(DistributedWdpConfig config,
           "pipeline depth must be >= 1 (1 = strictly serial rounds)");
   lanes_.resize(config_.pipeline_depth);
   worker_dead_.assign(transport_->worker_count(), false);
+  worker_departed_.assign(transport_->worker_count(), false);
+  worker_latency_.assign(transport_->worker_count(), {});
 }
 
 DistributedWdp::~DistributedWdp() = default;
@@ -91,28 +118,161 @@ void DistributedWdp::fill_request(const Lane& lane, std::size_t shard) const {
   }
 }
 
-bool DistributedWdp::dispatch(const Lane& lane, std::size_t shard) const {
+void DistributedWdp::rendezvous_order(std::size_t shard) const {
+  const std::size_t workers = transport_->worker_count();
+  rank_scratch_.clear();
+  rank_scratch_.reserve(workers);
+  for (std::size_t worker = 0; worker < workers; ++worker) {
+    rank_scratch_.emplace_back(rendezvous_weight(shard, worker), worker);
+  }
+  // Highest weight first, ties by worker index: a total order that is a
+  // pure function of (shard, fleet size), so every coordinator agrees and
+  // removing one worker promotes exactly its next-ranked peer.
+  std::sort(rank_scratch_.begin(), rank_scratch_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+}
+
+bool DistributedWdp::worker_live(std::size_t worker) const {
+  return worker < worker_dead_.size() && !worker_dead_[worker] &&
+         !worker_departed_[worker];
+}
+
+std::size_t DistributedWdp::home_worker(std::size_t shard) const {
+  rendezvous_order(shard);
+  for (const auto& [weight, worker] : rank_scratch_) {
+    if (worker_live(worker)) return worker;
+  }
+  return transport_->worker_count();
+}
+
+bool DistributedWdp::dispatch(Lane& lane, std::size_t shard) const {
   const std::size_t workers = transport_->worker_count();
   encode(request_, frame_);
-  // First attempt starts at the shard's home worker; every retry starts
-  // one worker further, so a live-but-unresponsive worker (send succeeds,
-  // replies lost) cannot absorb all of a shard's attempts — re-dispatch
-  // really does reach the NEXT live worker. Known-dead workers are
-  // skipped; a send() that throws marks its worker dead and moves on.
-  const std::size_t start = shard + (lane.attempts[shard] - 1);
+  // Attempt k goes to the k-th live worker of the shard's rendezvous order
+  // (wrapping), so the first attempt hits the shard's home and every retry
+  // or hedge really reaches the NEXT live worker — a live-but-unresponsive
+  // worker cannot absorb all of a shard's attempts. Dead and departed
+  // workers are skipped; a send() that throws marks its worker dead and
+  // moves on.
+  rendezvous_order(shard);
+  const std::size_t start = lane.attempts[shard] - 1;
   for (std::size_t offset = 0; offset < workers; ++offset) {
-    const std::size_t worker = (start + offset) % workers;
-    if (worker_dead_[worker]) continue;
+    const std::size_t worker = rank_scratch_[(start + offset) % workers].second;
+    if (!worker_live(worker)) continue;
     try {
       transport_->send(worker, frame_);
-      ++stats_.dispatches;
-      return true;
     } catch (const TransportError&) {
       worker_dead_[worker] = true;
       ++stats_.dead_workers;
+      continue;
     }
+    ++stats_.dispatches;
+    lane.last_worker[shard] = worker;
+    lane.last_sent[shard] = std::chrono::steady_clock::now();
+    outstanding_.push_back(AttemptRecord{.seq = lane.seq,
+                                         .shard = static_cast<std::uint32_t>(shard),
+                                         .worker = worker,
+                                         .sent = lane.last_sent[shard]});
+    // Eager hedge: a chronically slow home gets a shadow dispatch to the
+    // next live worker immediately — first valid reply wins, the loser is
+    // deduplicated, and the straggler keeps being measured.
+    if (config_.hedge && lane.attempts[shard] == 1 &&
+        chronic_straggler(worker)) {
+      for (std::size_t step = 1; step < workers; ++step) {
+        const std::size_t mate =
+            rank_scratch_[(start + offset + step) % workers].second;
+        if (!worker_live(mate) || mate == worker) continue;
+        try {
+          transport_->send(mate, frame_);
+        } catch (const TransportError&) {
+          worker_dead_[mate] = true;
+          ++stats_.dead_workers;
+          continue;
+        }
+        ++stats_.dispatches;
+        ++stats_.hedged_dispatches;
+        outstanding_.push_back(
+            AttemptRecord{.seq = lane.seq,
+                          .shard = static_cast<std::uint32_t>(shard),
+                          .worker = mate,
+                          .sent = std::chrono::steady_clock::now()});
+        break;
+      }
+    }
+    return true;
   }
   return false;
+}
+
+std::chrono::microseconds DistributedWdp::cluster_best_deadline() const {
+  auto best = std::chrono::microseconds::max();
+  for (std::size_t worker = 0; worker < worker_latency_.size(); ++worker) {
+    const sfl::stats::RunningStats& s = worker_latency_[worker];
+    if (!worker_live(worker) || s.count() < kHedgeMinSamples) continue;
+    const auto own = std::chrono::microseconds{static_cast<std::int64_t>(
+        s.mean() + config_.hedge_deadline_sigma * s.stddev())};
+    best = std::min(best, std::max(own, kHedgeFloor));
+  }
+  return best;
+}
+
+bool DistributedWdp::chronic_straggler(std::size_t worker) const {
+  const sfl::stats::RunningStats& s = worker_latency_[worker];
+  if (s.count() < kHedgeMinSamples) return false;
+  const auto best = cluster_best_deadline();
+  if (best == std::chrono::microseconds::max()) return false;
+  const double own = s.mean() + config_.hedge_deadline_sigma * s.stddev();
+  return own > kHedgeStragglerFactor * static_cast<double>(best.count());
+}
+
+std::chrono::microseconds DistributedWdp::deadline_for(
+    std::size_t worker) const {
+  const auto timeout =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          config_.receive_timeout);
+  const sfl::stats::RunningStats& s = worker_latency_[worker];
+  // Cold start: no evidence yet, fall back to the configured timeout.
+  if (s.count() < kHedgeMinSamples) return timeout;
+  double own = s.mean() + config_.hedge_deadline_sigma * s.stddev();
+  // Cross-worker straggler cap: a consistently slow worker's replies always
+  // beat its OWN inflated envelope, so without this cap it would never be
+  // hedged — exactly the worker hedging exists for.
+  const auto best = cluster_best_deadline();
+  if (best != std::chrono::microseconds::max()) {
+    own = std::min(own,
+                   kHedgeStragglerFactor * static_cast<double>(best.count()));
+  }
+  const auto deadline = std::chrono::microseconds{
+      static_cast<std::int64_t>(std::max(own, 0.0))};
+  return std::clamp(deadline, kHedgeFloor, std::max(timeout, kHedgeFloor));
+}
+
+std::chrono::milliseconds DistributedWdp::recovery_wait(
+    const Lane& lane) const {
+  if (!config_.hedge) return config_.receive_timeout;
+  const auto now = std::chrono::steady_clock::now();
+  auto soonest = std::chrono::duration_cast<std::chrono::microseconds>(
+      config_.receive_timeout);
+  for (std::size_t shard = 0; shard < lane.shards; ++shard) {
+    if (lane.shard_done[shard]) continue;
+    const auto deadline = deadline_for(lane.last_worker[shard]);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        now - lane.last_sent[shard]);
+    soonest = std::min(
+        soonest, deadline > elapsed ? deadline - elapsed
+                                    : std::chrono::microseconds{0});
+  }
+  // Ceil to whole milliseconds (the transport wait granularity): a sub-ms
+  // remainder must still wait, not busy-spin at zero.
+  return std::chrono::ceil<std::chrono::milliseconds>(soonest);
+}
+
+void DistributedWdp::purge_outstanding(std::uint64_t seq) const {
+  std::erase_if(outstanding_,
+                [seq](const AttemptRecord& r) { return r.seq == seq; });
 }
 
 void DistributedWdp::recompute_locally(Lane& lane, std::size_t shard) const {
@@ -147,12 +307,91 @@ void DistributedWdp::dispatch_all(Lane& lane) const {
   }
 }
 
+void DistributedWdp::handle_frame() const {
+  // Peek the type byte: membership announcements never enter the reply
+  // decode path (full validation happens inside handle_membership).
+  if (frame_.size() >= kHeaderSize) {
+    const auto raw = static_cast<std::uint8_t>(frame_[5]);
+    if (raw == static_cast<std::uint8_t>(FrameType::kWorkerHello) ||
+        raw == static_cast<std::uint8_t>(FrameType::kWorkerGoodbye)) {
+      handle_membership(raw ==
+                        static_cast<std::uint8_t>(FrameType::kWorkerHello));
+      return;
+    }
+  }
+  accept_reply();
+}
+
+void DistributedWdp::handle_membership(bool hello) const {
+  std::uint64_t claimed = 0;
+  try {
+    if (hello) {
+      WorkerHello msg;
+      decode(frame_, msg);
+      claimed = msg.worker;
+    } else {
+      WorkerGoodbye msg;
+      decode(frame_, msg);
+      claimed = msg.worker;
+    }
+  } catch (const WireError&) {
+    ++stats_.rejected_replies;  // corrupt announcement: never applied
+    return;
+  }
+  const std::size_t source = transport_->receive_source();
+  const std::size_t slot = source < worker_dead_.size()
+                               ? source
+                               : static_cast<std::size_t>(claimed);
+  if (slot >= worker_dead_.size()) {
+    ++stats_.rejected_replies;  // unattributable announcement
+    return;
+  }
+  if (hello) {
+    worker_dead_[slot] = false;
+    worker_departed_[slot] = false;
+    // A rejoined worker is a fresh process; its latency history is stale.
+    worker_latency_[slot] = sfl::stats::RunningStats{};
+    ++stats_.worker_joins;
+  } else {
+    // A planned drain, not a fault: stop routing to the worker, charge no
+    // recovery machinery. In-flight replies it already produced still
+    // arrive and still count.
+    worker_departed_[slot] = true;
+    ++stats_.worker_leaves;
+  }
+}
+
+void DistributedWdp::pump() const {
+  while (transport_->receive(frame_, std::chrono::milliseconds{0})) {
+    handle_frame();
+  }
+}
+
 void DistributedWdp::accept_reply() const {
   try {
     decode(frame_, reply_);
   } catch (const WireError&) {
     ++stats_.rejected_replies;  // corrupt frame: never accepted
     return;
+  }
+  // Latency attribution by (generation, shard, source worker) BEFORE any
+  // staleness check: hedge losers and late stragglers still update their
+  // worker's statistics — that is how a chronic straggler keeps being
+  // measured while it keeps losing races.
+  const std::size_t source = transport_->receive_source();
+  if (source < worker_latency_.size()) {
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+      if (it->seq == reply_.round && it->shard == reply_.shard &&
+          it->worker == source) {
+        worker_latency_[source].add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                                  it->sent)
+                .count()));
+        outstanding_.erase(it);
+        break;
+      }
+    }
   }
   // Route by dispatch generation: the sequence number names exactly one
   // active lane. Retired rounds and abandoned (re-dispatched, resubmitted)
@@ -189,27 +428,51 @@ void DistributedWdp::accept_reply() const {
 void DistributedWdp::collect(Lane& lane) const {
   // Collect + recovery loop for the round being retired. Replies for
   // younger in-flight rounds pumped up along the way are banked into their
-  // own lanes; timeout recovery touches only THIS round (younger rounds get
-  // their recovery passes when they become the oldest). Terminates: every
-  // timeout pass either resolves one of this round's shards locally or
-  // increments its bounded attempt count.
+  // own lanes; recovery touches only THIS round (younger rounds get their
+  // recovery passes when they become the oldest). Terminates: every
+  // recovery sweep either resolves one of this round's shards locally or
+  // increments its bounded attempt count, and a sweep that touches nothing
+  // (every unresolved shard inside its deadline) shortens the next wait to
+  // that soonest deadline.
   while (lane.remaining > 0) {
-    if (transport_->receive(frame_, config_.receive_timeout)) {
-      accept_reply();
+    const std::chrono::milliseconds wait = recovery_wait(lane);
+    const auto asked = std::chrono::steady_clock::now();
+    if (transport_->receive(frame_, wait)) {
+      handle_frame();
       continue;
     }
-    for (std::size_t shard = 0; shard < lane.shards && lane.remaining > 0;
-         ++shard) {
-      if (lane.shard_done[shard]) continue;
-      if (lane.attempts[shard] >= config_.max_attempts_per_shard) {
-        recover(lane, shard);
-        continue;
-      }
-      ++lane.attempts[shard];
-      ++stats_.redispatches;
-      fill_request(lane, shard);
-      if (!dispatch(lane, shard)) recover(lane, shard);
+    // Distinguish a real elapsed deadline from a simulated transport's
+    // immediate "nothing deliverable": only a wait that mostly ran its
+    // course arms the per-worker deadline filter; an instant false keeps
+    // the sweep-everything semantics simulated fault tests are scripted
+    // against.
+    const auto waited = std::chrono::steady_clock::now() - asked;
+    const bool timed_out = waited + waited >= wait;
+    recovery_pass(lane, /*only_blown=*/config_.hedge && timed_out);
+  }
+}
+
+void DistributedWdp::recovery_pass(Lane& lane, bool only_blown) const {
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t shard = 0; shard < lane.shards && lane.remaining > 0;
+       ++shard) {
+    if (lane.shard_done[shard]) continue;
+    if (only_blown &&
+        now - lane.last_sent[shard] < deadline_for(lane.last_worker[shard])) {
+      continue;  // its worker is still inside its own latency envelope
     }
+    if (lane.attempts[shard] >= config_.max_attempts_per_shard) {
+      recover(lane, shard);
+      continue;
+    }
+    // A hedge, not an abandonment: the sequence number stays, so the
+    // original attempt's reply remains valid — first valid reply per shard
+    // wins and the per-lane dedupe drops the loser.
+    ++lane.attempts[shard];
+    ++stats_.redispatches;
+    if (config_.hedge) ++stats_.hedged_dispatches;
+    fill_request(lane, shard);
+    if (!dispatch(lane, shard)) recover(lane, shard);
   }
 }
 
@@ -243,7 +506,8 @@ void DistributedWdp::merge(Lane& lane) const {
   std::sort(allocation.selected.begin(), allocation.selected.end());
 }
 
-void DistributedWdp::release_lane(Lane& lane) {
+void DistributedWdp::release_lane(Lane& lane) const {
+  purge_outstanding(lane.seq);
   lane.batch = nullptr;
   lane.penalties = nullptr;
   lane.scratch = nullptr;
@@ -300,6 +564,8 @@ DistributedWdp::RoundHandle DistributedWdp::submit(
   lane.shards = effective_shards(lane.n);
   lane.shard_done.assign(lane.shards, false);
   lane.attempts.assign(lane.shards, 0);
+  lane.last_worker.assign(lane.shards, 0);
+  lane.last_sent.assign(lane.shards, std::chrono::steady_clock::now());
   lane.remaining = lane.shards;
   try {
     dispatch_all(lane);
@@ -337,11 +603,15 @@ void DistributedWdp::resubmit(RoundHandle handle, const ScoreWeights& weights,
   if (lane.n == 0) return;
   // Abandon the old generation: a fresh sequence number means every reply
   // the previous dispatch may still produce matches no lane and is
-  // ignored; survivors already banked under the old inputs are discarded.
+  // ignored; survivors already banked under the old inputs are discarded,
+  // and so is the old generation's latency bookkeeping.
+  purge_outstanding(lane.seq);
   lane.seq = ++seq_counter_;
   lane.scratch->survivors.clear();
   lane.shard_done.assign(lane.shards, false);
   lane.attempts.assign(lane.shards, 0);
+  lane.last_worker.assign(lane.shards, 0);
+  lane.last_sent.assign(lane.shards, std::chrono::steady_clock::now());
   lane.remaining = lane.shards;
   dispatch_all(lane);
 }

@@ -34,15 +34,22 @@
 // round inline) and require an empty pipeline.
 //
 // Coordinator state machine per round:
-//   dispatch   — every shard is encoded and sent to a worker (round-robin
-//                by shard index, skipping known-dead workers);
+//   dispatch   — every shard is encoded and sent to its HOME worker: the
+//                highest-ranked live worker in the shard's rendezvous
+//                (highest-random-weight) order, so shard count is decoupled
+//                from worker count and a membership change re-homes only
+//                the shards whose winner changed (chronic stragglers are
+//                hedged eagerly — see DistributedWdpConfig::hedge);
 //   collect    — replies are decoded, validated (codec checksum + sequence
 //                lookup + span and survivor-count checks against that
 //                round's dispatch), deduplicated by shard id, and frames
-//                from retired or abandoned sequences dropped;
-//   recover    — while a round is being retired, a receive timeout
-//                re-dispatches every missing shard of THAT round to the
-//                next live worker; after max_attempts_per_shard dispatches
+//                from retired or abandoned sequences dropped; kWorkerHello
+//                / kWorkerGoodbye frames update the fleet view;
+//   recover    — while a round is being retired, a blown adaptive
+//                per-worker deadline (hedging on) or receive timeout
+//                re-dispatches every affected shard of THAT round to the
+//                next live worker in rendezvous order WITHOUT abandoning
+//                the original attempt; after max_attempts_per_shard dispatches
 //                (or with no live worker left) the span is recomputed
 //                locally with the same worker math — or, when local
 //                fallback is disabled, the round fails with the typed
@@ -68,10 +75,12 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "auction/wdp_engine.h"
 #include "dist/shard_transport.h"
+#include "stats/running_stats.h"
 
 namespace sfl::auction {
 class ShardedWdp;
@@ -113,6 +122,24 @@ struct DistributedWdpConfig {
   /// Recompute lost spans on the coordinator with the same worker math.
   /// Disabling turns unrecoverable shard loss into DistributedWdpError.
   bool allow_local_fallback = true;
+  /// Hedged dispatch with adaptive per-worker deadlines (PR 7). The
+  /// coordinator tracks every worker's observed reply latency
+  /// (stats::RunningStats); once a worker has enough samples its recovery
+  /// deadline becomes mean + hedge_deadline_sigma * stddev — clamped to
+  /// [a small floor, receive_timeout], and additionally capped at a
+  /// multiple of the fastest live worker's deadline so a CHRONICALLY slow
+  /// worker (whose replies always beat its own inflated deadline) still
+  /// hedges near the cluster's normal latency. When the retiring round's
+  /// wait on a shard blows that deadline, the shard is re-dispatched to
+  /// the next live worker in its rendezvous order WITHOUT abandoning the
+  /// original attempt: the first valid reply wins, the per-lane dedupe
+  /// discards the loser, and a chronic straggler's home shards are hedged
+  /// eagerly at dispatch time. Results are NEVER affected (replies are a
+  /// pure function of the span), only tail latency. Disabled, the fixed
+  /// receive_timeout is the only recovery trigger (pre-PR-7 behavior).
+  bool hedge = true;
+  /// k in the adaptive deadline mean + k * stddev.
+  double hedge_deadline_sigma = 3.0;
 };
 
 class DistributedWdp final : public sfl::auction::WdpEngine {
@@ -133,6 +160,9 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
     std::size_t ignored_replies = 0;   ///< stale/abandoned seq, duplicate shard
     std::size_t rejected_replies = 0;  ///< corrupt or inconsistent frames
     std::size_t dead_workers = 0;      ///< workers marked dead
+    std::size_t hedged_dispatches = 0; ///< duplicate sends racing a laggard
+    std::size_t worker_joins = 0;      ///< kWorkerHello frames applied
+    std::size_t worker_leaves = 0;     ///< kWorkerGoodbye frames applied
   };
 
   /// Builds the engine over `transport`; a null transport gets an
@@ -152,6 +182,25 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
   [[nodiscard]] const RoundStats& last_round_stats() const noexcept {
     return stats_;
   }
+
+  // --- elastic membership ---------------------------------------------------
+
+  /// Drains every frame the transport can deliver RIGHT NOW without
+  /// blocking or recovery: replies bank into their lanes, kWorkerHello /
+  /// kWorkerGoodbye frames update the fleet view. Call between rounds so
+  /// membership changes take effect before the next dispatch; shard count
+  /// (effective_shards) stays a pure function of the configuration, so
+  /// joins and leaves only re-route shards — results never change.
+  void pump() const;
+
+  /// The worker shard `shard` is dispatched to on its first attempt: the
+  /// highest-ranked LIVE worker in the shard's rendezvous order (a pure
+  /// function of (shard, worker index), so a membership change moves only
+  /// the shards whose winner changed). Returns worker_count() when no
+  /// worker is live.
+  [[nodiscard]] std::size_t home_worker(std::size_t shard) const;
+  /// False once `worker` is known dead (failed send) or has said goodbye.
+  [[nodiscard]] bool worker_live(std::size_t worker) const;
 
   // --- pipelined round API --------------------------------------------------
   //
@@ -223,7 +272,21 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
     std::size_t shards = 0;
     std::vector<bool> shard_done;
     std::vector<std::size_t> attempts;
+    /// Latest dispatch target and send time per shard — what the adaptive
+    /// deadline is measured against.
+    std::vector<std::size_t> last_worker;
+    std::vector<std::chrono::steady_clock::time_point> last_sent;
     std::size_t remaining = 0;
+  };
+
+  /// One not-yet-answered dispatch: attributes a reply's latency to the
+  /// worker that actually served it (hedge losers included, so a chronic
+  /// straggler keeps being measured even while it keeps losing races).
+  struct AttemptRecord {
+    std::uint64_t seq = 0;
+    std::uint32_t shard = 0;
+    std::size_t worker = 0;
+    std::chrono::steady_clock::time_point sent{};
   };
 
   [[nodiscard]] Lane& lane_at(std::size_t offset) const {
@@ -235,9 +298,11 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
 
   /// Fills request_ with shard `shard`'s span of the lane's batch.
   void fill_request(const Lane& lane, std::size_t shard) const;
-  /// Encodes request_ and sends it to a live worker (round-robin from the
-  /// shard's preferred worker). Returns false when no live worker accepted.
-  bool dispatch(const Lane& lane, std::size_t shard) const;
+  /// Encodes request_ and sends it to a live worker: attempt k goes to the
+  /// k-th live worker in the shard's rendezvous order (wrapping), plus an
+  /// eager hedge when that worker is a chronic straggler. Returns false
+  /// when no live worker accepted.
+  bool dispatch(Lane& lane, std::size_t shard) const;
   /// Dispatches (or recovers) every span of the lane's current generation.
   void dispatch_all(Lane& lane) const;
   /// Recomputes shard `shard` on the coordinator with the worker math and
@@ -245,20 +310,54 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
   void recompute_locally(Lane& lane, std::size_t shard) const;
   /// Local recompute, or the typed failure when fallback is disabled.
   void recover(Lane& lane, std::size_t shard) const;
+  /// Routes one received frame_: membership announcements update the fleet
+  /// view, everything else goes through accept_reply().
+  void handle_frame() const;
+  /// Applies a decoded kWorkerHello / kWorkerGoodbye. The slot is the
+  /// transport's source attribution when available, else the frame's
+  /// self-reported id; out-of-range slots are rejected.
+  void handle_membership(bool hello) const;
   /// Decodes frame_, routes it to the lane its sequence names, validates it
   /// against that round's dispatch, and accepts first-valid-per-shard
   /// survivors into the lane's scratch.
   void accept_reply() const;
-  /// Pumps the transport and runs timeout recovery until the lane's every
-  /// shard is resolved (the lane must be the oldest in flight).
+  /// Pumps the transport and runs deadline/timeout recovery until the
+  /// lane's every shard is resolved (the lane must be the oldest in
+  /// flight).
   void collect(Lane& lane) const;
+  /// One recovery sweep over the lane's unresolved shards. With only_blown,
+  /// shards whose latest attempt is still inside its worker's adaptive
+  /// deadline are left alone (the hedged wait is per-worker, not global).
+  void recovery_pass(Lane& lane, bool only_blown) const;
   /// ShardedWdp's exact merge over the lane's survivor multiset.
   void merge(Lane& lane) const;
   /// Shared lane teardown: caller pointers dropped, seq zeroed so stale
-  /// lookups cannot match a released lane (seq 0 is never issued).
-  static void release_lane(Lane& lane);
+  /// lookups cannot match a released lane (seq 0 is never issued), latency
+  /// bookkeeping for the generation purged.
+  void release_lane(Lane& lane) const;
   /// Drops the oldest lane from the ring (its sequence goes stale).
   void pop_oldest_lane() const;
+
+  /// Fills rank_scratch_ with every worker ordered by rendezvous weight for
+  /// `shard` (highest first, ties by index).
+  void rendezvous_order(std::size_t shard) const;
+  /// Adaptive recovery deadline for one worker (see config.hedge).
+  [[nodiscard]] std::chrono::microseconds deadline_for(
+      std::size_t worker) const;
+  /// Smallest live warmed worker deadline before the cross-worker cap —
+  /// the "cluster normal" a chronic straggler is measured against.
+  /// microseconds::max() when no worker is warmed.
+  [[nodiscard]] std::chrono::microseconds cluster_best_deadline() const;
+  /// True when `worker`'s own latency envelope exceeds the straggler cap —
+  /// its home shards are then hedged eagerly at dispatch time.
+  [[nodiscard]] bool chronic_straggler(std::size_t worker) const;
+  /// How long the next collect wait may block: the soonest adaptive
+  /// deadline among the lane's unresolved shards (clamped to
+  /// [0, receive_timeout]); plain receive_timeout with hedging off.
+  [[nodiscard]] std::chrono::milliseconds recovery_wait(
+      const Lane& lane) const;
+  /// Drops every outstanding-attempt record of dispatch generation `seq`.
+  void purge_outstanding(std::uint64_t seq) const;
 
   DistributedWdpConfig config_;
   std::unique_ptr<ShardTransport> transport_;
@@ -278,6 +377,13 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
   mutable std::size_t head_ = 0;     ///< ring index of the oldest lane
   mutable std::size_t count_ = 0;    ///< lanes currently in flight
   mutable std::vector<bool> worker_dead_;
+  /// Planned drains (kWorkerGoodbye): not routed to, but not a fault.
+  mutable std::vector<bool> worker_departed_;
+  /// Observed reply latency per worker, in microseconds (reset on rejoin).
+  mutable std::vector<sfl::stats::RunningStats> worker_latency_;
+  mutable std::vector<AttemptRecord> outstanding_;
+  /// (weight, worker) pairs reused by rendezvous_order.
+  mutable std::vector<std::pair<std::uint64_t, std::size_t>> rank_scratch_;
   mutable RoundStats stats_;
 };
 

@@ -77,12 +77,14 @@ bool LoopbackTransport::receive(Frame& frame, std::chrono::milliseconds timeout)
       const auto it = std::find_if(queue_.rbegin(), queue_.rend(), deliverable);
       if (it == queue_.rend()) return false;
       frame = std::move(it->frame);
+      last_source_ = it->from_worker;
       queue_.erase(std::next(it).base());
       return true;
     }
     const auto it = std::find_if(queue_.begin(), queue_.end(), deliverable);
     if (it == queue_.end()) return false;
     frame = std::move(it->frame);
+    last_source_ = it->from_worker;
     queue_.erase(it);
     return true;
   };
@@ -122,6 +124,22 @@ void LoopbackTransport::kill_worker_after_request(std::size_t worker) {
 void LoopbackTransport::mute_worker(std::size_t worker) {
   sfl::util::checked_index(worker, workers_, "loopback worker");
   muted_[worker] = true;
+}
+
+void LoopbackTransport::announce_worker_join(std::size_t worker) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  alive_[worker] = true;
+  die_on_next_request_[worker] = false;
+  Frame frame;
+  encode(WorkerHello{.worker = worker}, frame);
+  queue_.push_back(Pending{.frame = std::move(frame), .from_worker = worker});
+}
+
+void LoopbackTransport::announce_worker_leave(std::size_t worker) {
+  sfl::util::checked_index(worker, workers_, "loopback worker");
+  Frame frame;
+  encode(WorkerGoodbye{.worker = worker}, frame);
+  queue_.push_back(Pending{.frame = std::move(frame), .from_worker = worker});
 }
 
 void LoopbackTransport::set_worker_latency(std::size_t worker,

@@ -63,6 +63,19 @@ class LoopbackTransport final : public ShardTransport {
   }
   void send(std::size_t worker, const Frame& frame) override;
   bool receive(Frame& frame, std::chrono::milliseconds timeout) override;
+  [[nodiscard]] std::size_t receive_source() const noexcept override {
+    return last_source_;
+  }
+
+  // --- elastic membership ---------------------------------------------------
+  /// A fresh worker process occupies slot `worker`: the slot is revived
+  /// (alive again, pending mid-round death disarmed) and a kWorkerHello
+  /// frame is queued for the coordinator to pick up between rounds.
+  void announce_worker_join(std::size_t worker);
+  /// Slot `worker` begins a planned drain: a kWorkerGoodbye frame is queued,
+  /// but the worker keeps serving until the coordinator processes it — the
+  /// realistic drain window where requests and the goodbye race.
+  void announce_worker_leave(std::size_t worker);
 
   // --- fault injection ------------------------------------------------------
   void kill_worker(std::size_t worker);
@@ -121,6 +134,7 @@ class LoopbackTransport final : public ShardTransport {
   unsigned char corrupt_mask_ = 0;
   bool lifo_ = false;
   std::size_t served_requests_ = 0;
+  std::size_t last_source_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace sfl::dist

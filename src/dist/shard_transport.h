@@ -59,6 +59,16 @@ class ShardTransport {
   /// Moves the next available reply (any worker) into `frame` and returns
   /// true, or returns false once `timeout` elapses with nothing to deliver.
   virtual bool receive(Frame& frame, std::chrono::milliseconds timeout) = 0;
+
+  /// Worker index the last successfully receive()d frame arrived from, or
+  /// SIZE_MAX when the transport cannot attribute it. Source attribution is
+  /// advisory — the coordinator uses it for latency bookkeeping and as the
+  /// authoritative slot for membership frames (a frame's self-reported
+  /// worker id is only the fallback) — so the default "unknown" keeps any
+  /// byte-mover a valid transport.
+  [[nodiscard]] virtual std::size_t receive_source() const noexcept {
+    return static_cast<std::size_t>(-1);
+  }
 };
 
 }  // namespace sfl::dist

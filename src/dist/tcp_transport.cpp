@@ -78,9 +78,7 @@ bool header_plausible(const std::byte* header) {
   }
   if (magic != kWireMagic) return false;
   if (static_cast<std::uint8_t>(header[4]) != kWireVersion) return false;
-  const auto type = static_cast<std::uint8_t>(header[5]);
-  return type == static_cast<std::uint8_t>(FrameType::kRequest) ||
-         type == static_cast<std::uint8_t>(FrameType::kReply);
+  return frame_type_known(static_cast<std::uint8_t>(header[5]));
 }
 
 /// Reads one self-delimiting codec frame. False on EOF, error, stall, or
@@ -160,6 +158,8 @@ void TcpShardServer::start() {
         "TcpShardServer: cannot restart after stop() (socket closed)");
   }
   stopping_.store(false);
+  draining_.store(false);
+  drained_.store(false);
   thread_ = std::thread([this] { run(); });
 }
 
@@ -173,7 +173,7 @@ void TcpShardServer::stop() {
 }
 
 void TcpShardServer::run() {
-  while (!stopping_.load()) {
+  while (!stopping_.load() && !draining_.load()) {
     pollfd pfd{.fd = listen_fd_, .events = POLLIN, .revents = 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
     if (ready <= 0) continue;
@@ -183,12 +183,21 @@ void TcpShardServer::run() {
     serve_connection(fd);
     ::close(fd);
   }
+  drained_.store(true, std::memory_order_release);
 }
 
 void TcpShardServer::serve_connection(int fd) {
   Frame request;
   Frame reply;
-  while (!stopping_.load()) {
+  for (;;) {
+    if (draining_.load()) {
+      // Planned drain: every in-flight request above has already been
+      // answered; say goodbye on the live connection and leave.
+      encode(WorkerGoodbye{.worker = port_}, reply);
+      write_all(fd, reply.data(), reply.size());
+      return;
+    }
+    if (stopping_.load()) return;
     pollfd pfd{.fd = fd, .events = POLLIN, .revents = 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
     if (ready < 0) return;
@@ -281,7 +290,10 @@ bool TcpTransport::receive(Frame& frame, std::chrono::milliseconds timeout) {
   if (ready <= 0) return false;
   for (std::size_t i = 0; i < pfds.size(); ++i) {
     if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-    if (read_one_frame(pfds[i].fd, frame)) return true;
+    if (read_one_frame(pfds[i].fd, frame)) {
+      last_source_ = workers[i];
+      return true;
+    }
     // EOF or stream corruption: the link is gone.
     disconnect(workers[i]);
     return false;

@@ -51,6 +51,17 @@ class TcpShardServer {
   /// Stops accepting, closes the socket, joins the thread. Idempotent.
   void stop();
 
+  /// Planned drain (SIGTERM path): the server finishes the request it is
+  /// serving, writes one kWorkerGoodbye frame on the active connection so
+  /// the coordinator can stop routing to it without timeout recovery, then
+  /// stops accepting. Call stop() afterwards to join the thread.
+  void begin_drain() { draining_.store(true); }
+  /// True once a drain has run to completion (goodbye sent or nothing to
+  /// say it on) and the serve loop has exited.
+  [[nodiscard]] bool drained() const noexcept {
+    return drained_.load(std::memory_order_acquire);
+  }
+
   /// Requests served since start().
   [[nodiscard]] std::size_t served_requests() const noexcept {
     return served_.load(std::memory_order_relaxed);
@@ -64,6 +75,8 @@ class TcpShardServer {
   std::uint16_t port_ = 0;
   std::thread thread_;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
   std::atomic<std::size_t> served_{0};
 };
 
@@ -84,6 +97,9 @@ class TcpTransport final : public ShardTransport {
   }
   void send(std::size_t worker, const Frame& frame) override;
   bool receive(Frame& frame, std::chrono::milliseconds timeout) override;
+  [[nodiscard]] std::size_t receive_source() const noexcept override {
+    return last_source_;
+  }
 
   [[nodiscard]] bool worker_connected(std::size_t worker) const;
 
@@ -92,6 +108,7 @@ class TcpTransport final : public ShardTransport {
 
   std::vector<Endpoint> endpoints_;
   std::vector<int> fds_;  ///< -1 = dead
+  std::size_t last_source_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace sfl::dist

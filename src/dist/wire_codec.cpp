@@ -207,6 +207,18 @@ void encode(const ShardReply& reply, Frame& out) {
   finish_frame(out, FrameType::kReply);
 }
 
+void encode(const WorkerHello& hello, Frame& out) {
+  begin_frame(out);
+  put_u64(out, hello.worker);
+  finish_frame(out, FrameType::kWorkerHello);
+}
+
+void encode(const WorkerGoodbye& goodbye, Frame& out) {
+  begin_frame(out);
+  put_u64(out, goodbye.worker);
+  finish_frame(out, FrameType::kWorkerGoodbye);
+}
+
 FrameType checked_frame_type(std::span<const std::byte> frame) {
   return checked_payload(frame).first;
 }
@@ -301,6 +313,26 @@ void decode(std::span<const std::byte> frame, ShardReply& out) {
   if (std::adjacent_find(indices.begin(), indices.end()) != indices.end()) {
     throw WireError("wire: duplicate survivor index");
   }
+}
+
+void decode(std::span<const std::byte> frame, WorkerHello& out) {
+  const auto [type, payload] = checked_payload(frame);
+  if (type != FrameType::kWorkerHello) {
+    throw WireError("wire: expected a hello frame");
+  }
+  Cursor cursor(payload);
+  out.worker = cursor.u64();
+  cursor.expect_exhausted();
+}
+
+void decode(std::span<const std::byte> frame, WorkerGoodbye& out) {
+  const auto [type, payload] = checked_payload(frame);
+  if (type != FrameType::kWorkerGoodbye) {
+    throw WireError("wire: expected a goodbye frame");
+  }
+  Cursor cursor(payload);
+  out.worker = cursor.u64();
+  cursor.expect_exhausted();
 }
 
 ShardRequest decode_request(std::span<const std::byte> frame) {

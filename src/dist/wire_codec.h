@@ -6,6 +6,11 @@
 //   ShardReply    — the shard's local top-(m+1) survivor set as
 //                   (global index, score) pairs.
 //
+// Two more carry elastic-membership announcements in the worker ->
+// coordinator direction:
+//   WorkerHello   — a worker (re)joining the fleet between rounds;
+//   WorkerGoodbye — a planned drain: finish in-flight replies, then leave.
+//
 // The same envelope also carries the auction-service RPC messages
 // (SubmitBids / RoundResult / SettlementAck — see src/service/rpc_messages);
 // their FrameType values live here so one type byte names every protocol
@@ -64,13 +69,17 @@ enum class FrameType : std::uint8_t {
   kSubmitBids = 3,
   kRoundResult = 4,
   kSettlementAck = 5,
+  // Elastic-membership announcements (worker -> coordinator).
+  kWorkerHello = 6,
+  kWorkerGoodbye = 7,
 };
 
-/// True for a type byte naming any known protocol message (shard protocol
-/// or service RPC); the envelope validator rejects everything else.
+/// True for a type byte naming any known protocol message (shard protocol,
+/// service RPC, or membership); the envelope validator rejects everything
+/// else.
 [[nodiscard]] constexpr bool frame_type_known(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kSettlementAck);
+         raw <= static_cast<std::uint8_t>(FrameType::kWorkerGoodbye);
 }
 
 /// FNV-1a 64-bit over the payload; the frame's integrity check.
@@ -115,9 +124,26 @@ struct ShardReply {
   std::vector<SurvivorEntry> survivors;
 };
 
+/// A worker announcing itself available (sent on join / restart). `worker`
+/// is the sender's self-reported slot identity; coordinators prefer the
+/// transport's own source attribution (ShardTransport::receive_source) and
+/// treat this field as the fallback.
+struct WorkerHello {
+  std::uint64_t worker = 0;
+};
+
+/// A worker announcing a planned drain: it finishes in-flight replies, then
+/// stops serving. Distinct from a fault — the coordinator stops routing to
+/// the worker without charging recovery machinery.
+struct WorkerGoodbye {
+  std::uint64_t worker = 0;
+};
+
 /// Encodes into `out` (cleared first; capacity reused across rounds).
 void encode(const ShardRequest& request, Frame& out);
 void encode(const ShardReply& reply, Frame& out);
+void encode(const WorkerHello& hello, Frame& out);
+void encode(const WorkerGoodbye& goodbye, Frame& out);
 
 /// Validates the header (size, magic, version, payload length, checksum)
 /// and returns the frame type. Throws WireError on any violation.
@@ -130,6 +156,8 @@ void encode(const ShardReply& reply, Frame& out);
 /// failure and must not be read.
 void decode(std::span<const std::byte> frame, ShardRequest& out);
 void decode(std::span<const std::byte> frame, ShardReply& out);
+void decode(std::span<const std::byte> frame, WorkerHello& out);
+void decode(std::span<const std::byte> frame, WorkerGoodbye& out);
 
 /// Allocating conveniences.
 [[nodiscard]] ShardRequest decode_request(std::span<const std::byte> frame);

@@ -25,7 +25,8 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
   const auto& registry = MechanismRegistry::global();
   const std::vector<std::string> expected{
       "lto-vcg",        "lto-vcg-sharded",  "lto-vcg-dist",
-      "lto-vcg-dist-pipe", "lto-vcg-async", "lto-vcg-unpaced",
+      "lto-vcg-dist-pipe", "lto-vcg-dist-hedge", "lto-vcg-async",
+      "lto-vcg-unpaced",
       "myopic-vcg",     "pay-as-bid",       "fixed-price",
       "adaptive-price", "random-stipend",   "proportional-share",
       "first-best-oracle", "budgeted-oracle"};
@@ -51,7 +52,44 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
   }
   EXPECT_EQ(lto_variants,
             (std::vector<std::string>{"lto-vcg-sharded", "lto-vcg-dist",
-                                      "lto-vcg-dist-pipe", "lto-vcg-async"}));
+                                      "lto-vcg-dist-pipe",
+                                      "lto-vcg-dist-hedge", "lto-vcg-async"}));
+}
+
+TEST(MechanismRegistryTest, HedgeKnobReachesTheDistributedKeys) {
+  MechanismConfig config = small_config();
+  config.lto.dist_workers = 3;
+
+  // The distributed keys hedge by default and honor the knob.
+  {
+    const auto mechanism = build_mechanism("lto-vcg-dist", config);
+    auto* lto =
+        dynamic_cast<core::LongTermOnlineVcgMechanism*>(mechanism.get());
+    ASSERT_NE(lto, nullptr);
+    EXPECT_TRUE(lto->config().dist_hedge);
+  }
+  {
+    config.lto.hedge = false;
+    const auto mechanism = build_mechanism("lto-vcg-dist", config);
+    auto* lto =
+        dynamic_cast<core::LongTermOnlineVcgMechanism*>(mechanism.get());
+    ASSERT_NE(lto, nullptr);
+    EXPECT_FALSE(lto->config().dist_hedge);
+  }
+
+  // The dedicated key forces hedging on regardless of the knob, defaults
+  // to a 4-worker fleet at depth 2, and honors explicit sizing.
+  {
+    config.lto.dist_workers = 0;
+    config.lto.hedge = false;
+    const auto mechanism = build_mechanism("lto-vcg-dist-hedge", config);
+    auto* lto =
+        dynamic_cast<core::LongTermOnlineVcgMechanism*>(mechanism.get());
+    ASSERT_NE(lto, nullptr);
+    EXPECT_TRUE(lto->config().dist_hedge);
+    EXPECT_EQ(lto->config().dist_workers, 4u);
+    EXPECT_EQ(lto->config().dist_pipeline_depth, 2u);
+  }
 }
 
 TEST(MechanismRegistryTest, RoundTripOverEveryRegisteredName) {

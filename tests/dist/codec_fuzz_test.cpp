@@ -1,15 +1,16 @@
 // Wire-codec round-trip + fuzz suite.
 //
 // Round-trip: randomly generated frames of every wire type — the shard
-// protocol's requests/replies AND the service RPC types (SubmitBids,
-// RoundResult, SettlementAck) — must encode/decode to bit-identical
+// protocol's requests/replies, the service RPC types (SubmitBids,
+// RoundResult, SettlementAck), and the membership announcements
+// (WorkerHello, WorkerGoodbye) — must encode/decode to bit-identical
 // structures (doubles compared as bit patterns).
 //
 // Fuzz: seeded random byte mutations of valid frames, truncations at every
 // boundary class, type-confused decodes, and pure-garbage buffers must
 // NEVER crash and NEVER be accepted — every corrupt input throws the typed
 // WireError (length/magic/checksum/structural validation). The sweeps draw
-// uniformly from all five frame kinds.
+// uniformly from all seven frame kinds.
 //
 // Reproducing failures: every trial logs its seed; run
 //   <binary> --seed=N
@@ -130,6 +131,14 @@ sfl::service::SettlementAck make_settlement_ack(sfl::util::Rng& rng) {
   return msg;
 }
 
+WorkerHello make_worker_hello(sfl::util::Rng& rng) {
+  return WorkerHello{.worker = rng()};
+}
+
+WorkerGoodbye make_worker_goodbye(sfl::util::Rng& rng) {
+  return WorkerGoodbye{.worker = rng()};
+}
+
 bool bits_equal(double a, double b) {
   return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
 }
@@ -247,6 +256,24 @@ void run_settlement_ack_roundtrip_trial(std::uint64_t seed) {
   EXPECT_EQ(message.winner_count, decoded.winner_count);
 }
 
+void run_membership_roundtrip_trial(std::uint64_t seed) {
+  sfl::util::Rng rng(seed ^ 0x4e110ULL);
+  const WorkerHello hello = make_worker_hello(rng);
+  Frame frame;
+  encode(hello, frame);
+  ASSERT_EQ(checked_frame_type(frame), FrameType::kWorkerHello);
+  WorkerHello hello_decoded;
+  decode(frame, hello_decoded);
+  EXPECT_EQ(hello.worker, hello_decoded.worker);
+
+  const WorkerGoodbye goodbye = make_worker_goodbye(rng);
+  encode(goodbye, frame);
+  ASSERT_EQ(checked_frame_type(frame), FrameType::kWorkerGoodbye);
+  WorkerGoodbye goodbye_decoded;
+  decode(frame, goodbye_decoded);
+  EXPECT_EQ(goodbye.worker, goodbye_decoded.worker);
+}
+
 void run_roundtrip_loop(void (*trial)(std::uint64_t)) {
   for (std::size_t t = 0; t < fuzz_trials(); ++t) {
     const std::uint64_t seed = trial_seed(t);
@@ -285,6 +312,10 @@ TEST(CodecRoundTripTest, SettlementAcksSurviveEncodeDecodeBitExactly) {
   run_roundtrip_loop(&run_settlement_ack_roundtrip_trial);
 }
 
+TEST(CodecRoundTripTest, MembershipFramesSurviveEncodeDecodeExactly) {
+  run_roundtrip_loop(&run_membership_roundtrip_trial);
+}
+
 TEST(CodecRoundTripTest, TypeConfusionIsRejected) {
   sfl::util::Rng rng(4242);
   const ShardRequest request = make_request(rng);
@@ -306,20 +337,37 @@ TEST(CodecRoundTripTest, TypeConfusionIsRejected) {
   EXPECT_THROW(decode(request_frame, result_out), WireError);
   sfl::service::SubmitBids submit_out;
   EXPECT_THROW(decode(reply_frame, submit_out), WireError);
+
+  // Membership confusion: hello and goodbye share a payload layout, so the
+  // type byte is the ONLY thing telling join from leave — the decoders must
+  // refuse to read one as the other, and neither is ever a shard frame.
+  Frame hello_frame;
+  Frame goodbye_frame;
+  encode(WorkerHello{.worker = 3}, hello_frame);
+  encode(WorkerGoodbye{.worker = 3}, goodbye_frame);
+  WorkerHello hello_out;
+  WorkerGoodbye goodbye_out;
+  EXPECT_THROW(decode(hello_frame, goodbye_out), WireError);
+  EXPECT_THROW(decode(goodbye_frame, hello_out), WireError);
+  EXPECT_THROW((void)decode_request(hello_frame), WireError);
+  EXPECT_THROW((void)decode_reply(goodbye_frame), WireError);
+  EXPECT_THROW(decode(hello_frame, submit_out), WireError);
 }
 
 // ---------------------------------------------------------------------------
 // Fuzz: mutated, truncated, and garbage frames.
 // ---------------------------------------------------------------------------
 
-/// Every wire type the fuzz sweeps cover: the shard protocol pair plus the
-/// three service RPC types.
+/// Every wire type the fuzz sweeps cover: the shard protocol pair, the
+/// three service RPC types, and the two PR-7 membership frames.
 enum class FrameKind : std::size_t {
   kShardRequest = 0,
   kShardReply,
   kSubmitBids,
   kRoundResult,
   kSettlementAck,
+  kWorkerHello,
+  kWorkerGoodbye,
   kCount,
 };
 
@@ -345,6 +393,12 @@ void make_frame(FrameKind kind, sfl::util::Rng& rng, Frame& out) {
       return;
     case FrameKind::kSettlementAck:
       encode(make_settlement_ack(rng), out);
+      return;
+    case FrameKind::kWorkerHello:
+      encode(make_worker_hello(rng), out);
+      return;
+    case FrameKind::kWorkerGoodbye:
+      encode(make_worker_goodbye(rng), out);
       return;
     case FrameKind::kCount:
       break;
@@ -381,6 +435,16 @@ void expect_rejected(const Frame& frame, FrameKind kind,
       }
       case FrameKind::kSettlementAck: {
         sfl::service::SettlementAck out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kWorkerHello: {
+        WorkerHello out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kWorkerGoodbye: {
+        WorkerGoodbye out;
         decode(frame, out);
         break;
       }

@@ -190,12 +190,13 @@ TEST(DistributedWdpFaultTest, ReorderedRepliesMergeIdentically) {
 TEST(DistributedWdpFaultTest, WorkerDeathMidRoundReroutes) {
   const CandidateBatch batch = make_batch(60, 46);
   const Harness h = make_harness(3);
-  // Worker 0 accepts shard 0's request, never replies, and is dead after.
-  // The re-dispatch starts PAST the home worker, so the coordinator
-  // recovers without ever probing the corpse again.
-  h.transport->kill_worker_after_request(0);
+  // Shard 0's home worker accepts its request, never replies, and is dead
+  // after. The re-dispatch advances along the shard's rendezvous order, so
+  // the coordinator recovers without ever probing the corpse again.
+  const std::size_t home = h.engine->home_worker(0);
+  h.transport->kill_worker_after_request(home);
   expect_bit_identical(*h.engine, batch);
-  EXPECT_FALSE(h.transport->worker_alive(0));
+  EXPECT_FALSE(h.transport->worker_alive(home));
   EXPECT_GE(h.engine->last_round_stats().redispatches, 1u);
 }
 
@@ -257,7 +258,7 @@ TEST(DistributedWdpFaultTest, MutedHomeWorkerIsRoutedPastWithoutFallback) {
   const Harness h = make_harness(2, DistributedWdpConfig{
                                         .max_attempts_per_shard = 3,
                                         .allow_local_fallback = false});
-  h.transport->mute_worker(0);
+  h.transport->mute_worker(h.engine->home_worker(0));
   expect_bit_identical(*h.engine, batch);
   EXPECT_GE(h.engine->last_round_stats().redispatches, 1u);
   EXPECT_EQ(h.engine->last_round_stats().local_recomputes, 0u);

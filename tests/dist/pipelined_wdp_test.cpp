@@ -345,6 +345,55 @@ TEST(PipelinedMisattributionTest, AbandonedGenerationRepliesDoNotResurface) {
   EXPECT_GE(stats.ignored_replies, 1u);  // the stale-generation replies
 }
 
+TEST(PipelinedMembershipTest, FlappingWorkersUnderDepthStayBitIdentical) {
+  // Hedging on, depth 3, and a worker leaving/rejoining between submissions
+  // while faults fire — membership frames interleave with in-flight round
+  // replies on the same queue, and pump() must apply them without ever
+  // disturbing a lane. Every round still matches its own serial reference.
+  const std::size_t depth = 3;
+  const std::size_t workers = 4;
+  const Harness h = make_harness(workers, depth);
+  std::vector<RoundScratch> lanes(depth);
+  std::vector<CandidateBatch> batches;
+  for (std::size_t r = 0; r < 18; ++r) {
+    batches.push_back(make_batch(25 + 7 * r, 600 + r, r % 3 == 0));
+  }
+  std::size_t submitted = 0;
+  std::size_t total_leaves = 0;
+  std::size_t total_joins = 0;
+  for (std::size_t r = 0; r < batches.size(); ++r) {
+    while (submitted < batches.size() &&
+           h.engine->rounds_in_flight() < depth) {
+      if (submitted % 2 == 0) {
+        h.transport->announce_worker_leave(submitted % workers);
+      } else {
+        // The worker that left on the previous submission rejoins.
+        h.transport->announce_worker_join((submitted - 1) % workers);
+      }
+      if (submitted % 5 == 0) h.transport->drop_next_replies(1);
+      if (submitted % 7 == 0) h.transport->duplicate_next_reply();
+      h.engine->pump();
+      total_leaves += h.engine->last_round_stats().worker_leaves;
+      total_joins += h.engine->last_round_stats().worker_joins;
+      h.engine->submit(batches[submitted], kWeights, kMaxWinners, {},
+                       lanes[submitted % depth]);
+      ++submitted;
+    }
+    h.engine->retire_oldest();
+    const SerialReference ref =
+        serial_reference(batches[r], kWeights, kMaxWinners);
+    ASSERT_EQ(lanes[r % depth].allocation.selected, ref.allocation.selected)
+        << "round " << r;
+    ASSERT_EQ(lanes[r % depth].allocation.total_score,
+              ref.allocation.total_score)
+        << "round " << r;
+    ASSERT_EQ(lanes[r % depth].payments, ref.payments) << "round " << r;
+  }
+  EXPECT_GE(total_leaves, 1u);
+  EXPECT_GE(total_joins, 1u);
+  EXPECT_EQ(h.engine->rounds_in_flight(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Mechanism conformance: speculative dispatch on the LTO pipelined API.
 // ---------------------------------------------------------------------------

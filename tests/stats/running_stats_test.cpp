@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -93,6 +96,108 @@ TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
   }
   EXPECT_NEAR(stats.mean(), offset + 2.0, 1e-3);
   EXPECT_NEAR(stats.sample_variance(), 1.0, 1e-6);
+}
+
+// The accumulator is deadline-load-bearing since PR 7 (the distributed
+// coordinator derives per-worker hedge deadlines from mean + k*stddev), so
+// merge correctness and long-run stability get their own coverage.
+
+TEST(RunningStatsTest, MergeMatchesSequentialAcrossSplitPoints) {
+  // Chan's parallel merge must agree with plain sequential accumulation
+  // wherever the stream is cut — including the degenerate cuts where one
+  // side holds zero or one sample.
+  sfl::util::Rng data_rng(11);
+  std::vector<double> values;
+  values.reserve(257);
+  for (int i = 0; i < 257; ++i) values.push_back(data_rng.normal(-4.0, 7.0));
+
+  RunningStats sequential;
+  for (const double v : values) sequential.add(v);
+
+  for (const std::size_t cut : {0u, 1u, 2u, 128u, 255u, 256u, 257u}) {
+    RunningStats left;
+    RunningStats right;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      (i < cut ? left : right).add(values[i]);
+    }
+    RunningStats merged = left;
+    merged.merge(right);
+    SCOPED_TRACE("cut " + std::to_string(cut));
+    EXPECT_EQ(merged.count(), sequential.count());
+    EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-10);
+    EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-8);
+    EXPECT_NEAR(merged.sum(), sequential.sum(), 1e-6);
+    EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+    EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+  }
+}
+
+TEST(RunningStatsTest, MergeIsCommutative) {
+  sfl::util::Rng rng(12);
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) a.add(rng.normal(5.0, 2.0));
+  for (int i = 0; i < 33; ++i) b.add(rng.normal(-1.0, 0.5));
+  RunningStats ab = a;
+  ab.merge(b);
+  RunningStats ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_NEAR(ab.mean(), ba.mean(), 1e-12);
+  EXPECT_NEAR(ab.variance(), ba.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+}
+
+TEST(RunningStatsTest, MergeOfTwoEmptiesStaysEmpty) {
+  RunningStats a;
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.standard_error(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeOfSingletonsMatchesClosedForm) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);  // population variance of {1, 3}
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(RunningStatsTest, StableOverMillionsOfSamplesAtLargeOffset) {
+  // Welford at n = 2M with every sample near 1e9: a naive sum-of-squares
+  // accumulator loses all variance precision here; the running form must
+  // keep the exact alternating-sequence moments (mean offset, variance
+  // d^2) to tight tolerance, and the half-stream merge must agree.
+  const double offset = 1e9;
+  const double d = 3.0;
+  RunningStats whole;
+  RunningStats first_half;
+  RunningStats second_half;
+  constexpr std::size_t kSamples = 2'000'000;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double v = offset + (i % 2 == 0 ? d : -d);
+    whole.add(v);
+    (i < kSamples / 2 ? first_half : second_half).add(v);
+  }
+  EXPECT_EQ(whole.count(), kSamples);
+  EXPECT_NEAR(whole.mean(), offset, 1e-3);
+  EXPECT_NEAR(whole.variance(), d * d, 1e-6);
+  EXPECT_NEAR(whole.stddev(), d, 1e-6);
+
+  RunningStats merged = first_half;
+  merged.merge(second_half);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-3);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
 }
 
 }  // namespace
