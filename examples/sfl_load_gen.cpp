@@ -208,6 +208,84 @@ bool send_all(int fd, const Frame& frame) {
   return true;
 }
 
+/// Reads the server's config echo — the FIRST frame on every accepted
+/// connection — off `conn` (bounded wait). The socket is blocking, so the
+/// poll bounds the wait; leftover bytes stay in the assembler for the
+/// round-result stream.
+bool read_server_hello(GenConnection& conn, sfl::service::ServerHello& hello,
+                       std::string& error) {
+  Frame frame;
+  std::byte buffer[1024];
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (!conn.assembler.next_frame(frame)) {
+    if (Clock::now() > deadline) {
+      error = "timed out waiting for the server's config echo (ServerHello)";
+      return false;
+    }
+    pollfd pfd{.fd = conn.fd, .events = POLLIN, .revents = 0};
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    const ssize_t got = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (got == 0) {
+      error = "server closed the connection before its config echo";
+      return false;
+    }
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      error = std::string("recv failed waiting for ServerHello: ") +
+              std::strerror(errno);
+      return false;
+    }
+    if (!conn.assembler.feed(std::span<const std::byte>(
+            buffer, static_cast<std::size_t>(got)))) {
+      error =
+          "config echo stream condemned: " + conn.assembler.condemned_reason();
+      return false;
+    }
+  }
+  try {
+    sfl::service::decode(frame, hello);
+  } catch (const sfl::dist::WireError& e) {
+    error = std::string("bad ServerHello frame: ") + e.what();
+    return false;
+  }
+  return true;
+}
+
+/// The knob-mismatch fail-fast: a generator whose round geometry disagrees
+/// with the server's would fill buckets the server never clears (or watch
+/// rounds clear early) — historically a silent 30 s hang-then-timeout. The
+/// server's config echo makes the disagreement detectable up front.
+bool hello_matches(const sfl::service::ServerHello& hello,
+                   const Options& options, std::string& error) {
+  if (hello.bids_per_round != options.bids_per_round) {
+    error = "server clears rounds at " + std::to_string(hello.bids_per_round) +
+            " bids/round but --bids-per-round=" +
+            std::to_string(options.bids_per_round) +
+            " was requested; rounds would never clear. Pass --bids-per-round=" +
+            std::to_string(hello.bids_per_round) +
+            " or restart the server with matching knobs";
+    return false;
+  }
+  if (hello.mechanism != options.engine.mechanism) {
+    error = "server runs mechanism '" + hello.mechanism +
+            "' but --mechanism=" + options.engine.mechanism +
+            " was requested; --verify would compare different auction rules. "
+            "Pass --mechanism=" + hello.mechanism +
+            " or restart the server with matching knobs";
+    return false;
+  }
+  if (hello.max_winners != options.engine.max_winners) {
+    error = "server awards " + std::to_string(hello.max_winners) +
+            " winners/round but --winners=" +
+            std::to_string(options.engine.max_winners) +
+            " was requested; --verify would diverge. Pass --winners=" +
+            std::to_string(hello.max_winners) +
+            " or restart the server with matching knobs";
+    return false;
+  }
+  return true;
+}
+
 /// Everything one tier run accumulates from the response streams.
 struct TierState {
   std::vector<std::vector<char>> received;  ///< [market_index][round]
@@ -353,6 +431,21 @@ bool run_tier(const Options& options, std::size_t tier_index,
     if (conns[c].fd < 0) {
       std::cerr << "sfl_load_gen: cannot connect to " << options.host << ":"
                 << options.port << "\n";
+      for (GenConnection& conn : conns) {
+        if (conn.fd >= 0) ::close(conn.fd);
+      }
+      return false;
+    }
+  }
+
+  // Consume every connection's config echo and fail fast on a knob
+  // mismatch — BEFORE a single bid is sent.
+  for (std::size_t c = 0; c < conns.size(); ++c) {
+    sfl::service::ServerHello hello;
+    std::string error;
+    if (!read_server_hello(conns[c], hello, error) ||
+        !hello_matches(hello, options, error)) {
+      std::cerr << "sfl_load_gen: " << error << "\n";
       for (GenConnection& conn : conns) {
         if (conn.fd >= 0) ::close(conn.fd);
       }

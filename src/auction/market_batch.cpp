@@ -1,0 +1,184 @@
+#include "auction/market_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sfl::auction {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("MarketBatch: " + what);
+}
+
+[[noreturn]] void fail_market(std::size_t k, const std::string& what) {
+  fail("market " + std::to_string(k) + ": " + what);
+}
+
+}  // namespace
+
+void MarketBatch::clear() noexcept {
+  external_ = nullptr;
+  ids_.clear();
+  values_.clear();
+  bids_.clear();
+  energy_costs_.clear();
+  penalties_.clear();
+  any_penalties_ = false;
+  markets_.clear();
+}
+
+void MarketBatch::reserve(std::size_t markets, std::size_t rows) {
+  markets_.reserve(markets);
+  ids_.reserve(rows);
+  values_.reserve(rows);
+  bids_.reserve(rows);
+  energy_costs_.reserve(rows);
+}
+
+std::size_t MarketBatch::total_rows() const noexcept {
+  return view_mode() ? external_->size() : ids_.size();
+}
+
+std::span<const ClientId> MarketBatch::ids() const noexcept {
+  return view_mode() ? external_->ids() : std::span<const ClientId>(ids_);
+}
+
+std::span<const double> MarketBatch::values() const noexcept {
+  return view_mode() ? external_->values() : std::span<const double>(values_);
+}
+
+std::span<const double> MarketBatch::bids() const noexcept {
+  return view_mode() ? external_->bids() : std::span<const double>(bids_);
+}
+
+std::span<const double> MarketBatch::energy_costs() const noexcept {
+  return view_mode() ? external_->energy_costs()
+                     : std::span<const double>(energy_costs_);
+}
+
+void MarketBatch::append_market(const CandidateBatch& batch,
+                                std::size_t max_winners,
+                                const ScoreWeights& weights,
+                                std::span<const double> penalties) {
+  if (view_mode()) {
+    fail("cannot append owned markets to a view-mode batch "
+         "(use add_market_view)");
+  }
+  if (!penalties.empty() && penalties.size() != batch.size()) {
+    fail("penalties must be empty or one per row");
+  }
+  MarketView view;
+  view.offset = ids_.size();
+  view.count = batch.size();
+  view.max_winners = max_winners;
+  view.weights = weights;
+
+  const auto batch_ids = batch.ids();
+  const auto batch_values = batch.values();
+  const auto batch_bids = batch.bids();
+  const auto batch_energy = batch.energy_costs();
+  ids_.insert(ids_.end(), batch_ids.begin(), batch_ids.end());
+  values_.insert(values_.end(), batch_values.begin(), batch_values.end());
+  bids_.insert(bids_.end(), batch_bids.begin(), batch_bids.end());
+  energy_costs_.insert(energy_costs_.end(), batch_energy.begin(),
+                       batch_energy.end());
+
+  if (!penalties.empty()) {
+    // First market with penalties backfills zeros for every earlier row, so
+    // the arena stays row-aligned with the candidate arrays.
+    penalties_.resize(view.offset, 0.0);
+    penalties_.insert(penalties_.end(), penalties.begin(), penalties.end());
+    any_penalties_ = true;
+    view.has_penalties = true;
+  } else if (any_penalties_) {
+    penalties_.resize(ids_.size(), 0.0);
+  }
+  markets_.push_back(view);
+}
+
+void MarketBatch::bind_arena(const CandidateBatch& arena) {
+  if (!markets_.empty() || !ids_.empty()) {
+    fail("cannot bind an external arena after owned markets were appended");
+  }
+  external_ = &arena;
+}
+
+void MarketBatch::add_market_view(std::size_t offset, std::size_t count,
+                                  std::size_t max_winners,
+                                  const ScoreWeights& weights,
+                                  std::span<const double> penalties) {
+  if (!view_mode()) fail("add_market_view requires bind_arena first");
+  const std::size_t arena_rows = external_->size();
+  if (count > arena_rows || offset > arena_rows - count) {
+    fail("market span outside the bound arena");
+  }
+  if (!penalties.empty() && penalties.size() != count) {
+    fail("penalties must be empty or one per row");
+  }
+  MarketView view;
+  view.offset = offset;
+  view.count = count;
+  view.max_winners = max_winners;
+  view.weights = weights;
+  if (!penalties.empty()) {
+    if (penalties_.size() < arena_rows) penalties_.resize(arena_rows, 0.0);
+    std::copy(penalties.begin(), penalties.end(),
+              penalties_.begin() + static_cast<std::ptrdiff_t>(offset));
+    any_penalties_ = true;
+    view.has_penalties = true;
+  }
+  markets_.push_back(view);
+}
+
+void MarketBatch::validate() const {
+  const std::size_t rows = total_rows();
+  std::size_t watermark = 0;  // end of the previous market's span
+  for (std::size_t k = 0; k < markets_.size(); ++k) {
+    const MarketView& view = markets_[k];
+    if (!std::isfinite(view.weights.value_weight) ||
+        !std::isfinite(view.weights.bid_weight)) {
+      fail_market(k, "weights must be finite");
+    }
+    if (view.weights.bid_weight <= 0.0) {
+      fail_market(k, "bid weight must be > 0 (otherwise bids do not matter)");
+    }
+    if (view.weights.value_weight < 0.0) {
+      fail_market(k, "value weight must be >= 0");
+    }
+    if (view.count > rows || view.offset > rows - view.count) {
+      fail_market(k, "span outside the arena");
+    }
+    // Markets share ONE scores arena, written concurrently by lanes, so
+    // spans must be ordered and disjoint — an overlap would be a data race,
+    // not just a semantic oddity.
+    if (view.offset < watermark) {
+      fail_market(k, "span overlaps or precedes the previous market");
+    }
+    watermark = view.offset + view.count;
+    if (view.has_penalties && penalties_.size() < view.offset + view.count) {
+      fail_market(k, "penalty arena does not cover the span");
+    }
+  }
+}
+
+void MarketBatchResult::reset(const MarketBatch& batch) {
+  const std::size_t markets = batch.market_count();
+  slots_.resize(markets);
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < markets; ++k) {
+    const MarketView& view = batch.market(k);
+    Slot& slot = slots_[k];
+    slot.offset = total;
+    slot.capacity = std::min(view.max_winners, view.count);
+    slot.count = 0;
+    slot.total_score = 0.0;
+    total += slot.capacity;
+  }
+  selected_.assign(total, 0);
+  payments_.assign(total, 0.0);
+}
+
+}  // namespace sfl::auction

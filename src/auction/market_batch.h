@@ -1,0 +1,183 @@
+// MarketBatch: many independent market rounds packed into one SoA arena.
+//
+// Production traffic is thousands of concurrent SMALL markets, each clearing
+// its own round with its own weights and penalties. Clearing them one
+// engine call at a time pays the per-round fixed costs (validation, scratch
+// setup, fork-join) per MARKET; MarketBatch amortizes them across the whole
+// set: one contiguous ids/values/bids/energies block plus a per-market
+// descriptor {offset, count, max_winners, weights, penalties}, cleared by
+// ONE WdpEngine::run_rounds call that partitions markets across thread-pool
+// lanes and scores each span with the SIMD kernels (util/simd.h).
+//
+// Two construction modes:
+//   - append_market(CandidateBatch, ...): owning — rows are copied into the
+//     batch's own arena (the service path: each market keeps its own
+//     reusable CandidateBatch, appended per tick);
+//   - bind_arena(CandidateBatch) + add_market_view(offset, count, ...):
+//     zero-copy — every market is a sub-span of ONE external batch the
+//     caller keeps alive (the mega-bench path: 100k markets over one block
+//     without touching a byte).
+// Penalties are always owned (a lazily zero-filled arena-aligned array), so
+// callers may hand in short-lived penalty scratch.
+//
+// Exactness and isolation contract (pinned by tests/auction/
+// market_batch_test.cpp and the property harness): run_rounds over a
+// MarketBatch is bit-identical, market by market, to running each market
+// through the per-market engine entry points; an empty or m >= n market
+// affects only its own slot; and validate() — which every run_rounds
+// implementation calls FIRST — throws std::invalid_argument on any
+// malformed descriptor before a single market is scored, leaving the
+// result untouched (exception-atomic).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "auction/candidate_batch.h"
+#include "auction/types.h"
+
+namespace sfl::auction {
+
+/// One market's descriptor inside a MarketBatch.
+struct MarketView {
+  std::size_t offset = 0;       ///< first arena row
+  std::size_t count = 0;        ///< rows in this market (0 is legal)
+  std::size_t max_winners = 0;  ///< m (may exceed count)
+  ScoreWeights weights{};
+  /// False = this market's penalties are all zero (the penalty arena is not
+  /// read for it, matching the empty-Penalties fast path bit for bit).
+  bool has_penalties = false;
+};
+
+class MarketBatch {
+ public:
+  MarketBatch() = default;
+
+  /// Forgets every market and any bound arena; owned capacity is kept.
+  void clear() noexcept;
+  void reserve(std::size_t markets, std::size_t rows);
+
+  /// Owning mode: copies `batch` into the arena as the next market.
+  /// `penalties` must be empty or one per row (copied; the caller's buffer
+  /// may be reused immediately). Throws std::invalid_argument on a size
+  /// mismatch or when an external arena is bound.
+  void append_market(const CandidateBatch& batch, std::size_t max_winners,
+                     const ScoreWeights& weights,
+                     std::span<const double> penalties = {});
+
+  /// Zero-copy mode: every subsequent add_market_view names a sub-span of
+  /// `arena`, which the caller must keep alive and unmodified for this
+  /// batch's lifetime. Throws std::invalid_argument when owned markets were
+  /// already appended.
+  void bind_arena(const CandidateBatch& arena);
+
+  /// Adds the market [offset, offset + count) of the bound arena. Throws
+  /// std::invalid_argument without a bound arena, on an out-of-range span,
+  /// or on a penalties size mismatch.
+  void add_market_view(std::size_t offset, std::size_t count,
+                       std::size_t max_winners, const ScoreWeights& weights,
+                       std::span<const double> penalties = {});
+
+  [[nodiscard]] std::size_t market_count() const noexcept {
+    return markets_.size();
+  }
+  /// Rows in the arena (the external batch's size in view mode).
+  [[nodiscard]] std::size_t total_rows() const noexcept;
+  [[nodiscard]] const MarketView& market(std::size_t k) const {
+    return markets_[k];
+  }
+  /// Mutable descriptor access — for tests that corrupt a descriptor to pin
+  /// the validate() error path; production callers never need it.
+  [[nodiscard]] MarketView& market_mutable(std::size_t k) {
+    return markets_[k];
+  }
+
+  [[nodiscard]] std::span<const ClientId> ids() const noexcept;
+  [[nodiscard]] std::span<const double> values() const noexcept;
+  [[nodiscard]] std::span<const double> bids() const noexcept;
+  [[nodiscard]] std::span<const double> energy_costs() const noexcept;
+
+  /// Market k's penalty rows (arena-aligned), or null when the market has
+  /// none — the caller must then score with all-zero penalties.
+  [[nodiscard]] const double* market_penalties(std::size_t k) const noexcept {
+    return markets_[k].has_penalties ? penalties_.data() + markets_[k].offset
+                                     : nullptr;
+  }
+
+  /// Full structural check, run by every run_rounds implementation BEFORE
+  /// any market is scored: weights finite with bid_weight > 0 and
+  /// value_weight >= 0, every span inside the arena, markets ordered and
+  /// non-overlapping (they share one scores arena — an overlap would race),
+  /// and the penalty arena covering every has_penalties market. Throws
+  /// std::invalid_argument naming the offending market.
+  void validate() const;
+
+ private:
+  [[nodiscard]] bool view_mode() const noexcept { return external_ != nullptr; }
+
+  const CandidateBatch* external_ = nullptr;  ///< null = owning mode
+  std::vector<ClientId> ids_;
+  std::vector<double> values_;
+  std::vector<double> bids_;
+  std::vector<double> energy_costs_;
+  /// Arena-aligned penalties, zero-filled lazily on the first market that
+  /// actually carries any; stays empty (never allocated) otherwise.
+  std::vector<double> penalties_;
+  bool any_penalties_ = false;
+  std::vector<MarketView> markets_;
+};
+
+/// Per-market results of one run_rounds call: winners (market-LOCAL row
+/// indices, ascending) and critical payments, in flat arenas laid out by
+/// reset(). The engine writes each market's slot independently, so markets
+/// on different lanes never contend.
+class MarketBatchResult {
+ public:
+  struct Slot {
+    std::size_t offset = 0;    ///< into the selected/payments arenas
+    std::size_t capacity = 0;  ///< min(max_winners, count)
+    std::size_t count = 0;     ///< winners actually selected
+    double total_score = 0.0;
+  };
+
+  /// Lays out one slot per market of `batch` (prefix-sum of capacities) and
+  /// zeroes counts/scores. Capacity is reused across calls.
+  void reset(const MarketBatch& batch);
+
+  [[nodiscard]] std::size_t market_count() const noexcept {
+    return slots_.size();
+  }
+  /// Market k's winners as market-local row indices, ascending.
+  [[nodiscard]] std::span<const std::size_t> selected(std::size_t k) const {
+    const Slot& slot = slots_[k];
+    return {selected_.data() + slot.offset, slot.count};
+  }
+  /// Market k's payments, aligned with selected(k).
+  [[nodiscard]] std::span<const double> payments(std::size_t k) const {
+    const Slot& slot = slots_[k];
+    return {payments_.data() + slot.offset, slot.count};
+  }
+  [[nodiscard]] double total_score(std::size_t k) const {
+    return slots_[k].total_score;
+  }
+
+  // Engine-facing mutable access (capacity-sized spans; the engine stamps
+  // slot(k).count with how many it filled).
+  [[nodiscard]] Slot& slot(std::size_t k) { return slots_[k]; }
+  [[nodiscard]] std::span<std::size_t> selected_storage(std::size_t k) {
+    const Slot& s = slots_[k];
+    return {selected_.data() + s.offset, s.capacity};
+  }
+  [[nodiscard]] std::span<double> payments_storage(std::size_t k) {
+    const Slot& s = slots_[k];
+    return {payments_.data() + s.offset, s.capacity};
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> selected_;
+  std::vector<double> payments_;
+};
+
+}  // namespace sfl::auction

@@ -1,11 +1,13 @@
 #include "auction/sharded_wdp.h"
 
 #include <algorithm>
+#include <exception>
 #include <numeric>
 #include <thread>
 
 #include "util/config.h"
 #include "util/require.h"
+#include "util/simd.h"
 
 namespace sfl::auction {
 
@@ -87,13 +89,18 @@ const Allocation& ShardedWdp::select_top_m(const CandidateBatch& batch,
   // global loser — the payment threshold — survives the merge even when all
   // m winners share its shard.
   const std::size_t local_cap = std::min(max_winners + 1, n);
+  const double* const penalty_data =
+      penalties.empty() ? nullptr : penalties.data();
   const auto score_and_select = [&](std::size_t /*shard*/, std::size_t begin,
                                     std::size_t end) {
-    // SoA scoring through the one shared score() expression, so every
-    // shard layout produces bit-identical scores to the serial overloads.
-    for (std::size_t i = begin; i < end; ++i) {
-      scores[i] = score(values[i], bids[i], weights, penalty_at(penalties, i));
-    }
+    // SoA scoring through the runtime-dispatched SIMD kernels, whose every
+    // lane evaluates the one shared score() expression tree — so every
+    // shard layout and kernel produces bit-identical scores to the serial
+    // overloads (pinned by tests/util/simd_test.cpp).
+    sfl::util::simd::score_span(
+        values.data() + begin, bids.data() + begin,
+        penalty_data == nullptr ? nullptr : penalty_data + begin,
+        scores + begin, end - begin, weights.value_weight, weights.bid_weight);
     std::iota(order + begin, order + end, begin);
     const std::size_t span = end - begin;
     const std::size_t keep = std::min(local_cap, span);
@@ -182,6 +189,130 @@ void ShardedWdp::run_round(const CandidateBatch& batch,
   // reuse the same validated slate and merged order.
   select_top_m(batch, weights, max_winners, penalties, scratch);
   critical_payments(batch, weights, max_winners, penalties, scratch);
+}
+
+void ShardedWdp::run_rounds(const MarketBatch& batch, MarketBatchResult& result,
+                            RoundScratch& scratch) const {
+  // Exception-atomicity: every descriptor is checked before any market is
+  // scored, and the result is only laid out once the batch is known good.
+  batch.validate();
+  result.reset(batch);
+  const std::size_t market_count = batch.market_count();
+  if (market_count == 0) return;
+
+  const std::size_t total = batch.total_rows();
+  scratch.scores.resize(total);
+  scratch.order.resize(total);
+
+  const std::span<const ClientId> ids = batch.ids();
+  const std::span<const double> values = batch.values();
+  const std::span<const double> bids = batch.bids();
+  double* const scores = scratch.scores.data();
+  std::size_t* const order = scratch.order.data();
+
+  // One market = the full serial single-shard round on its arena span:
+  // SIMD-score the span, nth_element to the local top-(m+1), sort those
+  // survivors under the serial total order, take the positive top-m prefix,
+  // price at the best-loser threshold. Market spans are disjoint
+  // (validate()), so lanes never touch the same scores/order rows, and the
+  // per-market math is step-for-step the select_top_m + critical_payments
+  // pair with shards = 1 — which the sharded/distributed engines are in
+  // turn bit-identical to, closing the mega-batch equality contract.
+  const auto clear_market = [&](std::size_t k) {
+    const MarketView& view = batch.market(k);
+    if (view.count == 0) return;  // slot stays zeroed from reset()
+    const std::size_t off = view.offset;
+    const std::size_t n = view.count;
+    const std::size_t m = view.max_winners;
+    const double vw = view.weights.value_weight;
+    const double bw = view.weights.bid_weight;
+    const double* const penalties = batch.market_penalties(k);
+
+    sfl::util::simd::score_span(values.data() + off, bids.data() + off,
+                                penalties, scores + off, n, vw, bw);
+
+    // Serial strict total order: score desc, ClientId asc, index asc (the
+    // indices are global, but within one market they share `off`, so the
+    // tie-break orders exactly like the market-local one).
+    const auto better = [scores, ids](std::size_t a, std::size_t b) {
+      if (scores[a] != scores[b]) return scores[a] > scores[b];
+      if (ids[a] != ids[b]) return ids[a] < ids[b];
+      return a < b;
+    };
+    std::iota(order + off, order + off + n, off);
+    const std::size_t local_cap = std::min(m + 1, n);
+    if (local_cap < n) {
+      std::nth_element(order + off, order + off + local_cap, order + off + n,
+                       better);
+    }
+    std::sort(order + off, order + off + local_cap, better);
+
+    const std::span<std::size_t> selected = result.selected_storage(k);
+    const std::span<double> payments = result.payments_storage(k);
+    const std::size_t prefix = std::min(m, local_cap);
+    std::size_t wcount = 0;
+    double total_score = 0.0;
+    for (std::size_t j = 0; j < prefix; ++j) {
+      const std::size_t index = order[off + j];
+      if (scores[index] <= 0.0) break;  // sorted; the rest are <= 0 too
+      selected[wcount++] = index;
+      // Accumulated in survivor order BEFORE the ascending sort — the FP
+      // addition order is part of the bit-exactness contract.
+      total_score += scores[index];
+    }
+    std::sort(selected.begin(),
+              selected.begin() + static_cast<std::ptrdiff_t>(wcount));
+
+    // Threshold = best non-selected score, clamped at 0; the +1 survivor
+    // slot guarantees it is present whenever the slate is full.
+    double threshold = 0.0;
+    if (wcount == m && local_cap > m) {
+      threshold = std::max(0.0, scores[order[off + m]]);
+    }
+    for (std::size_t w = 0; w < wcount; ++w) {
+      const std::size_t index = selected[w];
+      const double penalty =
+          penalties == nullptr ? 0.0 : penalties[index - off];
+      const double critical_bid =
+          (vw * values[index] - penalty - threshold) / bw;
+      check_invariant(critical_bid >= bids[index] - 1e-9,
+                      "critical payment below the winning bid");
+      payments[w] = std::max(critical_bid, bids[index]);
+    }
+    for (std::size_t w = 0; w < wcount; ++w) selected[w] -= off;
+
+    MarketBatchResult::Slot& slot = result.slot(k);
+    slot.count = wcount;
+    slot.total_score = total_score;
+  };
+
+  // Lanes partition MARKETS, not rows: explicit shard configs are honored
+  // (capped by the market count), auto sizes by total rows so tiny batches
+  // stay inline.
+  const std::size_t lanes =
+      std::min(effective_shards(std::max<std::size_t>(total, 1)), market_count);
+  if (lanes <= 1) {
+    for (std::size_t k = 0; k < market_count; ++k) clear_market(k);
+    return;
+  }
+
+  // The pool's fork-join fn must not throw; per-market invariant failures
+  // ride out on per-lane exception_ptrs and rethrow after the join.
+  std::vector<std::exception_ptr> lane_errors(lanes);
+  sfl::util::ThreadPool& pool =
+      pool_ != nullptr ? *pool_ : sfl::util::shared_pool();
+  pool.parallel_for_chunks(
+      market_count, lanes,
+      [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        try {
+          for (std::size_t k = begin; k < end; ++k) clear_market(k);
+        } catch (...) {
+          lane_errors[lane] = std::current_exception();
+        }
+      });
+  for (const std::exception_ptr& error : lane_errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace sfl::auction

@@ -89,6 +89,18 @@ class ShardedWdp final : public WdpEngine {
                  std::size_t max_winners, const Penalties& penalties,
                  RoundScratch& scratch) const override;
 
+  /// Mega-batch entry point: clears every market of the MarketBatch in one
+  /// fork-join pass — MARKETS (not rows) are partitioned across the pool's
+  /// lanes, each market running the serial select/merge/price math on its
+  /// own arena span, so every market's slot is bit-identical to run_round
+  /// on that market alone. Scoring goes through the SIMD kernels
+  /// (util/simd.h), shared with the single-market path. validate() throws
+  /// before any market is scored (`result` untouched); a per-market failure
+  /// inside the lanes (engine invariant violation) is rethrown after the
+  /// join. config.shards bounds the lane count (0 = auto by total rows).
+  void run_rounds(const MarketBatch& batch, MarketBatchResult& result,
+                  RoundScratch& scratch) const override;
+
  private:
   ShardedWdpConfig config_;
   sfl::util::ThreadPool* const pool_;  ///< null = util::shared_pool()

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "auction/candidate_batch.h"
+#include "auction/market_batch.h"
 #include "auction/round_scratch.h"
 #include "auction/types.h"
 
@@ -56,6 +57,18 @@ class WdpEngine {
     select_top_m(batch, weights, max_winners, penalties, scratch);
     critical_payments(batch, weights, max_winners, penalties, scratch);
   }
+
+  /// The cross-market batch axis: clears EVERY market of `batch` — each an
+  /// independent (slate, weights, max_winners, penalties) round — in one
+  /// call, writing per-market winners (market-local indices) and critical
+  /// payments into `result`. Must first batch.validate() (throwing before
+  /// any market is scored, `result` untouched — exception-atomic), and each
+  /// market's slot must be bit-identical to running that market alone
+  /// through run_round. The default gathers each market into a temporary
+  /// slate and loops run_round; ShardedWdp overrides with the fused
+  /// lane-parallel implementation.
+  virtual void run_rounds(const MarketBatch& batch, MarketBatchResult& result,
+                          RoundScratch& scratch) const;
 };
 
 }  // namespace sfl::auction

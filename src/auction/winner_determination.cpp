@@ -8,6 +8,7 @@
 #include "auction/valuation.h"
 #include "util/config.h"
 #include "util/require.h"
+#include "util/simd.h"
 
 namespace sfl::auction {
 
@@ -112,14 +113,14 @@ Allocation select_top_m(const CandidateBatch& batch, const ScoreWeights& weights
                         std::size_t max_winners, const Penalties& penalties) {
   validate_inputs(batch, weights, penalties);
   // SoA scoring: one streaming pass over contiguous arrays through the
-  // single shared score() expression, so AoS and batch paths agree
+  // shared SIMD kernels, which are bit-identical to the score() expression
+  // (the dispatch test enforces this), so AoS and batch paths agree
   // bit-for-bit.
-  const std::span<const double> values = batch.values();
-  const std::span<const double> bids = batch.bids();
   std::vector<double> scores(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    scores[i] = score(values[i], bids[i], weights, penalty_at(penalties, i));
-  }
+  sfl::util::simd::score_span(batch.values().data(), batch.bids().data(),
+                              penalties.empty() ? nullptr : penalties.data(),
+                              scores.data(), batch.size(),
+                              weights.value_weight, weights.bid_weight);
   return top_m_from_scores(scores, batch.ids(), max_winners);
 }
 

@@ -116,7 +116,8 @@ void LongTermOnlineVcgMechanism::run_round_into(const CandidateBatch& batch,
     RoundScratch& round_scratch = scratch();
     wdp_->run_round(batch, weights, context.max_winners,
                     round_scratch.penalties, round_scratch);
-    fill_result(batch, round_scratch.allocation, round_scratch.payments, out);
+    fill_result(batch, round_scratch.allocation.selected,
+                round_scratch.payments, out);
     return;
   }
 
@@ -133,7 +134,29 @@ void LongTermOnlineVcgMechanism::run_round_into(const CandidateBatch& batch,
         return sfl::auction::select_top_m(reduced, w, m, p);
       },
       round_scratch.penalties);
-  fill_result(batch, allocation, payments, out);
+  fill_result(batch, allocation.selected, payments, out);
+}
+
+ScoreWeights LongTermOnlineVcgMechanism::external_round_inputs(
+    const CandidateBatch& batch, Penalties& out) {
+  require(supports_external_rounds(),
+          "external_round_inputs requires the critical-value payment rule "
+          "with no pipelined rounds in flight");
+  penalties_into(batch.ids(), batch.energy_costs(), out);
+  return current_weights();
+}
+
+void LongTermOnlineVcgMechanism::commit_external_round(
+    const CandidateBatch& batch, std::span<const std::size_t> selected,
+    std::span<const double> payments, MechanismResult& out) {
+  require(supports_external_rounds(),
+          "commit_external_round requires the critical-value payment rule "
+          "with no pipelined rounds in flight");
+  // Mirrors run_round_into's round-open bookkeeping: the next settlement
+  // (and only the next) applies the queue updates.
+  round_open_ = true;
+  settle_pending_ = true;
+  fill_result(batch, selected, payments, out);
 }
 
 void LongTermOnlineVcgMechanism::submit_round(const CandidateBatch& batch,
@@ -174,8 +197,8 @@ void LongTermOnlineVcgMechanism::retire_round_into(MechanismResult& out) {
           "engine retired a different round than the mechanism expected");
   round_open_ = true;
   settle_pending_ = true;
-  fill_result(*lane.batch, lane.scratch.allocation, lane.scratch.payments,
-              out);
+  fill_result(*lane.batch, lane.scratch.allocation.selected,
+              lane.scratch.payments, out);
   lane.batch = nullptr;
   lane_head_ = (lane_head_ + 1) % pipe_lanes_.size();
   --lane_count_;
@@ -209,10 +232,10 @@ void LongTermOnlineVcgMechanism::confirm_pipeline_after_settle() {
 }
 
 void LongTermOnlineVcgMechanism::fill_result(const CandidateBatch& batch,
-                                             const Allocation& allocation,
+                                             std::span<const std::size_t> selected,
                                              std::span<const double> payments,
                                              MechanismResult& out) {
-  require(payments.size() == allocation.selected.size(),
+  require(payments.size() == selected.size(),
           "one payment per winner required");
   const std::span<const sfl::auction::ClientId> ids = batch.ids();
   const std::span<const double> bids = batch.bids();
@@ -223,9 +246,9 @@ void LongTermOnlineVcgMechanism::fill_result(const CandidateBatch& batch,
   // Cache this round's winners for the deprecated observe() shim; settle()
   // never reads it.
   last_round_winners_.clear();
-  for (std::size_t k = 0; k < allocation.selected.size(); ++k) {
-    const std::size_t index = sfl::util::checked_index(
-        allocation.selected[k], batch.size(), "winner");
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    const std::size_t index =
+        sfl::util::checked_index(selected[k], batch.size(), "winner");
     out.winners.push_back(ids[index]);
     out.payments.push_back(payments[k]);
     last_round_winners_.push_back(

@@ -188,6 +188,41 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   /// tests and diagnostics).
   [[nodiscard]] sfl::auction::ScoreWeights current_weights() const noexcept;
 
+  // --- external-round API (mega-batch clearing) ----------------------------
+  //
+  // A multi-market host (service::clear_market_rounds) scores MANY
+  // mechanisms' rounds through ONE WdpEngine::run_rounds call. The mechanism
+  // exports its round inputs (weights + penalties), the host runs the fused
+  // engine pass, and the winners/payments come back through
+  // commit_external_round — bit-identical to run_round_into, because the
+  // engine's mega-batch contract is per-market bit-identity and the inputs
+  // are produced by the same code.
+
+  /// Whether this instance's rounds may be cleared externally: the
+  /// critical-value payment rule with no pipelined rounds in flight.
+  [[nodiscard]] bool supports_external_rounds() const noexcept {
+    return config_.payment_rule == PaymentRule::kCriticalValue &&
+           lane_count_ == 0;
+  }
+
+  /// Exports the next round's affine-maximizer inputs for `batch`: writes
+  /// the Z_i(t)*e_i penalties into `out` (empty when the sustainability
+  /// queues are off) and returns the current weights. Pure observation: no
+  /// round is opened until commit_external_round.
+  sfl::auction::ScoreWeights external_round_inputs(
+      const sfl::auction::CandidateBatch& batch,
+      sfl::auction::Penalties& out);
+
+  /// Publishes an externally-computed round (winners as batch indices,
+  /// ascending, with their critical payments) exactly as run_round_into
+  /// would have: opens the round for the settle() idempotency guard and
+  /// fills `out`. The inputs must have come from external_round_inputs on
+  /// the same queue state with no settle in between.
+  void commit_external_round(const sfl::auction::CandidateBatch& batch,
+                             std::span<const std::size_t> selected,
+                             std::span<const double> payments,
+                             sfl::auction::MechanismResult& out);
+
   // --- pipelined round API (dist_pipeline_depth > 1) ------------------------
 
   /// Speculation bookkeeping across a pipelined run. Every speculative
@@ -248,7 +283,7 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   /// Shared tail of the round paths: publishes winners/payments into `out`
   /// (reusing its capacity) and caches the winners for the observe() shim.
   void fill_result(const sfl::auction::CandidateBatch& batch,
-                   const sfl::auction::Allocation& allocation,
+                   std::span<const std::size_t> selected,
                    std::span<const double> payments,
                    sfl::auction::MechanismResult& out);
 

@@ -72,6 +72,10 @@ enum class FrameType : std::uint8_t {
   // Elastic-membership announcements (worker -> coordinator).
   kWorkerHello = 6,
   kWorkerGoodbye = 7,
+  // Auction-service config echo (server -> client, once per connection):
+  // the round-geometry knobs both sides must agree on, so a mismatched
+  // client can fail fast instead of waiting on rounds that never clear.
+  kServerHello = 8,
 };
 
 /// True for a type byte naming any known protocol message (shard protocol,
@@ -79,7 +83,7 @@ enum class FrameType : std::uint8_t {
 /// else.
 [[nodiscard]] constexpr bool frame_type_known(std::uint8_t raw) noexcept {
   return raw >= static_cast<std::uint8_t>(FrameType::kRequest) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kWorkerGoodbye);
+         raw <= static_cast<std::uint8_t>(FrameType::kServerHello);
 }
 
 /// FNV-1a 64-bit over the payload; the frame's integrity check.

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -65,6 +66,15 @@ AuctionService::AuctionService(AuctionServiceConfig config)
       0) {
     port_ = ntohs(addr.sin_port);
   }
+
+  // The config echo every connection receives first: encoded once, the
+  // round-geometry knobs a client must match for rounds to ever clear.
+  ServerHello hello;
+  hello.bids_per_round = config_.engine.bids_per_round;
+  hello.max_winners = config_.engine.max_winners;
+  hello.max_pending_rounds = config_.max_pending_rounds;
+  hello.mechanism = config_.engine.mechanism;
+  encode(hello, hello_frame_);
 }
 
 AuctionService::~AuctionService() { stop(); }
@@ -147,6 +157,7 @@ void AuctionService::poll_once(int timeout_ms) {
       flush_writes(conn);
     }
   }
+  clear_tick_markets();
   reap_dead_connections();
 }
 
@@ -172,8 +183,12 @@ void AuctionService::accept_ready() {
     conn.fd = fd;
     conn.assembler = FrameAssembler(config_.max_frame_bytes);
     const std::uint64_t id = conn.id;
-    connections_.emplace(id, std::move(conn));
+    const auto [it, inserted] = connections_.emplace(id, std::move(conn));
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Knob-mismatch fail-fast: the config echo is the FIRST frame on every
+    // connection, so a client expecting a different round geometry learns
+    // it immediately instead of hanging on rounds that never clear.
+    queue_frame(it->second, hello_frame_);
   }
 }
 
@@ -264,12 +279,12 @@ bool AuctionService::handle_frame(Connection& conn, const Frame& frame) {
               row);
     bids_received_.fetch_add(1, std::memory_order_relaxed);
   }
-  for (const std::uint64_t market_id : frame_touched_markets_) {
-    const auto market_it = markets_.find(market_id);
-    if (market_it != markets_.end()) {
-      clear_ready_rounds(market_id, market_it->second);
-    }
-  }
+  // Clearing is deferred to the end of the poll tick (clear_tick_markets):
+  // every market touched by ANY frame this tick clears through one
+  // mega-batch engine pass instead of one pass per frame.
+  tick_ready_markets_.insert(tick_ready_markets_.end(),
+                             frame_touched_markets_.begin(),
+                             frame_touched_markets_.end());
   return true;
 }
 
@@ -351,48 +366,84 @@ void AuctionService::apply_bid(const Connection& conn, std::uint64_t market_id,
   if (!touched) frame_touched_markets_.push_back(market_id);
 }
 
-void AuctionService::clear_ready_rounds(std::uint64_t market_id,
-                                        MarketState& market) {
-  // Strict round order: only next_round may clear, then cascade into any
-  // already-full successors.
-  while (true) {
-    const auto bucket_it = market.pending.find(market.next_round);
-    if (bucket_it == market.pending.end() ||
-        bucket_it->second.rows.size() < config_.engine.bids_per_round) {
-      return;
+void AuctionService::clear_tick_markets() {
+  // Strict round order per market, one mega-batch engine pass per
+  // iteration: each touched market contributes at most its next_round (when
+  // that bucket is full) to a clear_market_rounds batch of DISTINCT
+  // markets; a cleared round that unblocks an already-full successor
+  // re-queues its market for the next iteration.
+  while (!tick_ready_markets_.empty()) {
+    std::sort(tick_ready_markets_.begin(), tick_ready_markets_.end());
+    tick_ready_markets_.erase(
+        std::unique(tick_ready_markets_.begin(), tick_ready_markets_.end()),
+        tick_ready_markets_.end());
+
+    batch_buckets_.clear();
+    batch_market_ids_.clear();
+    for (const std::uint64_t market_id : tick_ready_markets_) {
+      const auto market_it = markets_.find(market_id);
+      if (market_it == markets_.end()) continue;
+      MarketState& market = market_it->second;
+      // Fullness is re-checked at clear time: a connection dropped later in
+      // the tick may have purged rows from a bucket that was full when its
+      // frame arrived.
+      const auto bucket_it = market.pending.find(market.next_round);
+      if (bucket_it == market.pending.end() ||
+          bucket_it->second.rows.size() < config_.engine.bids_per_round) {
+        continue;
+      }
+      batch_buckets_.push_back(std::move(bucket_it->second));
+      market.pending.erase(bucket_it);
+      batch_market_ids_.push_back(market_id);
     }
-    const std::uint64_t round = market.next_round;
-    Bucket bucket = std::move(bucket_it->second);
-    market.pending.erase(bucket_it);
+    tick_ready_markets_.clear();
+    if (batch_buckets_.empty()) return;
 
-    rows_scratch_ = std::move(bucket.rows);
-    clear_market_round(*market.mechanism, config_.engine, round, rows_scratch_,
-                       market.batch, market.result);
-    market.next_round = round + 1;
-    rounds_cleared_.fetch_add(1, std::memory_order_relaxed);
+    // Requests are built only after batch_buckets_ stops growing — its
+    // reallocation would invalidate the row pointers.
+    batch_requests_.clear();
+    for (std::size_t j = 0; j < batch_buckets_.size(); ++j) {
+      MarketState& market = markets_.find(batch_market_ids_[j])->second;
+      batch_requests_.push_back(
+          MarketRoundRequest{.mechanism = market.mechanism.get(),
+                             .round = market.next_round,
+                             .rows = &batch_buckets_[j].rows,
+                             .batch = &market.batch,
+                             .result = &market.result});
+    }
+    clear_market_rounds(clearer_, batch_requests_, config_.engine);
 
-    result_scratch_.market = market_id;
-    result_scratch_.round = round;
-    result_scratch_.winners = market.result.winners;
-    result_scratch_.payments = market.result.payments;
+    for (std::size_t j = 0; j < batch_buckets_.size(); ++j) {
+      const std::uint64_t market_id = batch_market_ids_[j];
+      MarketState& market = markets_.find(market_id)->second;
+      const std::uint64_t round = market.next_round;
+      market.next_round = round + 1;
+      rounds_cleared_.fetch_add(1, std::memory_order_relaxed);
 
-    SettlementAck ack;
-    ack.market = market_id;
-    ack.round = round;
-    ack.total_payment = market.result.total_payment();
-    ack.winner_count = market.result.winners.size();
+      result_scratch_.market = market_id;
+      result_scratch_.round = round;
+      result_scratch_.winners = market.result.winners;
+      result_scratch_.payments = market.result.payments;
 
-    // Contributors are looked up by connection id, never fd: ids are never
-    // reused, so a contributor that disconnected (its fd possibly already
-    // handed to a new, unrelated client) simply fails the lookup instead of
-    // receiving someone else's results.
-    for (const std::uint64_t conn_id : bucket.contributor_ids) {
-      const auto conn_it = connections_.find(conn_id);
-      if (conn_it == connections_.end() || conn_it->second.dead) continue;
-      encode(result_scratch_, encode_scratch_);
-      queue_frame(conn_it->second, encode_scratch_);
-      encode(ack, encode_scratch_);
-      queue_frame(conn_it->second, encode_scratch_);
+      SettlementAck ack;
+      ack.market = market_id;
+      ack.round = round;
+      ack.total_payment = market.result.total_payment();
+      ack.winner_count = market.result.winners.size();
+
+      // Contributors are looked up by connection id, never fd: ids are
+      // never reused, so a contributor that disconnected (its fd possibly
+      // already handed to a new, unrelated client) simply fails the lookup
+      // instead of receiving someone else's results.
+      for (const std::uint64_t conn_id : batch_buckets_[j].contributor_ids) {
+        const auto conn_it = connections_.find(conn_id);
+        if (conn_it == connections_.end() || conn_it->second.dead) continue;
+        encode(result_scratch_, encode_scratch_);
+        queue_frame(conn_it->second, encode_scratch_);
+        encode(ack, encode_scratch_);
+        queue_frame(conn_it->second, encode_scratch_);
+      }
+      tick_ready_markets_.push_back(market_id);  // cascade check next pass
     }
   }
 }

@@ -158,8 +158,11 @@ class AuctionService {
                                             std::uint64_t client) const;
   void apply_bid(const Connection& conn, std::uint64_t market_id,
                  std::uint64_t round, const BidRow& row);
-  /// Clears every consecutive full next_round bucket of the market.
-  void clear_ready_rounds(std::uint64_t market_id, MarketState& market);
+  /// Tick-end clearing: every market the tick's frames touched whose
+  /// next_round bucket is full clears through ONE mega-batch
+  /// clear_market_rounds call (each market contributes one round per
+  /// iteration; cascades re-queue, preserving strict round order).
+  void clear_tick_markets();
   /// Removes a gone connection's bids from every pending bucket.
   void purge_connection_bids(std::uint64_t conn_id);
   void queue_frame(Connection& conn, const Frame& frame);
@@ -183,13 +186,23 @@ class AuctionService {
   RoundResult result_scratch_;
   Frame frame_scratch_;
   Frame encode_scratch_;
-  std::vector<BidRow> rows_scratch_;
   /// Per-frame validation scratch: (market, round) slots accepted so far,
   /// markets the slate would create, markets to run clearing on.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> frame_slots_;
   std::vector<std::uint64_t> frame_new_markets_;
   std::vector<std::uint64_t> frame_touched_markets_;
   std::vector<std::uint8_t> frame_row_accepted_;
+
+  /// The config echo sent first on every accepted connection (encoded once).
+  Frame hello_frame_;
+  /// Tick-end clearing state: markets touched this tick, and the per-batch
+  /// buckets/requests handed to clear_market_rounds (kept as members so
+  /// steady-state ticks reuse their capacity).
+  std::vector<std::uint64_t> tick_ready_markets_;
+  std::vector<std::uint64_t> batch_market_ids_;
+  std::vector<Bucket> batch_buckets_;
+  std::vector<MarketRoundRequest> batch_requests_;
+  MultiMarketClearer clearer_;
 
   std::thread thread_;
   std::atomic<bool> stopping_{false};

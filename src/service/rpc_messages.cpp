@@ -130,6 +130,44 @@ void decode(std::span<const std::byte> frame, RoundResult& out) {
   require_unique(keys, "winner client");
 }
 
+void encode(const ServerHello& message, Frame& out) {
+  begin_frame(out);
+  put_u64(out, message.bids_per_round);
+  put_u64(out, message.max_winners);
+  put_u64(out, message.max_pending_rounds);
+  put_u64(out, message.mechanism.size());
+  for (const char c : message.mechanism) {
+    out.push_back(static_cast<std::byte>(c));
+  }
+  finish_frame(out, FrameType::kServerHello);
+}
+
+void decode(std::span<const std::byte> frame, ServerHello& out) {
+  const auto [type, payload] = checked_payload(frame);
+  if (type != FrameType::kServerHello) {
+    throw WireError("wire: expected a ServerHello frame");
+  }
+  Cursor cursor(payload);
+  out.bids_per_round = cursor.u64();
+  out.max_winners = cursor.u64();
+  out.max_pending_rounds = cursor.u64();
+  const std::uint64_t key_len = cursor.u64();
+  if (key_len > kMaxMechanismKeyBytes) {
+    throw WireError("wire: mechanism key exceeds length limit");
+  }
+  out.mechanism.clear();
+  out.mechanism.reserve(key_len);
+  for (std::uint64_t i = 0; i < key_len; ++i) {
+    const std::uint8_t c = cursor.u8();
+    // Registry keys are printable ASCII; anything else is corruption.
+    if (c < 0x20 || c > 0x7E) {
+      throw WireError("wire: mechanism key must be printable ASCII");
+    }
+    out.mechanism.push_back(static_cast<char>(c));
+  }
+  cursor.expect_exhausted();
+}
+
 void decode(std::span<const std::byte> frame, SettlementAck& out) {
   const auto [type, payload] = checked_payload(frame);
   if (type != FrameType::kSettlementAck) {

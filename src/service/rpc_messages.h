@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "dist/wire_codec.h"
@@ -75,10 +76,27 @@ struct SettlementAck {
   std::uint64_t winner_count = 0;
 };
 
+/// Upper bound on the mechanism-key length in a ServerHello — registry keys
+/// are short; anything longer is a corrupt frame.
+inline constexpr std::uint64_t kMaxMechanismKeyBytes = 256;
+
+/// Server -> client, first frame on every accepted connection: the round
+/// geometry this server clears with. A client configured with a different
+/// bids_per_round would fill buckets the server never clears (or vice
+/// versa) — a silent hang — so the load generator checks this echo against
+/// its own knobs and fails fast on any disagreement.
+struct ServerHello {
+  std::uint64_t bids_per_round = 0;
+  std::uint64_t max_winners = 0;
+  std::uint64_t max_pending_rounds = 0;
+  std::string mechanism;  ///< registry key, <= kMaxMechanismKeyBytes
+};
+
 /// Encodes into `out` (cleared first; capacity reused across frames).
 void encode(const SubmitBids& message, Frame& out);
 void encode(const RoundResult& message, Frame& out);
 void encode(const SettlementAck& message, Frame& out);
+void encode(const ServerHello& message, Frame& out);
 
 /// Full decode with envelope + structural + semantic validation. Throws
 /// WireError; `out` may be left partially written on failure and must not
@@ -86,5 +104,6 @@ void encode(const SettlementAck& message, Frame& out);
 void decode(std::span<const std::byte> frame, SubmitBids& out);
 void decode(std::span<const std::byte> frame, RoundResult& out);
 void decode(std::span<const std::byte> frame, SettlementAck& out);
+void decode(std::span<const std::byte> frame, ServerHello& out);
 
 }  // namespace sfl::service

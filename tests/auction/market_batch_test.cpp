@@ -1,0 +1,310 @@
+// MarketBatch / run_rounds contract tests: per-market bit-identity with the
+// single-market run_round path, sibling isolation for degenerate markets
+// (empty slates, m >= n), exception-atomic validation, and owning-vs-view
+// construction equivalence. These pin the exactness and isolation contract
+// documented at the top of src/auction/market_batch.h.
+#include "auction/market_batch.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "auction/candidate_batch.h"
+#include "auction/round_scratch.h"
+#include "auction/sharded_wdp.h"
+#include "auction/types.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+namespace {
+
+struct SeededMarket {
+  CandidateBatch batch;
+  Penalties penalties;
+  ScoreWeights weights;
+  std::size_t max_winners = 0;
+};
+
+SeededMarket make_market(sfl::util::Rng& rng, std::size_t rows,
+                         std::size_t max_winners, bool with_penalties) {
+  SeededMarket market;
+  market.max_winners = max_winners;
+  market.weights = ScoreWeights{.value_weight = rng.uniform(1.0, 20.0),
+                                .bid_weight = rng.uniform(1.0, 20.0)};
+  market.batch.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    market.batch.emplace(ClientId{rng.uniform_index(1'000'000)},
+                         rng.uniform(0.0, 50.0), rng.uniform(0.0, 25.0),
+                         rng.uniform(0.1, 4.0));
+    if (with_penalties) market.penalties.push_back(rng.uniform(0.0, 10.0));
+  }
+  return market;
+}
+
+/// Appends every market to a fresh owning-mode MarketBatch.
+MarketBatch pack(const std::vector<SeededMarket>& markets) {
+  MarketBatch packed;
+  for (const SeededMarket& m : markets) {
+    packed.append_market(m.batch, m.max_winners, m.weights, m.penalties);
+  }
+  return packed;
+}
+
+/// Bit-compares market k of `result` against running that market alone
+/// through engine.run_round (the per-market reference path).
+void expect_slot_matches_run_round(const WdpEngine& engine,
+                                   const SeededMarket& market,
+                                   const MarketBatchResult& result,
+                                   std::size_t k) {
+  RoundScratch reference;
+  engine.run_round(market.batch, market.weights, market.max_winners,
+                   market.penalties, reference);
+  const auto selected = result.selected(k);
+  const auto payments = result.payments(k);
+  ASSERT_EQ(selected.size(), reference.allocation.selected.size())
+      << "market " << k << ": winner count diverges";
+  ASSERT_EQ(payments.size(), reference.payments.size());
+  for (std::size_t w = 0; w < selected.size(); ++w) {
+    EXPECT_EQ(selected[w], reference.allocation.selected[w])
+        << "market " << k << " winner " << w;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(payments[w]),
+              std::bit_cast<std::uint64_t>(reference.payments[w]))
+        << "market " << k << " payment " << w << " diverges: got "
+        << payments[w] << " want " << reference.payments[w];
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(result.total_score(k)),
+            std::bit_cast<std::uint64_t>(reference.allocation.total_score))
+      << "market " << k << " total score diverges";
+}
+
+TEST(MarketBatchTest, RunRoundsMatchesPerMarketRunRoundBitForBit) {
+  sfl::util::Rng rng(8801);
+  std::vector<SeededMarket> markets;
+  for (std::size_t k = 0; k < 24; ++k) {
+    markets.push_back(make_market(rng, 1 + rng.uniform_index(40),
+                                  1 + rng.uniform_index(6), k % 2 == 0));
+  }
+  const MarketBatch packed = pack(markets);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const ShardedWdp engine{ShardedWdpConfig{.shards = shards}};
+    MarketBatchResult result;
+    RoundScratch scratch;
+    engine.run_rounds(packed, result, scratch);
+    ASSERT_EQ(result.market_count(), markets.size());
+    for (std::size_t k = 0; k < markets.size(); ++k) {
+      expect_slot_matches_run_round(engine, markets[k], result, k);
+    }
+  }
+}
+
+TEST(MarketBatchTest, DefaultGatherLoopFallbackMatchesShardedOverride) {
+  sfl::util::Rng rng(8802);
+  std::vector<SeededMarket> markets;
+  for (std::size_t k = 0; k < 12; ++k) {
+    markets.push_back(make_market(rng, 2 + rng.uniform_index(24),
+                                  1 + rng.uniform_index(5), true));
+  }
+  const MarketBatch packed = pack(markets);
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 2}};
+
+  MarketBatchResult fused;
+  RoundScratch fused_scratch;
+  engine.run_rounds(packed, fused, fused_scratch);
+
+  // Force the base-class gather-and-loop implementation on the same engine.
+  MarketBatchResult looped;
+  RoundScratch looped_scratch;
+  engine.WdpEngine::run_rounds(packed, looped, looped_scratch);
+
+  ASSERT_EQ(fused.market_count(), looped.market_count());
+  for (std::size_t k = 0; k < fused.market_count(); ++k) {
+    const auto fused_sel = fused.selected(k);
+    const auto looped_sel = looped.selected(k);
+    ASSERT_EQ(fused_sel.size(), looped_sel.size()) << "market " << k;
+    for (std::size_t w = 0; w < fused_sel.size(); ++w) {
+      EXPECT_EQ(fused_sel[w], looped_sel[w]);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(fused.payments(k)[w]),
+                std::bit_cast<std::uint64_t>(looped.payments(k)[w]));
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(fused.total_score(k)),
+              std::bit_cast<std::uint64_t>(looped.total_score(k)));
+  }
+}
+
+TEST(MarketBatchTest, EmptyAndOversubscribedMarketsDoNotPoisonSiblings) {
+  sfl::util::Rng rng(8803);
+  std::vector<SeededMarket> markets;
+  // healthy | empty | m >= n | healthy | m == n | healthy — degenerates
+  // sandwiched between normal markets so any state bleed would show up.
+  markets.push_back(make_market(rng, 16, 4, true));
+  markets.push_back(make_market(rng, 0, 3, false));  // empty slate
+  {
+    SeededMarket oversub = make_market(rng, 3, 9, true);  // m > n
+    markets.push_back(std::move(oversub));
+  }
+  markets.push_back(make_market(rng, 20, 5, false));
+  markets.push_back(make_market(rng, 6, 6, true));  // m == n
+  markets.push_back(make_market(rng, 11, 2, true));
+
+  const MarketBatch packed = pack(markets);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    const ShardedWdp engine{ShardedWdpConfig{.shards = shards}};
+    MarketBatchResult result;
+    RoundScratch scratch;
+    engine.run_rounds(packed, result, scratch);
+    ASSERT_EQ(result.market_count(), markets.size());
+    // The empty market clears to zero winners...
+    EXPECT_EQ(result.selected(1).size(), 0u);
+    EXPECT_EQ(result.total_score(1), 0.0);
+    // ...and EVERY market, degenerate or not, still matches its solo run.
+    for (std::size_t k = 0; k < markets.size(); ++k) {
+      expect_slot_matches_run_round(engine, markets[k], result, k);
+    }
+  }
+
+  // Same through the base-class fallback.
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  MarketBatchResult result;
+  RoundScratch scratch;
+  engine.WdpEngine::run_rounds(packed, result, scratch);
+  for (std::size_t k = 0; k < markets.size(); ++k) {
+    expect_slot_matches_run_round(engine, markets[k], result, k);
+  }
+}
+
+TEST(MarketBatchTest, ViewModeMatchesOwningModeBitForBit) {
+  sfl::util::Rng rng(8804);
+  // One flat arena; carve it into markets both ways.
+  SeededMarket arena = make_market(rng, 64, 0, true);
+  const std::vector<std::size_t> cuts = {0, 10, 10, 25, 40, 64};  // 5 markets
+  const std::vector<std::size_t> winners = {3, 0, 4, 2, 7};
+
+  MarketBatch owning;
+  MarketBatch view;
+  view.bind_arena(arena.batch);
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    const std::size_t off = cuts[k];
+    const std::size_t count = cuts[k + 1] - off;
+    const ScoreWeights weights{.value_weight = 2.0 + static_cast<double>(k),
+                               .bid_weight = 3.0};
+    std::span<const double> pens{arena.penalties.data() + off, count};
+    CandidateBatch sub;
+    for (std::size_t i = off; i < off + count; ++i) {
+      sub.push_back(arena.batch.at(i));
+    }
+    owning.append_market(sub, winners[k], weights, pens);
+    view.add_market_view(off, count, winners[k], weights, pens);
+  }
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 2}};
+  MarketBatchResult owned_result;
+  MarketBatchResult view_result;
+  RoundScratch s1;
+  RoundScratch s2;
+  engine.run_rounds(owning, owned_result, s1);
+  engine.run_rounds(view, view_result, s2);
+  ASSERT_EQ(owned_result.market_count(), view_result.market_count());
+  for (std::size_t k = 0; k < owned_result.market_count(); ++k) {
+    const auto a = owned_result.selected(k);
+    const auto b = view_result.selected(k);
+    ASSERT_EQ(a.size(), b.size()) << "market " << k;
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      EXPECT_EQ(a[w], b[w]);
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(owned_result.payments(k)[w]),
+                std::bit_cast<std::uint64_t>(view_result.payments(k)[w]));
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(owned_result.total_score(k)),
+              std::bit_cast<std::uint64_t>(view_result.total_score(k)));
+  }
+}
+
+TEST(MarketBatchTest, MalformedDescriptorThrowsBeforeAnyMarketIsScored) {
+  sfl::util::Rng rng(8805);
+  std::vector<SeededMarket> markets;
+  for (std::size_t k = 0; k < 4; ++k) {
+    markets.push_back(make_market(rng, 8, 3, true));
+  }
+  MarketBatch packed = pack(markets);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 2}};
+
+  // First clear a GOOD batch into the result, then corrupt one descriptor:
+  // the throwing call must leave those prior contents untouched.
+  MarketBatchResult result;
+  RoundScratch scratch;
+  engine.run_rounds(packed, result, scratch);
+  std::vector<std::size_t> before_winners(result.selected(2).begin(),
+                                          result.selected(2).end());
+  ASSERT_FALSE(before_winners.empty());
+
+  auto expect_atomic_throw = [&](auto&& corrupt) {
+    MarketBatch bad = pack(markets);
+    corrupt(bad);
+    EXPECT_THROW(engine.run_rounds(bad, result, scratch),
+                 std::invalid_argument);
+    // Exception-atomic: the result still holds the last good clearing.
+    ASSERT_EQ(result.market_count(), markets.size());
+    const auto winners = result.selected(2);
+    ASSERT_EQ(winners.size(), before_winners.size());
+    for (std::size_t w = 0; w < winners.size(); ++w) {
+      EXPECT_EQ(winners[w], before_winners[w]);
+    }
+  };
+
+  // Span past the arena end.
+  expect_atomic_throw([](MarketBatch& b) { b.market_mutable(3).count += 7; });
+  // Overlapping siblings (offset pulled backwards).
+  expect_atomic_throw([](MarketBatch& b) { b.market_mutable(2).offset -= 3; });
+  // Non-finite weight.
+  expect_atomic_throw([](MarketBatch& b) {
+    b.market_mutable(1).weights.value_weight =
+        std::numeric_limits<double>::infinity();
+  });
+  // bid_weight <= 0 breaks the critical-payment division.
+  expect_atomic_throw(
+      [](MarketBatch& b) { b.market_mutable(0).weights.bid_weight = 0.0; });
+
+  // The base-class fallback validates up front too.
+  MarketBatch bad = pack(markets);
+  bad.market_mutable(1).count += 99;
+  EXPECT_THROW(engine.WdpEngine::run_rounds(bad, result, scratch),
+               std::invalid_argument);
+}
+
+TEST(MarketBatchTest, ConstructionModeMixingAndBadAppendsThrow) {
+  sfl::util::Rng rng(8806);
+  SeededMarket market = make_market(rng, 8, 3, true);
+
+  // Owning then bind_arena is rejected.
+  MarketBatch owning;
+  owning.append_market(market.batch, 2, market.weights, market.penalties);
+  EXPECT_THROW(owning.bind_arena(market.batch), std::invalid_argument);
+
+  // View then append_market is rejected.
+  MarketBatch view;
+  view.bind_arena(market.batch);
+  EXPECT_THROW(
+      view.append_market(market.batch, 2, market.weights, market.penalties),
+      std::invalid_argument);
+  // Out-of-range view span is rejected at add time.
+  EXPECT_THROW(view.add_market_view(4, 100, 2, market.weights),
+               std::invalid_argument);
+  // Penalty size mismatch is rejected at add time.
+  const std::vector<double> short_pens(3, 1.0);
+  EXPECT_THROW(view.add_market_view(0, 8, 2, market.weights, short_pens),
+               std::invalid_argument);
+  // add_market_view without a bound arena is rejected.
+  MarketBatch unbound;
+  EXPECT_THROW(unbound.add_market_view(0, 1, 1, market.weights),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sfl::auction

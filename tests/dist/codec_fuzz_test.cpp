@@ -131,6 +131,21 @@ sfl::service::SettlementAck make_settlement_ack(sfl::util::Rng& rng) {
   return msg;
 }
 
+sfl::service::ServerHello make_server_hello(sfl::util::Rng& rng) {
+  sfl::service::ServerHello msg;
+  msg.bids_per_round = 1 + rng.uniform_index(64);
+  msg.max_winners = 1 + rng.uniform_index(16);
+  msg.max_pending_rounds = 1 + rng.uniform_index(32);
+  // Printable-ASCII mechanism keys up to the wire cap, empty included.
+  const std::size_t key_len =
+      rng.uniform_index(sfl::service::kMaxMechanismKeyBytes + 1);
+  for (std::size_t i = 0; i < key_len; ++i) {
+    msg.mechanism.push_back(
+        static_cast<char>(0x20 + rng.uniform_index(0x7f - 0x20)));
+  }
+  return msg;
+}
+
 WorkerHello make_worker_hello(sfl::util::Rng& rng) {
   return WorkerHello{.worker = rng()};
 }
@@ -256,6 +271,20 @@ void run_settlement_ack_roundtrip_trial(std::uint64_t seed) {
   EXPECT_EQ(message.winner_count, decoded.winner_count);
 }
 
+void run_server_hello_roundtrip_trial(std::uint64_t seed) {
+  sfl::util::Rng rng(seed ^ 0x5e77ULL);
+  const sfl::service::ServerHello message = make_server_hello(rng);
+  Frame frame;
+  encode(message, frame);
+  ASSERT_EQ(checked_frame_type(frame), FrameType::kServerHello);
+  sfl::service::ServerHello decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(message.bids_per_round, decoded.bids_per_round);
+  EXPECT_EQ(message.max_winners, decoded.max_winners);
+  EXPECT_EQ(message.max_pending_rounds, decoded.max_pending_rounds);
+  EXPECT_EQ(message.mechanism, decoded.mechanism);
+}
+
 void run_membership_roundtrip_trial(std::uint64_t seed) {
   sfl::util::Rng rng(seed ^ 0x4e110ULL);
   const WorkerHello hello = make_worker_hello(rng);
@@ -316,6 +345,10 @@ TEST(CodecRoundTripTest, MembershipFramesSurviveEncodeDecodeExactly) {
   run_roundtrip_loop(&run_membership_roundtrip_trial);
 }
 
+TEST(CodecRoundTripTest, ServerHellosSurviveEncodeDecodeExactly) {
+  run_roundtrip_loop(&run_server_hello_roundtrip_trial);
+}
+
 TEST(CodecRoundTripTest, TypeConfusionIsRejected) {
   sfl::util::Rng rng(4242);
   const ShardRequest request = make_request(rng);
@@ -366,6 +399,7 @@ enum class FrameKind : std::size_t {
   kSubmitBids,
   kRoundResult,
   kSettlementAck,
+  kServerHello,
   kWorkerHello,
   kWorkerGoodbye,
   kCount,
@@ -393,6 +427,9 @@ void make_frame(FrameKind kind, sfl::util::Rng& rng, Frame& out) {
       return;
     case FrameKind::kSettlementAck:
       encode(make_settlement_ack(rng), out);
+      return;
+    case FrameKind::kServerHello:
+      encode(make_server_hello(rng), out);
       return;
     case FrameKind::kWorkerHello:
       encode(make_worker_hello(rng), out);
@@ -435,6 +472,11 @@ void expect_rejected(const Frame& frame, FrameKind kind,
       }
       case FrameKind::kSettlementAck: {
         sfl::service::SettlementAck out;
+        decode(frame, out);
+        break;
+      }
+      case FrameKind::kServerHello: {
+        sfl::service::ServerHello out;
         decode(frame, out);
         break;
       }

@@ -128,18 +128,37 @@ struct TestClient {
     }
   }
 
-  /// Reads until a RoundResult arrives (SettlementAcks pass through).
+  /// Reads until a RoundResult arrives (the connection's ServerHello and
+  /// SettlementAcks pass through).
   std::optional<RoundResult> read_round_result() {
     while (true) {
       const std::optional<Frame> frame = read_frame();
       if (!frame.has_value()) return std::nullopt;
       const auto [type, payload] = sfl::dist::wire::checked_payload(*frame);
       (void)payload;
-      if (type == FrameType::kSettlementAck) continue;
+      if (type == FrameType::kSettlementAck ||
+          type == FrameType::kServerHello) {
+        continue;
+      }
       if (type != FrameType::kRoundResult) return std::nullopt;
       RoundResult result;
       decode(*frame, result);
       return result;
+    }
+  }
+
+  /// Consumes (and optionally returns) the config echo that is the first
+  /// frame on every accepted connection.
+  bool read_hello(ServerHello* out = nullptr) {
+    const std::optional<Frame> frame = read_frame();
+    if (!frame.has_value()) return false;
+    try {
+      ServerHello hello;
+      decode(*frame, hello);
+      if (out != nullptr) *out = hello;
+      return true;
+    } catch (const WireError&) {
+      return false;
     }
   }
 
@@ -466,6 +485,9 @@ TEST(AuctionServiceTest, DisconnectedContributorIsPurgedAndNeverMisrouted) {
   TestClient honest;
   ASSERT_TRUE(bystander.connect(service->port()));
   ASSERT_TRUE(honest.connect(service->port()));
+  // Every connection gets a config echo; consume the bystander's so the
+  // misrouting check below really asserts "no ROUND traffic arrived".
+  ASSERT_TRUE(bystander.read_hello());
 
   // The honest client's full workload slate clears round 0 bit-exactly —
   // impossible if the ghost bid still occupied a bucket slot.
@@ -576,6 +598,33 @@ TEST(AuctionServiceTest, FullBucketAndMarketCapAreBenignNotViolations) {
 
   service->stop();
   EXPECT_EQ(service->stats().rounds_cleared, 2u);
+  EXPECT_EQ(service->stats().protocol_errors, 0u);
+}
+
+TEST(AuctionServiceTest, ServerHelloEchoesEngineKnobsFirstOnEveryConnection) {
+  // The knob-mismatch regression (satellite of PR-8): a load generator
+  // configured with a different bids_per_round used to hang silently —
+  // buckets never filled, rounds never cleared, nothing was ever sent.
+  // The config echo makes the disagreement observable BEFORE any bid.
+  std::string why;
+  AuctionServiceConfig config;
+  config.engine = small_engine();
+  config.max_pending_rounds = 16;
+  auto service = try_build_service(why, config);
+  if (service == nullptr) GTEST_SKIP() << why;
+  service->start();
+
+  for (int c = 0; c < 2; ++c) {  // every connection, not just the first
+    TestClient client;
+    ASSERT_TRUE(client.connect(service->port()));
+    ServerHello hello;
+    ASSERT_TRUE(client.read_hello(&hello)) << "connection " << c;
+    EXPECT_EQ(hello.bids_per_round, config.engine.bids_per_round);
+    EXPECT_EQ(hello.max_winners, config.engine.max_winners);
+    EXPECT_EQ(hello.max_pending_rounds, config.max_pending_rounds);
+    EXPECT_EQ(hello.mechanism, config.engine.mechanism);
+  }
+  service->stop();
   EXPECT_EQ(service->stats().protocol_errors, 0u);
 }
 

@@ -44,6 +44,15 @@ SettlementAck sample_ack() {
   return msg;
 }
 
+ServerHello sample_hello() {
+  ServerHello msg;
+  msg.bids_per_round = 8;
+  msg.max_winners = 3;
+  msg.max_pending_rounds = 16;
+  msg.mechanism = "lto-vcg-sharded";
+  return msg;
+}
+
 template <typename Message>
 void expect_rejected(const Message& message,
                      void (*mutate)(Frame&) = nullptr) {
@@ -103,6 +112,37 @@ TEST(RpcCodecTest, SettlementAckRoundtripsBitExactly) {
   EXPECT_EQ(decoded.winner_count, original.winner_count);
 }
 
+TEST(RpcCodecTest, ServerHelloRoundtripsExactly) {
+  const ServerHello original = sample_hello();
+  Frame frame;
+  encode(original, frame);
+  ServerHello decoded;
+  decode(frame, decoded);
+  EXPECT_EQ(decoded.bids_per_round, original.bids_per_round);
+  EXPECT_EQ(decoded.max_winners, original.max_winners);
+  EXPECT_EQ(decoded.max_pending_rounds, original.max_pending_rounds);
+  EXPECT_EQ(decoded.mechanism, original.mechanism);
+
+  // Empty mechanism key roundtrips too.
+  ServerHello empty_key = original;
+  empty_key.mechanism.clear();
+  encode(empty_key, frame);
+  decode(frame, decoded);
+  EXPECT_TRUE(decoded.mechanism.empty());
+}
+
+TEST(RpcCodecTest, ServerHelloRejectsOversizeAndUnprintableKeys) {
+  // Oversize key: the decoder must cap before reading the bytes.
+  ServerHello big = sample_hello();
+  big.mechanism.assign(kMaxMechanismKeyBytes + 1, 'a');
+  expect_rejected(big);
+
+  // Non-printable bytes in the key are a protocol violation, not data.
+  ServerHello binary = sample_hello();
+  binary.mechanism[2] = '\n';
+  expect_rejected(binary);
+}
+
 TEST(RpcCodecTest, EmptySlateAndEmptyResultRoundtrip) {
   SubmitBids submit;
   submit.client = 1;
@@ -126,6 +166,7 @@ TEST(RpcCodecTest, ChecksumFlipIsRejectedForEveryType) {
   expect_rejected(sample_submit(), +[](Frame& f) { f.back() ^= std::byte{1}; });
   expect_rejected(sample_result(), +[](Frame& f) { f.back() ^= std::byte{1}; });
   expect_rejected(sample_ack(), +[](Frame& f) { f.back() ^= std::byte{1}; });
+  expect_rejected(sample_hello(), +[](Frame& f) { f.back() ^= std::byte{1}; });
 }
 
 TEST(RpcCodecTest, TruncationIsRejectedForEveryType) {
@@ -164,6 +205,12 @@ TEST(RpcCodecTest, CrossTypeDecodeIsRejected) {
   EXPECT_THROW(decode(result_frame, ack_out), WireError);
   SubmitBids submit_out;
   EXPECT_THROW(decode(ack_frame, submit_out), WireError);
+
+  Frame hello_frame;
+  encode(sample_hello(), hello_frame);
+  ServerHello hello_out;
+  EXPECT_THROW(decode(hello_frame, submit_out), WireError);
+  EXPECT_THROW(decode(ack_frame, hello_out), WireError);
 }
 
 TEST(RpcCodecTest, NonFiniteAndNegativeEconomicsAreRejected) {

@@ -12,6 +12,7 @@
 // tests/CMakeLists.txt.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -176,6 +177,37 @@ TEST(ServiceSmokeTest, LoadGenAgainstRealServerVerifiesAndWritesBenchJson) {
   // Two client tiers -> two entries.
   EXPECT_NE(json.find("\"clients\": 64"), std::string::npos);
   EXPECT_NE(json.find("\"clients\": 256"), std::string::npos);
+
+  server->stop(SIGTERM);
+}
+
+TEST(ServiceSmokeTest, MismatchedKnobsFailFastInsteadOfHangingSilently) {
+  // The PR-8 bugfix regression: server clearing at 8 bids/round vs a
+  // generator sending 16 used to hang until the 30 s window-guard timeout.
+  // With the config echo the generator must now exit 1 quickly, before
+  // sending any bid (so the run completes in seconds, not after timeouts).
+  std::string why;
+  auto server = spawn_server({"--bids-per-round=8", "--winners=3"}, why);
+  if (server == nullptr) GTEST_SKIP() << why;
+
+  const auto start = std::chrono::steady_clock::now();
+  const int exit_code = run_load_gen(
+      {"--port=" + std::to_string(server->port), "--clients=64",
+       "--connections=2", "--markets=1", "--rounds=2", "--bids-per-round=16",
+       "--winners=3", "--verify=0"});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  if (exit_code == -1) GTEST_SKIP() << "load generator could not be spawned";
+  EXPECT_EQ(exit_code, 1) << "a knob mismatch must be a hard failure";
+  EXPECT_LT(elapsed, std::chrono::seconds(20))
+      << "the mismatch must be detected up front, not via hang timeouts";
+
+  // Same for a mechanism-key disagreement.
+  const int mechanism_exit = run_load_gen(
+      {"--port=" + std::to_string(server->port), "--clients=64",
+       "--connections=2", "--markets=1", "--rounds=2", "--bids-per-round=8",
+       "--winners=3", "--mechanism=lto-vcg", "--verify=0"});
+  if (mechanism_exit == -1) GTEST_SKIP() << "load generator could not be spawned";
+  EXPECT_EQ(mechanism_exit, 1);
 
   server->stop(SIGTERM);
 }
