@@ -4,7 +4,9 @@
 // market grows: the production top-m path at N up to 1M clients — serial
 // allocating, serial scratch-reusing (zero-allocation), and sharded
 // parallel (explicit shard counts and shards=auto) — plus the knapsack DP
-// used by budget-capped variants and the exhaustive oracle (tiny N only).
+// used by budget-capped variants and the exhaustive oracle (tiny N only),
+// and the parallel comparison-oracle families (VCG externality payments,
+// knapsack DP layers, concave-greedy scan) on a {size, threads} grid.
 // Regenerates the paper-style "mechanism overhead is negligible next to a
 // training round" table.
 //
@@ -492,6 +494,76 @@ BENCHMARK(BM_GreedyConcave)
     ->Range(100, 10000)
     ->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// Parallel comparison oracles: the threads+OracleScratch overloads on the
+// shared pool. Two axes: {problem size, thread count}; threads=1 is the
+// serial-in-the-parallel-entrypoint baseline, so each family's speedup is
+// read off directly. verify_oracle_equivalence() below proves every timed
+// configuration bit-identical to the serial oracle before any timing runs.
+// ---------------------------------------------------------------------------
+
+void BM_TopMWithVcgExternalityPaymentsParallel(benchmark::State& state) {
+  // The m leave-one-out re-solves fan out across pool lanes.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const RandomInstance instance = make_instance(n);
+  const ScoreWeights weights{10.0, 12.5};
+  const std::size_t m = 10;
+  const WdpSolver solver = [](const std::vector<Candidate>& c,
+                              const ScoreWeights& w, std::size_t k,
+                              const Penalties& p) {
+    return select_top_m(c, w, k, p);
+  };
+  OracleScratch scratch;
+  for (auto _ : state) {
+    const Allocation alloc = select_top_m(instance.candidates, weights, m);
+    const auto payments = vcg_payments(instance.candidates, weights, m, alloc,
+                                       solver, {}, threads, scratch);
+    benchmark::DoNotOptimize(payments.data());
+  }
+}
+BENCHMARK(BM_TopMWithVcgExternalityPaymentsParallel)
+    ->ArgsProduct({{1000, 10000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_KnapsackDpParallel(benchmark::State& state) {
+  // Finer grid than the serial family (0.005 vs 0.05) so each DP layer's
+  // (winners x budget) plane is wide enough for lanes to bite.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const RandomInstance instance = make_instance(n);
+  const ScoreWeights weights{1.0, 1.0};
+  OracleScratch scratch;
+  for (auto _ : state) {
+    const Allocation alloc = select_knapsack(instance.candidates, weights,
+                                             10.0, 10, 0.005, {}, threads,
+                                             scratch);
+    benchmark::DoNotOptimize(alloc.selected.data());
+  }
+}
+BENCHMARK(BM_KnapsackDpParallel)
+    ->ArgsProduct({{256, 1024}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GreedyConcaveParallel(benchmark::State& state) {
+  // Per-step marginal-gain scan partitioned across lanes; the per-chunk
+  // argmaxes reduce under the serial total order.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const RandomInstance instance = make_instance(n);
+  const ConcaveValuation valuation(20.0);
+  const ScoreWeights weights{1.0, 1.0};
+  OracleScratch scratch;
+  for (auto _ : state) {
+    const Allocation alloc = select_greedy_concave(
+        instance.candidates, valuation, weights, 10, {}, threads, scratch);
+    benchmark::DoNotOptimize(alloc.selected.data());
+  }
+}
+BENCHMARK(BM_GreedyConcaveParallel)
+    ->ArgsProduct({{10000, 100000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMicrosecond);
+
 /// Pre-bench guard: serial and sharded rounds must agree exactly. Returns
 /// false (and prints the first divergence) on any mismatch — main() exits
 /// non-zero, so the CI smoke run fails on a merge-logic regression.
@@ -634,6 +706,91 @@ bool verify_mega_batch_equivalence() {
   return true;
 }
 
+/// Pre-bench guard for the parallel comparison oracles: every timed
+/// configuration (and the auto lane count) must reproduce the serial
+/// oracle bit for bit — selected set, bit-pattern-identical total score,
+/// and bit-pattern-identical VCG payments. Prints the first divergence and
+/// returns false, failing the run before any timing happens.
+bool verify_oracle_equivalence() {
+  const auto bits_equal = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+  const std::size_t thread_counts[] = {0, 1, 2, 3, 7, 16};
+  const std::size_t sizes[] = {
+      64, 512, sfl::util::fast_mode_enabled() ? std::size_t{1'024}
+                                              : std::size_t{4'096}};
+  OracleScratch scratch;
+  for (const std::size_t n : sizes) {
+    const RandomInstance instance = make_instance(n);
+
+    // Knapsack DP, at the coarse serial-family grid and the fine parallel-
+    // family grid (the fine grid exercises multi-lane layer splits).
+    for (const double resolution : {0.05, 0.005}) {
+      const ScoreWeights weights{1.0, 1.0};
+      const Allocation serial =
+          select_knapsack(instance.candidates, weights, 10.0, 10, resolution);
+      for (const std::size_t threads : thread_counts) {
+        const Allocation par =
+            select_knapsack(instance.candidates, weights, 10.0, 10,
+                            resolution, {}, threads, scratch);
+        if (par.selected != serial.selected ||
+            !bits_equal(par.total_score, serial.total_score)) {
+          std::cerr << "E7 FATAL: parallel knapsack DP diverges from serial "
+                       "at n=" << n << " resolution=" << resolution
+                    << " threads=" << threads << "\n";
+          return false;
+        }
+      }
+    }
+
+    // Concave-greedy marginal scan.
+    {
+      const ConcaveValuation valuation(20.0);
+      const ScoreWeights weights{1.0, 1.0};
+      const Allocation serial =
+          select_greedy_concave(instance.candidates, valuation, weights, 10);
+      for (const std::size_t threads : thread_counts) {
+        const Allocation par = select_greedy_concave(
+            instance.candidates, valuation, weights, 10, {}, threads, scratch);
+        if (par.selected != serial.selected ||
+            !bits_equal(par.total_score, serial.total_score)) {
+          std::cerr << "E7 FATAL: parallel concave greedy diverges from "
+                       "serial at n=" << n << " threads=" << threads << "\n";
+          return false;
+        }
+      }
+    }
+
+    // VCG externality payments (leave-one-out re-solves fanned out).
+    {
+      const ScoreWeights weights{10.0, 12.5};
+      const std::size_t m = 10;
+      const WdpSolver solver = [](const std::vector<Candidate>& c,
+                                  const ScoreWeights& w, std::size_t k,
+                                  const Penalties& p) {
+        return select_top_m(c, w, k, p);
+      };
+      const Allocation alloc = select_top_m(instance.candidates, weights, m);
+      const auto serial =
+          vcg_payments(instance.candidates, weights, m, alloc, solver);
+      for (const std::size_t threads : thread_counts) {
+        const auto par = vcg_payments(instance.candidates, weights, m, alloc,
+                                      solver, {}, threads, scratch);
+        const bool match =
+            par.size() == serial.size() &&
+            std::equal(par.begin(), par.end(), serial.begin(), bits_equal);
+        if (!match) {
+          std::cerr << "E7 FATAL: parallel VCG payments diverge from serial "
+                       "at n=" << n << " threads=" << threads << "\n";
+          return false;
+        }
+      }
+    }
+  }
+  std::cout << "E7: serial-vs-parallel oracle equivalence sweep OK\n";
+  return true;
+}
+
 /// Console reporter that also captures every run for the JSON writer.
 class CapturingReporter final : public benchmark::ConsoleReporter {
  public:
@@ -674,6 +831,7 @@ int main(int argc, char** argv) {
       sfl::bench::BenchJsonWriter::extract_json_path(argc, argv);
   if (!verify_sharded_equivalence()) return 1;
   if (!verify_mega_batch_equivalence()) return 1;
+  if (!verify_oracle_equivalence()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   sfl::bench::BenchJsonWriter writer;

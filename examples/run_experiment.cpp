@@ -7,6 +7,7 @@
 //                  [noisy_fraction=0.3] [flip_prob=0.8]
 //                  [budget=6] [winners=8] [v=10] [pacing=0.5] [shards=0]
 //                  [async_settle=0] [dist_workers=0] [dist_pipeline_depth=0]
+//                  [oracle_threads=0] [greedy_scale=20]
 //                  [model=logreg|mlp] [hidden=32] [lr=0.05] [local_steps=5]
 //                  [proximal_mu=0] [server_momentum=0]
 //                  [use_reputation=1] [energy=0] [seed=42]
@@ -40,6 +41,12 @@
 // pipelined round API (core::run_market, or submit_round /
 // retire_round_into directly); see ROADMAP "pipelined distributed
 // rounds".
+//
+// The parallel comparison-oracle keys (mechanism=budgeted-oracle-par,
+// greedy-concave-par, myopic-vcg-ext-par) run the expensive baseline
+// oracles on the shared thread pool: `oracle_threads` picks the lane
+// count (0 = auto, 1 = serial, k = exactly k lanes) and every setting
+// produces bit-identical allocations and payments to the serial keys.
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -71,6 +78,12 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   config.lto.dist_pipeline_depth = args.get_size("dist_pipeline_depth", 0);
   config.lto.hedge = args.get_bool("hedge", true);
   config.lto.async_settle = args.get_bool("async_settle", false);
+  // One knob feeds both parallel-oracle surfaces: the "-par" comparison
+  // oracle keys (0 = auto) and the lto externality-payment ablation
+  // (default 1 = serial). Bit-identical results at every count.
+  config.lto.oracle_threads = args.get_size("oracle_threads", 1);
+  config.oracle.threads = args.get_size("oracle_threads", 0);
+  config.oracle.greedy_scale = args.get_double("greedy_scale", 20.0);
   config.fixed_price.price = args.get_double("price", 1.0);
   config.random_stipend.stipend = args.get_double("stipend", 1.0);
   return config;

@@ -175,8 +175,9 @@ constexpr std::size_t kNoOverride = static_cast<std::size_t>(-1);
 
 }  // namespace
 
-BudgetedOracleMechanism::BudgetedOracleMechanism(double resolution)
-    : resolution_(resolution) {
+BudgetedOracleMechanism::BudgetedOracleMechanism(double resolution,
+                                                 std::size_t threads)
+    : resolution_(resolution), threads_(threads) {
   require(resolution > 0.0, "knapsack resolution must be > 0");
 }
 
@@ -192,13 +193,72 @@ MechanismResult BudgetedOracleMechanism::run_round(const CandidateBatch& batch,
   const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
   const Allocation allocation =
       select_knapsack(batch, weights, context.per_round_budget,
-                      context.max_winners, resolution_);
+                      context.max_winners, resolution_, {}, threads_, scratch_);
   const std::span<const double> bids = batch.bids();
   std::vector<double> payments;
   payments.reserve(allocation.selected.size());
   for (const std::size_t index : allocation.selected) {
     payments.push_back(bids[index]);  // bid == true cost by contract
   }
+  return make_result(batch, allocation, std::move(payments));
+}
+
+GreedyConcaveMechanism::GreedyConcaveMechanism(double scale, std::size_t threads)
+    : valuation_(scale), threads_(threads) {}
+
+MechanismResult GreedyConcaveMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  return run_round(CandidateBatch::from_aos(candidates), context);
+}
+
+MechanismResult GreedyConcaveMechanism::run_round(const CandidateBatch& batch,
+                                                  const RoundContext& context) {
+  // The greedy oracle consumes AoS candidates (its marginal scan reads one
+  // candidate at a time, not a streaming array pass); the gather reuses the
+  // scratch slate so steady-state rounds stay allocation-free.
+  const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
+  std::vector<Candidate>& slate = scratch_.aos;
+  slate.clear();
+  slate.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) slate.push_back(batch.at(i));
+  const Allocation allocation = select_greedy_concave(
+      slate, valuation_, weights, context.max_winners, {}, threads_, scratch_);
+  const std::span<const double> bids = batch.bids();
+  std::vector<double> payments;
+  payments.reserve(allocation.selected.size());
+  for (const std::size_t index : allocation.selected) {
+    payments.push_back(bids[index]);  // pay-as-bid
+  }
+  return make_result(batch, allocation, std::move(payments));
+}
+
+MyopicVcgExtMechanism::MyopicVcgExtMechanism(std::size_t threads)
+    : threads_(threads) {}
+
+MechanismResult MyopicVcgExtMechanism::run_round(
+    const std::vector<Candidate>& candidates, const RoundContext& context) {
+  return run_round(CandidateBatch::from_aos(candidates), context);
+}
+
+MechanismResult MyopicVcgExtMechanism::run_round(const CandidateBatch& batch,
+                                                 const RoundContext& context) {
+  const ScoreWeights weights{.value_weight = 1.0, .bid_weight = 1.0};
+  const Allocation allocation =
+      select_top_m(batch, weights, context.max_winners);
+  // The leave-one-out re-solves consume AoS slates; gather once into the
+  // scratch and hand the parallel payment loop the serial AoS solver (pure,
+  // no pool re-entry — safe to call from pool workers).
+  std::vector<Candidate>& slate = scratch_.aos;
+  slate.clear();
+  slate.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) slate.push_back(batch.at(i));
+  std::vector<double> payments = vcg_payments(
+      slate, weights, context.max_winners, allocation,
+      [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
+         std::size_t m, const Penalties& p) {
+        return select_top_m(reduced, w, m, p);
+      },
+      {}, threads_, scratch_);
   return make_result(batch, allocation, std::move(payments));
 }
 

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "auction/mechanism.h"
+#include "auction/round_scratch.h"
+#include "auction/valuation.h"
 #include "util/rng.h"
 
 namespace sfl::auction {
@@ -149,8 +151,11 @@ class FirstBestOracleMechanism final : public Mechanism {
 /// rent a truthful mechanism must pay (E10).
 class BudgetedOracleMechanism final : public Mechanism {
  public:
-  /// `resolution` is the knapsack DP money grid.
-  explicit BudgetedOracleMechanism(double resolution = 0.05);
+  /// `resolution` is the knapsack DP money grid; `threads` parallelizes
+  /// each DP layer over the shared pool (0 = auto, 1 = serial, k = exactly
+  /// k lanes) with bit-identical selections at every count.
+  explicit BudgetedOracleMechanism(double resolution = 0.05,
+                                   std::size_t threads = 1);
 
   [[nodiscard]] std::string name() const override { return "budgeted-oracle"; }
   [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
@@ -166,6 +171,70 @@ class BudgetedOracleMechanism final : public Mechanism {
 
  private:
   double resolution_;
+  std::size_t threads_;
+  OracleScratch scratch_;
+};
+
+/// Concave-valuation greedy (E12 ablation rule as a standalone mechanism):
+/// winners are the greedy prefix under diminishing returns of total
+/// selected mass (see select_greedy_concave), paid their bids. Not
+/// truthful (pay-as-bid on a submodular objective); the approximation
+/// reference for the concave WDP.
+class GreedyConcaveMechanism final : public Mechanism {
+ public:
+  /// `scale` is the concave valuation's scale (g(x) = scale*log(1+x));
+  /// `threads` parallelizes each greedy scan over the shared pool (0 =
+  /// auto, 1 = serial, k = exactly k lanes) with bit-identical selections
+  /// at every count.
+  explicit GreedyConcaveMechanism(double scale = 20.0, std::size_t threads = 1);
+
+  [[nodiscard]] std::string name() const override { return "greedy-concave"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return false; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
+
+ private:
+  ConcaveValuation valuation_;
+  std::size_t threads_;
+  OracleScratch scratch_;
+};
+
+/// Per-round VCG with explicit externality payments: the same top-m
+/// allocation as myopic-vcg, but each winner's payment is computed by the
+/// leave-one-out re-solve (bid + externality) instead of the closed-form
+/// critical value. The two rules coincide for the modular objective, so
+/// this mechanism is the m-times-costlier reference the payment-equality
+/// tests compare against — and the natural host for the parallel VCG
+/// payment loop.
+class MyopicVcgExtMechanism final : public Mechanism {
+ public:
+  /// `threads` parallelizes the per-winner leave-one-out solves over the
+  /// shared pool (0 = auto, 1 = serial, k = exactly k lanes) with
+  /// bit-identical payments at every count.
+  explicit MyopicVcgExtMechanism(std::size_t threads = 1);
+
+  [[nodiscard]] std::string name() const override { return "myopic-vcg-ext"; }
+  [[nodiscard]] MechanismResult run_round(const std::vector<Candidate>& candidates,
+                                          const RoundContext& context) override;
+  [[nodiscard]] MechanismResult run_round(const CandidateBatch& batch,
+                                          const RoundContext& context) override;
+  [[nodiscard]] bool is_truthful() const noexcept override { return true; }
+  /// Stateless rule: settle() is a no-op, so settlements commute and an
+  /// async executor may merge them.
+  [[nodiscard]] SettlementOrdering settlement_ordering() const noexcept override {
+    return SettlementOrdering::kCommutative;
+  }
+
+ private:
+  std::size_t threads_;
+  OracleScratch scratch_;
 };
 
 /// Budget-feasible proportional share (Singer 2010 style): winners are the

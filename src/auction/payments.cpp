@@ -1,10 +1,12 @@
 #include "auction/payments.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "auction/sharded_wdp.h"
 #include "auction/winner_determination.h"
 #include "util/require.h"
+#include "util/thread_pool.h"
 
 namespace sfl::auction {
 
@@ -97,40 +99,114 @@ const std::vector<double>& critical_payments(const CandidateBatch& batch,
                                          penalties, scratch);
 }
 
+namespace {
+
+/// One winner's leave-one-out payment: builds the reduced slate into the
+/// caller-provided buffers (capacity reused across winners within a lane),
+/// re-solves, and returns the money-space externality payment. Shared by
+/// the serial and parallel overloads, so every lane count runs the exact
+/// same per-winner arithmetic.
+double vcg_payment_for(const std::vector<Candidate>& candidates,
+                       const ScoreWeights& weights, std::size_t max_winners,
+                       const Allocation& allocation, const WdpSolver& solver,
+                       const Penalties& penalties, std::size_t index,
+                       std::vector<Candidate>& reduced,
+                       Penalties& reduced_penalties) {
+  const Candidate& winner =
+      candidates[sfl::util::checked_index(index, candidates.size(), "winner")];
+
+  // Re-solve without the winner.
+  reduced.clear();
+  reduced_penalties.clear();
+  reduced.reserve(candidates.size() - 1);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i == index) continue;
+    reduced.push_back(candidates[i]);
+    if (!penalties.empty()) reduced_penalties.push_back(penalties[i]);
+  }
+  const Allocation without =
+      solver(reduced, weights, max_winners, reduced_penalties);
+
+  // Money-space externality: b_i + (OPT(all) - OPT(-i)) / bid_weight.
+  const double externality =
+      (allocation.total_score - without.total_score) / weights.bid_weight;
+  check_invariant(externality >= -1e-9, "negative VCG externality");
+  return winner.bid + std::max(externality, 0.0);
+}
+
+}  // namespace
+
 std::vector<double> vcg_payments(const std::vector<Candidate>& candidates,
                                  const ScoreWeights& weights,
                                  std::size_t max_winners,
                                  const Allocation& allocation,
                                  const WdpSolver& solver,
                                  const Penalties& penalties) {
+  OracleScratch scratch;
+  return vcg_payments(candidates, weights, max_winners, allocation, solver,
+                      penalties, /*threads=*/1, scratch);
+}
+
+std::vector<double> vcg_payments(const std::vector<Candidate>& candidates,
+                                 const ScoreWeights& weights,
+                                 std::size_t max_winners,
+                                 const Allocation& allocation,
+                                 const WdpSolver& solver,
+                                 const Penalties& penalties,
+                                 std::size_t threads, OracleScratch& scratch) {
   require(static_cast<bool>(solver), "vcg_payments needs a WDP solver");
   require(weights.bid_weight > 0.0, "bid weight must be > 0");
   require(penalties.empty() || penalties.size() == candidates.size(),
           "penalties must be empty or one per candidate");
 
-  std::vector<double> payments;
-  payments.reserve(allocation.selected.size());
-  for (const std::size_t index : allocation.selected) {
-    const Candidate& winner =
-        candidates[sfl::util::checked_index(index, candidates.size(), "winner")];
+  const std::size_t winners = allocation.selected.size();
+  std::vector<double> payments(winners, 0.0);
 
-    // Re-solve without the winner.
-    std::vector<Candidate> reduced;
-    Penalties reduced_penalties;
-    reduced.reserve(candidates.size() - 1);
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (i == index) continue;
-      reduced.push_back(candidates[i]);
-      if (!penalties.empty()) reduced_penalties.push_back(penalties[i]);
+  std::size_t lanes = threads == 0
+                          ? sfl::util::shared_pool().thread_count()
+                          : threads;
+  lanes = std::clamp<std::size_t>(lanes, 1, std::max<std::size_t>(winners, 1));
+  if (static_cast<std::size_t>(scratch.lane_slates.size()) < lanes) {
+    scratch.lane_slates.resize(lanes);
+  }
+  if (static_cast<std::size_t>(scratch.lane_penalties.size()) < lanes) {
+    scratch.lane_penalties.resize(lanes);
+  }
+
+  if (lanes <= 1) {
+    for (std::size_t j = 0; j < winners; ++j) {
+      payments[j] = vcg_payment_for(candidates, weights, max_winners,
+                                    allocation, solver, penalties,
+                                    allocation.selected[j],
+                                    scratch.lane_slates[0],
+                                    scratch.lane_penalties[0]);
     }
-    const Allocation without =
-        solver(reduced, weights, max_winners, reduced_penalties);
+    return payments;
+  }
 
-    // Money-space externality: b_i + (OPT(all) - OPT(-i)) / bid_weight.
-    const double externality =
-        (allocation.total_score - without.total_score) / weights.bid_weight;
-    check_invariant(externality >= -1e-9, "negative VCG externality");
-    payments.push_back(winner.bid + std::max(externality, 0.0));
+  // Each lane owns a contiguous winner span and its own reduced-slate
+  // buffers; per-winner payments are independent, so any partition yields
+  // bit-identical results. The pool's fn must not throw — lane errors are
+  // parked and the first one rethrown after the join, matching the fused
+  // ShardedWdp::run_rounds pattern.
+  std::vector<std::exception_ptr> lane_errors(lanes);
+  sfl::util::shared_pool().parallel_for_chunks(
+      winners, lanes,
+      [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        try {
+          for (std::size_t j = begin; j < end; ++j) {
+            payments[j] = vcg_payment_for(candidates, weights, max_winners,
+                                          allocation, solver, penalties,
+                                          allocation.selected[j],
+                                          scratch.lane_slates[lane],
+                                          scratch.lane_penalties[lane]);
+          }
+        } catch (...) {
+          lane_errors[lane] = std::current_exception();
+        }
+      });
+  for (const std::exception_ptr& error : lane_errors) {
+    if (error) std::rethrow_exception(error);
   }
   return payments;
 }

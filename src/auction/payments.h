@@ -67,6 +67,20 @@ using WdpSolver = std::function<Allocation(
     std::size_t max_winners, const Allocation& allocation, const WdpSolver& solver,
     const Penalties& penalties = {});
 
+/// Parallel scratch-reusing VCG externality payments: the m leave-one-out
+/// re-solves are independent, so winners are partitioned across the shared
+/// pool (threads: 0 = auto, 1 = serial — no pool touch, k = exactly k
+/// lanes), each lane building its reduced slate in a per-lane scratch
+/// buffer. Bit-identical payments to the serial overload at every thread
+/// count (each winner's payment is a pure function of its own re-solve).
+/// `solver` must be safe to call concurrently from pool workers and must
+/// NOT re-enter the shared pool (the serial select_top_m qualifies).
+/// Steady-state calls are allocation-free up to the solver's own internals.
+[[nodiscard]] std::vector<double> vcg_payments(
+    const std::vector<Candidate>& candidates, const ScoreWeights& weights,
+    std::size_t max_winners, const Allocation& allocation, const WdpSolver& solver,
+    const Penalties& penalties, std::size_t threads, OracleScratch& scratch);
+
 /// Packages an allocation + aligned payments into a MechanismResult keyed by
 /// client ids.
 [[nodiscard]] MechanismResult make_result(const std::vector<Candidate>& candidates,

@@ -36,6 +36,7 @@ core::LtoVcgConfig lto_config_from(const MechanismConfig& config, bool paced) {
   if (config.lto.bid_proxy_queue_arrival) {
     lto.queue_arrival = core::QueueArrivalMode::kBidProxy;
   }
+  lto.oracle_threads = config.lto.oracle_threads;
   if (paced) {
     if (!config.lto.energy_rates.empty()) {
       lto.energy_rates = config.lto.energy_rates;
@@ -225,6 +226,52 @@ void register_builtins(MechanismRegistry& registry) {
       [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
         return std::make_unique<BudgetedOracleMechanism>(
             config.budgeted_oracle.resolution);
+      });
+  registry.add_variant(
+      "budgeted-oracle-par", "budgeted-oracle",
+      "Budgeted oracle with each knapsack DP layer split across the shared "
+      "pool under a layer barrier: identical selections and payments to "
+      "budgeted-oracle at every lane count (oracle.threads: 0 = auto, 1 = "
+      "serial, k = k lanes)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        return std::make_unique<BudgetedOracleMechanism>(
+            config.budgeted_oracle.resolution, config.oracle.threads);
+      });
+  registry.add(
+      "greedy-concave",
+      "Concave-valuation greedy (diminishing returns of total selected "
+      "mass), winners paid their bids; submodular-WDP approximation "
+      "reference (oracle.greedy_scale sets the valuation scale)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        return std::make_unique<GreedyConcaveMechanism>(
+            config.oracle.greedy_scale);
+      });
+  registry.add_variant(
+      "greedy-concave-par", "greedy-concave",
+      "Greedy-concave with each marginal scan run as per-chunk argmax on "
+      "the shared pool, reduced under the serial total order: identical "
+      "selections and payments to greedy-concave at every lane count "
+      "(oracle.threads: 0 = auto, 1 = serial, k = k lanes)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        return std::make_unique<GreedyConcaveMechanism>(
+            config.oracle.greedy_scale, config.oracle.threads);
+      });
+  registry.add(
+      "myopic-vcg-ext",
+      "Per-round VCG paying explicit leave-one-out externalities (equal to "
+      "myopic-vcg's critical values for the modular objective, computed "
+      "the O(m x WDP) way); payment-equality reference",
+      [](const MechanismConfig&) -> std::unique_ptr<Mechanism> {
+        return std::make_unique<MyopicVcgExtMechanism>();
+      });
+  registry.add_variant(
+      "myopic-vcg-ext-par", "myopic-vcg-ext",
+      "Myopic VCG-externality with the m independent leave-one-out solves "
+      "partitioned across the shared pool: identical payments to "
+      "myopic-vcg-ext at every lane count (oracle.threads: 0 = auto, 1 = "
+      "serial, k = k lanes)",
+      [](const MechanismConfig& config) -> std::unique_ptr<Mechanism> {
+        return std::make_unique<MyopicVcgExtMechanism>(config.oracle.threads);
       });
 }
 

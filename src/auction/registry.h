@@ -12,7 +12,9 @@
 // lto-vcg-dist, lto-vcg-dist-pipe, lto-vcg-dist-hedge, lto-vcg-unpaced,
 // myopic-vcg, pay-as-bid,
 // fixed-price, adaptive-price, random-stipend, proportional-share,
-// first-best-oracle, budgeted-oracle. New mechanisms register under a new
+// first-best-oracle, budgeted-oracle, budgeted-oracle-par, greedy-concave,
+// greedy-concave-par, myopic-vcg-ext, myopic-vcg-ext-par. New mechanisms
+// register under a new
 // key; downstream
 // sharding/async/distribution work addresses rules by key only. Execution
 // variants (same rule, bit-identical results, different topology) register
@@ -90,6 +92,11 @@ struct LtoVcgOptions {
   /// synchronously — each settle validates the next round's speculative
   /// dispatch).
   bool async_settle = false;
+  /// Thread lanes for the vcg_externality_payments ablation's per-winner
+  /// leave-one-out re-solves (0 = auto, 1 = serial, k = exactly k lanes).
+  /// Bit-identical payments at every count; ignored under the default
+  /// critical-value rule.
+  std::size_t oracle_threads = 1;
 };
 
 /// Options consumed by the "fixed-price" factory.
@@ -117,6 +124,21 @@ struct BudgetedOracleOptions {
   double resolution = 0.05;
 };
 
+/// Options consumed by the parallel-oracle keys ("budgeted-oracle-par",
+/// "greedy-concave"/"greedy-concave-par", "myopic-vcg-ext"/
+/// "myopic-vcg-ext-par"): the shared-pool lane knob for the expensive
+/// comparison oracles. Every thread count produces bit-identical
+/// allocations and payments (the property harness sweeps this); threads
+/// only changes wall time.
+struct OracleOptions {
+  /// 0 = auto (hardware concurrency, span-capped), 1 = serial, k = exactly
+  /// k lanes. The "-par" variant keys consume this; the serial canonical
+  /// keys pin threads = 1.
+  std::size_t threads = 0;
+  /// ConcaveValuation scale for the greedy-concave keys.
+  double greedy_scale = 20.0;
+};
+
 /// Everything a factory may need. Callers fill the common fields plus the
 /// option struct(s) for the mechanisms they intend to build; unused options
 /// are ignored.
@@ -133,6 +155,7 @@ struct MechanismConfig {
   AdaptivePriceOptions adaptive_price{};
   RandomStipendOptions random_stipend{};
   BudgetedOracleOptions budgeted_oracle{};
+  OracleOptions oracle{};
 };
 
 /// One registry entry's metadata.

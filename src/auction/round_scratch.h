@@ -59,4 +59,48 @@ struct RoundScratch {
   }
 };
 
+/// Caller-owned buffers for the comparison oracles (VCG externality
+/// payments, concave greedy, knapsack DP) — the slow-path pair of
+/// RoundScratch. Same ownership contract: one OracleScratch per concurrent
+/// round, no state carried between rounds, buffers grow on first use and
+/// are reused after. The parallel oracle overloads partition these buffers
+/// internally (per-lane slates, disjoint gain/DP spans), so one scratch
+/// serves a parallel round. Steady-state oracle rounds are allocation-free
+/// up to the VCG solver's own internals (the leave-one-out re-solve builds
+/// its allocation through the caller-supplied WdpSolver, which may
+/// allocate).
+struct OracleScratch {
+  /// Gathered AoS slate for batch-native mechanisms that feed AoS oracles.
+  std::vector<Candidate> aos;
+  /// Per-lane leave-one-out slates for the parallel VCG externality loop.
+  std::vector<std::vector<Candidate>> lane_slates;
+  /// Per-lane leave-one-out penalty vectors, aligned with lane_slates.
+  std::vector<Penalties> lane_penalties;
+  /// Knapsack DP table, (n+1) * (k_cap+1) * (capacity+1) doubles.
+  std::vector<double> dp;
+  /// Discretized per-item bid weights for the knapsack DP (size n).
+  std::vector<std::size_t> item_weight;
+  /// Precomputed per-candidate scores for score-based oracles (size n).
+  std::vector<double> scores;
+  /// Per-candidate marginal gains for the greedy scan (size n).
+  std::vector<double> gains;
+  /// Per-lane argmax candidates from one greedy scan (size lanes).
+  std::vector<std::size_t> lane_best;
+  /// Greedy taken flags (size n; not vector<bool> — lanes write disjoint
+  /// reads, and byte flags keep the scan branch-free and race-free).
+  std::vector<unsigned char> taken;
+
+  void clear() noexcept {
+    aos.clear();
+    for (auto& slate : lane_slates) slate.clear();
+    for (auto& penalties : lane_penalties) penalties.clear();
+    dp.clear();
+    item_weight.clear();
+    scores.clear();
+    gains.clear();
+    lane_best.clear();
+    taken.clear();
+  }
+};
+
 }  // namespace sfl::auction

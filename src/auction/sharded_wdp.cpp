@@ -292,12 +292,21 @@ void ShardedWdp::run_rounds(const MarketBatch& batch, MarketBatchResult& result,
   const std::size_t lanes =
       std::min(effective_shards(std::max<std::size_t>(total, 1)), market_count);
   if (lanes <= 1) {
-    for (std::size_t k = 0; k < market_count; ++k) clear_market(k);
+    // Same exception-atomicity as the parallel join below: a market's
+    // invariant failure re-zeroes the arena before escaping.
+    try {
+      for (std::size_t k = 0; k < market_count; ++k) clear_market(k);
+    } catch (...) {
+      result.reset(batch);
+      throw;
+    }
     return;
   }
 
   // The pool's fork-join fn must not throw; per-market invariant failures
-  // ride out on per-lane exception_ptrs and rethrow after the join.
+  // ride out on per-lane exception_ptrs and rethrow after the join — after
+  // re-zeroing the arena, so a failed batch never exposes the markets other
+  // lanes finished writing.
   std::vector<std::exception_ptr> lane_errors(lanes);
   sfl::util::ThreadPool& pool =
       pool_ != nullptr ? *pool_ : sfl::util::shared_pool();
@@ -311,7 +320,10 @@ void ShardedWdp::run_rounds(const MarketBatch& batch, MarketBatchResult& result,
         }
       });
   for (const std::exception_ptr& error : lane_errors) {
-    if (error) std::rethrow_exception(error);
+    if (error) {
+      result.reset(batch);
+      std::rethrow_exception(error);
+    }
   }
 }
 

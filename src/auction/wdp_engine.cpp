@@ -18,33 +18,42 @@ void WdpEngine::run_rounds(const MarketBatch& batch, MarketBatchResult& result,
 
   CandidateBatch market_slate;
   Penalties market_penalties;
-  for (std::size_t k = 0; k < batch.market_count(); ++k) {
-    const MarketView& view = batch.market(k);
-    market_slate.clear();
-    market_slate.reserve(view.count);
-    for (std::size_t i = view.offset; i < view.offset + view.count; ++i) {
-      market_slate.emplace(ids[i], values[i], bids[i], energy_costs[i]);
-    }
-    market_penalties.clear();
-    if (const double* penalties = batch.market_penalties(k);
-        penalties != nullptr) {
-      market_penalties.assign(penalties, penalties + view.count);
-    }
-    run_round(market_slate, view.weights, view.max_winners, market_penalties,
-              scratch);
+  // A mid-batch throw (an invariant failure in one market's round) must not
+  // publish the markets already gathered: the arena is re-zeroed to its
+  // reset layout before the exception escapes, so callers never observe a
+  // half-written result.
+  try {
+    for (std::size_t k = 0; k < batch.market_count(); ++k) {
+      const MarketView& view = batch.market(k);
+      market_slate.clear();
+      market_slate.reserve(view.count);
+      for (std::size_t i = view.offset; i < view.offset + view.count; ++i) {
+        market_slate.emplace(ids[i], values[i], bids[i], energy_costs[i]);
+      }
+      market_penalties.clear();
+      if (const double* penalties = batch.market_penalties(k);
+          penalties != nullptr) {
+        market_penalties.assign(penalties, penalties + view.count);
+      }
+      run_round(market_slate, view.weights, view.max_winners, market_penalties,
+                scratch);
 
-    // allocation.selected is already market-local (indices into the
-    // gathered slate) and ascending — exactly the slot layout.
-    const Allocation& allocation = scratch.allocation;
-    MarketBatchResult::Slot& slot = result.slot(k);
-    const std::span<std::size_t> selected = result.selected_storage(k);
-    const std::span<double> payments = result.payments_storage(k);
-    slot.count = allocation.selected.size();
-    slot.total_score = allocation.total_score;
-    std::copy(allocation.selected.begin(), allocation.selected.end(),
-              selected.begin());
-    std::copy(scratch.payments.begin(), scratch.payments.end(),
-              payments.begin());
+      // allocation.selected is already market-local (indices into the
+      // gathered slate) and ascending — exactly the slot layout.
+      const Allocation& allocation = scratch.allocation;
+      MarketBatchResult::Slot& slot = result.slot(k);
+      const std::span<std::size_t> selected = result.selected_storage(k);
+      const std::span<double> payments = result.payments_storage(k);
+      slot.count = allocation.selected.size();
+      slot.total_score = allocation.total_score;
+      std::copy(allocation.selected.begin(), allocation.selected.end(),
+                selected.begin());
+      std::copy(scratch.payments.begin(), scratch.payments.end(),
+                payments.begin());
+    }
+  } catch (...) {
+    result.reset(batch);
+    throw;
   }
 }
 

@@ -62,11 +62,14 @@ class WdpEngine {
   /// independent (slate, weights, max_winners, penalties) round — in one
   /// call, writing per-market winners (market-local indices) and critical
   /// payments into `result`. Must first batch.validate() (throwing before
-  /// any market is scored, `result` untouched — exception-atomic), and each
-  /// market's slot must be bit-identical to running that market alone
-  /// through run_round. The default gathers each market into a temporary
-  /// slate and loops run_round; ShardedWdp overrides with the fused
-  /// lane-parallel implementation.
+  /// any market is scored, `result` untouched), and each market's slot must
+  /// be bit-identical to running that market alone through run_round.
+  /// Exception-atomic END TO END: if any market's round throws mid-batch,
+  /// `result` is restored to its reset(batch) layout (every slot zeroed)
+  /// before the exception escapes — callers never observe a half-written
+  /// arena. The default gathers each market into a temporary slate and
+  /// loops run_round; ShardedWdp overrides with the fused lane-parallel
+  /// implementation (same atomicity contract).
   virtual void run_rounds(const MarketBatch& batch, MarketBatchResult& result,
                           RoundScratch& scratch) const;
 };

@@ -9,6 +9,7 @@
 #include "util/config.h"
 #include "util/require.h"
 #include "util/simd.h"
+#include "util/thread_pool.h"
 
 namespace sfl::auction {
 
@@ -172,13 +173,34 @@ Allocation select_exhaustive(const std::vector<Candidate>& candidates,
 
 namespace {
 
+/// Lane count shared by the parallel oracle paths: 0 = auto (hardware
+/// concurrency, capped so every lane keeps at least `min_span` work items),
+/// 1 = serial, k = exactly k lanes — mirroring ShardedWdp's shard knob.
+/// Never exceeds `work_items`, so no lane is empty.
+[[nodiscard]] std::size_t oracle_lane_count(std::size_t threads,
+                                            std::size_t work_items,
+                                            std::size_t min_span) {
+  if (work_items <= 1) return 1;
+  std::size_t lanes = threads;
+  if (threads == 0) {
+    const std::size_t spans = std::max<std::size_t>(work_items / min_span, 1);
+    lanes = std::min(sfl::util::shared_pool().thread_count(), spans);
+  }
+  return std::clamp<std::size_t>(lanes, 1, work_items);
+}
+
 /// Shared knapsack DP over precomputed scores and a bid accessor (AoS and
 /// SoA overloads feed it the same values, so both produce identical
-/// selections).
+/// selections). With `lanes` > 1, every layer's (winners x budget) plane is
+/// split across the shared pool — layer `item` reads only layer `item - 1`,
+/// so the per-layer fork-join barrier is the only synchronization needed
+/// and each cell's value is independent of the partition: bit-identical to
+/// serial at any lane count.
 template <typename BidAt>
 Allocation knapsack_core(std::size_t n, const std::vector<double>& scores,
                          BidAt bid_at, double budget, std::size_t max_winners,
-                         double resolution) {
+                         double resolution, std::size_t threads,
+                         OracleScratch& scratch) {
   require(budget >= 0.0, "knapsack budget must be >= 0");
   require(resolution > 0.0, "knapsack resolution must be > 0");
 
@@ -187,7 +209,10 @@ Allocation knapsack_core(std::size_t n, const std::vector<double>& scores,
   const auto capacity =
       static_cast<std::size_t>(std::floor(budget / resolution + 1e-9));
   const std::size_t k_cap = std::min(max_winners, n);
-  if (capacity == 0 || k_cap == 0 || n == 0) return {};
+  // capacity == 0 is NOT an early exit: zero-weight items (bid == 0) are
+  // selectable at any budget, so the DP must still run over the w = 0
+  // column when the budget is below one grid unit.
+  if (k_cap == 0 || n == 0) return {};
 
   // Full DP table dp[item][k][w] = best score among the first `item`
   // candidates using <= k winners and <= w discretized budget. The full
@@ -196,28 +221,46 @@ Allocation knapsack_core(std::size_t n, const std::vector<double>& scores,
   // budget/resolution moderate (the scalability bench measures this).
   const std::size_t width = capacity + 1;
   const std::size_t plane = (k_cap + 1) * width;
-  std::vector<double> dp((n + 1) * plane, 0.0);
+  std::vector<double>& dp = scratch.dp;
+  dp.assign((n + 1) * plane, 0.0);
   const auto cell = [&](std::size_t item, std::size_t k, std::size_t w) -> double& {
     return dp[item * plane + k * width + w];
   };
 
-  std::vector<std::size_t> item_weight(n, capacity + 1);
+  std::vector<std::size_t>& item_weight = scratch.item_weight;
+  item_weight.assign(n, capacity + 1);
   for (std::size_t item = 0; item < n; ++item) {
+    // Ceil discretization: a bid strictly inside a grid cell charges the
+    // whole cell, so the DP never under-counts spend — any selected set's
+    // true bid sum is <= capacity * resolution <= budget + epsilon.
     item_weight[item] = static_cast<std::size_t>(
         std::ceil(bid_at(item) / resolution - 1e-9));
   }
 
+  const std::size_t lanes =
+      oracle_lane_count(threads, plane, /*min_span=*/2048);
   for (std::size_t item = 1; item <= n; ++item) {
     const std::size_t weight = item_weight[item - 1];
     const double gain = scores[item - 1];
-    for (std::size_t k = 0; k <= k_cap; ++k) {
-      for (std::size_t w = 0; w < width; ++w) {
+    const auto fill_cells = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const std::size_t k = idx / width;
+        const std::size_t w = idx % width;
         double best = cell(item - 1, k, w);
         if (k >= 1 && weight <= w && gain > 0.0) {
           best = std::max(best, cell(item - 1, k - 1, w - weight) + gain);
         }
         cell(item, k, w) = best;
       }
+    };
+    if (lanes <= 1) {
+      fill_cells(0, plane);
+    } else {
+      sfl::util::shared_pool().parallel_for_chunks(
+          plane, lanes,
+          [&fill_cells](std::size_t, std::size_t begin, std::size_t end) {
+            fill_cells(begin, end);
+          });
     }
   }
 
@@ -242,63 +285,152 @@ Allocation select_knapsack(const std::vector<Candidate>& candidates,
                            const ScoreWeights& weights, double budget,
                            std::size_t max_winners, double resolution,
                            const Penalties& penalties) {
-  validate_inputs(candidates, weights, penalties);
-  const std::vector<double> scores = all_scores(candidates, weights, penalties);
-  return knapsack_core(
-      candidates.size(), scores,
-      [&](std::size_t i) { return candidates[i].bid; }, budget, max_winners,
-      resolution);
+  OracleScratch scratch;
+  return select_knapsack(candidates, weights, budget, max_winners, resolution,
+                         penalties, /*threads=*/1, scratch);
 }
 
 Allocation select_knapsack(const CandidateBatch& batch,
                            const ScoreWeights& weights, double budget,
                            std::size_t max_winners, double resolution,
                            const Penalties& penalties) {
+  OracleScratch scratch;
+  return select_knapsack(batch, weights, budget, max_winners, resolution,
+                         penalties, /*threads=*/1, scratch);
+}
+
+Allocation select_knapsack(const std::vector<Candidate>& candidates,
+                           const ScoreWeights& weights, double budget,
+                           std::size_t max_winners, double resolution,
+                           const Penalties& penalties, std::size_t threads,
+                           OracleScratch& scratch) {
+  validate_inputs(candidates, weights, penalties);
+  std::vector<double>& scores = scratch.scores;
+  scores.resize(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = score(candidates[i], weights, penalty_at(penalties, i));
+  }
+  return knapsack_core(
+      candidates.size(), scores,
+      [&](std::size_t i) { return candidates[i].bid; }, budget, max_winners,
+      resolution, threads, scratch);
+}
+
+Allocation select_knapsack(const CandidateBatch& batch,
+                           const ScoreWeights& weights, double budget,
+                           std::size_t max_winners, double resolution,
+                           const Penalties& penalties, std::size_t threads,
+                           OracleScratch& scratch) {
   validate_inputs(batch, weights, penalties);
   const std::span<const double> values = batch.values();
   const std::span<const double> bids = batch.bids();
-  std::vector<double> scores(batch.size());
+  std::vector<double>& scores = scratch.scores;
+  scores.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     scores[i] = score(values[i], bids[i], weights, penalty_at(penalties, i));
   }
   return knapsack_core(
       batch.size(), scores, [&](std::size_t i) { return bids[i]; }, budget,
-      max_winners, resolution);
+      max_winners, resolution, threads, scratch);
 }
+
+namespace {
+
+/// The greedy scan's selection core, shared by the serial and parallel
+/// entry points: each step computes every untaken candidate's marginal gain
+/// (identical per-element expression regardless of partition) and picks the
+/// maximum under the strict total order (gain desc, ClientId asc, index
+/// asc) among candidates with gain > 1e-12. The per-lane argmax + serial
+/// lane reduction finds the same unique maximum the serial scan does, so
+/// every lane count selects the identical prefix.
+Allocation greedy_concave_core(const std::vector<Candidate>& candidates,
+                               const ConcaveValuation& valuation,
+                               const ScoreWeights& weights,
+                               std::size_t max_winners,
+                               const Penalties& penalties, std::size_t threads,
+                               OracleScratch& scratch) {
+  const std::size_t n = candidates.size();
+  // Lane count is fixed across steps (candidates shrink but the scan stays
+  // O(n): taken slots are skipped, not compacted).
+  const std::size_t lanes = oracle_lane_count(threads, n, /*min_span=*/1024);
+  std::vector<double>& gains = scratch.gains;
+  std::vector<unsigned char>& taken = scratch.taken;
+  std::vector<std::size_t>& lane_best = scratch.lane_best;
+  gains.assign(n, 0.0);
+  taken.assign(n, 0);
+  lane_best.assign(lanes, n);
+
+  const auto better = [&](std::size_t a, std::size_t b) {
+    if (gains[a] != gains[b]) return gains[a] > gains[b];
+    if (candidates[a].id != candidates[b].id) {
+      return candidates[a].id < candidates[b].id;
+    }
+    return a < b;
+  };
+
+  Allocation allocation;
+  double mass = 0.0;
+  while (allocation.selected.size() < max_winners) {
+    const auto scan = [&](std::size_t lane, std::size_t begin,
+                          std::size_t end) {
+      std::size_t best = n;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (taken[i] != 0) continue;
+        const double gain =
+            weights.value_weight *
+                valuation.marginal_value(mass, candidates[i].value) -
+            weights.bid_weight * candidates[i].bid - penalty_at(penalties, i);
+        gains[i] = gain;
+        if (gain <= 1e-12) continue;
+        if (best == n || better(i, best)) best = i;
+      }
+      lane_best[lane] = best;
+    };
+    if (lanes <= 1) {
+      scan(0, 0, n);
+    } else {
+      sfl::util::shared_pool().parallel_for_chunks(n, lanes, scan);
+    }
+
+    std::size_t best_index = n;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t lane_candidate = lane_best[lane];
+      if (lane_candidate == n) continue;
+      if (best_index == n || better(lane_candidate, best_index)) {
+        best_index = lane_candidate;
+      }
+    }
+    if (best_index == n) break;
+    taken[best_index] = 1;
+    allocation.selected.push_back(best_index);
+    allocation.total_score += gains[best_index];
+    mass += candidates[best_index].value;
+  }
+  std::sort(allocation.selected.begin(), allocation.selected.end());
+  return allocation;
+}
+
+}  // namespace
 
 Allocation select_greedy_concave(const std::vector<Candidate>& candidates,
                                  const ConcaveValuation& valuation,
                                  const ScoreWeights& weights,
                                  std::size_t max_winners,
                                  const Penalties& penalties) {
+  OracleScratch scratch;
+  return select_greedy_concave(candidates, valuation, weights, max_winners,
+                               penalties, /*threads=*/1, scratch);
+}
+
+Allocation select_greedy_concave(const std::vector<Candidate>& candidates,
+                                 const ConcaveValuation& valuation,
+                                 const ScoreWeights& weights,
+                                 std::size_t max_winners,
+                                 const Penalties& penalties,
+                                 std::size_t threads, OracleScratch& scratch) {
   validate_inputs(candidates, weights, penalties);
-  // Greedy by marginal score: at each step add the candidate whose marginal
-  // value (given the currently selected mass) minus weighted bid and penalty
-  // is largest and positive. `value` is interpreted as the candidate's mass.
-  std::vector<bool> taken(candidates.size(), false);
-  Allocation allocation;
-  double mass = 0.0;
-  while (allocation.selected.size() < max_winners) {
-    double best_gain = 0.0;
-    std::size_t best_index = candidates.size();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (taken[i]) continue;
-      const double gain =
-          weights.value_weight * valuation.marginal_value(mass, candidates[i].value) -
-          weights.bid_weight * candidates[i].bid - penalty_at(penalties, i);
-      if (gain > best_gain + 1e-12) {
-        best_gain = gain;
-        best_index = i;
-      }
-    }
-    if (best_index == candidates.size()) break;
-    taken[best_index] = true;
-    allocation.selected.push_back(best_index);
-    allocation.total_score += best_gain;
-    mass += candidates[best_index].value;
-  }
-  std::sort(allocation.selected.begin(), allocation.selected.end());
-  return allocation;
+  return greedy_concave_core(candidates, valuation, weights, max_winners,
+                             penalties, threads, scratch);
 }
 
 }  // namespace sfl::auction

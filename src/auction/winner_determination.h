@@ -14,6 +14,14 @@
 // All solvers break score ties deterministically — by ClientId first (so the
 // rule is a function of the market, not of slate order), then by candidate
 // index — making the allocation a well-defined function of the bids.
+//
+// The comparison oracles (knapsack DP, concave greedy) additionally have
+// `threads` + OracleScratch overloads that run on the shared thread pool
+// with the same bit-exactness contract as the sharded WDP: every thread
+// count (0 = auto, 1 = serial, k = exactly k lanes) produces bit-identical
+// allocations, because lanes only partition independent per-element work
+// (per-cell DP transitions, per-candidate gain evaluations) and every
+// reduction happens under the serial strict total order.
 #pragma once
 
 #include <span>
@@ -84,14 +92,56 @@ const Allocation& select_top_m(const CandidateBatch& batch,
                                          double resolution = 0.01,
                                          const Penalties& penalties = {});
 
+/// Parallel scratch-reusing knapsack: each DP layer's (winners x budget)
+/// plane is partitioned across the shared pool with a layer barrier (layer
+/// `item` reads only layer `item - 1`, so lanes never race), bit-identical
+/// to the serial DP at every thread count. `threads`: 0 = auto (hardware,
+/// capped so lanes keep a useful span), 1 = serial (no pool touch), k =
+/// exactly k lanes. The DP table and weight grid live in `scratch`, so
+/// steady-state calls allocate nothing beyond the returned Allocation.
+[[nodiscard]] Allocation select_knapsack(const std::vector<Candidate>& candidates,
+                                         const ScoreWeights& weights,
+                                         double budget, std::size_t max_winners,
+                                         double resolution,
+                                         const Penalties& penalties,
+                                         std::size_t threads,
+                                         OracleScratch& scratch);
+
+/// Batched SoA variant of the parallel scratch-reusing knapsack.
+[[nodiscard]] Allocation select_knapsack(const CandidateBatch& batch,
+                                         const ScoreWeights& weights,
+                                         double budget, std::size_t max_winners,
+                                         double resolution,
+                                         const Penalties& penalties,
+                                         std::size_t threads,
+                                         OracleScratch& scratch);
+
 /// Greedy marginal-score selection for a concave (diminishing-returns) value
-/// of total selected "mass" (see ConcaveValuation). Returns the best prefix
-/// of the greedy order. Approximation for the submodular WDP.
+/// of total selected "mass" (see ConcaveValuation). Each step adds the
+/// candidate maximizing the marginal gain under the strict total order
+/// (gain desc, ClientId asc, index asc) among candidates whose gain exceeds
+/// 1e-12; stops when none qualifies or max_winners is reached.
+/// Approximation for the submodular WDP.
 class ConcaveValuation;  // forward declaration (valuation.h)
 [[nodiscard]] Allocation select_greedy_concave(const std::vector<Candidate>& candidates,
                                                const ConcaveValuation& valuation,
                                                const ScoreWeights& weights,
                                                std::size_t max_winners,
                                                const Penalties& penalties = {});
+
+/// Parallel scratch-reusing greedy: each step's gain scan runs as a
+/// per-chunk argmax on the shared pool, reduced across lanes under the same
+/// strict total order the serial scan uses — so every thread count
+/// (0 = auto, 1 = serial, k = exactly k lanes) selects the identical
+/// prefix with bit-identical total_score. Gains and taken flags live in
+/// `scratch`; steady-state calls allocate nothing beyond the returned
+/// Allocation.
+[[nodiscard]] Allocation select_greedy_concave(const std::vector<Candidate>& candidates,
+                                               const ConcaveValuation& valuation,
+                                               const ScoreWeights& weights,
+                                               std::size_t max_winners,
+                                               const Penalties& penalties,
+                                               std::size_t threads,
+                                               OracleScratch& scratch);
 
 }  // namespace sfl::auction

@@ -122,18 +122,24 @@ void LongTermOnlineVcgMechanism::run_round_into(const CandidateBatch& batch,
   }
 
   // The externality rule re-solves the WDP per winner; it is the E12
-  // ablation path, so the AoS materialization cost is acceptable.
+  // ablation path, so the AoS materialization cost is acceptable. The m
+  // independent re-solves run across the pool per config.oracle_threads
+  // (bit-identical payments at every lane count).
   RoundScratch& round_scratch = scratch();
   const Allocation& allocation =
       wdp_->select_top_m(batch, weights, context.max_winners,
                          round_scratch.penalties, round_scratch);
+  std::vector<Candidate>& slate = oracle_scratch_.aos;
+  slate.clear();
+  slate.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) slate.push_back(batch.at(i));
   const std::vector<double> payments = sfl::auction::vcg_payments(
-      batch.to_aos(), weights, context.max_winners, allocation,
+      slate, weights, context.max_winners, allocation,
       [](const std::vector<Candidate>& reduced, const ScoreWeights& w,
          std::size_t m, const Penalties& p) {
         return sfl::auction::select_top_m(reduced, w, m, p);
       },
-      round_scratch.penalties);
+      round_scratch.penalties, config_.oracle_threads, oracle_scratch_);
   fill_result(batch, allocation.selected, payments, out);
 }
 

@@ -122,6 +122,11 @@ struct LtoVcgConfig {
   /// between rounds; multi-mechanism comparison runs use one warmed
   /// scratch for the whole roster to skip per-mechanism growth.
   sfl::auction::RoundScratch* shared_scratch = nullptr;
+  /// Thread lanes for the kVcgExternality payment rule's per-winner
+  /// leave-one-out re-solves (0 = auto, 1 = serial, k = exactly k lanes).
+  /// Bit-identical payments at every count; ignored under the
+  /// critical-value rule.
+  std::size_t oracle_threads = 1;
   /// Registry key this instance was built under (reported by name()).
   std::string name = "lto-vcg";
 };
@@ -306,6 +311,9 @@ class LongTermOnlineVcgMechanism final : public sfl::auction::Mechanism {
   /// otherwise); the pipelined round API drives it directly.
   sfl::dist::DistributedWdp* dist_ = nullptr;
   sfl::auction::RoundScratch scratch_;
+  /// Leave-one-out buffers for the kVcgExternality payment rule (unused —
+  /// and empty — under the critical-value rule).
+  sfl::auction::OracleScratch oracle_scratch_;
   /// Reused Z-queue arrival accumulator (settle() stays allocation-free).
   std::vector<double> settle_arrivals_;
 

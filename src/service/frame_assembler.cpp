@@ -15,15 +15,30 @@ using sfl::dist::kWireVersion;
 
 /// Cheap pre-validation of a buffered header: wrong magic, version, or type
 /// means the stream is garbage — reject before trusting the length field
-/// (full checksum validation happens at decode).
-bool header_plausible(const std::byte* header) {
+/// (full checksum validation happens at decode). Returns an empty string
+/// when plausible, otherwise the condemnation reason. A correct-magic frame
+/// carrying a DIFFERENT wire version is the one distinguishable case: it is
+/// not line noise but a peer built from another wire revision, so the
+/// reason names both versions and the fix — callers (the load generator's
+/// fail-fast path) surface it verbatim instead of a generic header error.
+std::string header_implausible_reason(const std::byte* header) {
   std::uint32_t magic = 0;
   for (int i = 0; i < 4; ++i) {
     magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
   }
-  if (magic != kWireMagic) return false;
-  if (static_cast<std::uint8_t>(header[4]) != kWireVersion) return false;
-  return frame_type_known(static_cast<std::uint8_t>(header[5]));
+  if (magic != kWireMagic) {
+    return "implausible frame header (magic/version/type)";
+  }
+  const auto version = static_cast<std::uint8_t>(header[4]);
+  if (version != kWireVersion) {
+    return "peer speaks wire version " + std::to_string(version) +
+           " but this build speaks version " + std::to_string(kWireVersion) +
+           "; rebuild the older side so both ends share one wire revision";
+  }
+  if (!frame_type_known(static_cast<std::uint8_t>(header[5]))) {
+    return "implausible frame header (magic/version/type)";
+  }
+  return {};
 }
 
 std::uint64_t header_payload_len(const std::byte* header) {
@@ -60,8 +75,9 @@ bool FrameAssembler::feed(std::span<const std::byte> bytes) {
   // Validate the header as soon as it is complete — BEFORE accepting the
   // payload bytes a corrupt length field would ask for.
   if (buffer_.size() >= kHeaderSize) {
-    if (!header_plausible(buffer_.data())) {
-      condemn("implausible frame header (magic/version/type)");
+    if (std::string reason = header_implausible_reason(buffer_.data());
+        !reason.empty()) {
+      condemn(std::move(reason));
       return false;
     }
     const std::uint64_t payload_len = header_payload_len(buffer_.data());
@@ -77,10 +93,11 @@ bool FrameAssembler::next_frame(Frame& out) {
   if (condemned_) return false;
   compact();
   if (buffer_.size() < kHeaderSize) return false;
-  if (!header_plausible(buffer_.data())) {
+  if (std::string reason = header_implausible_reason(buffer_.data());
+      !reason.empty()) {
     // Reachable when a previous next_frame left the NEXT frame's bytes
     // buffered and that header is garbage.
-    condemn("implausible frame header (magic/version/type)");
+    condemn(std::move(reason));
     return false;
   }
   const std::uint64_t payload_len = header_payload_len(buffer_.data());

@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "auction/candidate_batch.h"
+#include "auction/payments.h"
 #include "auction/round_scratch.h"
 #include "auction/sharded_wdp.h"
 #include "auction/types.h"
+#include "auction/winner_determination.h"
 #include "util/rng.h"
 
 namespace sfl::auction {
@@ -276,6 +278,74 @@ TEST(MarketBatchTest, MalformedDescriptorThrowsBeforeAnyMarketIsScored) {
   bad.market_mutable(1).count += 99;
   EXPECT_THROW(engine.WdpEngine::run_rounds(bad, result, scratch),
                std::invalid_argument);
+}
+
+/// Engine whose per-market round throws on a sentinel client id — the only
+/// way to make a round fail AFTER validate() passes, since the fused paths'
+/// invariants cannot fire on constructible slates.
+class PoisonedRoundEngine final : public WdpEngine {
+ public:
+  const Allocation& select_top_m(const CandidateBatch& batch,
+                                 const ScoreWeights& weights,
+                                 std::size_t max_winners,
+                                 const Penalties& penalties,
+                                 RoundScratch& scratch) const override {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch.ids()[i] == kPoisonId) {
+        throw std::runtime_error("poisoned market");
+      }
+    }
+    return auction::select_top_m(batch, weights, max_winners, penalties,
+                                 scratch);
+  }
+  const std::vector<double>& critical_payments(
+      const CandidateBatch& batch, const ScoreWeights& weights,
+      std::size_t max_winners, const Penalties& penalties,
+      RoundScratch& scratch) const override {
+    return auction::critical_payments(batch, weights, max_winners, penalties,
+                                      scratch);
+  }
+  static constexpr ClientId kPoisonId = 0xDEADBEEF;
+};
+
+TEST(MarketBatchTest, BaseGatherLoopIsExceptionAtomicOnMidBatchThrow) {
+  // A poisoned MIDDLE market: the base-class gather loop has already
+  // written market 0's winners when market 1 throws. The contract says the
+  // caller must never observe that half-written arena — the result must be
+  // restored to its reset(batch) layout (every slot zeroed) before the
+  // exception escapes.
+  sfl::util::Rng rng(8807);
+  std::vector<SeededMarket> markets;
+  for (std::size_t k = 0; k < 3; ++k) {
+    markets.push_back(make_market(rng, 8, 3, false));
+  }
+  // Guarantee market 0 actually clears winners (so a non-atomic loop would
+  // leave visible state) and market 1 carries the sentinel.
+  markets[0].batch.emplace(ClientId{7}, 50.0, 0.1, 1.0);
+  markets[1].batch.emplace(PoisonedRoundEngine::kPoisonId, 1.0, 0.5, 1.0);
+  const MarketBatch packed = pack(markets);
+
+  const PoisonedRoundEngine engine;
+  MarketBatchResult result;
+  RoundScratch scratch;
+  EXPECT_THROW(engine.WdpEngine::run_rounds(packed, result, scratch),
+               std::runtime_error);
+
+  // Exception-atomic: every slot is back to the zeroed reset layout.
+  ASSERT_EQ(result.market_count(), markets.size());
+  for (std::size_t k = 0; k < markets.size(); ++k) {
+    EXPECT_TRUE(result.selected(k).empty()) << "market " << k;
+    EXPECT_TRUE(result.payments(k).empty()) << "market " << k;
+    EXPECT_EQ(result.total_score(k), 0.0) << "market " << k;
+  }
+
+  // Sanity: market 0 alone clears winners, so atomicity (not emptiness)
+  // is what the assertions above proved.
+  MarketBatch healthy;
+  healthy.append_market(markets[0].batch, markets[0].max_winners,
+                        markets[0].weights, markets[0].penalties);
+  engine.WdpEngine::run_rounds(healthy, result, scratch);
+  EXPECT_FALSE(result.selected(0).empty());
 }
 
 TEST(MarketBatchTest, ConstructionModeMixingAndBadAppendsThrow) {

@@ -29,7 +29,9 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
       "lto-vcg-unpaced",
       "myopic-vcg",     "pay-as-bid",       "fixed-price",
       "adaptive-price", "random-stipend",   "proportional-share",
-      "first-best-oracle", "budgeted-oracle"};
+      "first-best-oracle", "budgeted-oracle", "budgeted-oracle-par",
+      "greedy-concave", "greedy-concave-par", "myopic-vcg-ext",
+      "myopic-vcg-ext-par"};
   EXPECT_EQ(registry.names(), expected);
   EXPECT_EQ(registry.size(), expected.size());
   for (const std::string& name : expected) {
@@ -54,6 +56,19 @@ TEST(MechanismRegistryTest, ListsAllBuiltins) {
             (std::vector<std::string>{"lto-vcg-sharded", "lto-vcg-dist",
                                       "lto-vcg-dist-pipe",
                                       "lto-vcg-dist-hedge", "lto-vcg-async"}));
+  // The parallel-oracle keys are tagged as execution variants of their
+  // serial canonicals, so the generic variant-equality sweep covers them
+  // with no hand-maintained list.
+  std::vector<std::string> oracle_variants;
+  for (const MechanismInfo& info : registry.describe()) {
+    if (!info.variant_of.empty() && info.variant_of != "lto-vcg") {
+      oracle_variants.push_back(info.name + "->" + info.variant_of);
+    }
+  }
+  EXPECT_EQ(oracle_variants,
+            (std::vector<std::string>{"budgeted-oracle-par->budgeted-oracle",
+                                      "greedy-concave-par->greedy-concave",
+                                      "myopic-vcg-ext-par->myopic-vcg-ext"}));
 }
 
 TEST(MechanismRegistryTest, HedgeKnobReachesTheDistributedKeys) {

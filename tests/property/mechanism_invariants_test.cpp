@@ -15,12 +15,16 @@
 //  - individual rationality: winners are paid at least their bid (skipped
 //    for rules that document otherwise, e.g. the bid-blind random stipend);
 //  - per-round budget feasibility where the rule guarantees it
-//    (proportional-share exactly; budgeted-oracle up to its DP resolution);
+//    (proportional-share and budgeted-oracle both epsilon-exact: the
+//    knapsack's ceil weights over-count bids, so its DP is conservative);
 //  - settlement: settle() on the round's own outcome never throws;
 //  - trajectory equality: every registered execution variant of LTO-VCG
 //    (sharded, async, distributed, pipelined-distributed — enumerated from
 //    the registry's variant_of tags) stays bit-identical to the serial
-//    mechanism over multi-round settled trajectories.
+//    mechanism over multi-round settled trajectories; likewise every
+//    parallel-oracle variant (budgeted-oracle-par, greedy-concave-par,
+//    myopic-vcg-ext-par) against its serial canonical at thread counts
+//    {0, 2, 3, 7, 16}.
 //
 // Reproducing failures: every trial logs its seed; run
 //   <binary> --seed=N
@@ -184,17 +188,19 @@ struct InvariantProfile {
 
 InvariantProfile profile_for(const std::string& key,
                              const MechanismConfig& config) {
+  (void)config;
   InvariantProfile profile;
   if (key == "random-stipend") {
     // Bid-independent stipend: trivially truthful, deliberately not IR.
     profile.individually_rational = false;
   } else if (key == "proportional-share") {
     profile.budget_slack = 1e-9;
-  } else if (key == "budgeted-oracle") {
-    // Ceil-discretized knapsack weights under-count each bid by less than
-    // one DP resolution step.
+  } else if (key == "budgeted-oracle" || key == "budgeted-oracle-par") {
+    // Ceil-discretized knapsack weights OVER-count each bid (ceil(bid/res)
+    // >= bid/res) and the capacity floor UNDER-counts the budget, so the DP
+    // is conservative: sum(bid) <= res * sum(weight) <= res * capacity <=
+    // budget. Feasibility is epsilon-tight — no per-winner resolution slack.
     profile.budget_slack = 1e-9;
-    profile.budget_slack_per_winner = config.budgeted_oracle.resolution;
   }
   return profile;
 }
@@ -440,6 +446,93 @@ TEST(LtoExecutionModesProperty, AllRegisteredVariantTrajectoriesBitIdentical) {
     if (!failed_before && ::testing::Test::HasFailure()) {
       record_failure(seed);
       break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-oracle variant equality (registry-driven, thread-count swept).
+// ---------------------------------------------------------------------------
+
+TEST(OracleVariantsProperty, ParallelOracleTrajectoriesBitIdenticalToSerial) {
+  // EVERY registered parallel-oracle key — enumerated from variant_of tags
+  // pointing at a non-lto-vcg canonical, so a newly parallelized baseline
+  // is swept with no hand-maintained list — must stay bit-identical to its
+  // serial canonical over settled multi-round trajectories at EVERY thread
+  // count, including auto (0) and counts above the hardware concurrency.
+  const std::size_t trajectories = std::min<std::size_t>(
+      24, std::max<std::size_t>(2, trials_per_key() / 64));
+  constexpr std::size_t kRounds = 8;
+  const std::size_t thread_counts[] = {0, 2, 3, 7, 16};
+
+  std::vector<std::pair<std::string, std::string>> pairs;  // variant, serial
+  for (const auto& info : MechanismRegistry::global().describe()) {
+    if (!info.variant_of.empty() && info.variant_of != "lto-vcg") {
+      pairs.emplace_back(info.name, info.variant_of);
+    }
+  }
+  ASSERT_GE(pairs.size(), 3u) << "oracle variant tags disappeared";
+
+  for (const auto& [variant_key, serial_key] : pairs) {
+    for (std::size_t trajectory = 0; trajectory < trajectories; ++trajectory) {
+      const std::uint64_t seed = trial_seed(trajectory);
+      SCOPED_TRACE("repro: property_mechanism_invariants_test --seed=" +
+                   std::to_string(seed) + " (oracle variant " + variant_key +
+                   ")");
+      const bool failed_before = ::testing::Test::HasFailure();
+
+      const MechanismConfig config = property_mechanism_config();
+      const auto serial = build_mechanism(serial_key, config);
+      std::vector<std::unique_ptr<sfl::auction::Mechanism>> variants;
+      for (const std::size_t threads : thread_counts) {
+        MechanismConfig variant_config = config;
+        variant_config.oracle.threads = threads;
+        variants.push_back(build_mechanism(variant_key, variant_config));
+      }
+
+      util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 3);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        AdversarialInstance instance = make_adversarial_instance(rng());
+        instance.context.round = round;
+
+        const MechanismResult reference =
+            serial->run_round(instance.candidates, instance.context);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+          const MechanismResult result =
+              variants[v]->run_round(instance.candidates, instance.context);
+          ASSERT_EQ(reference.winners, result.winners)
+              << variant_key << " threads=" << thread_counts[v] << " round "
+              << round;
+          ASSERT_EQ(reference.payments.size(), result.payments.size())
+              << variant_key << " threads=" << thread_counts[v];
+          for (std::size_t w = 0; w < reference.payments.size(); ++w) {
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(reference.payments[w]),
+                      std::bit_cast<std::uint64_t>(result.payments[w]))
+                << variant_key << " threads=" << thread_counts[v] << " round "
+                << round << " winner " << w << ": " << reference.payments[w]
+                << " != " << result.payments[w];
+          }
+        }
+
+        RoundSettlement settlement;
+        settlement.round = round;
+        settlement.total_payment = reference.total_payment();
+        for (std::size_t w = 0; w < reference.winners.size(); ++w) {
+          settlement.winners.push_back(WinnerSettlement{
+              .client = reference.winners[w],
+              .bid = min_bid_for(instance.candidates, reference.winners[w]),
+              .payment = reference.payments[w],
+              .energy_cost = 1.0,
+              .dropped = false});
+        }
+        serial->settle(settlement);
+        for (auto& variant : variants) variant->settle(settlement);
+      }
+
+      if (!failed_before && ::testing::Test::HasFailure()) {
+        record_failure(seed);
+        break;
+      }
     }
   }
 }

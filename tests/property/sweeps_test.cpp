@@ -318,9 +318,10 @@ TEST_P(KnapsackSweep, SelectionFitsBudgetAtAnyResolution) {
     for (const std::size_t i : alloc.selected) {
       bid_sum += instance.candidates[i].bid;
     }
-    // Ceil-discretized weights can under-count each bid by < resolution.
-    EXPECT_LE(bid_sum,
-              budget + resolution * static_cast<double>(alloc.selected.size()));
+    // Ceil-discretized weights OVER-count bids and the capacity floor
+    // UNDER-counts the budget, so the DP is conservative: feasibility is
+    // epsilon-tight, not resolution-loose.
+    EXPECT_LE(bid_sum, budget + 1e-9);
   }
 }
 

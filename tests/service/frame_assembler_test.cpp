@@ -151,5 +151,32 @@ TEST(FrameAssemblerTest, UnknownFrameTypeIsImplausible) {
   EXPECT_TRUE(assembler.condemned());
 }
 
+TEST(FrameAssemblerTest, WireVersionMismatchGetsAnActionableReason) {
+  // A correct-magic frame with a different version byte is a peer built
+  // from another wire revision, not line noise — the condemnation reason
+  // must name BOTH versions and the fix, so the load generator's fail-fast
+  // path can surface it verbatim. The version byte is legal to patch: the
+  // 24-byte header is not covered by the payload checksum.
+  FrameAssembler assembler;
+  Frame wire = encoded_submit(1);
+  wire[4] = std::byte{0};  // an older wire revision
+  EXPECT_FALSE(assembler.feed(wire));
+  ASSERT_TRUE(assembler.condemned());
+  const std::string& reason = assembler.condemned_reason();
+  EXPECT_NE(reason.find("wire version 0"), std::string::npos) << reason;
+  EXPECT_NE(reason.find("version " +
+                        std::to_string(sfl::dist::kWireVersion)),
+            std::string::npos)
+      << reason;
+  EXPECT_NE(reason.find("rebuild"), std::string::npos) << reason;
+  // Generic garbage keeps the generic reason.
+  FrameAssembler garbage_assembler;
+  Frame garbage = encoded_submit(1);
+  garbage[0] = std::byte{0x00};  // break the magic
+  EXPECT_FALSE(garbage_assembler.feed(garbage));
+  EXPECT_EQ(garbage_assembler.condemned_reason(),
+            "implausible frame header (magic/version/type)");
+}
+
 }  // namespace
 }  // namespace sfl::service

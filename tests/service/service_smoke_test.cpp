@@ -22,9 +22,16 @@
 #include <string>
 #include <vector>
 
+#include <netinet/in.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+#include "service/rpc_messages.h"
 
 #ifndef SFL_AUCTION_SERVER_BIN_PATH
 #define SFL_AUCTION_SERVER_BIN_PATH ""
@@ -129,23 +136,120 @@ std::unique_ptr<ServerProcess> spawn_server(
 }
 
 /// Runs the load generator to completion; returns its exit code, or -1
-/// when it cannot be spawned.
-int run_load_gen(const std::vector<std::string>& flags) {
+/// when it cannot be spawned. When `stderr_out` is non-null the child's
+/// stderr is captured into it.
+int run_load_gen(const std::vector<std::string>& flags,
+                 std::string* stderr_out = nullptr) {
   const std::string path = load_gen_binary_path();
   if (path.empty() || ::access(path.c_str(), X_OK) != 0) return -1;
+  int err_pipe[2] = {-1, -1};
+  if (stderr_out != nullptr && ::pipe(err_pipe) != 0) return -1;
   const pid_t pid = ::fork();
-  if (pid < 0) return -1;
+  if (pid < 0) {
+    if (stderr_out != nullptr) {
+      ::close(err_pipe[0]);
+      ::close(err_pipe[1]);
+    }
+    return -1;
+  }
   if (pid == 0) {
+    if (stderr_out != nullptr) {
+      ::dup2(err_pipe[1], STDERR_FILENO);
+      ::close(err_pipe[0]);
+      ::close(err_pipe[1]);
+    }
     std::vector<const char*> argv = {path.c_str()};
     for (const std::string& flag : flags) argv.push_back(flag.c_str());
     argv.push_back(nullptr);
     ::execv(path.c_str(), const_cast<char* const*>(argv.data()));
     _exit(127);
   }
+  if (stderr_out != nullptr) {
+    ::close(err_pipe[1]);
+    char buffer[1024];
+    ssize_t got = 0;
+    while ((got = ::read(err_pipe[0], buffer, sizeof(buffer))) > 0) {
+      stderr_out->append(buffer, static_cast<std::size_t>(got));
+    }
+    ::close(err_pipe[0]);
+  }
   int status = 0;
   if (::waitpid(pid, &status, 0) != pid) return -1;
   return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
+
+/// A fake auction server that greets every connection with a ServerHello
+/// whose wire-version byte is patched to an OLDER revision (legal to patch:
+/// the 24-byte header is outside the payload checksum). Connections stay
+/// open so the only failure the generator can report is the version itself.
+class OldWireVersionServer {
+ public:
+  bool start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    ServerHello hello;
+    hello.bids_per_round = 8;
+    hello.max_winners = 3;
+    hello.max_pending_rounds = 64;
+    hello.mechanism = "lto-vcg-dist-pipe";
+    encode(hello, stale_hello_);
+    stale_hello_[4] = std::byte{0};  // an older wire revision
+
+    thread_ = std::thread([this] {
+      while (!stop_.load()) {
+        pollfd pfd{.fd = listen_fd_, .events = POLLIN, .revents = 0};
+        if (::poll(&pfd, 1, 50) <= 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) continue;
+        (void)!::send(fd, stale_hello_.data(), stale_hello_.size(),
+                      MSG_NOSIGNAL);
+        accepted_.push_back(fd);  // hold open; closed in stop()
+      }
+    });
+    return true;
+  }
+
+  void stop() {
+    if (listen_fd_ < 0) return;
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+    for (const int fd : accepted_) ::close(fd);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  ~OldWireVersionServer() { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Frame stale_hello_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::vector<int> accepted_;
+};
 
 TEST(ServiceSmokeTest, LoadGenAgainstRealServerVerifiesAndWritesBenchJson) {
   std::string why;
@@ -210,6 +314,36 @@ TEST(ServiceSmokeTest, MismatchedKnobsFailFastInsteadOfHangingSilently) {
   EXPECT_EQ(mechanism_exit, 1);
 
   server->stop(SIGTERM);
+}
+
+TEST(ServiceSmokeTest, OlderWireVersionServerFailsFastWithActionableMessage) {
+  // A server built from an older wire revision used to surface as a
+  // generic condemned-header error. The version byte is checked the moment
+  // the hello's header is buffered, so the generator must exit 1 within
+  // seconds carrying the version-naming, fix-naming message — the same
+  // fail-fast lane as a ServerHello knob mismatch, not a hang or a
+  // cryptic WireError.
+  OldWireVersionServer server;
+  if (!server.start()) {
+    GTEST_SKIP() << "cannot bind a localhost socket here";
+  }
+
+  std::string captured;
+  const auto start = std::chrono::steady_clock::now();
+  const int exit_code = run_load_gen(
+      {"--port=" + std::to_string(server.port()), "--clients=64",
+       "--connections=2", "--markets=1", "--rounds=2", "--bids-per-round=8",
+       "--winners=3", "--verify=0"},
+      &captured);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  server.stop();
+  if (exit_code == -1) GTEST_SKIP() << "load generator could not be spawned";
+
+  EXPECT_EQ(exit_code, 1) << "a wire-version mismatch must be a hard failure";
+  EXPECT_LT(elapsed, std::chrono::seconds(20))
+      << "the mismatch must be detected up front, not via hang timeouts";
+  EXPECT_NE(captured.find("wire version 0"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("rebuild"), std::string::npos) << captured;
 }
 
 TEST(ServiceSmokeTest, BinariesPrintUsageOnHelp) {
