@@ -2,7 +2,8 @@
 // key=value command line, with CSV output for downstream plotting.
 //
 // Usage:
-//   run_experiment [mechanism=lto-vcg] [rounds=200] [clients=40]
+//   run_experiment [scenario=static|wireless|online|multi]
+//                  [mechanism=lto-vcg] [rounds=200] [clients=40]
 //                  [partition=dirichlet|iid|quantity] [alpha=0.3]
 //                  [noisy_fraction=0.3] [flip_prob=0.8]
 //                  [budget=6] [winners=8] [v=10] [pacing=0.5] [shards=0]
@@ -12,6 +13,27 @@
 //                  [proximal_mu=0] [server_momentum=0]
 //                  [use_reputation=1] [energy=0] [seed=42]
 //                  [csv=/path/to/rounds.csv]
+//
+// Scenarios (PR-10 extensions; see README "Scenario extensions"):
+//   scenario=static    the default FL training run.
+//   scenario=wireless  same FL run, but per-client energy costs are DERIVED
+//                      from the wireless cellular uplink model
+//                      (sim::WirelessSpec: annulus drop + path loss +
+//                      Rayleigh fading -> Shannon-rate transmit energy).
+//                      Knobs: cell_radius, pathloss, tx_power, payload_bits,
+//                      reference_snr, normalize_energy.
+//   scenario=online    auction-only streaming market (no FL loop): clients
+//                      arrive/depart mid-horizon with per-client win budgets
+//                      (core::OnlineArrivalSpec). Knobs: arrival_window,
+//                      min_sojourn, max_sojourn, min_win_budget,
+//                      max_win_budget; csv= writes the per-round trajectory.
+//   scenario=multi     auction-only multi-requester market: `requesters`
+//                      LTO mechanisms compete for one client population each
+//                      round under cross-market exclusivity (one fused
+//                      exclusive MarketBatch clear per round). Knobs:
+//                      requesters, requester_spread, shards; csv= writes the
+//                      per-round trajectory. Exits non-zero if any client
+//                      ever wins two markets in one round.
 //
 // Mechanisms: any key in the MechanismRegistry — run with mechanism=list
 // to print them all with descriptions. mechanism=lto-vcg-sharded runs the
@@ -50,8 +72,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <numeric>
 
 #include "auction/registry.h"
+#include "core/market_simulation.h"
 #include "core/orchestrator.h"
 #include "fl/logistic_regression.h"
 #include "fl/mlp.h"
@@ -89,6 +113,126 @@ sfl::auction::MechanismConfig mechanism_config_from(const Config& args,
   return config;
 }
 
+/// Auction-only streaming market (scenario=online): no FL loop, the
+/// mechanism runs against the stochastic cost process with clients arriving
+/// and departing mid-horizon. Returns the process exit code.
+int run_online_scenario(const Config& args) {
+  sfl::core::MarketSpec mspec;
+  mspec.num_clients = args.get_size("clients", 40);
+  mspec.rounds = args.get_size("rounds", 200);
+  mspec.max_winners = args.get_size("winners", 8);
+  mspec.per_round_budget = args.get_double("budget", 6.0);
+  mspec.valuation_scale = args.get_double("valuation_scale", 2.0);
+  mspec.cost.base_sigma = args.get_double("cost_sigma", 0.5);
+  mspec.async_settle = args.get_bool("async_settle", false);
+  mspec.seed = args.get_size("seed", 42);
+  mspec.online.enabled = true;
+  mspec.online.arrival_window = args.get_double("arrival_window", 0.5);
+  mspec.online.min_sojourn_fraction = args.get_double("min_sojourn", 0.25);
+  mspec.online.max_sojourn_fraction = args.get_double("max_sojourn", 1.0);
+  mspec.online.min_win_budget = args.get_size("min_win_budget", 0);
+  mspec.online.max_win_budget = args.get_size("max_win_budget", 0);
+
+  const std::string mechanism_name = args.get_string("mechanism", "lto-vcg");
+  const std::unique_ptr<sfl::auction::Mechanism> mechanism =
+      sfl::auction::build_mechanism(
+          mechanism_name, mechanism_config_from(args, mspec.per_round_budget,
+                                                mspec.num_clients));
+  const sfl::core::MarketResult result =
+      sfl::core::run_market(*mechanism, mspec);
+
+  const double mean_active =
+      result.active_clients_series.empty()
+          ? 0.0
+          : std::accumulate(result.active_clients_series.begin(),
+                            result.active_clients_series.end(), 0.0) /
+                static_cast<double>(result.active_clients_series.size());
+  std::cout << "run_experiment: scenario=online mechanism="
+            << result.mechanism_name << " rounds=" << mspec.rounds << "\n\n";
+  sfl::util::TablePrinter summary({"metric", "value"});
+  summary.row("cumulative welfare", result.cumulative_welfare);
+  summary.row("avg payment/round", result.average_payment);
+  summary.row("budget violation (peak)", result.peak_budget_violation);
+  summary.row("IR fraction", result.ir_fraction);
+  summary.row("mean active bidders", mean_active);
+  summary.row("budget-exhausted clients",
+              static_cast<double>(result.budget_exhausted_clients));
+  summary.row("final budget backlog", result.final_budget_backlog);
+  summary.print(std::cout);
+
+  const std::string csv_path = args.get_string("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out.is_open()) {
+      std::cerr << "cannot write " << csv_path << "\n";
+      return 1;
+    }
+    out << "round,welfare,payment,active_bidders\n";
+    for (std::size_t t = 0; t < result.welfare_series.size(); ++t) {
+      out << t << ',' << result.welfare_series[t] << ','
+          << result.payment_series[t] << ',' << result.active_clients_series[t]
+          << '\n';
+    }
+    std::cout << "\nwrote " << result.welfare_series.size()
+              << " round rows to " << csv_path << "\n";
+  }
+  return 0;
+}
+
+/// Auction-only multi-requester market (scenario=multi): R LTO requesters
+/// compete for one client population under cross-market exclusivity.
+int run_multi_scenario(const Config& args) {
+  sfl::core::MultiRequesterSpec qspec;
+  qspec.requesters = args.get_size("requesters", 3);
+  qspec.num_clients = args.get_size("clients", 40);
+  qspec.rounds = args.get_size("rounds", 200);
+  qspec.max_winners = args.get_size("winners", 8);
+  qspec.per_round_budget = args.get_double("budget", 6.0);
+  qspec.valuation_scale = args.get_double("valuation_scale", 2.0);
+  qspec.requester_value_spread = args.get_double("requester_spread", 0.25);
+  qspec.cost.base_sigma = args.get_double("cost_sigma", 0.5);
+  qspec.shards = args.get_size("shards", 1);
+  qspec.seed = args.get_size("seed", 42);
+
+  const std::string mechanism_name = args.get_string("mechanism", "lto-vcg");
+  const sfl::core::MultiRequesterResult result =
+      sfl::core::run_multi_requester_market(qspec, mechanism_name);
+
+  std::cout << "run_experiment: scenario=multi mechanism=" << mechanism_name
+            << " requesters=" << qspec.requesters
+            << " rounds=" << qspec.rounds << "\n\n";
+  sfl::util::TablePrinter summary(
+      {"requester", "welfare", "payments", "wins", "final Q"});
+  for (std::size_t r = 0; r < qspec.requesters; ++r) {
+    summary.row(r, result.requester_welfare[r], result.requester_payment[r],
+                result.requester_wins[r], result.requester_backlog[r]);
+  }
+  summary.print(std::cout);
+
+  const std::string csv_path = args.get_string("csv", "");
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out.is_open()) {
+      std::cerr << "cannot write " << csv_path << "\n";
+      return 1;
+    }
+    out << "round,welfare,payment,queue_backlog\n";
+    for (std::size_t t = 0; t < result.welfare_series.size(); ++t) {
+      out << t << ',' << result.welfare_series[t] << ','
+          << result.payment_series[t] << ',' << result.queue_series[t] << '\n';
+    }
+    std::cout << "\nwrote " << result.welfare_series.size()
+              << " round rows to " << csv_path << "\n";
+  }
+  if (result.duplicate_wins != 0) {
+    std::cerr << "EXCLUSIVITY VIOLATION: " << result.duplicate_wins
+              << " duplicate wins\n";
+    return 1;
+  }
+  std::cout << "\nexclusivity: no client won two markets in any round\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -103,6 +247,16 @@ int main(int argc, char** argv) {
     }
     listing.print(std::cout);
     return 0;
+  }
+
+  // Auction-only scenario extensions short-circuit before the FL stack.
+  const std::string scenario_kind = args.get_string("scenario", "static");
+  if (scenario_kind == "online") return run_online_scenario(args);
+  if (scenario_kind == "multi") return run_multi_scenario(args);
+  if (scenario_kind != "static" && scenario_kind != "wireless") {
+    std::cerr << "unknown scenario: " << scenario_kind
+              << " (expected static|wireless|online|multi)\n";
+    return 1;
   }
 
   // --- scenario ---
@@ -129,6 +283,15 @@ int main(int argc, char** argv) {
   sspec.noisy_client_fraction = args.get_double("noisy_fraction", 0.3);
   sspec.noisy_flip_probability = args.get_double("flip_prob", 0.8);
   sspec.seed = args.get_size("seed", 42);
+  if (scenario_kind == "wireless") {
+    sspec.wireless.enabled = true;
+    sspec.wireless.cell_radius_m = args.get_double("cell_radius", 500.0);
+    sspec.wireless.pathloss_exponent = args.get_double("pathloss", 3.0);
+    sspec.wireless.tx_power_watts = args.get_double("tx_power", 0.2);
+    sspec.wireless.payload_bits = args.get_double("payload_bits", 5e6);
+    sspec.wireless.reference_snr = args.get_double("reference_snr", 1000.0);
+    sspec.wireless.normalize_mean = args.get_double("normalize_energy", 1.0);
+  }
   const sfl::sim::Scenario scenario = sfl::sim::build_scenario(sspec);
 
   // --- orchestrator ---

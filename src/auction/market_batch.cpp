@@ -27,6 +27,7 @@ void MarketBatch::clear() noexcept {
   energy_costs_.clear();
   penalties_.clear();
   any_penalties_ = false;
+  exclusive_ = false;
   markets_.clear();
 }
 

@@ -79,6 +79,20 @@ class MarketBatch {
                        std::size_t max_winners, const ScoreWeights& weights,
                        std::span<const double> penalties = {});
 
+  /// Cross-market exclusivity (the multi-requester scenario): when set,
+  /// run_rounds resolves every client to AT MOST ONE market per batch under
+  /// the global greedy order (score desc, ClientId asc, market index asc,
+  /// row asc), instead of clearing each market independently. Winners'
+  /// critical payments are priced against the constrained outcome: market
+  /// k's threshold is the best non-selected score in k among rows whose
+  /// client ends the batch unassigned ANYWHERE (the best available loser),
+  /// clamped at 0 — which degenerates to the per-market best-loser rule
+  /// when client pools are disjoint. In exclusive mode a client with rows
+  /// in several markets (or duplicate rows in one market) wins at most one
+  /// row total. Cleared by clear().
+  void set_exclusive(bool exclusive) noexcept { exclusive_ = exclusive; }
+  [[nodiscard]] bool exclusive() const noexcept { return exclusive_; }
+
   [[nodiscard]] std::size_t market_count() const noexcept {
     return markets_.size();
   }
@@ -125,6 +139,7 @@ class MarketBatch {
   /// actually carries any; stays empty (never allocated) otherwise.
   std::vector<double> penalties_;
   bool any_penalties_ = false;
+  bool exclusive_ = false;
   std::vector<MarketView> markets_;
 };
 

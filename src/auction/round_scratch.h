@@ -35,6 +35,21 @@ struct RoundScratch {
   /// Per-winner payments aligned with allocation.selected.
   std::vector<double> payments;
 
+  // Exclusive-mode (MarketBatch::exclusive()) cross-market buffers. Like
+  // every other member, they grow on first use and are reused after; a
+  // non-exclusive round never touches them.
+  /// Sorted unique ClientIds of the whole arena (assignment-set keys).
+  std::vector<ClientId> exclusive_clients;
+  /// One byte per exclusive_clients entry: 1 = already won somewhere.
+  std::vector<unsigned char> exclusive_assigned;
+  /// Row -> market index (the base serial greedy walks a globally sorted
+  /// order and must recover each row's market).
+  std::vector<std::size_t> exclusive_market_of;
+  /// Fused merge state: per-market cursor into the sorted order, and the
+  /// heap of market indices keyed by each cursor's current row.
+  std::vector<std::size_t> exclusive_cursor;
+  std::vector<std::size_t> exclusive_heap;
+
   /// Grows every buffer to the given market size up front so the first
   /// measured round is already allocation-free. Optional: the buffers also
   /// grow on first use.
@@ -56,6 +71,11 @@ struct RoundScratch {
     allocation.selected.clear();
     allocation.total_score = 0.0;
     payments.clear();
+    exclusive_clients.clear();
+    exclusive_assigned.clear();
+    exclusive_market_of.clear();
+    exclusive_cursor.clear();
+    exclusive_heap.clear();
   }
 };
 

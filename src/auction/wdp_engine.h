@@ -70,6 +70,15 @@ class WdpEngine {
   /// arena. The default gathers each market into a temporary slate and
   /// loops run_round; ShardedWdp overrides with the fused lane-parallel
   /// implementation (same atomicity contract).
+  ///
+  /// When batch.exclusive() is set, the markets are NOT independent: every
+  /// client wins in at most one market per call, resolved by a global
+  /// greedy over (score desc, ClientId asc, market index asc, row asc),
+  /// with critical payments priced against the constrained outcome (see
+  /// MarketBatch::set_exclusive). Every implementation must produce
+  /// bit-identical exclusive results to the serial reference in this base
+  /// class; ShardedWdp does so with per-market sorts parallelized around a
+  /// deterministic cursor merge.
   virtual void run_rounds(const MarketBatch& batch, MarketBatchResult& result,
                           RoundScratch& scratch) const;
 };

@@ -1,8 +1,10 @@
 #include "auction/winner_determination.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "auction/sharded_wdp.h"
 #include "auction/valuation.h"
@@ -343,6 +345,17 @@ namespace {
 /// asc) among candidates with gain > 1e-12. The per-lane argmax + serial
 /// lane reduction finds the same unique maximum the serial scan does, so
 /// every lane count selects the identical prefix.
+///
+/// The parallel path forks the pool ONCE for the whole selection (not once
+/// per step): the team runs every step in lockstep, separated by a
+/// sense-reversing spin barrier, with the executor owning chunk 0 doing the
+/// serial lane reduction and state update between the two barrier phases of
+/// each step. The team is capped at thread_count() + 1 (workers plus the
+/// participating caller): each executor parks inside its chunk's barrier
+/// loop until the scan finishes, so a larger team could strand an unclaimed
+/// chunk behind an executor that will never return to the chunk cursor.
+/// Capping is free for exactness — the argmax is partition-independent, so
+/// any team size selects the identical prefix.
 Allocation greedy_concave_core(const std::vector<Candidate>& candidates,
                                const ConcaveValuation& valuation,
                                const ScoreWeights& weights,
@@ -353,12 +366,14 @@ Allocation greedy_concave_core(const std::vector<Candidate>& candidates,
   // Lane count is fixed across steps (candidates shrink but the scan stays
   // O(n): taken slots are skipped, not compacted).
   const std::size_t lanes = oracle_lane_count(threads, n, /*min_span=*/1024);
+  const std::size_t team =
+      std::min(lanes, sfl::util::shared_pool().thread_count() + 1);
   std::vector<double>& gains = scratch.gains;
   std::vector<unsigned char>& taken = scratch.taken;
   std::vector<std::size_t>& lane_best = scratch.lane_best;
   gains.assign(n, 0.0);
   taken.assign(n, 0);
-  lane_best.assign(lanes, n);
+  lane_best.assign(team, n);
 
   const auto better = [&](std::size_t a, std::size_t b) {
     if (gains[a] != gains[b]) return gains[a] > gains[b];
@@ -368,44 +383,95 @@ Allocation greedy_concave_core(const std::vector<Candidate>& candidates,
     return a < b;
   };
 
+  const auto gain_at = [&](std::size_t i, double mass) {
+    return weights.value_weight *
+               valuation.marginal_value(mass, candidates[i].value) -
+           weights.bid_weight * candidates[i].bid - penalty_at(penalties, i);
+  };
+
   Allocation allocation;
   double mass = 0.0;
-  while (allocation.selected.size() < max_winners) {
-    const auto scan = [&](std::size_t lane, std::size_t begin,
-                          std::size_t end) {
+
+  if (team <= 1 || max_winners == 0) {
+    while (allocation.selected.size() < max_winners) {
       std::size_t best = n;
-      for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t i = 0; i < n; ++i) {
         if (taken[i] != 0) continue;
-        const double gain =
-            weights.value_weight *
-                valuation.marginal_value(mass, candidates[i].value) -
-            weights.bid_weight * candidates[i].bid - penalty_at(penalties, i);
+        const double gain = gain_at(i, mass);
         gains[i] = gain;
         if (gain <= 1e-12) continue;
         if (best == n || better(i, best)) best = i;
       }
-      lane_best[lane] = best;
-    };
-    if (lanes <= 1) {
-      scan(0, 0, n);
-    } else {
-      sfl::util::shared_pool().parallel_for_chunks(n, lanes, scan);
+      if (best == n) break;
+      taken[best] = 1;
+      allocation.selected.push_back(best);
+      allocation.total_score += gains[best];
+      mass += candidates[best].value;
     }
+    std::sort(allocation.selected.begin(), allocation.selected.end());
+    return allocation;
+  }
 
-    std::size_t best_index = n;
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      const std::size_t lane_candidate = lane_best[lane];
-      if (lane_candidate == n) continue;
-      if (best_index == n || better(lane_candidate, best_index)) {
-        best_index = lane_candidate;
+  // One fork, team-wide lockstep steps. All cross-chunk state (gains,
+  // taken, lane_best, allocation, mass, done) is published by the
+  // barrier's release/acquire pair, so the pool fn needs no per-element
+  // atomics; the reservation below keeps the fn allocation-free.
+  allocation.selected.reserve(std::min(max_winners, n));
+  std::atomic<std::size_t> arrived{0};
+  std::atomic<std::size_t> phase{0};
+  bool done = false;
+  const auto barrier_wait = [&] {
+    // Sense-reversing central barrier: safe for reuse across steps because
+    // the last arriver resets `arrived` BEFORE bumping `phase`, and nobody
+    // enters the next episode until it observes the bump.
+    const std::size_t my_phase = phase.load(std::memory_order_acquire);
+    if (arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == team) {
+      arrived.store(0, std::memory_order_relaxed);
+      phase.store(my_phase + 1, std::memory_order_release);
+    } else {
+      while (phase.load(std::memory_order_acquire) == my_phase) {
+        std::this_thread::yield();
       }
     }
-    if (best_index == n) break;
-    taken[best_index] = 1;
-    allocation.selected.push_back(best_index);
-    allocation.total_score += gains[best_index];
-    mass += candidates[best_index].value;
-  }
+  };
+
+  sfl::util::shared_pool().parallel_for_chunks(
+      n, team, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        while (true) {
+          std::size_t best = n;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (taken[i] != 0) continue;
+            const double gain = gain_at(i, mass);
+            gains[i] = gain;
+            if (gain <= 1e-12) continue;
+            if (best == n || better(i, best)) best = i;
+          }
+          lane_best[chunk] = best;
+          barrier_wait();  // every chunk's scan for this step is complete
+          if (chunk == 0) {
+            std::size_t best_index = n;
+            for (std::size_t lane = 0; lane < team; ++lane) {
+              const std::size_t lane_candidate = lane_best[lane];
+              if (lane_candidate == n) continue;
+              if (best_index == n || better(lane_candidate, best_index)) {
+                best_index = lane_candidate;
+              }
+            }
+            if (best_index == n) {
+              done = true;
+            } else {
+              taken[best_index] = 1;
+              allocation.selected.push_back(best_index);
+              allocation.total_score += gains[best_index];
+              mass += candidates[best_index].value;
+              done = allocation.selected.size() >= max_winners;
+            }
+          }
+          barrier_wait();  // chunk 0's reduction is visible to every chunk
+          if (done) return;
+        }
+      });
+
   std::sort(allocation.selected.begin(), allocation.selected.end());
   return allocation;
 }

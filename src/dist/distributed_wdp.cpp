@@ -70,10 +70,20 @@ DistributedWdp::DistributedWdp(DistributedWdpConfig config,
           "need at least one dispatch attempt per shard");
   require(config_.pipeline_depth >= 1,
           "pipeline depth must be >= 1 (1 = strictly serial rounds)");
+  require(config_.latency_prior.empty() ||
+              config_.latency_prior.size() == transport_->worker_count(),
+          "latency prior must be empty or one entry per transport worker");
   lanes_.resize(config_.pipeline_depth);
   worker_dead_.assign(transport_->worker_count(), false);
   worker_departed_.assign(transport_->worker_count(), false);
-  worker_latency_.assign(transport_->worker_count(), {});
+  if (config_.latency_prior.empty()) {
+    worker_latency_.assign(transport_->worker_count(), {});
+  } else {
+    // Warm start: adaptive deadlines engage immediately for every worker
+    // the prior has warmed past kHedgeMinSamples (fresh-coordinator cold
+    // start otherwise waits out the full receive_timeout per early round).
+    worker_latency_ = config_.latency_prior;
+  }
 }
 
 DistributedWdp::~DistributedWdp() = default;

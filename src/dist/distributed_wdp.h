@@ -140,6 +140,17 @@ struct DistributedWdpConfig {
   bool hedge = true;
   /// k in the adaptive deadline mean + k * stddev.
   double hedge_deadline_sigma = 3.0;
+  /// Warm-start prior for the adaptive deadlines (PR 10): per-worker
+  /// latency statistics carried over from a previous coordinator (see
+  /// worker_latency_stats()). Must be empty or one entry per transport
+  /// worker. A FRESH coordinator has no latency samples, so its first
+  /// kHedgeMinSamples rounds per worker fall back to the full
+  /// receive_timeout — a straggler present from round one stalls every
+  /// early round for the whole timeout. Seeding the prior restores hedging
+  /// from the very first dispatch. Like all hedging state, the prior NEVER
+  /// affects results, only tail latency; a worker that rejoins after being
+  /// marked dead still resets to fresh stats.
+  std::vector<sfl::stats::RunningStats> latency_prior{};
 };
 
 class DistributedWdp final : public sfl::auction::WdpEngine {
@@ -181,6 +192,15 @@ class DistributedWdp final : public sfl::auction::WdpEngine {
   [[nodiscard]] ShardTransport& transport() noexcept { return *transport_; }
   [[nodiscard]] const RoundStats& last_round_stats() const noexcept {
     return stats_;
+  }
+  /// Per-worker observed reply latency in microseconds (one accumulator
+  /// per transport worker). Snapshot this from a retiring coordinator and
+  /// hand it to a successor via DistributedWdpConfig::latency_prior so the
+  /// fresh coordinator hedges stragglers from its first dispatch instead
+  /// of waiting out kHedgeMinSamples cold rounds per worker.
+  [[nodiscard]] const std::vector<sfl::stats::RunningStats>&
+  worker_latency_stats() const noexcept {
+    return worker_latency_;
   }
 
   // --- elastic membership ---------------------------------------------------

@@ -1,6 +1,7 @@
 #include "sim/energy.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/require.h"
 
@@ -8,6 +9,48 @@ namespace sfl::sim {
 
 using sfl::util::checked_index;
 using sfl::util::require;
+
+std::vector<double> wireless_energy_costs(std::size_t num_clients,
+                                          const WirelessSpec& spec,
+                                          sfl::util::Rng& rng) {
+  require(num_clients > 0, "wireless model needs at least one client");
+  require(spec.bandwidth_hz > 0.0, "wireless bandwidth must be > 0");
+  require(spec.tx_power_watts > 0.0, "wireless transmit power must be > 0");
+  require(spec.payload_bits > 0.0, "wireless payload must be > 0");
+  require(spec.min_radius_m > 0.0, "wireless min radius must be > 0");
+  require(spec.cell_radius_m >= spec.min_radius_m,
+          "wireless cell radius must be >= min radius");
+  require(spec.reference_snr > 0.0, "wireless reference SNR must be > 0");
+  require(spec.reference_distance_m > 0.0,
+          "wireless reference distance must be > 0");
+  require(spec.pathloss_exponent > 0.0,
+          "wireless path-loss exponent must be > 0");
+
+  std::vector<double> costs(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    // Uniform drop over the annulus AREA: d = sqrt(U(r_min^2, R^2)).
+    const double d = std::sqrt(rng.uniform(spec.min_radius_m * spec.min_radius_m,
+                                           spec.cell_radius_m * spec.cell_radius_m));
+    // Rayleigh fading: the received POWER scale is Exp(1), floored so a
+    // pathological zero-fade draw cannot produce an infinite cost.
+    const double fading = std::max(rng.exponential(1.0), 1e-12);
+    const double snr = spec.reference_snr *
+                       std::pow(spec.reference_distance_m / d,
+                                spec.pathloss_exponent) *
+                       fading;
+    // Shannon uplink rate; transmit time = payload / rate.
+    const double rate = spec.bandwidth_hz * std::log2(1.0 + snr);
+    costs[i] = spec.tx_power_watts * spec.payload_bits / rate;
+  }
+  if (spec.normalize_mean > 0.0) {
+    double mean = 0.0;
+    for (const double c : costs) mean += c;
+    mean /= static_cast<double>(num_clients);
+    const double scale = spec.normalize_mean / mean;
+    for (double& c : costs) c *= scale;
+  }
+  return costs;
+}
 
 EnergySystem::EnergySystem(std::size_t num_clients, const EnergySpec& spec)
     : battery_(num_clients, spec.initial_charge),

@@ -16,6 +16,41 @@
 
 namespace sfl::sim {
 
+/// Wireless cellular uplink cost model: per-client transmit-energy
+/// heterogeneity from channel quality.
+///
+/// Clients are dropped uniformly in an annulus [min_radius, cell_radius]
+/// around the base station; client i's mean SNR follows a power-law path
+/// loss snr_ref * (d_ref / d_i)^alpha scaled by a Rayleigh-fading power
+/// draw (Exp(1)), and one round's uplink (model upload) energy is
+///
+///   e_i = tx_power * payload_bits / (bandwidth * log2(1 + snr_i))
+///
+/// — the Shannon-rate transmit time at fixed power. Cell-edge clients in a
+/// deep fade can be orders of magnitude more expensive than cell-center
+/// ones, widening the cost spread the Lyapunov Z queues must absorb
+/// (scenario "wireless", E14). The draw is deterministic in the rng stream.
+struct WirelessSpec {
+  bool enabled = false;
+  double bandwidth_hz = 1e6;       ///< uplink bandwidth per client
+  double tx_power_watts = 0.2;     ///< fixed transmit power
+  double payload_bits = 5e6;       ///< model-update size per round
+  double cell_radius_m = 500.0;    ///< outer drop radius
+  double min_radius_m = 10.0;      ///< inner drop radius (> 0)
+  double reference_snr = 1000.0;   ///< mean SNR at d_ref (linear, not dB)
+  double reference_distance_m = 10.0;
+  double pathloss_exponent = 3.0;
+  /// Energies are rescaled so the population mean is this value (keeps the
+  /// wireless scenario comparable with the flat e_i = 1 baseline while
+  /// preserving the heterogeneity shape). <= 0 disables rescaling.
+  double normalize_mean = 1.0;
+};
+
+/// Draws one per-client energy-cost vector under `spec` (throws
+/// std::invalid_argument on malformed parameters; see WirelessSpec).
+[[nodiscard]] std::vector<double> wireless_energy_costs(
+    std::size_t num_clients, const WirelessSpec& spec, sfl::util::Rng& rng);
+
 struct EnergySpec {
   double battery_capacity = 5.0;   ///< max stored energy
   double initial_charge = 2.0;     ///< starting battery level

@@ -23,8 +23,19 @@ Scenario build_scenario(const ScenarioSpec& spec) {
   require(spec.energy_costs.empty() ||
               spec.energy_costs.size() == spec.num_clients,
           "energy costs must be empty or one per client");
+  require(!spec.wireless.enabled || spec.energy_costs.empty(),
+          "wireless cost model and explicit energy costs are exclusive");
 
   sfl::util::Rng rng(spec.seed);
+  // Drawn up front on an independently-seeded stream so enabling the
+  // wireless model never perturbs the dataset/partition/noise draws below
+  // (and parameter errors throw before any data is built).
+  std::vector<double> derived_energy;
+  if (spec.wireless.enabled) {
+    sfl::util::Rng wireless_rng(spec.seed ^ 0x817e1e55c0575ULL);
+    derived_energy =
+        wireless_energy_costs(spec.num_clients, spec.wireless, wireless_rng);
+  }
 
   data::GaussianMixtureSpec mixture;
   mixture.num_examples =
@@ -64,9 +75,11 @@ Scenario build_scenario(const ScenarioSpec& spec) {
       .validation = std::move(validation),
       .true_quality = std::vector<double>(spec.num_clients, 1.0),
       .data_sizes = {},
-      .energy_costs = spec.energy_costs.empty()
-                          ? std::vector<double>(spec.num_clients, 1.0)
-                          : spec.energy_costs,
+      .energy_costs = spec.wireless.enabled
+                          ? std::move(derived_energy)
+                          : (spec.energy_costs.empty()
+                                 ? std::vector<double>(spec.num_clients, 1.0)
+                                 : spec.energy_costs),
   };
 
   // Poison the last ceil(fraction * N) clients' shards.

@@ -12,6 +12,7 @@
 
 #include "data/partition.h"
 #include "data/synthetic.h"
+#include "sim/energy.h"
 #include "util/rng.h"
 
 namespace sfl::sim {
@@ -42,6 +43,13 @@ struct ScenarioSpec {
 
   /// Per-client participation energy costs; empty = all 1.0.
   std::vector<double> energy_costs{};
+
+  /// Wireless cellular cost model (scenario "wireless"): when enabled,
+  /// per-client energy costs are DERIVED from channel quality
+  /// (wireless_energy_costs) instead of taken from `energy_costs`, which
+  /// must then stay empty. The draw shares the scenario seed, so the same
+  /// spec always produces the same cost population.
+  WirelessSpec wireless{};
 
   std::uint64_t seed = 42;
 };

@@ -1,0 +1,308 @@
+// Cross-market exclusive clearing unit tests (PR 10).
+//
+// MarketBatch::set_exclusive(true) turns run_rounds from independent
+// per-market rounds into ONE constrained assignment: every client wins at
+// most one row across the whole batch, resolved by the global greedy order
+// (score desc, ClientId asc, market index asc, row asc), with critical
+// payments priced against the constrained outcome. These tests pin the
+// semantics on hand-built instances — who wins when pools overlap, the tie
+// order, degenerate markets, individual rationality, the disjoint-pool
+// degeneration to the per-market rule — and the bit-identity of the fused
+// ShardedWdp path with the serial WdpEngine reference. The seeded
+// wide-coverage sweep (plus the conflict-resolution reference oracle) lives
+// in tests/property/exclusivity_invariants_test.cpp.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "auction/candidate_batch.h"
+#include "auction/market_batch.h"
+#include "auction/round_scratch.h"
+#include "auction/sharded_wdp.h"
+#include "auction/types.h"
+#include "util/rng.h"
+
+namespace sfl::auction {
+namespace {
+
+// With unit weights and zero bids, a row's score is simply its value —
+// hand-built expectations below read off the value column directly.
+constexpr ScoreWeights kUnitWeights{.value_weight = 1.0, .bid_weight = 1.0};
+
+CandidateBatch make_slate(
+    std::initializer_list<std::pair<ClientId, double>> rows) {
+  CandidateBatch slate;
+  for (const auto& [id, value] : rows) slate.emplace(id, value, 0.0, 1.0);
+  return slate;
+}
+
+void run_exclusive(const WdpEngine& engine, const MarketBatch& batch,
+                   MarketBatchResult& result) {
+  RoundScratch scratch;
+  engine.run_rounds(batch, result, scratch);
+}
+
+/// Every (market, winner) pair's client, for the no-duplicate check.
+std::vector<ClientId> winning_clients(const MarketBatch& batch,
+                                      const MarketBatchResult& result) {
+  std::vector<ClientId> clients;
+  for (std::size_t k = 0; k < batch.market_count(); ++k) {
+    for (const std::size_t local : result.selected(k)) {
+      clients.push_back(batch.ids()[batch.market(k).offset + local]);
+    }
+  }
+  return clients;
+}
+
+void expect_results_bit_identical(const MarketBatch& batch,
+                                  const MarketBatchResult& got,
+                                  const MarketBatchResult& want) {
+  ASSERT_EQ(got.market_count(), want.market_count());
+  for (std::size_t k = 0; k < batch.market_count(); ++k) {
+    ASSERT_EQ(got.selected(k).size(), want.selected(k).size()) << "market " << k;
+    for (std::size_t w = 0; w < got.selected(k).size(); ++w) {
+      EXPECT_EQ(got.selected(k)[w], want.selected(k)[w])
+          << "market " << k << " winner " << w;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got.payments(k)[w]),
+                std::bit_cast<std::uint64_t>(want.payments(k)[w]))
+          << "market " << k << " payment " << w;
+    }
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got.total_score(k)),
+              std::bit_cast<std::uint64_t>(want.total_score(k)))
+        << "market " << k << " total score";
+  }
+}
+
+TEST(ExclusiveRoundsTest, OverlappingClientWinsExactlyOnce) {
+  // Client 7 tops both markets; the global greedy assigns it where its
+  // score is higher (market 1, score 9) and market 0's seat falls to the
+  // runner-up. Without exclusivity client 7 would win both.
+  MarketBatch batch;
+  batch.append_market(make_slate({{ClientId{7}, 5.0}, {ClientId{1}, 3.0}}),
+                      /*max_winners=*/1, kUnitWeights);
+  batch.append_market(make_slate({{ClientId{7}, 9.0}, {ClientId{2}, 4.0}}),
+                      /*max_winners=*/1, kUnitWeights);
+  batch.set_exclusive(true);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  MarketBatchResult result;
+  run_exclusive(engine, batch, result);
+
+  ASSERT_EQ(result.selected(0).size(), 1u);
+  ASSERT_EQ(result.selected(1).size(), 1u);
+  EXPECT_EQ(result.selected(0)[0], 1u);  // client 1, the runner-up
+  EXPECT_EQ(result.selected(1)[0], 0u);  // client 7 in its better market
+
+  // Sanity: the unconstrained clear hands client 7 both seats.
+  batch.set_exclusive(false);
+  MarketBatchResult unconstrained;
+  run_exclusive(engine, batch, unconstrained);
+  EXPECT_EQ(unconstrained.selected(0)[0], 0u);
+  EXPECT_EQ(unconstrained.selected(1)[0], 0u);
+}
+
+TEST(ExclusiveRoundsTest, TiesResolveByClientThenMarketOrder) {
+  // Three rows, all score 6: client 3 (market 0), client 5 (market 0), and
+  // client 3 again (market 1). The greedy order is (score desc, id asc,
+  // market asc), so client 3's market-0 row is accepted first, its market-1
+  // row is skipped as already assigned, and client 5 takes market 0's
+  // second seat — market 1, whose only bidder was client 3, goes empty.
+  MarketBatch batch;
+  batch.append_market(make_slate({{ClientId{3}, 6.0}, {ClientId{5}, 6.0}}),
+                      /*max_winners=*/2, kUnitWeights);
+  batch.append_market(make_slate({{ClientId{3}, 6.0}}),
+                      /*max_winners=*/1, kUnitWeights);
+  batch.set_exclusive(true);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  MarketBatchResult result;
+  run_exclusive(engine, batch, result);
+
+  ASSERT_EQ(result.selected(0).size(), 2u);
+  EXPECT_TRUE(result.selected(1).empty());
+  EXPECT_EQ(result.selected(0)[0], 0u);
+  EXPECT_EQ(result.selected(0)[1], 1u);
+}
+
+TEST(ExclusiveRoundsTest, DuplicateRowsOfOneClientWinAtMostOnce) {
+  // The same client holds every row of one market: exclusivity binds
+  // within a market too, so it wins exactly one of its three rows.
+  MarketBatch batch;
+  batch.append_market(make_slate({{ClientId{4}, 3.0},
+                                  {ClientId{4}, 8.0},
+                                  {ClientId{4}, 5.0}}),
+                      /*max_winners=*/3, kUnitWeights);
+  batch.set_exclusive(true);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  MarketBatchResult result;
+  run_exclusive(engine, batch, result);
+
+  ASSERT_EQ(result.selected(0).size(), 1u);
+  EXPECT_EQ(result.selected(0)[0], 1u);  // its best row
+}
+
+TEST(ExclusiveRoundsTest, DegenerateMarketsTakeNoSeats) {
+  // An empty market and an m=0 market ride along without perturbing their
+  // siblings or claiming any assignment.
+  MarketBatch batch;
+  batch.append_market(CandidateBatch{}, /*max_winners=*/2, kUnitWeights);
+  batch.append_market(make_slate({{ClientId{1}, 2.0}}), /*max_winners=*/0,
+                      kUnitWeights);
+  batch.append_market(make_slate({{ClientId{1}, 2.0}, {ClientId{2}, 1.0}}),
+                      /*max_winners=*/5, kUnitWeights);  // m >= n
+  batch.set_exclusive(true);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  MarketBatchResult result;
+  run_exclusive(engine, batch, result);
+
+  EXPECT_TRUE(result.selected(0).empty());
+  EXPECT_TRUE(result.selected(1).empty());
+  ASSERT_EQ(result.selected(2).size(), 2u);
+  const std::vector<ClientId> clients = winning_clients(batch, result);
+  EXPECT_EQ(std::set<ClientId>(clients.begin(), clients.end()).size(),
+            clients.size());
+}
+
+TEST(ExclusiveRoundsTest, DisjointPoolsDegenerateToPerMarketClearing) {
+  // With no client shared between markets the exclusivity constraint never
+  // binds, and the documented payment rule degenerates to the per-market
+  // best-loser threshold — the exclusive clear must equal the independent
+  // clear bit for bit.
+  sfl::util::Rng rng(424242);
+  MarketBatch batch;
+  ClientId next_id{0};
+  for (std::size_t k = 0; k < 6; ++k) {
+    CandidateBatch slate;
+    const std::size_t rows = 1 + rng.uniform_index(12);
+    for (std::size_t i = 0; i < rows; ++i) {
+      slate.emplace(next_id, rng.uniform(0.0, 20.0), rng.uniform(0.0, 5.0),
+                    rng.uniform(0.1, 2.0));
+      next_id = static_cast<ClientId>(static_cast<std::size_t>(next_id) + 1);
+    }
+    batch.append_market(slate, 1 + rng.uniform_index(4),
+                        ScoreWeights{.value_weight = rng.uniform(1.0, 10.0),
+                                     .bid_weight = rng.uniform(1.0, 10.0)});
+  }
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 2}};
+  batch.set_exclusive(false);
+  MarketBatchResult independent;
+  run_exclusive(engine, batch, independent);
+  batch.set_exclusive(true);
+  MarketBatchResult exclusive;
+  run_exclusive(engine, batch, exclusive);
+  expect_results_bit_identical(batch, exclusive, independent);
+}
+
+TEST(ExclusiveRoundsTest, FusedShardedClearMatchesSerialReference) {
+  // Seeded overlapping-pool batches: the fused ShardedWdp override (parallel
+  // per-market sorts + k-way cursor merge) must reproduce the serial
+  // WdpEngine greedy bit for bit at every shard count, and no client may
+  // win twice.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 17u, 99u}) {
+    sfl::util::Rng rng(seed);
+    MarketBatch batch;
+    const std::size_t markets = 2 + rng.uniform_index(7);
+    for (std::size_t k = 0; k < markets; ++k) {
+      CandidateBatch slate;
+      const std::size_t rows = rng.uniform_index(30);
+      Penalties penalties;
+      const bool with_penalties = rng.bernoulli(0.5);
+      for (std::size_t i = 0; i < rows; ++i) {
+        // A small id pool forces heavy cross-market overlap.
+        slate.emplace(ClientId{rng.uniform_index(20)}, rng.uniform(0.0, 30.0),
+                      rng.uniform(0.0, 8.0), rng.uniform(0.1, 2.0));
+        if (with_penalties) penalties.push_back(rng.uniform(0.0, 6.0));
+      }
+      batch.append_market(slate, rng.uniform_index(6),
+                          ScoreWeights{.value_weight = rng.uniform(1.0, 15.0),
+                                       .bid_weight = rng.uniform(1.0, 15.0)},
+                          penalties);
+    }
+    batch.set_exclusive(true);
+
+    // The serial reference: the base-class implementation, reached by a
+    // qualified call so ShardedWdp's fused override is bypassed.
+    const ShardedWdp reference_engine{ShardedWdpConfig{.shards = 1}};
+    MarketBatchResult reference;
+    RoundScratch reference_scratch;
+    reference_engine.WdpEngine::run_rounds(batch, reference,
+                                           reference_scratch);
+    const std::vector<ClientId> clients = winning_clients(batch, reference);
+    EXPECT_EQ(std::set<ClientId>(clients.begin(), clients.end()).size(),
+              clients.size())
+        << "seed " << seed << ": a client won two seats";
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      MarketBatchResult fused;
+      const ShardedWdp engine{ShardedWdpConfig{.shards = shards}};
+      run_exclusive(engine, batch, fused);
+      SCOPED_TRACE("seed " + std::to_string(seed) + " shards " +
+                   std::to_string(shards));
+      expect_results_bit_identical(batch, fused, reference);
+    }
+  }
+}
+
+TEST(ExclusiveRoundsTest, PaymentsAreIndividuallyRational) {
+  sfl::util::Rng rng(777);
+  MarketBatch batch;
+  for (std::size_t k = 0; k < 5; ++k) {
+    CandidateBatch slate;
+    for (std::size_t i = 0; i < 15; ++i) {
+      slate.emplace(ClientId{rng.uniform_index(12)}, rng.uniform(0.0, 25.0),
+                    rng.uniform(0.0, 6.0), 1.0);
+    }
+    batch.append_market(slate, 3,
+                        ScoreWeights{.value_weight = 8.0, .bid_weight = 4.0});
+  }
+  batch.set_exclusive(true);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 4}};
+  MarketBatchResult result;
+  run_exclusive(engine, batch, result);
+  for (std::size_t k = 0; k < batch.market_count(); ++k) {
+    const auto selected = result.selected(k);
+    const auto payments = result.payments(k);
+    for (std::size_t w = 0; w < selected.size(); ++w) {
+      const double bid = batch.bids()[batch.market(k).offset + selected[w]];
+      EXPECT_GE(payments[w], bid) << "market " << k << " winner " << w;
+    }
+  }
+}
+
+TEST(ExclusiveRoundsTest, ValidationFailureLeavesPriorResultIntact) {
+  // run_rounds validates BEFORE touching the result: a corrupted descriptor
+  // throws std::invalid_argument and a previously computed result arena
+  // survives unmodified (exception-atomicity).
+  MarketBatch batch;
+  batch.append_market(make_slate({{ClientId{1}, 4.0}, {ClientId{2}, 2.0}}),
+                      /*max_winners=*/1, kUnitWeights);
+  batch.set_exclusive(true);
+
+  const ShardedWdp engine{ShardedWdpConfig{.shards = 1}};
+  MarketBatchResult result;
+  run_exclusive(engine, batch, result);
+  ASSERT_EQ(result.selected(0).size(), 1u);
+  const std::size_t winner = result.selected(0)[0];
+  const double payment = result.payments(0)[0];
+
+  batch.market_mutable(0).offset = 1000;  // span escapes the arena
+  RoundScratch scratch;
+  EXPECT_THROW(engine.run_rounds(batch, result, scratch),
+               std::invalid_argument);
+  ASSERT_EQ(result.selected(0).size(), 1u);
+  EXPECT_EQ(result.selected(0)[0], winner);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(result.payments(0)[0]),
+            std::bit_cast<std::uint64_t>(payment));
+}
+
+}  // namespace
+}  // namespace sfl::auction

@@ -1,0 +1,194 @@
+// Fresh-coordinator cold start for the adaptive hedge deadlines (PR 10).
+//
+// A brand-new coordinator has empty per-worker latency stats, so every
+// adaptive deadline falls back to the fixed receive_timeout until
+// kHedgeMinSamples observations accumulate per worker — a straggler that is
+// present from round one stalls the first rounds at the full timeout. The
+// fix is DistributedWdpConfig::latency_prior: a retiring coordinator exports
+// worker_latency_stats() and its successor starts warm, hedging the known
+// straggler immediately. The prior shifts only dispatch timing; results must
+// stay bit-identical to the serial engine with or without it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "auction/round_scratch.h"
+#include "auction/sharded_wdp.h"
+#include "dist/distributed_wdp.h"
+#include "dist/loopback_transport.h"
+#include "stats/running_stats.h"
+#include "util/rng.h"
+
+namespace sfl::dist {
+namespace {
+
+using auction::CandidateBatch;
+using auction::ClientId;
+using auction::RoundScratch;
+using auction::ScoreWeights;
+using auction::ShardedWdp;
+using auction::ShardedWdpConfig;
+
+constexpr ScoreWeights kWeights{.value_weight = 10.0, .bid_weight = 12.5};
+constexpr std::size_t kMaxWinners = 5;
+// Mirrors kHedgeMinSamples in distributed_wdp.cpp: a prior below this count
+// is ignored by the adaptive deadline, so the warm-start tests must seed at
+// least this many observations per worker.
+constexpr std::size_t kMinSamples = 8;
+
+CandidateBatch make_batch(std::size_t n, std::uint64_t seed) {
+  sfl::util::Rng rng(seed);
+  CandidateBatch batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.emplace(static_cast<ClientId>(rng.uniform_index(n)),
+                  rng.uniform(0.1, 5.0), rng.uniform(0.05, 3.0),
+                  rng.uniform(0.2, 2.0));
+  }
+  return batch;
+}
+
+struct Harness {
+  std::unique_ptr<DistributedWdp> engine;
+  LoopbackTransport* transport = nullptr;
+};
+
+Harness make_harness(std::size_t workers, DistributedWdpConfig config = {}) {
+  auto transport = std::make_unique<LoopbackTransport>(workers);
+  LoopbackTransport* raw = transport.get();
+  config.workers = workers;
+  return Harness{
+      .engine = std::make_unique<DistributedWdp>(config, std::move(transport)),
+      .transport = raw};
+}
+
+void expect_bit_identical(const DistributedWdp& engine,
+                          const CandidateBatch& batch) {
+  const ShardedWdp serial{ShardedWdpConfig{.shards = 1}};
+  RoundScratch serial_scratch;
+  serial.run_round(batch, kWeights, kMaxWinners, {}, serial_scratch);
+  RoundScratch scratch;
+  engine.run_round(batch, kWeights, kMaxWinners, {}, scratch);
+  ASSERT_EQ(scratch.allocation.selected, serial_scratch.allocation.selected);
+  ASSERT_EQ(scratch.allocation.total_score,
+            serial_scratch.allocation.total_score);
+  ASSERT_EQ(scratch.payments, serial_scratch.payments);
+}
+
+/// A hand-built prior: every worker observed at `mean_us` microseconds often
+/// enough for the adaptive deadline to trust it (>= kMinSamples samples).
+std::vector<sfl::stats::RunningStats> uniform_prior(std::size_t workers,
+                                                    double mean_us) {
+  std::vector<sfl::stats::RunningStats> prior(workers);
+  for (auto& stats : prior) {
+    for (std::size_t i = 0; i < kMinSamples; ++i) stats.add(mean_us);
+  }
+  return prior;
+}
+
+TEST(ColdStartPriorTest, WrongSizedPriorIsRejected) {
+  auto transport = std::make_unique<LoopbackTransport>(4);
+  DistributedWdpConfig config;
+  config.workers = 4;
+  config.latency_prior = uniform_prior(3, 500.0);  // 3 entries, 4 workers
+  EXPECT_THROW(DistributedWdp(config, std::move(transport)),
+               std::invalid_argument);
+}
+
+TEST(ColdStartPriorTest, EmptyPriorStartsWithFreshStats) {
+  const Harness h = make_harness(4);
+  const auto& stats = h.engine->worker_latency_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  for (const auto& s : stats) EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(ColdStartPriorTest, PriorIsVisibleThroughAccessor) {
+  DistributedWdpConfig config;
+  config.latency_prior = uniform_prior(4, 350.0);
+  const Harness h = make_harness(4, config);
+  const auto& stats = h.engine->worker_latency_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.count(), kMinSamples);
+    EXPECT_DOUBLE_EQ(s.mean(), 350.0);
+  }
+}
+
+TEST(ColdStartPriorTest, WarmPriorHedgesAKnownStragglerImmediately) {
+  // First generation: warm the latency stats against a persistent 800us
+  // straggler, then export them. The export must show the straggler as an
+  // outlier the successor can act on.
+  DistributedWdpConfig gen1_config;
+  std::vector<sfl::stats::RunningStats> exported;
+  std::size_t straggler = 0;
+  {
+    const Harness gen1 = make_harness(4, gen1_config);
+    straggler = gen1.engine->home_worker(0);
+    gen1.transport->set_worker_latency(straggler,
+                                       std::chrono::microseconds(800));
+    for (std::size_t round = 0; round < 20; ++round) {
+      SCOPED_TRACE("gen1 round " + std::to_string(round));
+      expect_bit_identical(*gen1.engine, make_batch(40 + round, 5000 + round));
+    }
+    exported = gen1.engine->worker_latency_stats();
+    ASSERT_EQ(exported.size(), 4u);
+    ASSERT_GE(exported[straggler].count(), kMinSamples);
+    // Rendezvous routing need not touch every worker at these batch sizes;
+    // only peers that actually served shards carry samples. At least one
+    // warm peer must exist, and the straggler's observed mean must dominate
+    // every warm peer's — otherwise the prior carries no signal for the
+    // successor to hedge on.
+    std::size_t warm_peers = 0;
+    for (std::size_t w = 0; w < exported.size(); ++w) {
+      if (w == straggler || exported[w].count() < kMinSamples) continue;
+      ++warm_peers;
+      ASSERT_GT(exported[straggler].mean(), 2.0 * exported[w].mean());
+    }
+    ASSERT_GE(warm_peers, 1u);
+  }
+
+  // Second generation: a FRESH coordinator over the same (still-slow)
+  // cluster, seeded with the exported prior. The adaptive deadline trusts
+  // the prior from round one, so the straggler is hedged or redispatched
+  // within the first few rounds instead of stalling at receive_timeout
+  // until kMinSamples fresh observations accumulate.
+  DistributedWdpConfig gen2_config;
+  gen2_config.latency_prior = exported;
+  const Harness gen2 = make_harness(4, gen2_config);
+  gen2.transport->set_worker_latency(straggler,
+                                     std::chrono::microseconds(800));
+  std::size_t recoveries = 0;
+  for (std::size_t round = 0; round < 8; ++round) {
+    SCOPED_TRACE("gen2 round " + std::to_string(round));
+    expect_bit_identical(*gen2.engine, make_batch(44 + round, 7000 + round));
+    const auto& stats = gen2.engine->last_round_stats();
+    recoveries += stats.hedged_dispatches + stats.redispatches;
+  }
+  EXPECT_GE(recoveries, 1u);
+  EXPECT_TRUE(gen2.engine->worker_live(straggler));  // slow, never dead
+}
+
+TEST(ColdStartPriorTest, RejoinResetsAPriorSeededWorker) {
+  // Membership churn must not resurrect stale priors: when a worker leaves
+  // and rejoins, its latency stats reset to fresh even if they were seeded
+  // from a prior — the rejoined process may be a different machine.
+  DistributedWdpConfig config;
+  config.latency_prior = uniform_prior(3, 400.0);
+  const Harness h = make_harness(3, config);
+  const std::size_t w = h.engine->home_worker(0);
+  ASSERT_EQ(h.engine->worker_latency_stats()[w].count(), kMinSamples);
+
+  h.transport->announce_worker_leave(w);
+  h.engine->pump();
+  h.transport->announce_worker_join(w);
+  h.engine->pump();
+  EXPECT_EQ(h.engine->worker_latency_stats()[w].count(), 0u);
+
+  expect_bit_identical(*h.engine, make_batch(30, 99));
+}
+
+}  // namespace
+}  // namespace sfl::dist

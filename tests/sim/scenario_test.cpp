@@ -121,5 +121,95 @@ TEST(ScenarioTest, SameSeedSameScenario) {
   EXPECT_EQ(a.data.shard(0).labels(), b.data.shard(0).labels());
 }
 
+// ---------------------------------------------------------------------------
+// Spec validation regressions (PR 10): every malformed field must throw
+// before any data is built, so experiment configs fail fast instead of
+// silently producing a corrupted population.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioValidationTest, RejectsOutOfRangeFractions) {
+  {
+    ScenarioSpec spec = small_spec();
+    spec.num_clients = 0;
+    EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
+  }
+  for (const double bad : {-0.1, 1.1}) {
+    ScenarioSpec spec = small_spec();
+    spec.noisy_client_fraction = bad;
+    EXPECT_THROW((void)build_scenario(spec), std::invalid_argument) << bad;
+  }
+  for (const double bad : {-0.01, 1.5}) {
+    ScenarioSpec spec = small_spec();
+    spec.noisy_client_fraction = 0.5;
+    spec.noisy_flip_probability = bad;
+    EXPECT_THROW((void)build_scenario(spec), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ScenarioValidationTest, RejectsMalformedWirelessParameters) {
+  const auto expect_throws = [](auto&& mutate) {
+    ScenarioSpec spec = small_spec();
+    spec.wireless.enabled = true;
+    mutate(spec.wireless);
+    EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
+  };
+  expect_throws([](WirelessSpec& w) { w.bandwidth_hz = 0.0; });
+  expect_throws([](WirelessSpec& w) { w.tx_power_watts = -1.0; });
+  expect_throws([](WirelessSpec& w) { w.payload_bits = 0.0; });
+  expect_throws([](WirelessSpec& w) { w.min_radius_m = 0.0; });
+  expect_throws([](WirelessSpec& w) { w.cell_radius_m = 5.0; });  // < min
+  expect_throws([](WirelessSpec& w) { w.reference_snr = 0.0; });
+  expect_throws([](WirelessSpec& w) { w.reference_distance_m = 0.0; });
+}
+
+TEST(ScenarioValidationTest, WirelessAndExplicitCostsAreExclusive) {
+  ScenarioSpec spec = small_spec();
+  spec.wireless.enabled = true;
+  spec.energy_costs = std::vector<double>(8, 1.0);
+  EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
+}
+
+TEST(ScenarioValidationTest, WirelessCostsAreDeterministicAndNormalized) {
+  ScenarioSpec spec = small_spec();
+  spec.wireless.enabled = true;
+  const Scenario a = build_scenario(spec);
+  const Scenario b = build_scenario(spec);
+  EXPECT_EQ(a.energy_costs, b.energy_costs);  // bitwise: same spec, same draw
+  double mean = 0.0;
+  double min_cost = 1e18;
+  double max_cost = 0.0;
+  for (const double e : a.energy_costs) {
+    EXPECT_GT(e, 0.0);
+    mean += e;
+    min_cost = std::min(min_cost, e);
+    max_cost = std::max(max_cost, e);
+  }
+  mean /= static_cast<double>(a.energy_costs.size());
+  EXPECT_NEAR(mean, spec.wireless.normalize_mean, 1e-9);
+  // Path loss + Rayleigh fading must produce real heterogeneity, not a
+  // flat population — that spread is the whole point of the scenario.
+  EXPECT_GT(max_cost / min_cost, 1.5);
+}
+
+TEST(ScenarioValidationTest, WirelessDrawNeverPerturbsDataDraws) {
+  // The wireless costs come from an independently-seeded stream: enabling
+  // the model must leave the dataset, partition, and label-noise draws
+  // bit-identical to the baseline scenario.
+  ScenarioSpec spec = small_spec();
+  spec.noisy_client_fraction = 0.25;
+  const Scenario baseline = build_scenario(spec);
+  spec.wireless.enabled = true;
+  const Scenario wireless = build_scenario(spec);
+  EXPECT_EQ(baseline.data_sizes, wireless.data_sizes);
+  EXPECT_EQ(baseline.data.test_set().labels(),
+            wireless.data.test_set().labels());
+  for (std::size_t c = 0; c < baseline.num_clients(); ++c) {
+    EXPECT_EQ(baseline.data.shard(c).labels(), wireless.data.shard(c).labels())
+        << c;
+  }
+  EXPECT_EQ(baseline.true_quality, wireless.true_quality);
+  EXPECT_NE(baseline.energy_costs, wireless.energy_costs);
+}
+
 }  // namespace
 }  // namespace sfl::sim
